@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks: per-loop solve time of the traditional vs
+//! structured formulations (the paper's headline effect, at single-loop
+//! granularity so `cargo bench` shows it without a corpus sweep).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimod::{DepStyle, Objective, OptimalScheduler, SchedulerConfig};
+use optimod_ddg::{kernels, Loop};
+use optimod_machine::{cydra_like, example_3fu, Machine};
+
+fn bench_cases() -> Vec<(&'static str, Machine, Loop)> {
+    let m3 = example_3fu();
+    let mc = cydra_like();
+    vec![
+        ("figure1/3fu", m3.clone(), kernels::figure1(&m3)),
+        ("saxpy/cydra", mc.clone(), kernels::saxpy(&mc)),
+        ("lfk1/3fu", m3.clone(), kernels::lfk1_hydro(&m3)),
+        ("fir4/3fu", m3.clone(), kernels::fir4(&m3)),
+        ("lfk12/3fu", m3.clone(), kernels::lfk12_first_diff(&m3)),
+    ]
+}
+
+fn scheduler(style: DepStyle, objective: Objective) -> OptimalScheduler {
+    OptimalScheduler::new(
+        SchedulerConfig::new(style, objective)
+            .with_time_limit(Duration::from_secs(20)),
+    )
+}
+
+fn bench_minreg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minreg");
+    group.sample_size(10);
+    for (name, machine, l) in bench_cases() {
+        for (style_name, style) in [
+            ("traditional", DepStyle::Traditional),
+            ("structured", DepStyle::Structured),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(style_name, name),
+                &(&machine, &l),
+                |b, (machine, l)| {
+                    let s = scheduler(style, Objective::MinMaxLive);
+                    b.iter(|| {
+                        let r = s.schedule(l, machine);
+                        assert!(r.status.scheduled(), "{name}");
+                        r.ii
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_noobj(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noobj");
+    group.sample_size(10);
+    for (name, machine, l) in bench_cases() {
+        for (style_name, style) in [
+            ("traditional", DepStyle::Traditional),
+            ("structured", DepStyle::Structured),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(style_name, name),
+                &(&machine, &l),
+                |b, (machine, l)| {
+                    let s = scheduler(style, Objective::FirstFeasible);
+                    b.iter(|| {
+                        let r = s.schedule(l, machine);
+                        assert!(r.status.scheduled(), "{name}");
+                        r.ii
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minreg, bench_noobj);
+criterion_main!(benches);

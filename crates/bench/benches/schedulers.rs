@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the non-ILP components: MII computation,
+//! the IMS heuristic, stage scheduling, and schedule measurement — the
+//! fast paths a production compiler would run per loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimod::heuristic::{ims_schedule, stage_schedule, ImsConfig};
+use optimod::{compute_mii, Schedule};
+use optimod_ddg::{benchmark_corpus, CorpusSize};
+use optimod_machine::cydra_like;
+
+fn bench_mii(c: &mut Criterion) {
+    let machine = cydra_like();
+    let loops = benchmark_corpus(&machine, CorpusSize::Small);
+    c.bench_function("mii/small-corpus", |b| {
+        b.iter(|| {
+            loops
+                .iter()
+                .map(|l| compute_mii(l, &machine).value())
+                .sum::<u32>()
+        })
+    });
+}
+
+fn bench_ims(c: &mut Criterion) {
+    let machine = cydra_like();
+    let loops = benchmark_corpus(&machine, CorpusSize::Small);
+    let mut group = c.benchmark_group("ims");
+    group.sample_size(10);
+    group.bench_function("small-corpus", |b| {
+        b.iter(|| {
+            loops
+                .iter()
+                .map(|l| {
+                    ims_schedule(l, &machine, &ImsConfig::default())
+                        .expect("ims schedules")
+                        .schedule
+                        .ii()
+                })
+                .sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_stage_scheduling(c: &mut Criterion) {
+    let machine = cydra_like();
+    let loops = benchmark_corpus(&machine, CorpusSize::Small);
+    let schedules: Vec<Schedule> = loops
+        .iter()
+        .map(|l| {
+            ims_schedule(l, &machine, &ImsConfig::default())
+                .expect("ims schedules")
+                .schedule
+        })
+        .collect();
+    let mut group = c.benchmark_group("stage-scheduling");
+    group.sample_size(10);
+    group.bench_function("small-corpus", |b| {
+        b.iter(|| {
+            loops
+                .iter()
+                .zip(&schedules)
+                .map(|(l, s)| stage_schedule(l, &machine, s).max_live(l))
+                .sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_max_live(c: &mut Criterion) {
+    let machine = cydra_like();
+    let loops = benchmark_corpus(&machine, CorpusSize::Small);
+    let schedules: Vec<Schedule> = loops
+        .iter()
+        .map(|l| {
+            ims_schedule(l, &machine, &ImsConfig::default())
+                .expect("ims schedules")
+                .schedule
+        })
+        .collect();
+    c.bench_function("measure/maxlive-small-corpus", |b| {
+        b.iter(|| {
+            loops
+                .iter()
+                .zip(&schedules)
+                .map(|(l, s)| s.max_live(l) + s.buffers(l))
+                .sum::<u32>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mii,
+    bench_ims,
+    bench_stage_scheduling,
+    bench_max_live
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Corpus characterization: verifies that the substitute benchmark
+//! population matches the statistics the paper reports for its 1327 loops
+//! (size distribution, recurrence share, MII make-up).
+//!
+//! Run: `cargo run --release -p optimod-bench --bin corpus_stats`
+
+use optimod::compute_mii;
+use optimod_bench::{summary_header, ExperimentConfig, Summary};
+use optimod_machine::OpClass;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let machine = cfg.machine();
+    let loops = cfg.corpus_loops(&machine);
+    println!(
+        "Corpus characterization — {} loops on '{}'\n",
+        loops.len(),
+        machine.name()
+    );
+
+    let sizes: Vec<f64> = loops.iter().map(|l| l.num_ops() as f64).collect();
+    let edges: Vec<f64> = loops.iter().map(|l| l.edges().len() as f64).collect();
+    let vregs: Vec<f64> = loops.iter().map(|l| l.vregs().len() as f64).collect();
+    let miis: Vec<_> = loops.iter().map(|l| compute_mii(l, &machine)).collect();
+    let mii_vals: Vec<f64> = miis.iter().map(|m| m.value() as f64).collect();
+
+    println!("{}", summary_header());
+    for (label, vals) in [
+        ("N (operations)", &sizes),
+        ("edges", &edges),
+        ("virtual registers", &vregs),
+        ("MII", &mii_vals),
+    ] {
+        println!("{}", Summary::from_values(vals).expect("non-empty").row(label));
+    }
+
+    let with_rec = loops.iter().filter(|l| l.has_recurrence()).count();
+    let rec_bound = miis
+        .iter()
+        .filter(|m| m.rec_mii >= m.res_mii && m.rec_mii > 0)
+        .count();
+    println!(
+        "\nloops with recurrences: {with_rec} ({:.1}%), of which \
+         recurrence-bound (RecMII >= ResMII): {rec_bound}",
+        100.0 * with_rec as f64 / loops.len() as f64
+    );
+
+    // Operation-class mix across the corpus.
+    let mut class_counts = vec![0usize; OpClass::ALL.len()];
+    let mut total_ops = 0usize;
+    for l in &loops {
+        for op in l.ops() {
+            let idx = OpClass::ALL.iter().position(|&c| c == op.class).unwrap();
+            class_counts[idx] += 1;
+            total_ops += 1;
+        }
+    }
+    println!("\noperation mix ({total_ops} ops):");
+    for (c, n) in OpClass::ALL.iter().zip(&class_counts) {
+        if *n > 0 {
+            println!("  {:<6} {:>6} ({:>5.1}%)", c.mnemonic(), n, 100.0 * *n as f64 / total_ops as f64);
+        }
+    }
+
+    // The paper's reference distribution (Table 1, NoObj column): min 2,
+    // median 9, average 13.95, max 80.
+    println!(
+        "\npaper reference for N (NoObj, 1179 loops): min 2 / median 9 / \
+         average 13.95 / max 80"
+    );
+}

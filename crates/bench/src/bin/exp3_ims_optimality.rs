@@ -1,0 +1,133 @@
+//! Section 5, third experiment: grading the Iterative Modulo Scheduler
+//! with the NoObj optimal scheduler.
+//!
+//! The paper reports that IMS achieves the MII on 96.0% of loops; for the
+//! remainder, the NoObj scheduler shows that some IIs can be reduced by 1
+//! or 2 cycles, proves others already optimal (II not decreasable), and
+//! leaves a few undecided within the time limit — lifting the *known*
+//! optimal-throughput fraction to 98.3%.
+//!
+//! Run: `cargo run --release -p optimod-bench --bin exp3_ims_optimality`
+
+use optimod::heuristic::{ims_schedule, ImsConfig};
+use optimod::{compute_mii, DepStyle, Objective};
+use optimod_bench::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let machine = cfg.machine();
+    let loops = cfg.corpus_loops(&machine);
+    // Our substitute corpus is easier than the Cydra compiler's output, so
+    // a generous IMS budget reaches the MII everywhere; OPTIMOD_IMS_BUDGET
+    // (placements per operation, Rau's "budget ratio") tightens the
+    // heuristic to surface the paper's interesting set.
+    let ims_cfg = ImsConfig {
+        budget_ratio: std::env::var("OPTIMOD_IMS_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2),
+        ..Default::default()
+    };
+    println!(
+        "Experiment 3 reproduction (IMS optimality) — {} loops, {} ms/probe, \
+         IMS budget ratio {}\n",
+        loops.len(),
+        cfg.budget.as_millis(),
+        ims_cfg.budget_ratio
+    );
+
+    let prober = cfg.scheduler(DepStyle::Structured, Objective::FirstFeasible);
+
+    let mut at_mii = 0usize;
+    let mut interesting = Vec::new();
+    let mut ims_iis = Vec::new();
+    for l in &loops {
+        let ims = ims_schedule(l, &machine, &ims_cfg)
+            .unwrap_or_else(|| panic!("IMS failed on {}", l.name()));
+        let mii = compute_mii(l, &machine).value();
+        let ii = ims.schedule.ii();
+        ims_iis.push((l.name().to_string(), ii));
+        if ii == mii {
+            at_mii += 1;
+        } else {
+            interesting.push((l, ii));
+        }
+    }
+    println!(
+        "IMS achieves the MII on {at_mii}/{} loops ({:.1}%)",
+        loops.len(),
+        100.0 * at_mii as f64 / loops.len() as f64
+    );
+    println!(
+        "interesting loops (IMS II above MII): {}\n",
+        interesting.len()
+    );
+
+    // Probe each interesting loop: can II be decreased by 1? by 2?
+    let mut improved_by = [0usize; 3]; // [not-decreasable, by 1, by >=2]
+    let mut proven_optimal = 0usize;
+    let mut undecided = 0usize;
+    let mut known_optimal_total = at_mii;
+    for (l, ims_ii) in &interesting {
+        // Find the smallest feasible II <= ims_ii by probing downwards.
+        let mut best_known = *ims_ii;
+        let mut decided_floor = false;
+        while best_known > 1 {
+            match prober.feasible_at(l, &machine, best_known - 1) {
+                Some(true) => best_known -= 1,
+                Some(false) => {
+                    decided_floor = true;
+                    break;
+                }
+                None => break, // undecided below this point
+            }
+        }
+        if best_known == 1 {
+            decided_floor = true; // nothing below II=1 exists
+        }
+        let gain = ims_ii - best_known;
+        match (gain, decided_floor) {
+            (0, true) => {
+                improved_by[0] += 1;
+                proven_optimal += 1;
+                known_optimal_total += 1;
+            }
+            (0, false) => undecided += 1,
+            (1, _) => improved_by[1] += 1,
+            (_, _) => improved_by[2] += 1,
+        }
+        if gain > 0 && decided_floor {
+            known_optimal_total += 1; // the improved schedule is proven best
+        }
+        if gain > 0 {
+            println!(
+                "  {}: IMS II {} -> optimal scheduler found II {}{}",
+                l.name(),
+                ims_ii,
+                best_known,
+                if decided_floor { " (proven minimal)" } else { "" }
+            );
+        }
+    }
+
+    println!("\namong the interesting loops:");
+    println!(
+        "  II proven not decreasable:        {:>4}",
+        improved_by[0]
+    );
+    println!(
+        "  II decreased by exactly 1 cycle:  {:>4}",
+        improved_by[1]
+    );
+    println!(
+        "  II decreased by 2 or more cycles: {:>4}",
+        improved_by[2]
+    );
+    println!("  undecided within the budget:      {undecided:>4}");
+    let _ = proven_optimal;
+    println!(
+        "\nloops with schedules of known-maximum throughput: {known_optimal_total}/{} ({:.1}%)",
+        loops.len(),
+        100.0 * known_optimal_total as f64 / loops.len() as f64
+    );
+}

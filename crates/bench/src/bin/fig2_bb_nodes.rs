@@ -1,0 +1,94 @@
+//! Figure 2: average number of branch-and-bound nodes visited by the
+//! solver, for the four schedulers under the traditional and the
+//! 0-1-structured formulations, restricted (as in the paper) to the loops
+//! successfully scheduled by *all* configurations.
+//!
+//! Also prints the paper's headline totals: MinReg total solver time under
+//! both formulations (the 870.2 s → 101.0 s / 8.6× claim) and per-scheduler
+//! coverage (782 → 917 etc.).
+//!
+//! Run: `cargo run --release -p optimod-bench --bin fig2_bb_nodes`
+//! (set `OPTIMOD_CORPUS=medium|full` and `OPTIMOD_BUDGET_MS` to scale up).
+
+use optimod::DepStyle;
+use optimod_bench::{ExperimentConfig, LoopRecord, SCHEDULERS};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let machine = cfg.machine();
+    let loops = cfg.corpus_loops(&machine);
+    println!(
+        "Figure 2 reproduction — {} loops on '{}' machine, {} ms/loop budget\n",
+        loops.len(),
+        machine.name(),
+        cfg.budget.as_millis()
+    );
+
+    // Run all 8 configurations.
+    let mut runs: Vec<(&'static str, DepStyle, Vec<LoopRecord>)> = Vec::new();
+    for style in [DepStyle::Traditional, DepStyle::Structured] {
+        for (name, obj) in SCHEDULERS {
+            eprintln!("running {name} / {style:?} ...");
+            runs.push((name, style, cfg.run_suite(&machine, &loops, style, obj)));
+        }
+    }
+
+    // Loops scheduled by every configuration (the paper's 653-loop set).
+    let solved_by_all: Vec<usize> = (0..loops.len())
+        .filter(|&i| runs.iter().all(|(_, _, r)| r[i].result.status.scheduled()))
+        .collect();
+    println!(
+        "loops successfully scheduled by all 8 configurations: {}\n",
+        solved_by_all.len()
+    );
+
+    println!(
+        "{:<10} {:>24} {:>24} {:>10}",
+        "Scheduler", "avg nodes (traditional)", "avg nodes (structured)", "ratio"
+    );
+    for (name, _) in SCHEDULERS {
+        let avg = |style: DepStyle| -> f64 {
+            let (_, _, recs) = runs
+                .iter()
+                .find(|(n, s, _)| *n == name && *s == style)
+                .expect("configuration was run");
+            if solved_by_all.is_empty() {
+                return f64::NAN;
+            }
+            solved_by_all
+                .iter()
+                .map(|&i| recs[i].result.stats.bb_nodes as f64)
+                .sum::<f64>()
+                / solved_by_all.len() as f64
+        };
+        let t = avg(DepStyle::Traditional);
+        let s = avg(DepStyle::Structured);
+        println!(
+            "{name:<10} {t:>24.2} {s:>24.2} {:>9.1}x",
+            if s > 0.0 { t / s } else { f64::INFINITY }
+        );
+    }
+
+    println!("\n--- headline totals (all corpus loops) ---");
+    for (name, _) in SCHEDULERS {
+        let pick = |style: DepStyle| {
+            runs.iter()
+                .find(|(n, s, _)| *n == name && *s == style)
+                .map(|(_, _, r)| r)
+                .expect("configuration was run")
+        };
+        let trad = pick(DepStyle::Traditional);
+        let strc = pick(DepStyle::Structured);
+        let cov = |r: &[LoopRecord]| r.iter().filter(|x| x.result.status.scheduled()).count();
+        let t_time = optimod_bench::total_time(trad).as_secs_f64();
+        let s_time = optimod_bench::total_time(strc).as_secs_f64();
+        println!(
+            "{name:<10} coverage {:>4} -> {:>4} loops | total time {:>8.1}s -> {:>7.1}s ({:.1}x)",
+            cov(trad),
+            cov(strc),
+            t_time,
+            s_time,
+            if s_time > 0.0 { t_time / s_time } else { f64::NAN }
+        );
+    }
+}

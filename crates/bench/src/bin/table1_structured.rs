@@ -1,0 +1,28 @@
+//! Table 1: measurements with the *structured* scheduling constraints.
+//!
+//! For each of the four schedulers, prints the paper's
+//! `min / freq / median / average / max` summary of variables, constraints,
+//! branch-and-bound nodes, simplex iterations, II, and N over the
+//! successfully scheduled loops.
+//!
+//! Run: `cargo run --release -p optimod-bench --bin table1_structured`
+
+use optimod::DepStyle;
+use optimod_bench::{print_measurement_block, ExperimentConfig, SCHEDULERS};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let machine = cfg.machine();
+    let loops = cfg.corpus_loops(&machine);
+    println!(
+        "Table 1 reproduction (structured constraints) — {} loops, {} ms/loop\n",
+        loops.len(),
+        cfg.budget.as_millis()
+    );
+    for (name, obj) in SCHEDULERS {
+        eprintln!("running {name} ...");
+        let recs = cfg.run_suite(&machine, &loops, DepStyle::Structured, obj);
+        print_measurement_block(&format!("{name} Modulo-Sched"), &recs);
+        println!();
+    }
+}

@@ -1,0 +1,25 @@
+//! Table 2: measurements with the *traditional* scheduling constraints —
+//! same layout as Table 1, demonstrating the higher node counts and lower
+//! coverage of the traditional formulation.
+//!
+//! Run: `cargo run --release -p optimod-bench --bin table2_traditional`
+
+use optimod::DepStyle;
+use optimod_bench::{print_measurement_block, ExperimentConfig, SCHEDULERS};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let machine = cfg.machine();
+    let loops = cfg.corpus_loops(&machine);
+    println!(
+        "Table 2 reproduction (traditional constraints) — {} loops, {} ms/loop\n",
+        loops.len(),
+        cfg.budget.as_millis()
+    );
+    for (name, obj) in SCHEDULERS {
+        eprintln!("running {name} ...");
+        let recs = cfg.run_suite(&machine, &loops, DepStyle::Traditional, obj);
+        print_measurement_block(&format!("{name} Modulo-Sched"), &recs);
+        println!();
+    }
+}

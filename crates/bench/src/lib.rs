@@ -1,0 +1,298 @@
+//! Experiment harness for the PLDI'97 reproduction.
+//!
+//! Provides the shared machinery the per-table/per-figure binaries use:
+//! corpus selection, per-loop budgeting, the four schedulers in both
+//! formulations, and the paper's `min / freq / median / average / max`
+//! summary statistics (Tables 1 and 2).
+//!
+//! Environment knobs (all binaries):
+//!
+//! * `OPTIMOD_CORPUS` — `small` (default), `medium`, or `full` (1327
+//!   loops, like the paper; slow).
+//! * `OPTIMOD_BUDGET_MS` — per-loop solver budget in milliseconds
+//!   (default 2000; the paper used 15 minutes on an HP-9000/715).
+//! * `OPTIMOD_NODE_CAP` — per-loop branch-and-bound node cap
+//!   (default 200000).
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use optimod::heuristic::{ims_schedule, stage_schedule, ImsConfig};
+use optimod::{
+    DepStyle, LoopResult, Objective, OptimalScheduler, Schedule, SchedulerConfig,
+};
+use optimod_ddg::{benchmark_corpus, CorpusSize, Loop};
+use optimod_machine::{cydra_like, Machine};
+
+/// One benchmark loop together with the optimal scheduler's outcome.
+#[derive(Debug, Clone)]
+pub struct LoopRecord {
+    /// Loop name.
+    pub name: String,
+    /// Operation count (the paper's `N`).
+    pub n_ops: usize,
+    /// Scheduling outcome.
+    pub result: LoopResult,
+}
+
+/// The four schedulers of the paper's Section 5.
+pub const SCHEDULERS: [(&str, Objective); 4] = [
+    ("NoObj", Objective::FirstFeasible),
+    ("MinBuff", Objective::MinBuffers),
+    ("MinLife", Objective::MinCumLifetime),
+    ("MinReg", Objective::MinMaxLive),
+];
+
+/// Experiment-wide configuration, resolved from the environment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Corpus size.
+    pub corpus: CorpusSize,
+    /// Per-loop solver budget.
+    pub budget: Duration,
+    /// Per-loop branch-and-bound node cap.
+    pub node_cap: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            corpus: CorpusSize::Small,
+            budget: Duration::from_millis(2000),
+            node_cap: 200_000,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Reads `OPTIMOD_CORPUS`, `OPTIMOD_BUDGET_MS`, and `OPTIMOD_NODE_CAP`.
+    pub fn from_env() -> Self {
+        let mut cfg = ExperimentConfig::default();
+        match std::env::var("OPTIMOD_CORPUS").as_deref() {
+            Ok("medium") => cfg.corpus = CorpusSize::Medium,
+            Ok("full") => cfg.corpus = CorpusSize::Full,
+            Ok("small") | Err(_) => {}
+            Ok(other) => eprintln!("ignoring unknown OPTIMOD_CORPUS={other}"),
+        }
+        if let Ok(ms) = std::env::var("OPTIMOD_BUDGET_MS") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                cfg.budget = Duration::from_millis(ms);
+            }
+        }
+        if let Ok(cap) = std::env::var("OPTIMOD_NODE_CAP") {
+            if let Ok(cap) = cap.parse::<u64>() {
+                cfg.node_cap = cap;
+            }
+        }
+        cfg
+    }
+
+    /// The experiment machine (Cydra-5-like, as in the paper).
+    pub fn machine(&self) -> Machine {
+        cydra_like()
+    }
+
+    /// The benchmark corpus for this configuration.
+    pub fn corpus_loops(&self, machine: &Machine) -> Vec<Loop> {
+        benchmark_corpus(machine, self.corpus)
+    }
+
+    /// A scheduler with this experiment's budgets.
+    pub fn scheduler(&self, style: DepStyle, objective: Objective) -> OptimalScheduler {
+        OptimalScheduler::new(
+            SchedulerConfig::new(style, objective)
+                .with_time_limit(self.budget)
+                .with_node_limit(self.node_cap),
+        )
+    }
+
+    /// Runs one scheduler over the whole corpus.
+    pub fn run_suite(
+        &self,
+        machine: &Machine,
+        loops: &[Loop],
+        style: DepStyle,
+        objective: Objective,
+    ) -> Vec<LoopRecord> {
+        let sched = self.scheduler(style, objective);
+        loops
+            .iter()
+            .map(|l| LoopRecord {
+                name: l.name().to_string(),
+                n_ops: l.num_ops(),
+                result: sched.schedule(l, machine),
+            })
+            .collect()
+    }
+}
+
+/// IMS (+ stage scheduling) outcomes for the heuristic experiments.
+#[derive(Debug, Clone)]
+pub struct HeuristicRecord {
+    /// Loop name.
+    pub name: String,
+    /// IMS schedule.
+    pub ims: Schedule,
+    /// IMS schedule after the stage-scheduling register pass.
+    pub staged: Schedule,
+}
+
+/// Runs IMS + stage scheduling over the corpus.
+///
+/// # Panics
+///
+/// Panics if IMS cannot schedule a loop at any `II` within its span, which
+/// would indicate a corpus or heuristic bug.
+pub fn run_heuristics(machine: &Machine, loops: &[Loop]) -> Vec<HeuristicRecord> {
+    loops
+        .iter()
+        .map(|l| {
+            let ims = ims_schedule(l, machine, &ImsConfig::default())
+                .unwrap_or_else(|| panic!("IMS failed on {}", l.name()))
+                .schedule;
+            let staged = stage_schedule(l, machine, &ims);
+            HeuristicRecord {
+                name: l.name().to_string(),
+                ims,
+                staged,
+            }
+        })
+        .collect()
+}
+
+/// The paper's per-measurement summary: min, frequency of the min, median,
+/// average, max (Tables 1 and 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest observation.
+    pub min: f64,
+    /// Fraction of observations equal to the minimum.
+    pub freq_at_min: f64,
+    /// Median observation.
+    pub median: f64,
+    /// Mean observation.
+    pub average: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; returns `None` for an empty sample.
+    pub fn from_values(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
+        let min = v[0];
+        let at_min = v.iter().filter(|&&x| x == min).count();
+        Some(Summary {
+            min,
+            freq_at_min: at_min as f64 / v.len() as f64,
+            median: v[v.len() / 2],
+            average: v.iter().sum::<f64>() / v.len() as f64,
+            max: *v.last().expect("non-empty"),
+        })
+    }
+
+    /// One formatted table row in the paper's layout.
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<24} {:>10.2} {:>7.1}% {:>10.2} {:>12.2} {:>12.2}",
+            self.min,
+            self.freq_at_min * 100.0,
+            self.median,
+            self.average,
+            self.max
+        )
+    }
+}
+
+/// Header matching [`Summary::row`].
+pub fn summary_header() -> String {
+    format!(
+        "{:<24} {:>10} {:>8} {:>10} {:>12} {:>12}",
+        "Measurement", "min", "freq", "median", "average", "max"
+    )
+}
+
+/// Prints the full Table-1/2-style block for one scheduler's records
+/// (successfully scheduled loops only).
+pub fn print_measurement_block(title: &str, records: &[LoopRecord]) {
+    let ok: Vec<&LoopRecord> = records
+        .iter()
+        .filter(|r| r.result.status.scheduled())
+        .collect();
+    println!("{title}: ({} loops scheduled of {})", ok.len(), records.len());
+    if ok.is_empty() {
+        println!("  (nothing scheduled — raise OPTIMOD_BUDGET_MS)");
+        return;
+    }
+    println!("{}", summary_header());
+    type Extract = fn(&LoopRecord) -> f64;
+    let series: [(&str, Extract); 6] = [
+        ("Variables", |r| r.result.stats.variables as f64),
+        ("Constraints", |r| r.result.stats.constraints as f64),
+        ("Branch-and-bound nodes", |r| r.result.stats.bb_nodes as f64),
+        ("Simplex iterations", |r| {
+            r.result.stats.simplex_iterations as f64
+        }),
+        ("II", |r| r.result.ii.unwrap_or(0) as f64),
+        ("N", |r| r.n_ops as f64),
+    ];
+    for (label, f) in series {
+        let vals: Vec<f64> = ok.iter().map(|r| f(r)).collect();
+        let s = Summary::from_values(&vals).expect("non-empty");
+        println!("{}", s.row(label));
+    }
+}
+
+/// Total solver wall time across records.
+pub fn total_time(records: &[LoopRecord]) -> Duration {
+    records.iter().map(|r| r.result.stats.wall_time).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::from_values(&[1.0, 1.0, 2.0, 10.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.freq_at_min, 0.5);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.average, 3.5);
+        assert_eq!(s.max, 10.0);
+        assert!(Summary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn env_defaults() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.corpus, CorpusSize::Small);
+        assert_eq!(cfg.budget, Duration::from_millis(2000));
+    }
+
+    #[test]
+    fn tiny_suite_runs_end_to_end() {
+        let cfg = ExperimentConfig {
+            corpus: CorpusSize::Small,
+            budget: Duration::from_millis(300),
+            node_cap: 5_000,
+        };
+        let machine = cfg.machine();
+        let loops: Vec<_> = cfg.corpus_loops(&machine).into_iter().take(8).collect();
+        let recs = cfg.run_suite(
+            &machine,
+            &loops,
+            DepStyle::Structured,
+            Objective::FirstFeasible,
+        );
+        assert_eq!(recs.len(), 8);
+        assert!(recs.iter().any(|r| r.result.status.scheduled()));
+        let heur = run_heuristics(&machine, &loops);
+        assert_eq!(heur.len(), 8);
+    }
+}

@@ -1,0 +1,188 @@
+//! `optimod` — command-line optimal modulo scheduler.
+//!
+//! ```text
+//! optimod <loop-file> [options]
+//!
+//! options:
+//!   --objective <noobj|minreg|minbuff|minlife|minlen>   (default minreg)
+//!   --style <structured|traditional>                    (default structured)
+//!   --budget-ms <n>       per-loop solver budget        (default 10000)
+//!   --registers <n>       hard register-file cap
+//!   --expand              also print the MVE-expanded pipelined loop
+//!   --lp                  dump the ILP in CPLEX LP format instead of solving
+//! ```
+//!
+//! The loop-file grammar is documented in the `parse` module (one `op` /
+//! `flow` / `dep` directive per line plus a `machine` selection).
+
+mod parse;
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use optimod::{
+    build_model, codegen, compute_mii, DepStyle, FormulationConfig, Objective,
+    OptimalScheduler, SchedulerConfig,
+};
+
+struct Options {
+    file: String,
+    objective: Objective,
+    style: DepStyle,
+    budget: Duration,
+    registers: Option<u32>,
+    expand: bool,
+    lp: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        objective: Objective::MinMaxLive,
+        style: DepStyle::Structured,
+        budget: Duration::from_secs(10),
+        registers: None,
+        expand: false,
+        lp: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--objective" => {
+                let v = args.next().ok_or("--objective needs a value")?;
+                opts.objective = match v.as_str() {
+                    "noobj" => Objective::FirstFeasible,
+                    "minreg" => Objective::MinMaxLive,
+                    "minbuff" => Objective::MinBuffers,
+                    "minlife" => Objective::MinCumLifetime,
+                    "minlen" => Objective::MinSchedLength,
+                    other => return Err(format!("unknown objective '{other}'")),
+                };
+            }
+            "--style" => {
+                let v = args.next().ok_or("--style needs a value")?;
+                opts.style = match v.as_str() {
+                    "structured" => DepStyle::Structured,
+                    "traditional" => DepStyle::Traditional,
+                    other => return Err(format!("unknown style '{other}'")),
+                };
+            }
+            "--budget-ms" => {
+                let v = args.next().ok_or("--budget-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| "--budget-ms must be an integer")?;
+                opts.budget = Duration::from_millis(ms);
+            }
+            "--registers" => {
+                let v = args.next().ok_or("--registers needs a value")?;
+                opts.registers =
+                    Some(v.parse().map_err(|_| "--registers must be an integer")?);
+            }
+            "--expand" => opts.expand = true,
+            "--lp" => opts.lp = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if opts.file.is_empty() && !other.starts_with('-') => {
+                opts.file = other.to_string();
+            }
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
+[--style structured|traditional] [--budget-ms N] [--registers N] [--expand] [--lp]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let text = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
+    let parsed = parse::parse(&text)?;
+    let (l, machine) = (parsed.l, parsed.machine);
+
+    let mii = compute_mii(&l, &machine);
+    println!(
+        "loop: {} operations, {} edges, {} registers on '{}'",
+        l.num_ops(),
+        l.edges().len(),
+        l.vregs().len(),
+        machine.name()
+    );
+    println!(
+        "ResMII = {}, RecMII = {}, MII = {}",
+        mii.res_mii,
+        mii.rec_mii,
+        mii.value()
+    );
+
+    if opts.lp {
+        let cfg = FormulationConfig {
+            dep_style: opts.style,
+            objective: opts.objective,
+            sched_len_slack: 20,
+            max_live_limit: opts.registers,
+        };
+        let built = build_model(&l, &machine, mii.value(), &cfg)
+            .ok_or("MII below the recurrence bound — no model")?;
+        print!("{}", optimod_ilp::lp_format(&built.model));
+        return Ok(());
+    }
+
+    let mut cfg = SchedulerConfig::new(opts.style, opts.objective)
+        .with_time_limit(opts.budget);
+    cfg.register_limit = opts.registers;
+    let result = OptimalScheduler::new(cfg).schedule(&l, &machine);
+
+    let Some(schedule) = &result.schedule else {
+        return Err(format!(
+            "no schedule found (status {:?}; {} nodes, {} simplex iterations)",
+            result.status, result.stats.bb_nodes, result.stats.simplex_iterations
+        ));
+    };
+    println!(
+        "\nII = {} ({:?}; {} branch-and-bound nodes, {} simplex iterations)",
+        schedule.ii(),
+        result.status,
+        result.stats.bb_nodes,
+        result.stats.simplex_iterations
+    );
+    println!("\nschedule:");
+    for id in l.op_ids() {
+        println!(
+            "  t={:<4} {:<12} row {:<3} stage {}",
+            schedule.time(id),
+            l.op(id).name,
+            schedule.row(id),
+            schedule.stage(id)
+        );
+    }
+    println!("\nmodulo reservation table:\n{}", schedule.mrt_to_string(&l));
+    println!(
+        "MaxLive = {}, buffers = {}, cumulative lifetime = {}",
+        schedule.max_live(&l),
+        schedule.buffers(&l),
+        schedule.cumulative_lifetime(&l)
+    );
+
+    if opts.expand {
+        let p = codegen::expand(&l, schedule);
+        println!(
+            "\nmodulo variable expansion: unroll x{}, {} stages",
+            p.unroll, p.stages
+        );
+        print!("{}", p.to_text(&l));
+    }
+    Ok(())
+}

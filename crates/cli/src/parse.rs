@@ -1,0 +1,225 @@
+//! Parser for the textual loop-description format.
+//!
+//! One directive per line; `#` starts a comment. Directives:
+//!
+//! ```text
+//! machine <example-3fu|cydra-like|risc-scalar|vliw-4issue>
+//! op   <name> <class>                 # class: load store ialu imul fadd
+//!                                     #        fmul fdiv move cmp br
+//! flow <def> <use> <distance>         # register data flow
+//! dep  <from> <to> <latency> <distance> <memory|anti|control>
+//! ```
+//!
+//! Operation names must be declared before use and be unique.
+
+use std::collections::HashMap;
+
+use optimod_ddg::{DepKind, Loop, LoopBuilder};
+use optimod_machine::{cydra_like, example_3fu, risc_scalar, vliw_4issue, Machine, OpClass};
+
+/// A parsed loop file: the machine and the dependence graph.
+#[derive(Debug)]
+pub struct LoopFile {
+    /// Target machine.
+    pub machine: Machine,
+    /// The loop body.
+    pub l: Loop,
+}
+
+/// Parses the loop-description `text` (see module docs for the grammar).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on any syntax or semantic
+/// error (unknown machine/class, undeclared or duplicate operation,
+/// malformed numbers, missing `machine` or `op` directives).
+pub fn parse(text: &str) -> Result<LoopFile, String> {
+    let mut machine: Option<Machine> = None;
+    let mut builder: Option<LoopBuilder> = None;
+    let mut ids: HashMap<String, optimod_ddg::OpId> = HashMap::new();
+    let mut pending: Vec<(usize, Vec<String>)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        match toks[0].as_str() {
+            "machine" => {
+                let name = toks
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "machine needs a name"))?;
+                machine = Some(match name.as_str() {
+                    "example-3fu" => example_3fu(),
+                    "cydra-like" => cydra_like(),
+                    "risc-scalar" => risc_scalar(),
+                    "vliw-4issue" => vliw_4issue(),
+                    other => return Err(err(lineno, &format!("unknown machine '{other}'"))),
+                });
+                builder = Some(LoopBuilder::new("cli-loop"));
+            }
+            "op" | "flow" | "dep" => pending.push((lineno, toks)),
+            other => return Err(err(lineno, &format!("unknown directive '{other}'"))),
+        }
+    }
+    let machine = machine.ok_or("missing 'machine' directive".to_string())?;
+    let mut b = builder.expect("builder exists when machine is set");
+
+    for (lineno, toks) in &pending {
+        let lineno = *lineno;
+        match toks[0].as_str() {
+            "op" => {
+                let name = toks.get(1).ok_or_else(|| err(lineno, "op needs a name"))?;
+                let class = toks
+                    .get(2)
+                    .ok_or_else(|| err(lineno, "op needs a class"))?;
+                if ids.contains_key(name) {
+                    return Err(err(lineno, &format!("duplicate op '{name}'")));
+                }
+                let class = parse_class(class).ok_or_else(|| {
+                    err(lineno, &format!("unknown op class '{class}'"))
+                })?;
+                ids.insert(name.clone(), b.op(class, name.clone()));
+            }
+            "flow" => {
+                let [d, u, dist] = args::<3>(toks, lineno, "flow <def> <use> <distance>")?;
+                let def = lookup(&ids, &d, lineno)?;
+                let user = lookup(&ids, &u, lineno)?;
+                let dist: u32 = dist
+                    .parse()
+                    .map_err(|_| err(lineno, "distance must be a non-negative integer"))?;
+                b.flow(def, user, dist);
+            }
+            "dep" => {
+                let [f, t, lat, dist, kind] =
+                    args::<5>(toks, lineno, "dep <from> <to> <latency> <distance> <kind>")?;
+                let from = lookup(&ids, &f, lineno)?;
+                let to = lookup(&ids, &t, lineno)?;
+                let lat: i64 = lat
+                    .parse()
+                    .map_err(|_| err(lineno, "latency must be an integer"))?;
+                let dist: u32 = dist
+                    .parse()
+                    .map_err(|_| err(lineno, "distance must be a non-negative integer"))?;
+                let kind = match kind.as_str() {
+                    "memory" => DepKind::Memory,
+                    "anti" => DepKind::Anti,
+                    "control" => DepKind::Control,
+                    other => return Err(err(lineno, &format!("unknown dep kind '{other}'"))),
+                };
+                b.dep(from, to, lat, dist, kind);
+            }
+            _ => unreachable!("filtered above"),
+        }
+    }
+    if ids.is_empty() {
+        return Err("loop has no operations".to_string());
+    }
+    Ok(LoopFile {
+        l: b.build(&machine),
+        machine,
+    })
+}
+
+fn err(lineno: usize, msg: &str) -> String {
+    format!("line {}: {msg}", lineno + 1)
+}
+
+fn lookup(
+    ids: &HashMap<String, optimod_ddg::OpId>,
+    name: &str,
+    lineno: usize,
+) -> Result<optimod_ddg::OpId, String> {
+    ids.get(name)
+        .copied()
+        .ok_or_else(|| err(lineno, &format!("undeclared op '{name}'")))
+}
+
+fn args<const N: usize>(
+    toks: &[String],
+    lineno: usize,
+    usage: &str,
+) -> Result<[String; N], String> {
+    if toks.len() != N + 1 {
+        return Err(err(lineno, &format!("usage: {usage}")));
+    }
+    Ok(std::array::from_fn(|i| toks[i + 1].clone()))
+}
+
+fn parse_class(s: &str) -> Option<OpClass> {
+    OpClass::ALL.iter().copied().find(|c| c.mnemonic() == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAXPY: &str = "\
+machine example-3fu
+# y[i] = a*x[i] + y[i]
+op ldx load
+op ldy load
+op mul fmul
+op add fadd
+op sty store
+flow ldx mul 0
+flow mul add 0
+flow ldy add 0
+flow add sty 0
+dep ldy sty 0 0 memory
+";
+
+    #[test]
+    fn parses_saxpy() {
+        let f = parse(SAXPY).expect("parses");
+        assert_eq!(f.l.num_ops(), 5);
+        assert_eq!(f.l.edges().len(), 5);
+        assert_eq!(f.machine.name(), "example-3fu");
+    }
+
+    #[test]
+    fn reports_unknown_machine() {
+        let e = parse("machine pdp11\nop a load\n").unwrap_err();
+        assert!(e.contains("unknown machine"), "{e}");
+    }
+
+    #[test]
+    fn reports_undeclared_op_with_line() {
+        let e = parse("machine example-3fu\nop a load\nflow a b 0\n").unwrap_err();
+        assert!(e.contains("line 3"), "{e}");
+        assert!(e.contains("undeclared op 'b'"), "{e}");
+    }
+
+    #[test]
+    fn reports_duplicate_op() {
+        let e = parse("machine example-3fu\nop a load\nop a fmul\n").unwrap_err();
+        assert!(e.contains("duplicate op"), "{e}");
+    }
+
+    #[test]
+    fn reports_bad_numbers() {
+        let e = parse("machine example-3fu\nop a load\nop b fmul\nflow a b x\n").unwrap_err();
+        assert!(e.contains("distance"), "{e}");
+    }
+
+    #[test]
+    fn missing_machine_rejected() {
+        let e = parse("op a load\n").unwrap_err();
+        assert!(e.contains("machine"), "{e}");
+    }
+
+    #[test]
+    fn ops_before_machine_line_are_fine() {
+        // Directives are collected first, so order of `machine` vs `op`
+        // does not matter as long as both exist.
+        let f = parse("op a load\nmachine example-3fu\n").expect("parses");
+        assert_eq!(f.l.num_ops(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let f = parse("# header\n\nmachine example-3fu\nop a load # trailing\n").unwrap();
+        assert_eq!(f.l.num_ops(), 1);
+    }
+}

@@ -1,0 +1,444 @@
+//! Kernel code generation: modulo variable expansion (MVE), prologue /
+//! kernel / epilogue construction, and register renaming.
+//!
+//! A modulo schedule overlaps `S` stages of consecutive iterations, so a
+//! value defined by iteration `i` may still be live while iterations
+//! `i+1, i+2, …` define the *same* virtual register. On machines without
+//! rotating register files the standard fix is **modulo variable
+//! expansion** (Lam 1988; also Rau's MICRO-27 paper): unroll the kernel by
+//!
+//! ```text
+//! u = max_v ceil(lifetime(v) / II)
+//! ```
+//!
+//! and give each unrolled copy its own register names, so a register is
+//! overwritten only `u·II` cycles after its definition — no earlier than
+//! any use. This module computes the expansion, the renamed kernel, and the
+//! prologue/epilogue that fill and drain the pipeline.
+
+use optimod_ddg::{Loop, OpId};
+
+use crate::schedule::Schedule;
+
+/// One issued instruction of the emitted pipelined loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inst {
+    /// Issue cycle. Prologue/epilogue cycles are absolute from pipeline
+    /// start; kernel cycles are relative to the (unrolled) kernel body.
+    pub cycle: i64,
+    /// The loop operation this instance executes.
+    pub op: OpId,
+    /// Which logical iteration the instance belongs to: absolute in the
+    /// prologue/epilogue, a kernel-copy index `0..unroll` in the kernel.
+    pub iteration: i64,
+    /// Renamed destination register, when the operation defines a value.
+    pub dest: Option<String>,
+    /// Renamed source registers, one per register-edge input.
+    pub sources: Vec<String>,
+}
+
+/// The pipelined form of a scheduled loop.
+#[derive(Debug, Clone)]
+pub struct PipelinedLoop {
+    /// Initiation interval.
+    pub ii: u32,
+    /// Kernel unroll factor chosen by modulo variable expansion.
+    pub unroll: u32,
+    /// Number of overlapped stages (prologue depth + 1).
+    pub stages: u32,
+    /// Pipeline-fill code: iterations `0..stages-1`, partially issued.
+    pub prologue: Vec<Inst>,
+    /// Steady-state body of `unroll * II` cycles; executing it once runs
+    /// `unroll` iterations.
+    pub kernel: Vec<Inst>,
+    /// Pipeline-drain code for the final `stages-1` iterations.
+    pub epilogue: Vec<Inst>,
+}
+
+impl PipelinedLoop {
+    /// Cycles of one kernel body execution.
+    pub fn kernel_cycles(&self) -> i64 {
+        self.unroll as i64 * self.ii as i64
+    }
+
+    /// Renders the pipelined loop as pseudo-assembly for inspection.
+    pub fn to_text(&self, l: &Loop) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let emit = |title: &str, insts: &[Inst], s: &mut String| {
+            let _ = writeln!(s, "{title}:");
+            for i in insts {
+                let dst = i
+                    .dest
+                    .as_deref()
+                    .map(|d| format!("{d} = "))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    s,
+                    "  [c{:>3}] {}{} ({}) it{}",
+                    i.cycle,
+                    dst,
+                    l.op(i.op).name,
+                    i.sources.join(", "),
+                    i.iteration
+                );
+            }
+        };
+        emit("prologue", &self.prologue, &mut s);
+        emit("kernel", &self.kernel, &mut s);
+        emit("epilogue", &self.epilogue, &mut s);
+        s
+    }
+}
+
+/// The MVE unroll factor: the largest per-register buffer count.
+pub fn unroll_factor(l: &Loop, s: &Schedule) -> u32 {
+    let ii = s.ii() as i64;
+    l.vregs()
+        .iter()
+        .map(|vr| {
+            let lt = s.lifetime(vr);
+            ((lt.length() + ii - 1) / ii) as u32
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Register name for the value of `def` produced by kernel copy `copy`.
+fn reg_name(l: &Loop, def: OpId, copy: i64, unroll: u32) -> String {
+    format!("{}_{}", l.op(def).name, copy.rem_euclid(unroll as i64))
+}
+
+/// Finds the defining vreg of `op`, if it produces a value.
+fn defines_vreg(l: &Loop, op: OpId) -> bool {
+    l.vregs().iter().any(|vr| vr.def == op)
+}
+
+/// Renamed source registers for `op` executed as (absolute or kernel-copy)
+/// iteration `iter`.
+fn sources_for(l: &Loop, op: OpId, iter: i64, unroll: u32) -> Vec<String> {
+    let mut srcs = Vec::new();
+    for vr in l.vregs() {
+        for u in &vr.uses {
+            if u.op == op {
+                srcs.push(reg_name(l, vr.def, iter - u.distance as i64, unroll));
+            }
+        }
+    }
+    srcs
+}
+
+/// Builds one instruction: `iter` is the display iteration; `name_iter` is
+/// the iteration index used for register naming. In the kernel both are
+/// the copy index; in the prologue/epilogue the display iteration is
+/// absolute while the naming iteration is shifted so that names line up
+/// with the kernel's copy numbering at the seam (kernel copy `j` executes
+/// absolute iterations `i ≡ j + stages - 1 (mod unroll)`).
+fn make_inst(
+    l: &Loop,
+    op: OpId,
+    cycle: i64,
+    iter: i64,
+    name_iter: i64,
+    unroll: u32,
+) -> Inst {
+    Inst {
+        cycle,
+        op,
+        iteration: iter,
+        dest: defines_vreg(l, op).then(|| reg_name(l, op, name_iter, unroll)),
+        sources: sources_for(l, op, name_iter, unroll),
+    }
+}
+
+/// Expands a modulo schedule into prologue / unrolled kernel / epilogue
+/// with modulo-variable-expansion register renaming.
+///
+/// The schedule is normalized so its earliest issue is in stage 0.
+///
+/// # Panics
+///
+/// Panics if `s` has a different operation count than `l`.
+pub fn expand(l: &Loop, s: &Schedule) -> PipelinedLoop {
+    assert_eq!(s.times().len(), l.num_ops(), "schedule does not match loop");
+    let ii = s.ii() as i64;
+    // Normalize times so min stage is 0.
+    let min_stage = l.op_ids().map(|op| s.stage(op)).min().unwrap_or(0);
+    let times: Vec<i64> = l
+        .op_ids()
+        .map(|op| s.time(op) - min_stage * ii)
+        .collect();
+    let max_time = times.iter().copied().max().unwrap_or(0);
+    let stages = (max_time / ii + 1) as u32;
+    let unroll = unroll_factor(l, s);
+
+    // Prologue: cycles [0, (stages-1)*II); iteration i contributes its op
+    // instances scheduled at time(op) + i*II.
+    let fill_end = (stages as i64 - 1) * ii;
+    // Kernel copy j runs absolute iterations i ≡ j + (stages-1) (mod u);
+    // prologue/epilogue names shift accordingly so the seams line up.
+    let seam = stages as i64 - 1;
+    let mut prologue = Vec::new();
+    for cycle in 0..fill_end {
+        for op in l.op_ids() {
+            let t = times[op.index()];
+            if t <= cycle && (cycle - t) % ii == 0 {
+                let iter = (cycle - t) / ii;
+                prologue.push(make_inst(l, op, cycle, iter, iter - seam, unroll));
+            }
+        }
+    }
+
+    // Kernel: u copies; copy j's ops land at (time mod II) + j*II within a
+    // u*II-cycle body. Copy j executes logical iteration `base + j` where
+    // base advances by u per kernel execution.
+    let mut kernel = Vec::new();
+    for cycle in 0..unroll as i64 * ii {
+        for op in l.op_ids() {
+            let row = times[op.index()].rem_euclid(ii);
+            if cycle % ii == row {
+                // Which copy is at this point of its schedule? The op of
+                // copy j issues at cycle (row + (j + stage(op)) * II) mod
+                // (u * II): offset by the op's stage so that older stages
+                // belong to older iterations.
+                let stage = times[op.index()] / ii;
+                let copy = (cycle / ii - stage).rem_euclid(unroll as i64);
+                kernel.push(make_inst(l, op, cycle, copy, copy, unroll));
+            }
+        }
+    }
+
+    // Epilogue: drain iterations; mirror of the prologue.
+    let mut epilogue = Vec::new();
+    for cycle in fill_end..(fill_end + (stages as i64 - 1) * ii) {
+        for op in l.op_ids() {
+            let t = times[op.index()];
+            if t <= cycle && (cycle - t) % ii == 0 {
+                let iter = (cycle - t) / ii;
+                // Only instances of iterations that the prologue/kernel
+                // started but did not finish: the last stages-1 logical
+                // iterations.
+                if iter < stages as i64 - 1 && t + (stages as i64 - 1) * ii > fill_end {
+                    epilogue.push(make_inst(l, op, cycle, iter, iter - seam, unroll));
+                }
+            }
+        }
+    }
+
+    PipelinedLoop {
+        ii: s.ii(),
+        unroll,
+        stages,
+        prologue,
+        kernel,
+        epilogue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{ims_schedule, ImsConfig};
+    use optimod_ddg::kernels;
+    use optimod_machine::{cydra_like, example_3fu};
+
+    fn fig1() -> (optimod_machine::Machine, Loop, Schedule) {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let s = Schedule::new(2, vec![0, 1, 2, 5, 6]);
+        (m, l, s)
+    }
+
+    #[test]
+    fn figure1_unroll_factor_matches_buffers() {
+        let (_, l, s) = fig1();
+        // Lifetimes: 3, 5, 4, 2 cycles at II=2 -> max ceil = 3.
+        assert_eq!(unroll_factor(&l, &s), 3);
+    }
+
+    #[test]
+    fn kernel_issues_every_op_unroll_times() {
+        let (_, l, s) = fig1();
+        let p = expand(&l, &s);
+        assert_eq!(p.kernel.len(), l.num_ops() * p.unroll as usize);
+        for op in l.op_ids() {
+            let count = p.kernel.iter().filter(|i| i.op == op).count();
+            assert_eq!(count, p.unroll as usize, "{}", l.op(op).name);
+        }
+    }
+
+    #[test]
+    fn prologue_fills_exactly_the_early_stages() {
+        let (_, l, s) = fig1();
+        let p = expand(&l, &s);
+        assert_eq!(p.stages, 4); // times 0..6 at II=2
+        // The prologue covers cycles [0, 6): iteration 0 fully up to t<6,
+        // iteration 1 shifted by 2, iteration 2 by 4.
+        for i in &p.prologue {
+            assert!(i.cycle < 6);
+            assert_eq!(
+                (i.cycle - s.time(i.op)).rem_euclid(2),
+                0,
+                "prologue instance off-schedule"
+            );
+        }
+        // First kernel-visible iteration boundary: every op instance in the
+        // prologue belongs to iterations 0..stages-1.
+        assert!(p.prologue.iter().all(|i| i.iteration < 3));
+    }
+
+    #[test]
+    fn mve_renaming_never_overwrites_live_values() {
+        // The fundamental MVE safety property: a register written by copy
+        // j is rewritten u*II cycles later; every lifetime fits below that.
+        for m in [example_3fu(), cydra_like()] {
+            for l in kernels::all_kernels(&m) {
+                let s = ims_schedule(&l, &m, &ImsConfig::default())
+                    .expect("ims")
+                    .schedule;
+                let u = unroll_factor(&l, &s) as i64;
+                let ii = s.ii() as i64;
+                for vr in l.vregs() {
+                    let lt = s.lifetime(vr);
+                    assert!(
+                        lt.length() <= u * ii,
+                        "{} on {}: lifetime {} exceeds rewrite period {}",
+                        l.name(),
+                        m.name(),
+                        lt.length(),
+                        u * ii
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_sources_reference_the_defining_copy() {
+        let (_, l, s) = fig1();
+        let p = expand(&l, &s);
+        // In the kernel, an op of copy j consuming a distance-0 value must
+        // read the register its producer wrote in an *issued-earlier or
+        // same-body* position with matching name.
+        for inst in &p.kernel {
+            for src in &inst.sources {
+                // Source names must use copy indices in range.
+                let idx: u32 = src
+                    .rsplit('_')
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .expect("renamed source ends in a copy index");
+                assert!(idx < p.unroll);
+            }
+        }
+    }
+
+    /// Full-stream simulation oracle: replay prologue + several kernel
+    /// executions as an absolute instruction stream and verify that every
+    /// renamed source register was last written by the defining operation
+    /// of exactly the right absolute iteration. This catches any naming
+    /// misalignment at the prologue/kernel seam.
+    #[test]
+    fn renaming_simulation_across_seams() {
+        use std::collections::HashMap;
+        for m in [example_3fu(), cydra_like()] {
+            for l in kernels::all_kernels(&m).into_iter().take(20) {
+                let s = ims_schedule(&l, &m, &ImsConfig::default())
+                    .expect("ims")
+                    .schedule;
+                let p = expand(&l, &s);
+                let ii = s.ii() as i64;
+                let min_stage = l.op_ids().map(|op| s.stage(op)).min().unwrap_or(0);
+                let time_of = |op: optimod_ddg::OpId| s.time(op) - min_stage * ii;
+
+                // Absolute stream: prologue, then 3 kernel executions.
+                let fill_end = (p.stages as i64 - 1) * ii;
+                let mut stream: Vec<(i64, &Inst)> =
+                    p.prologue.iter().map(|i| (i.cycle, i)).collect();
+                for run in 0..3i64 {
+                    for inst in &p.kernel {
+                        stream.push((fill_end + run * p.kernel_cycles() + inst.cycle, inst));
+                    }
+                }
+                stream.sort_by_key(|&(c, _)| c);
+
+                // Replay: register name -> (def op, absolute iteration).
+                let mut file: HashMap<&str, (usize, i64)> = HashMap::new();
+                for &(abs_cycle, inst) in &stream {
+                    let abs_iter = (abs_cycle - time_of(inst.op)) / ii;
+                    // Reads first (an op may read the register it rewrites).
+                    for vr in l.vregs() {
+                        for u in &vr.uses {
+                            if u.op != inst.op {
+                                continue;
+                            }
+                            let want_iter = abs_iter - u.distance as i64;
+                            if want_iter < 0 {
+                                continue; // live-in from before the pipeline
+                            }
+                            // The register currently holding the wanted
+                            // value...
+                            let holder = file.iter().find_map(|(name, &(d, it))| {
+                                (d == vr.def.index() && it == want_iter)
+                                    .then_some(*name)
+                            });
+                            let holder = holder.unwrap_or_else(|| {
+                                panic!(
+                                    "{} on {}: {} of iteration {abs_iter} needs \
+                                     {} from iteration {want_iter}, which is \
+                                     not in any live register",
+                                    l.name(),
+                                    m.name(),
+                                    l.op(inst.op).name,
+                                    l.op(vr.def).name,
+                                )
+                            });
+                            // ...must be exactly the renamed source the
+                            // instruction was emitted with.
+                            assert!(
+                                inst.sources.iter().any(|s| s == holder),
+                                "{} on {}: {} it{abs_iter} reads {:?} but the \
+                                 value of {} it{want_iter} lives in {holder}",
+                                l.name(),
+                                m.name(),
+                                l.op(inst.op).name,
+                                inst.sources,
+                                l.op(vr.def).name,
+                            );
+                        }
+                    }
+                    if let Some(dest) = &inst.dest {
+                        file.insert(dest.as_str(), (inst.op.index(), abs_iter));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_text_mentions_all_sections() {
+        let (_, l, s) = fig1();
+        let p = expand(&l, &s);
+        let text = p.to_text(&l);
+        assert!(text.contains("prologue:"));
+        assert!(text.contains("kernel:"));
+        assert!(text.contains("epilogue:"));
+        assert!(text.contains("mult"));
+    }
+
+    #[test]
+    fn single_stage_loop_has_empty_fill_and_drain() {
+        // A loop whose whole body fits in one stage needs no prologue.
+        let m = example_3fu();
+        let l = kernels::stream_copy(&m);
+        // ld at 0, st at 1, II=2 -> one stage.
+        let s = Schedule::new(2, vec![0, 1]);
+        assert_eq!(s.validate(&l, &m), None);
+        let p = expand(&l, &s);
+        assert_eq!(p.stages, 1);
+        assert!(p.prologue.is_empty());
+        assert!(p.epilogue.is_empty());
+        assert_eq!(p.kernel.len(), l.num_ops() * p.unroll as usize);
+    }
+}

@@ -1,0 +1,196 @@
+//! The two dependence-constraint formulations.
+//!
+//! A scheduling edge `(i, j)` with latency `l` and iteration distance `w`
+//! requires `time(j) + w*II - time(i) >= l` where
+//! `time(op) = k_op * II + row_op`.
+//!
+//! * [`DepStyle::Traditional`] emits the single Inequality (4):
+//!
+//!   ```text
+//!   Σ_r r·(a[r][j] − a[r][i]) + (k_j − k_i)·II  >=  l − w·II
+//!   ```
+//!
+//!   whose coefficients grow with `r` and `II` — LP-weak, hence many
+//!   branch-and-bound nodes.
+//!
+//! * [`DepStyle::Structured`] emits the paper's Inequality (20), one row per
+//!   MRT row `r`:
+//!
+//!   ```text
+//!   Σ_{z=r}^{II−1} a[z][i] + Σ_{z=0}^{(r+l−1) mod II} a[z][j] + k_i − k_j
+//!        <=  w − ⌊(r + l − 1)/II⌋ + 1
+//!   ```
+//!
+//!   Every variable appears at most once with a ±1 coefficient
+//!   (Definition 1, *0-1-structured*), yielding much tighter relaxations.
+//!
+//! Both forms accept any integer latency (zero and negative latencies are
+//! used by kill pseudo-edges and anti-dependences) and any integer distance
+//! (kill edges use negative distances to express `time(kill) >=
+//! time(use) + dist·II`); euclidean `div`/`mod` keep the row/stage split
+//! correct for negative values.
+
+use optimod_ilp::{LinExpr, Model, VarId};
+
+use super::DepStyle;
+
+/// Emits the dependence constraint(s) for one edge into `model`.
+///
+/// `from`/`to` are the `(row binaries, stage var)` pairs of the two
+/// endpoints (which may be kill pseudo-operations).
+#[allow(clippy::too_many_arguments)]
+pub fn add_dependence(
+    model: &mut Model,
+    style: DepStyle,
+    ii: u32,
+    from: (&[VarId], VarId),
+    to: (&[VarId], VarId),
+    latency: i64,
+    distance: i64,
+    name: &str,
+) {
+    match style {
+        DepStyle::Traditional => add_traditional(model, ii, from, to, latency, distance, name),
+        DepStyle::Structured => add_structured(model, ii, from, to, latency, distance, name),
+    }
+}
+
+fn add_traditional(
+    model: &mut Model,
+    ii: u32,
+    (a_from, k_from): (&[VarId], VarId),
+    (a_to, k_to): (&[VarId], VarId),
+    latency: i64,
+    distance: i64,
+    name: &str,
+) {
+    let ii = ii as i64;
+    let mut expr = LinExpr::new();
+    for (r, (&af, &at)) in a_from.iter().zip(a_to).enumerate() {
+        let r = r as f64;
+        expr.add_term(at, r);
+        expr.add_term(af, -r);
+    }
+    expr.add_term(k_to, ii as f64);
+    expr.add_term(k_from, -(ii as f64));
+    model.add_ge(expr, (latency - distance * ii) as f64, name);
+}
+
+fn add_structured(
+    model: &mut Model,
+    ii: u32,
+    (a_from, k_from): (&[VarId], VarId),
+    (a_to, k_to): (&[VarId], VarId),
+    latency: i64,
+    distance: i64,
+    name: &str,
+) {
+    let ii_i = ii as i64;
+    for r in 0..ii_i {
+        let x = r + latency - 1;
+        let forbidden_row = x.rem_euclid(ii_i);
+        let stage_carry = x.div_euclid(ii_i);
+        let mut expr = LinExpr::new();
+        // Rows r..II-1 of the producer.
+        for z in r..ii_i {
+            expr.add_term(a_from[z as usize], 1.0);
+        }
+        // Rows 0..=(r+l-1 mod II) of the consumer.
+        for z in 0..=forbidden_row {
+            expr.add_term(a_to[z as usize], 1.0);
+        }
+        expr.add_term(k_from, 1.0);
+        expr.add_term(k_to, -1.0);
+        model.add_le(
+            expr,
+            (distance - stage_carry + 1) as f64,
+            format!("{name}[r{r}]"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimod_ilp::Model;
+
+    /// Builds a two-op model with given II and stage bound and returns
+    /// whether the (time_from, time_to) point satisfies the emitted
+    /// constraints.
+    fn accepts(
+        style: DepStyle,
+        ii: u32,
+        stages: i64,
+        latency: i64,
+        distance: i64,
+        t_from: i64,
+        t_to: i64,
+    ) -> bool {
+        let mut model = Model::new();
+        let a_from: Vec<_> = (0..ii).map(|r| model.bool_var(format!("af{r}"))).collect();
+        let a_to: Vec<_> = (0..ii).map(|r| model.bool_var(format!("at{r}"))).collect();
+        let k_from = model.int_var(0.0, stages as f64, "kf");
+        let k_to = model.int_var(0.0, stages as f64, "kt");
+        model.add_eq(a_from.iter().map(|&v| (v, 1.0)), 1.0, "as-f");
+        model.add_eq(a_to.iter().map(|&v| (v, 1.0)), 1.0, "as-t");
+        add_dependence(
+            &mut model,
+            style,
+            ii,
+            (&a_from, k_from),
+            (&a_to, k_to),
+            latency,
+            distance,
+            "e",
+        );
+        // Evaluate at the concrete point.
+        let mut values = vec![0.0; model.num_vars()];
+        let ii = ii as i64;
+        values[a_from[t_from.rem_euclid(ii) as usize].index()] = 1.0;
+        values[a_to[t_to.rem_euclid(ii) as usize].index()] = 1.0;
+        values[k_from.index()] = t_from.div_euclid(ii) as f64;
+        values[k_to.index()] = t_to.div_euclid(ii) as f64;
+        model.check_feasible(&values, 1e-9).is_none()
+    }
+
+    /// Exhaustive agreement of both styles with the ground truth
+    /// `t_to + w*II - t_from >= l` over a grid of parameters.
+    #[test]
+    fn both_styles_match_ground_truth_exhaustively() {
+        for ii in 1..=4u32 {
+            for latency in -2..=5i64 {
+                for distance in -2..=2i64 {
+                    for t_from in 0..(3 * ii as i64) {
+                        for t_to in 0..(3 * ii as i64) {
+                            let truth =
+                                t_to + distance * ii as i64 - t_from >= latency;
+                            for style in [DepStyle::Traditional, DepStyle::Structured] {
+                                let got = accepts(
+                                    style, ii, 6, latency, distance, t_from, t_to,
+                                );
+                                assert_eq!(
+                                    got, truth,
+                                    "style={style:?} ii={ii} l={latency} w={distance} \
+                                     t_from={t_from} t_to={t_to}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structured_emits_ii_rows_per_edge() {
+        let mut model = Model::new();
+        let ii = 5u32;
+        let a_from: Vec<_> = (0..ii).map(|r| model.bool_var(format!("af{r}"))).collect();
+        let a_to: Vec<_> = (0..ii).map(|r| model.bool_var(format!("at{r}"))).collect();
+        let k_from = model.int_var(0.0, 4.0, "kf");
+        let k_to = model.int_var(0.0, 4.0, "kt");
+        let before = model.num_constraints();
+        add_structured(&mut model, ii, (&a_from, k_from), (&a_to, k_to), 2, 0, "e");
+        assert_eq!(model.num_constraints() - before, ii as usize);
+    }
+}

@@ -1,0 +1,9 @@
+//! Heuristic modulo schedulers that the paper evaluates with its optimal
+//! formulations: Rau's Iterative Modulo Scheduler ([`ims`]) and the
+//! register-reducing stage-scheduling pass ([`stage`]).
+
+pub mod ims;
+pub mod stage;
+
+pub use ims::{ims_schedule, ImsConfig, ImsResult};
+pub use stage::{optimal_stages, stage_schedule};

@@ -1,0 +1,224 @@
+//! Rotating-register-file allocation.
+//!
+//! The Cydra 5 (the paper's target) avoids modulo variable expansion with a
+//! *rotating register file*: the physical register addressed by a name
+//! shifts by one every initiation interval, so iteration `i`'s instance of
+//! a virtual register automatically lands in a different physical register
+//! than iteration `i+1`'s.
+//!
+//! Allocation assigns each virtual register an integer *offset* `o_v`;
+//! iteration `i` of `v` occupies physical slot `o_v + i (mod R)` for the
+//! whole lifetime `[def, kill] + i·II`. Two allocations collide exactly
+//! when their offset-normalized lifetimes `[start − o·II, end − o·II]`
+//! overlap on the time line, so a valid allocation is a packing of all
+//! lifetimes onto one track, and the file size is the packed span rounded
+//! up to whole `II`s — at least `MaxLive`, the paper's register
+//! requirement.
+
+use optimod_ddg::Loop;
+
+use crate::schedule::Schedule;
+
+/// A rotating-register allocation for one scheduled loop.
+#[derive(Debug, Clone)]
+pub struct RotatingAllocation {
+    /// Offset (in registers) assigned to each virtual register, in
+    /// `Loop::vregs` order.
+    pub offsets: Vec<i64>,
+    /// Physical rotating-file size (registers).
+    pub file_size: u32,
+}
+
+impl RotatingAllocation {
+    /// Physical register holding vreg `v` of logical iteration `iter`.
+    pub fn physical(&self, v: usize, iter: i64) -> u32 {
+        (self.offsets[v] + iter).rem_euclid(self.file_size as i64) as u32
+    }
+}
+
+/// Greedily packs the lifetimes of `l` under schedule `s` into a rotating
+/// register file.
+///
+/// The produced allocation is always valid (see
+/// [`verify`]); its size is within an additive
+/// fragmentation term of the `MaxLive` lower bound.
+pub fn allocate(l: &Loop, s: &Schedule) -> RotatingAllocation {
+    let ii = s.ii() as i64;
+    let n = l.vregs().len();
+    if n == 0 {
+        return RotatingAllocation {
+            offsets: Vec::new(),
+            file_size: 1,
+        };
+    }
+    // Sort by lifetime start for first-fit packing.
+    let mut order: Vec<usize> = (0..n).collect();
+    let lifetimes: Vec<(i64, i64)> = l
+        .vregs()
+        .iter()
+        .map(|vr| {
+            let lt = s.lifetime(vr);
+            (lt.start, lt.end)
+        })
+        .collect();
+    order.sort_by_key(|&v| (lifetimes[v].1 - lifetimes[v].0, lifetimes[v].0));
+    order.reverse(); // longest first packs tighter
+
+    // Pack normalized intervals [start - o*II, end - o*II] on one line:
+    // first-fit over candidate offsets around the existing packing.
+    let mut placed: Vec<(i64, i64)> = Vec::new(); // normalized, sorted later
+    let mut offsets = vec![0i64; n];
+    for &v in &order {
+        let (st, en) = lifetimes[v];
+        // Try offsets from small to large until the normalized interval is
+        // disjoint from everything placed.
+        let mut o = 0i64;
+        // Moving left past the whole current packing always succeeds, so
+        // first-fit terminates within the packed length plus slack.
+        let packed_len: i64 = placed.iter().map(|&(a, b)| (b - a) / ii + 2).sum();
+        let limit = packed_len + (en - st) / ii + 4;
+        loop {
+            let a = st - o * ii;
+            let b = en - o * ii;
+            let clash = placed.iter().any(|&(x, y)| a <= y && x <= b);
+            if !clash {
+                break;
+            }
+            o += 1;
+            assert!(o <= limit, "first-fit packing failed to terminate");
+        }
+        offsets[v] = o;
+        placed.push((st - o * ii, en - o * ii));
+    }
+
+    // File size: whole-II span of the packing, and at least the schedule's
+    // MaxLive so `physical()` never aliases two live values.
+    let lo = placed.iter().map(|&(a, _)| a).min().expect("non-empty");
+    let hi = placed.iter().map(|&(_, b)| b).max().expect("non-empty");
+    let span_regs = ((hi - lo + 1) + ii - 1) / ii + 1;
+    let file_size = span_regs.max(1) as u32;
+    RotatingAllocation {
+        offsets,
+        file_size,
+    }
+}
+
+/// Checks an allocation for collisions by brute force over a window of
+/// iterations: two live vreg instances must never share a physical slot.
+/// Returns a description of the first collision.
+pub fn verify(l: &Loop, s: &Schedule, alloc: &RotatingAllocation) -> Option<String> {
+    let ii = s.ii() as i64;
+    let vregs = l.vregs();
+    // A window of 4*file_size iterations covers every rotation phase.
+    let window = 4 * alloc.file_size as i64 + 8;
+    for i in 0..window {
+        for j in 0..window {
+            for (u, vu) in vregs.iter().enumerate() {
+                for (w, vw) in vregs.iter().enumerate() {
+                    if (u, i) >= (w, j) {
+                        continue;
+                    }
+                    if alloc.physical(u, i) != alloc.physical(w, j) {
+                        continue;
+                    }
+                    let lu = s.lifetime(vu);
+                    let lw = s.lifetime(vw);
+                    let (a1, b1) = (lu.start + i * ii, lu.end + i * ii);
+                    let (a2, b2) = (lw.start + j * ii, lw.end + j * ii);
+                    if a1 <= b2 && a2 <= b1 {
+                        return Some(format!(
+                            "vreg {u} iter {i} and vreg {w} iter {j} share \
+                             physical r{}",
+                            alloc.physical(u, i)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{ims_schedule, ImsConfig};
+    use optimod_ddg::kernels;
+    use optimod_machine::{cydra_like, example_3fu};
+
+    #[test]
+    fn figure1_allocation_is_valid_and_tight() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let s = Schedule::new(2, vec![0, 1, 2, 5, 6]);
+        let alloc = allocate(&l, &s);
+        assert_eq!(verify(&l, &s, &alloc), None);
+        // MaxLive is 7; packing fragmentation may cost a little.
+        assert!(alloc.file_size >= 7, "below the MaxLive bound");
+        assert!(
+            alloc.file_size <= 10,
+            "excessive fragmentation: {}",
+            alloc.file_size
+        );
+    }
+
+    #[test]
+    fn allocations_valid_on_whole_corpus() {
+        for m in [example_3fu(), cydra_like()] {
+            for l in kernels::all_kernels(&m) {
+                let s = ims_schedule(&l, &m, &ImsConfig::default())
+                    .expect("ims")
+                    .schedule;
+                let alloc = allocate(&l, &s);
+                assert_eq!(
+                    verify(&l, &s, &alloc),
+                    None,
+                    "{} on {}",
+                    l.name(),
+                    m.name()
+                );
+                assert!(
+                    alloc.file_size >= s.max_live(&l),
+                    "{}: file {} below MaxLive {}",
+                    l.name(),
+                    alloc.file_size,
+                    s.max_live(&l)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn file_size_tracks_maxlive() {
+        // Fragmentation should stay bounded: file <= MaxLive + stages + 2.
+        let m = example_3fu();
+        for l in kernels::all_kernels(&m) {
+            let s = ims_schedule(&l, &m, &ImsConfig::default())
+                .expect("ims")
+                .schedule;
+            let alloc = allocate(&l, &s);
+            let bound = s.max_live(&l) as i64 + s.num_stages() + 2;
+            assert!(
+                (alloc.file_size as i64) <= bound,
+                "{}: file {} vs bound {bound}",
+                l.name(),
+                alloc.file_size
+            );
+        }
+    }
+
+    #[test]
+    fn empty_vreg_loop() {
+        // A loop of only stores defines no registers.
+        let m = example_3fu();
+        let mut b = optimod_ddg::LoopBuilder::new("stores");
+        let s1 = b.op(optimod_machine::OpClass::Store, "st1");
+        let s2 = b.op(optimod_machine::OpClass::Store, "st2");
+        b.dep(s1, s2, 1, 0, optimod_ddg::DepKind::Memory);
+        let l = b.build(&m);
+        let s = Schedule::new(1, vec![0, 1]);
+        let alloc = allocate(&l, &s);
+        assert_eq!(alloc.file_size, 1);
+        assert_eq!(verify(&l, &s, &alloc), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! Modulo schedules: validation, the modulo reservation table, lifetimes,
+//! and register requirements (MaxLive, buffers, cumulative lifetime).
+//!
+//! These are ground-truth computations performed directly on a concrete
+//! schedule (no ILP involved); the optimizing formulations are verified
+//! against them in tests.
+
+use optimod_ddg::{Loop, OpId, VirtualRegister};
+use optimod_machine::Machine;
+
+/// A concrete modulo schedule: an issue cycle for every operation at a
+/// fixed initiation interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    ii: u32,
+    times: Vec<i64>,
+}
+
+/// Lifetime of one virtual register under a schedule: reserved from the
+/// definition cycle through the issue cycle of the last use (inclusive),
+/// freed the following cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifetime {
+    /// Cycle the register is defined (reserved).
+    pub start: i64,
+    /// Last reserved cycle (`>= start`).
+    pub end: i64,
+}
+
+impl Lifetime {
+    /// Number of reserved cycles.
+    pub fn length(self) -> i64 {
+        self.end - self.start + 1
+    }
+}
+
+impl Schedule {
+    /// Creates a schedule from per-operation issue times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(ii: u32, times: Vec<i64>) -> Self {
+        assert!(ii > 0, "II must be positive");
+        Schedule { ii, times }
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Issue cycle of `op`.
+    pub fn time(&self, op: OpId) -> i64 {
+        self.times[op.index()]
+    }
+
+    /// All issue times in operation order.
+    pub fn times(&self) -> &[i64] {
+        &self.times
+    }
+
+    /// MRT row of `op` (`time mod II`, euclidean).
+    pub fn row(&self, op: OpId) -> u32 {
+        self.times[op.index()].rem_euclid(self.ii as i64) as u32
+    }
+
+    /// Stage of `op` (`time div II`, euclidean).
+    pub fn stage(&self, op: OpId) -> i64 {
+        self.times[op.index()].div_euclid(self.ii as i64)
+    }
+
+    /// Schedule length of one iteration: last issue - first issue + 1.
+    pub fn length(&self) -> i64 {
+        match (self.times.iter().min(), self.times.iter().max()) {
+            (Some(lo), Some(hi)) => hi - lo + 1,
+            _ => 0,
+        }
+    }
+
+    /// Number of stages occupied (`ceil(length / II)` from the earliest
+    /// issue's stage).
+    pub fn num_stages(&self) -> i64 {
+        if self.times.is_empty() {
+            return 0;
+        }
+        let min_stage = (0..self.times.len())
+            .map(|i| self.stage(OpId::from_index(i)))
+            .min()
+            .unwrap();
+        let max_stage = (0..self.times.len())
+            .map(|i| self.stage(OpId::from_index(i)))
+            .max()
+            .unwrap();
+        max_stage - min_stage + 1
+    }
+
+    /// Checks every scheduling dependence of `l`; returns the first
+    /// violated edge description.
+    pub fn check_dependences(&self, l: &Loop) -> Option<String> {
+        let ii = self.ii as i64;
+        for e in l.edges() {
+            let sep = self.times[e.to.index()] + ii * e.distance as i64
+                - self.times[e.from.index()];
+            if sep < e.latency {
+                return Some(format!(
+                    "edge {}->{} (l={}, w={}): separation {sep}",
+                    e.from, e.to, e.latency, e.distance
+                ));
+            }
+        }
+        None
+    }
+
+    /// Checks the modulo reservation table against `machine`; returns a
+    /// description of the first over-subscribed `(resource, row)` slot.
+    pub fn check_resources(&self, l: &Loop, machine: &Machine) -> Option<String> {
+        let ii = self.ii as i64;
+        let mut usage = vec![vec![0u32; self.ii as usize]; machine.num_resources()];
+        for (i, op) in l.ops().iter().enumerate() {
+            let t = self.times[i];
+            for &(r, c) in machine.usages(op.class) {
+                let row = (t + c as i64).rem_euclid(ii) as usize;
+                usage[r.index()][row] += 1;
+            }
+        }
+        for r in machine.resources() {
+            for (row, &used) in usage[r.index()].iter().enumerate() {
+                if used > machine.resource_count(r) {
+                    return Some(format!(
+                        "resource {} over-subscribed in row {row}: {used} > {}",
+                        machine.resource_name(r),
+                        machine.resource_count(r)
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Full validity check (dependences + resources).
+    pub fn validate(&self, l: &Loop, machine: &Machine) -> Option<String> {
+        self.check_dependences(l)
+            .or_else(|| self.check_resources(l, machine))
+    }
+
+    /// Lifetime of a virtual register under this schedule.
+    pub fn lifetime(&self, vr: &VirtualRegister) -> Lifetime {
+        let start = self.times[vr.def.index()];
+        let ii = self.ii as i64;
+        let end = vr
+            .uses
+            .iter()
+            .map(|u| self.times[u.op.index()] + ii * u.distance as i64)
+            .max()
+            .unwrap_or(start)
+            .max(start);
+        Lifetime { start, end }
+    }
+
+    /// Exact register requirement: the maximum number of simultaneously
+    /// live virtual-register instances over the rows of the steady-state
+    /// kernel (the paper's *MaxLive*).
+    pub fn max_live(&self, l: &Loop) -> u32 {
+        self.live_per_row(l).into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of live register instances in each MRT row.
+    pub fn live_per_row(&self, l: &Loop) -> Vec<u32> {
+        let ii = self.ii as i64;
+        let mut rows = vec![0u32; self.ii as usize];
+        for vr in l.vregs() {
+            let lt = self.lifetime(vr);
+            for c in lt.start..=lt.end {
+                rows[c.rem_euclid(ii) as usize] += 1;
+            }
+        }
+        rows
+    }
+
+    /// Buffer requirement: buffers are reserved for whole multiples of II
+    /// cycles, so each register needs `ceil(lifetime / II)` buffers
+    /// (Govindarajan et al., the paper's MinBuff objective).
+    pub fn buffers(&self, l: &Loop) -> u32 {
+        let ii = self.ii as i64;
+        l.vregs()
+            .iter()
+            .map(|vr| {
+                let lt = self.lifetime(vr);
+                // lengths and II are positive, so this is a ceiling divide
+                ((lt.length() + ii - 1) / ii) as u32
+            })
+            .sum()
+    }
+
+    /// Cumulative lifetime: the sum of all register lifetimes in cycles
+    /// (the paper's MinLife objective).
+    pub fn cumulative_lifetime(&self, l: &Loop) -> i64 {
+        l.vregs().iter().map(|vr| self.lifetime(vr).length()).sum()
+    }
+
+    /// Renders the MRT as text (one line per row), for debugging and the
+    /// examples.
+    pub fn mrt_to_string(&self, l: &Loop) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<Vec<&str>> = vec![Vec::new(); self.ii as usize];
+        for (i, op) in l.ops().iter().enumerate() {
+            rows[self.row(OpId::from_index(i)) as usize].push(&op.name);
+        }
+        let mut s = String::new();
+        for (r, ops) in rows.iter().enumerate() {
+            let _ = writeln!(s, "row {r}: {}", ops.join(", "));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimod_ddg::kernels;
+    use optimod_machine::example_3fu;
+
+    /// The paper's Figure 1 schedule: II=2; load@0, mult@1, add@2, sub@5,
+    /// store@6.
+    fn figure1_schedule() -> (Schedule, optimod_ddg::Loop, optimod_machine::Machine) {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let s = Schedule::new(2, vec![0, 1, 2, 5, 6]);
+        (s, l, m)
+    }
+
+    #[test]
+    fn figure1_schedule_is_valid() {
+        let (s, l, m) = figure1_schedule();
+        assert_eq!(s.validate(&l, &m), None);
+    }
+
+    #[test]
+    fn figure1_rows_and_stages_match_paper() {
+        let (s, l, _) = figure1_schedule();
+        let ids: Vec<_> = l.op_ids().collect();
+        // Paper: stages 0, 0, 1, 2, 3 for load, mult, add, sub, store.
+        assert_eq!(s.stage(ids[0]), 0);
+        assert_eq!(s.stage(ids[1]), 0);
+        assert_eq!(s.stage(ids[2]), 1);
+        assert_eq!(s.stage(ids[3]), 2);
+        assert_eq!(s.stage(ids[4]), 3);
+        assert_eq!(s.row(ids[0]), 0);
+        assert_eq!(s.row(ids[1]), 1);
+    }
+
+    #[test]
+    fn figure1_max_live_is_seven() {
+        let (s, l, _) = figure1_schedule();
+        // The paper reports exactly 7 live registers in both rows.
+        assert_eq!(s.live_per_row(&l), vec![7, 7]);
+        assert_eq!(s.max_live(&l), 7);
+    }
+
+    #[test]
+    fn dependence_violation_detected() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        // mult at 0 violates load->mult latency 1 when load also at 0.
+        let s = Schedule::new(2, vec![0, 0, 2, 5, 6]);
+        assert!(s.check_dependences(&l).is_some());
+    }
+
+    #[test]
+    fn resource_violation_detected() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        // All five ops in row 0 exceeds the 3 FUs.
+        let s = Schedule::new(2, vec![0, 2, 4, 6, 8]);
+        assert!(s.check_resources(&l, &m).is_some());
+    }
+
+    #[test]
+    fn lifetime_covers_cross_iteration_uses() {
+        let m = example_3fu();
+        let l = kernels::fir4(&m);
+        // ld feeds uses at distances 0..3; lifetime must span 3*II past the
+        // last same-iteration use.
+        let n = l.num_ops();
+        let s = Schedule::new(3, (0..n as i64).collect());
+        let vr = &l.vregs()[0];
+        let lt = s.lifetime(vr);
+        assert!(lt.length() >= 3 * 3);
+    }
+
+    #[test]
+    fn buffers_round_up_lifetimes() {
+        let (s, l, _) = figure1_schedule();
+        // Lifetimes: ld [0,2] len 3 -> 2 buffers; mult [1,5] len 5 -> 3;
+        // add [2,5] len 4 -> 2; sub [5,6] len 2 -> 1. Total 8.
+        assert_eq!(s.buffers(&l), 8);
+        assert_eq!(s.cumulative_lifetime(&l), 3 + 5 + 4 + 2);
+    }
+
+    #[test]
+    fn dead_value_occupies_definition_cycle() {
+        let m = example_3fu();
+        let mut b = optimod_ddg::LoopBuilder::new("dead");
+        let a = b.op(optimod_machine::OpClass::FAdd, "a");
+        let c = b.op(optimod_machine::OpClass::FAdd, "c");
+        b.flow(a, c, 0);
+        // `c` defines no vreg: only `a` does.
+        let l = b.build(&m);
+        let s = Schedule::new(1, vec![0, 1]);
+        assert_eq!(s.cumulative_lifetime(&l), 2); // [0,1] inclusive
+    }
+
+    #[test]
+    fn mrt_rendering_contains_ops() {
+        let (s, l, _) = figure1_schedule();
+        let mrt = s.mrt_to_string(&l);
+        assert!(mrt.contains("row 0"));
+        assert!(mrt.contains("mult"));
+    }
+}

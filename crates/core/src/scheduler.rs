@@ -1,0 +1,377 @@
+//! The optimal modulo scheduling framework (paper Section 3.4).
+//!
+//! For a loop and machine: compute the MII, build the ILP for the tentative
+//! `II`, solve (optionally minimizing a secondary objective), and increment
+//! `II` on infeasibility. The first feasible `II` yields an optimal-
+//! throughput schedule; with a secondary objective the returned schedule is
+//! optimal for that objective among all schedules of that `II`.
+
+use std::time::{Duration, Instant};
+
+use optimod_ddg::Loop;
+use optimod_ilp::{SolveLimits, SolveStats, SolveStatus};
+use optimod_machine::Machine;
+
+use crate::formulation::{build_model, DepStyle, FormulationConfig, Objective};
+use crate::mii::{compute_mii, Mii};
+use crate::schedule::Schedule;
+
+/// Configuration of an optimal modulo scheduler run.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Dependence-constraint formulation.
+    pub dep_style: DepStyle,
+    /// Secondary objective.
+    pub objective: Objective,
+    /// Total solver budget for the loop, across all tentative `II` values
+    /// (the paper allots 15 minutes per loop).
+    pub limits: SolveLimits,
+    /// Schedule-length slack beyond the dependence minimum (paper: 20).
+    pub sched_len_slack: u32,
+    /// How far past the MII to escalate `II` before giving up.
+    pub max_ii_span: u32,
+    /// Hard register-file constraint (`MaxLive <= limit`); `None` means
+    /// unlimited registers, as in the paper's experiments.
+    pub register_limit: Option<u32>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            dep_style: DepStyle::Structured,
+            objective: Objective::FirstFeasible,
+            limits: SolveLimits::default(),
+            sched_len_slack: 20,
+            max_ii_span: 64,
+            register_limit: None,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Convenience constructor: given style and objective, default limits.
+    pub fn new(dep_style: DepStyle, objective: Objective) -> Self {
+        SchedulerConfig {
+            dep_style,
+            objective,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the total per-loop time budget.
+    pub fn with_time_limit(mut self, d: Duration) -> Self {
+        self.limits.time_limit = d;
+        self
+    }
+
+    /// Replaces the branch-and-bound node budget.
+    pub fn with_node_limit(mut self, n: u64) -> Self {
+        self.limits.node_limit = n;
+        self
+    }
+}
+
+/// How a scheduling attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopStatus {
+    /// Scheduled with the secondary objective proven optimal (or no
+    /// objective requested).
+    Optimal,
+    /// A valid schedule was found but a limit stopped the optimality proof
+    /// of the secondary objective.
+    FeasibleOnly,
+    /// The budget ran out before any schedule was found.
+    TimedOut,
+    /// No schedule exists within the allowed `II` span and schedule length.
+    Infeasible,
+}
+
+impl LoopStatus {
+    /// Whether a schedule is available.
+    pub fn scheduled(self) -> bool {
+        matches!(self, LoopStatus::Optimal | LoopStatus::FeasibleOnly)
+    }
+}
+
+/// Result of scheduling one loop.
+#[derive(Debug, Clone)]
+pub struct LoopResult {
+    /// Outcome classification.
+    pub status: LoopStatus,
+    /// MII components for the loop.
+    pub mii: Mii,
+    /// Achieved initiation interval (when scheduled).
+    pub ii: Option<u32>,
+    /// The schedule (when scheduled).
+    pub schedule: Option<Schedule>,
+    /// Secondary objective value reported by the solver (when scheduled
+    /// with an objective).
+    pub objective_value: Option<f64>,
+    /// Solver statistics accumulated over every tentative `II`
+    /// (`variables`/`constraints` are those of the largest model built —
+    /// i.e. the final one, since sizes grow with `II`).
+    pub stats: SolveStats,
+}
+
+/// An optimal modulo scheduler (NoObj / MinReg / MinBuff / MinLife /
+/// MinSchedLen depending on [`SchedulerConfig::objective`]).
+///
+/// ```
+/// use optimod::{OptimalScheduler, SchedulerConfig, DepStyle, Objective};
+/// use optimod_ddg::kernels::figure1;
+/// use optimod_machine::example_3fu;
+///
+/// let machine = example_3fu();
+/// let l = figure1(&machine);
+/// let sched = OptimalScheduler::new(
+///     SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive));
+/// let res = sched.schedule(&l, &machine);
+/// assert_eq!(res.ii, Some(2));
+/// assert_eq!(res.schedule.unwrap().max_live(&l), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OptimalScheduler {
+    config: SchedulerConfig,
+}
+
+impl OptimalScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        OptimalScheduler { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Schedules `l` on `machine`, escalating `II` from the MII.
+    pub fn schedule(&self, l: &Loop, machine: &Machine) -> LoopResult {
+        let start = Instant::now();
+        let mii = compute_mii(l, machine);
+        let mut stats = SolveStats::default();
+        let cfg = FormulationConfig {
+            dep_style: self.config.dep_style,
+            objective: self.config.objective,
+            sched_len_slack: self.config.sched_len_slack,
+            max_live_limit: self.config.register_limit,
+        };
+        let first_only = self.config.objective == Objective::FirstFeasible;
+
+        for ii in mii.value()..=mii.value() + self.config.max_ii_span {
+            let elapsed = start.elapsed();
+            if elapsed >= self.config.limits.time_limit
+                || stats.bb_nodes >= self.config.limits.node_limit
+            {
+                stats.wall_time = elapsed;
+                return LoopResult {
+                    status: LoopStatus::TimedOut,
+                    mii,
+                    ii: None,
+                    schedule: None,
+                    objective_value: None,
+                    stats,
+                };
+            }
+            let Some(built) = build_model(l, machine, ii, &cfg) else {
+                continue; // below RecMII (possible only via direct calls)
+            };
+            let limits = SolveLimits {
+                time_limit: self.config.limits.time_limit - elapsed,
+                node_limit: self.config.limits.node_limit - stats.bb_nodes,
+                iteration_limit: self.config.limits.iteration_limit,
+                branch_rule: self.config.limits.branch_rule,
+                first_solution_only: first_only,
+                cutoff: self.config.limits.cutoff,
+            };
+            let out = built.model.solve_with(limits);
+            stats.absorb(&out.stats);
+            match out.status {
+                SolveStatus::Optimal | SolveStatus::Feasible => {
+                    let schedule = built.extract_schedule(&out);
+                    debug_assert_eq!(schedule.validate(l, machine), None);
+                    stats.wall_time = start.elapsed();
+                    return LoopResult {
+                        status: if out.status == SolveStatus::Optimal {
+                            LoopStatus::Optimal
+                        } else {
+                            LoopStatus::FeasibleOnly
+                        },
+                        mii,
+                        ii: Some(ii),
+                        schedule: Some(schedule),
+                        objective_value: (!first_only).then(|| {
+                            // Our objectives are all integral; strip float
+                            // noise from the simplex.
+                            if (out.objective - out.objective.round()).abs() < 1e-6 {
+                                out.objective.round()
+                            } else {
+                                out.objective
+                            }
+                        }),
+                        stats,
+                    };
+                }
+                SolveStatus::Infeasible => continue,
+                SolveStatus::LimitReached => {
+                    stats.wall_time = start.elapsed();
+                    return LoopResult {
+                        status: LoopStatus::TimedOut,
+                        mii,
+                        ii: None,
+                        schedule: None,
+                        objective_value: None,
+                        stats,
+                    };
+                }
+            }
+        }
+        stats.wall_time = start.elapsed();
+        LoopResult {
+            status: LoopStatus::Infeasible,
+            mii,
+            ii: None,
+            schedule: None,
+            objective_value: None,
+            stats,
+        }
+    }
+
+    /// Proves or refutes feasibility at one exact `II` (used to grade
+    /// heuristic schedulers: "can II be decreased?").
+    ///
+    /// Returns `Some(true)` if a schedule exists at `ii`, `Some(false)` if
+    /// proven infeasible, `None` if the budget ran out undecided.
+    pub fn feasible_at(&self, l: &Loop, machine: &Machine, ii: u32) -> Option<bool> {
+        let cfg = FormulationConfig {
+            dep_style: self.config.dep_style,
+            objective: Objective::FirstFeasible,
+            sched_len_slack: self.config.sched_len_slack,
+            max_live_limit: self.config.register_limit,
+        };
+        let Some(built) = build_model(l, machine, ii, &cfg) else {
+            return Some(false); // below RecMII: no schedule of any length
+        };
+        let limits = SolveLimits {
+            first_solution_only: true,
+            ..self.config.limits
+        };
+        match built.model.solve_with(limits).status {
+            SolveStatus::Optimal | SolveStatus::Feasible => Some(true),
+            SolveStatus::Infeasible => Some(false),
+            SolveStatus::LimitReached => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimod_ddg::kernels;
+    use optimod_machine::{cydra_like, example_3fu};
+
+    #[test]
+    fn noobj_achieves_mii_on_figure1() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let s = OptimalScheduler::new(SchedulerConfig::default());
+        let r = s.schedule(&l, &m);
+        assert_eq!(r.status, LoopStatus::Optimal);
+        assert_eq!(r.ii, Some(2));
+        let sched = r.schedule.unwrap();
+        assert_eq!(sched.validate(&l, &m), None);
+    }
+
+    #[test]
+    fn minreg_matches_paper_figure1() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let s = OptimalScheduler::new(SchedulerConfig::new(
+            DepStyle::Structured,
+            Objective::MinMaxLive,
+        ));
+        let r = s.schedule(&l, &m);
+        assert_eq!(r.status, LoopStatus::Optimal);
+        assert_eq!(r.ii, Some(2));
+        let sched = r.schedule.unwrap();
+        // The paper's Figure 1 shows a minimum-register schedule with
+        // MaxLive 7 at II 2.
+        assert_eq!(sched.max_live(&l), 7);
+        assert_eq!(r.objective_value, Some(7.0));
+    }
+
+    #[test]
+    fn traditional_and_structured_agree_on_minreg() {
+        let m = example_3fu();
+        for l in [
+            kernels::figure1(&m),
+            kernels::saxpy(&m),
+            kernels::dot_product(&m),
+            kernels::lfk11_first_sum(&m),
+        ] {
+            let mut results = Vec::new();
+            for style in [DepStyle::Traditional, DepStyle::Structured] {
+                let s = OptimalScheduler::new(SchedulerConfig::new(
+                    style,
+                    Objective::MinMaxLive,
+                ));
+                let r = s.schedule(&l, &m);
+                assert_eq!(r.status, LoopStatus::Optimal, "{} {style:?}", l.name());
+                results.push((r.ii, r.objective_value));
+            }
+            assert_eq!(results[0], results[1], "{}", l.name());
+        }
+    }
+
+    #[test]
+    fn recurrence_bound_respected() {
+        let m = example_3fu();
+        let l = kernels::lfk5_tridiag(&m);
+        let s = OptimalScheduler::new(SchedulerConfig::default());
+        let r = s.schedule(&l, &m);
+        assert_eq!(r.ii, Some(5)); // RecMII = 5 and it is achievable
+    }
+
+    #[test]
+    fn feasibility_probe() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let s = OptimalScheduler::new(SchedulerConfig::default());
+        assert_eq!(s.feasible_at(&l, &m, 1), Some(false));
+        assert_eq!(s.feasible_at(&l, &m, 2), Some(true));
+        assert_eq!(s.feasible_at(&l, &m, 5), Some(true));
+    }
+
+    #[test]
+    fn min_sched_length_objective() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let s = OptimalScheduler::new(SchedulerConfig::new(
+            DepStyle::Structured,
+            Objective::MinSchedLength,
+        ));
+        let r = s.schedule(&l, &m);
+        assert_eq!(r.status, LoopStatus::Optimal);
+        let sched = r.schedule.unwrap();
+        // Critical path: ld(1) -> mult(4) -> sub(1) -> st: length 7. The
+        // solver minimizes the last issue cycle, and with k >= 0 the first
+        // issue lands at cycle >= 0, so the makespan equals length - 1.
+        assert_eq!(r.objective_value, Some(6.0));
+        assert_eq!(sched.length(), 7);
+        assert_eq!(sched.validate(&l, &m), None);
+    }
+
+    #[test]
+    fn cydra_divide_recurrence_schedules() {
+        let m = cydra_like();
+        let l = kernels::divide_recurrence(&m);
+        let s = OptimalScheduler::new(SchedulerConfig::default());
+        let r = s.schedule(&l, &m);
+        assert!(r.status.scheduled());
+        // RecMII is 9 via the div->div self-loop (latency 9, distance 1);
+        // the unpipelined divider alone would force ResMII 6.
+        assert_eq!(r.mii.rec_mii, 9);
+        assert!(r.ii.unwrap() >= 9);
+        assert_eq!(r.schedule.unwrap().validate(&l, &m), None);
+    }
+}

@@ -1,0 +1,239 @@
+//! Cross-validation of the traditional and 0-1-structured formulations.
+//!
+//! The paper's central claim is that Inequality (20) defines *exactly the
+//! same* modulo scheduling space as Inequality (4), only with tighter LP
+//! relaxations. These tests verify the "exactly the same" part on randomly
+//! generated loops: both formulations must agree on the achievable `II` and
+//! on every optimal secondary objective value, and the objective values the
+//! ILP reports must equal ground-truth measurements on the extracted
+//! schedules.
+
+use std::time::Duration;
+
+use optimod::heuristic::{ims_schedule, ImsConfig};
+use optimod::{
+    DepStyle, LoopStatus, Objective, OptimalScheduler, SchedulerConfig,
+};
+use optimod_ddg::{generate_loop, GeneratorConfig};
+use optimod_machine::{example_3fu, vliw_4issue, Machine};
+
+/// Small loops so both formulations solve quickly even in debug builds.
+fn small_cfg() -> GeneratorConfig {
+    GeneratorConfig {
+        max_ops: 9,
+        size_log_median: 5.0_f64.ln(),
+        size_log_sigma: 0.4,
+        ..Default::default()
+    }
+}
+
+fn scheduler(style: DepStyle, objective: Objective) -> OptimalScheduler {
+    OptimalScheduler::new(
+        SchedulerConfig::new(style, objective)
+            .with_time_limit(Duration::from_secs(30)),
+    )
+}
+
+fn machines() -> Vec<Machine> {
+    vec![example_3fu(), vliw_4issue()]
+}
+
+#[test]
+fn formulations_agree_on_ii_and_maxlive() {
+    let cfg = small_cfg();
+    let mut compared = 0;
+    let mut attempted = 0;
+    for machine in machines() {
+        for seed in 0..30 {
+            let l = generate_loop(&cfg, &machine, seed);
+            attempted += 1;
+            let a = scheduler(DepStyle::Traditional, Objective::MinMaxLive)
+                .schedule(&l, &machine);
+            let b = scheduler(DepStyle::Structured, Objective::MinMaxLive)
+                .schedule(&l, &machine);
+            // Loops where either style exhausts its budget carry no
+            // equivalence information (the paper, too, compares only loops
+            // "successfully scheduled by both formulations").
+            if a.status != LoopStatus::Optimal || b.status != LoopStatus::Optimal {
+                continue;
+            }
+            compared += 1;
+            assert_eq!(a.ii, b.ii, "{} II mismatch", l.name());
+            assert_eq!(
+                a.objective_value, b.objective_value,
+                "{} MaxLive mismatch",
+                l.name()
+            );
+        }
+    }
+    assert!(
+        compared * 10 >= attempted * 7,
+        "only {compared}/{attempted} loops solved by both styles — solver regression?"
+    );
+}
+
+#[test]
+fn reported_maxlive_matches_schedule_ground_truth() {
+    let cfg = small_cfg();
+    let mut compared = 0;
+    let mut attempted = 0;
+    for machine in machines() {
+        for seed in 30..55 {
+            let l = generate_loop(&cfg, &machine, seed);
+            attempted += 1;
+            let r = scheduler(DepStyle::Structured, Objective::MinMaxLive)
+                .schedule(&l, &machine);
+            if r.status != LoopStatus::Optimal {
+                continue;
+            }
+            compared += 1;
+            let s = r.schedule.expect("scheduled");
+            assert_eq!(
+                s.max_live(&l) as f64,
+                r.objective_value.expect("objective"),
+                "{}: ILP MaxLive differs from brute-force MaxLive",
+                l.name()
+            );
+            assert_eq!(s.validate(&l, &machine), None, "{}", l.name());
+        }
+    }
+    assert!(
+        compared * 10 >= attempted * 8,
+        "only {compared}/{attempted} loops solved to optimality — solver regression?"
+    );
+}
+
+#[test]
+fn formulations_agree_on_buffers() {
+    let cfg = small_cfg();
+    let machine = example_3fu();
+    let mut compared = 0;
+    for seed in 0..20 {
+        let l = generate_loop(&cfg, &machine, seed);
+        let a = scheduler(DepStyle::Traditional, Objective::MinBuffers)
+            .schedule(&l, &machine);
+        let b = scheduler(DepStyle::Structured, Objective::MinBuffers)
+            .schedule(&l, &machine);
+        if a.status != LoopStatus::Optimal || b.status != LoopStatus::Optimal {
+            continue;
+        }
+        compared += 1;
+        assert_eq!(a.ii, b.ii, "{}", l.name());
+        assert_eq!(a.objective_value, b.objective_value, "{}", l.name());
+        // Reported buffer count must match the measured schedule.
+        let s = b.schedule.expect("scheduled");
+        assert_eq!(
+            s.buffers(&l) as f64,
+            b.objective_value.expect("objective"),
+            "{}: ILP buffers differ from measured buffers",
+            l.name()
+        );
+    }
+    assert!(compared >= 14, "only {compared}/20 buffer loops solved by both");
+}
+
+#[test]
+fn formulations_agree_on_cumulative_lifetime() {
+    let cfg = small_cfg();
+    let machine = example_3fu();
+    let mut compared = 0;
+    for seed in 20..40 {
+        let l = generate_loop(&cfg, &machine, seed);
+        let a = scheduler(DepStyle::Traditional, Objective::MinCumLifetime)
+            .schedule(&l, &machine);
+        let b = scheduler(DepStyle::Structured, Objective::MinCumLifetime)
+            .schedule(&l, &machine);
+        if a.status != LoopStatus::Optimal || b.status != LoopStatus::Optimal {
+            continue;
+        }
+        compared += 1;
+        assert_eq!(a.ii, b.ii, "{}", l.name());
+        // The traditional objective counts `end - start` per register; the
+        // structured one counts reserved cycles (`end - start + 1`). They
+        // differ by exactly one per virtual register.
+        let off = l.vregs().len() as f64;
+        assert_eq!(
+            a.objective_value.unwrap() + off,
+            b.objective_value.unwrap(),
+            "{}",
+            l.name()
+        );
+        // And the measured cumulative lifetime equals the structured value.
+        let s = b.schedule.expect("scheduled");
+        assert_eq!(
+            s.cumulative_lifetime(&l) as f64,
+            b.objective_value.unwrap(),
+            "{}",
+            l.name()
+        );
+    }
+    assert!(compared >= 14, "only {compared}/20 lifetime loops solved by both");
+}
+
+#[test]
+fn noobj_iis_agree_across_styles() {
+    let cfg = GeneratorConfig {
+        max_ops: 14,
+        ..small_cfg()
+    };
+    let machine = vliw_4issue();
+    for seed in 100..130 {
+        let l = generate_loop(&cfg, &machine, seed);
+        let a = scheduler(DepStyle::Traditional, Objective::FirstFeasible)
+            .schedule(&l, &machine);
+        let b = scheduler(DepStyle::Structured, Objective::FirstFeasible)
+            .schedule(&l, &machine);
+        if !a.status.scheduled() || !b.status.scheduled() {
+            continue;
+        }
+        assert_eq!(a.ii, b.ii, "{}", l.name());
+        // Any schedule at the achieved II must be valid.
+        assert_eq!(
+            b.schedule.unwrap().validate(&l, &machine),
+            None,
+            "{}",
+            l.name()
+        );
+    }
+}
+
+#[test]
+fn optimal_ii_is_a_floor_for_ims() {
+    let cfg = small_cfg();
+    let machine = vliw_4issue();
+    for seed in 200..225 {
+        let l = generate_loop(&cfg, &machine, seed);
+        let opt = scheduler(DepStyle::Structured, Objective::FirstFeasible)
+            .schedule(&l, &machine);
+        let Some(opt_ii) = opt.ii else { continue };
+        let ims = ims_schedule(&l, &machine, &ImsConfig::default()).expect("ims");
+        assert!(
+            ims.schedule.ii() >= opt_ii,
+            "{}: IMS beat the proven optimum ({} < {})",
+            l.name(),
+            ims.schedule.ii(),
+            opt_ii
+        );
+    }
+}
+
+#[test]
+fn minreg_is_a_floor_for_stage_scheduled_ims() {
+    use optimod::heuristic::stage_schedule;
+    let cfg = small_cfg();
+    let machine = example_3fu();
+    for seed in 300..320 {
+        let l = generate_loop(&cfg, &machine, seed);
+        let ims = ims_schedule(&l, &machine, &ImsConfig::default()).expect("ims");
+        let staged = stage_schedule(&l, &machine, &ims.schedule);
+        let opt = scheduler(DepStyle::Structured, Objective::MinMaxLive)
+            .schedule(&l, &machine);
+        if opt.status == LoopStatus::Optimal && opt.ii == Some(ims.schedule.ii()) {
+            assert!(
+                opt.objective_value.unwrap() <= staged.max_live(&l) as f64,
+                "{}: optimal MinReg above a heuristic schedule at the same II",
+                l.name()
+            );
+        }
+    }
+}

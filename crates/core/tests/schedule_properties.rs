@@ -1,0 +1,113 @@
+//! Property-based tests of schedule measurements and transformations,
+//! using IMS on randomly generated loops as a source of valid schedules.
+
+use optimod::heuristic::{ims_schedule, stage_schedule, ImsConfig};
+use optimod::Schedule;
+use optimod_ddg::{generate_loop, GeneratorConfig, Loop};
+use optimod_machine::{cydra_like, example_3fu, vliw_4issue, Machine};
+use proptest::prelude::*;
+
+fn machine_for(idx: u8) -> Machine {
+    match idx % 3 {
+        0 => example_3fu(),
+        1 => cydra_like(),
+        _ => vliw_4issue(),
+    }
+}
+
+fn random_scheduled() -> impl Strategy<Value = (Machine, Loop, Schedule)> {
+    (0u64..2_000, 0u8..3).prop_map(|(seed, midx)| {
+        let machine = machine_for(midx);
+        let cfg = GeneratorConfig {
+            max_ops: 16,
+            ..Default::default()
+        };
+        let l = generate_loop(&cfg, &machine, seed);
+        let s = ims_schedule(&l, &machine, &ImsConfig::default())
+            .expect("IMS schedules every generated loop")
+            .schedule;
+        (machine, l, s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IMS output is always valid and at least MII.
+    #[test]
+    fn ims_schedules_are_valid((machine, l, s) in random_scheduled()) {
+        prop_assert_eq!(s.validate(&l, &machine), None);
+        let mii = optimod::compute_mii(&l, &machine).value();
+        prop_assert!(s.ii() >= mii);
+    }
+
+    /// Shifting every issue time by the same multiple of II preserves rows,
+    /// validity, and all register measurements (the steady-state kernel is
+    /// shift-invariant).
+    #[test]
+    fn shift_by_ii_is_invariant((machine, l, s) in random_scheduled(), k in 1i64..4) {
+        let shift = k * s.ii() as i64;
+        let shifted = Schedule::new(s.ii(), s.times().iter().map(|t| t + shift).collect());
+        prop_assert_eq!(shifted.validate(&l, &machine), None);
+        for id in l.op_ids() {
+            prop_assert_eq!(shifted.row(id), s.row(id));
+            prop_assert_eq!(shifted.stage(id), s.stage(id) + k);
+        }
+        prop_assert_eq!(shifted.max_live(&l), s.max_live(&l));
+        prop_assert_eq!(shifted.buffers(&l), s.buffers(&l));
+        prop_assert_eq!(shifted.cumulative_lifetime(&l), s.cumulative_lifetime(&l));
+    }
+
+    /// Shifting by a non-multiple of II still satisfies dependences (they
+    /// only see time differences).
+    #[test]
+    fn arbitrary_shift_keeps_dependences((_machine, l, s) in random_scheduled(), d in 1i64..7) {
+        let shifted = Schedule::new(s.ii(), s.times().iter().map(|t| t + d).collect());
+        prop_assert_eq!(shifted.check_dependences(&l), None);
+    }
+
+    /// Arithmetic relations between the three register measures:
+    /// `cum_lifetime = Σ_rows live(row)`, `max_live >= cum/II`,
+    /// `buffers >= #vregs`, and `buffers*II >= cum_lifetime`.
+    #[test]
+    fn measurement_relations((_machine, l, s) in random_scheduled()) {
+        let rows = s.live_per_row(&l);
+        let cum: i64 = s.cumulative_lifetime(&l);
+        prop_assert_eq!(rows.iter().map(|&x| x as i64).sum::<i64>(), cum);
+        let ml = s.max_live(&l) as i64;
+        let ii = s.ii() as i64;
+        prop_assert!(ml * ii >= cum);
+        prop_assert!(ml <= cum);
+        let buf = s.buffers(&l) as i64;
+        prop_assert!(buf >= l.vregs().len() as i64);
+        prop_assert!(buf * ii >= cum);
+    }
+
+    /// Stage scheduling: valid, same rows, never worse cumulative lifetime,
+    /// and never a larger MaxLive than the lifetime bound implies breaking.
+    #[test]
+    fn stage_scheduling_invariants((machine, l, s) in random_scheduled()) {
+        let staged = stage_schedule(&l, &machine, &s);
+        prop_assert_eq!(staged.validate(&l, &machine), None);
+        prop_assert_eq!(staged.ii(), s.ii());
+        for id in l.op_ids() {
+            prop_assert_eq!(staged.row(id), s.row(id));
+        }
+        prop_assert!(staged.cumulative_lifetime(&l) <= s.cumulative_lifetime(&l));
+    }
+
+    /// `lifetime` spans every use of every register.
+    #[test]
+    fn lifetimes_cover_uses((_machine, l, s) in random_scheduled()) {
+        let ii = s.ii() as i64;
+        for vr in l.vregs() {
+            let lt = s.lifetime(vr);
+            prop_assert!(lt.start <= lt.end);
+            prop_assert_eq!(lt.start, s.time(vr.def));
+            for u in &vr.uses {
+                let use_time = s.time(u.op) + ii * u.distance as i64;
+                prop_assert!(lt.end >= use_time);
+            }
+        }
+    }
+}

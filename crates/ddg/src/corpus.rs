@@ -1,0 +1,78 @@
+//! Benchmark corpus assembly: named kernels plus calibrated synthetic loops.
+
+use optimod_machine::Machine;
+
+use crate::generator::{generate_corpus, GeneratorConfig};
+use crate::graph::Loop;
+use crate::kernels::all_kernels;
+
+/// Size of the benchmark corpus, trading fidelity against runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusSize {
+    /// Kernels plus ~100 synthetic loops — smoke-test scale.
+    Small,
+    /// Kernels plus ~375 synthetic loops — default for experiments.
+    Medium,
+    /// Kernels plus synthetic loops up to the paper's 1327 total.
+    Full,
+}
+
+impl CorpusSize {
+    /// Total number of loops in the corpus of this size.
+    pub fn total(self) -> usize {
+        match self {
+            CorpusSize::Small => 128,
+            CorpusSize::Medium => 400,
+            CorpusSize::Full => 1327,
+        }
+    }
+}
+
+/// Base seed used by [`benchmark_corpus`]; fixed so every experiment runs
+/// the exact same loop population.
+pub const CORPUS_SEED: u64 = 0xC1D5_1997;
+
+/// Builds the standard benchmark corpus for `machine`: every named kernel
+/// followed by deterministic synthetic loops up to the requested size.
+///
+/// ```
+/// use optimod_ddg::{benchmark_corpus, CorpusSize};
+/// use optimod_machine::cydra_like;
+/// let corpus = benchmark_corpus(&cydra_like(), CorpusSize::Small);
+/// assert_eq!(corpus.len(), CorpusSize::Small.total());
+/// ```
+pub fn benchmark_corpus(machine: &Machine, size: CorpusSize) -> Vec<Loop> {
+    let mut loops = all_kernels(machine);
+    let want = size.total();
+    let cfg = GeneratorConfig::default();
+    let extra = want.saturating_sub(loops.len());
+    loops.extend(generate_corpus(&cfg, machine, CORPUS_SEED, extra));
+    loops.truncate(want);
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimod_machine::cydra_like;
+
+    #[test]
+    fn corpus_sizes() {
+        let m = cydra_like();
+        assert_eq!(
+            benchmark_corpus(&m, CorpusSize::Small).len(),
+            CorpusSize::Small.total()
+        );
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let m = cydra_like();
+        let a = benchmark_corpus(&m, CorpusSize::Small);
+        let b = benchmark_corpus(&m, CorpusSize::Small);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.num_ops(), y.num_ops());
+        }
+    }
+}

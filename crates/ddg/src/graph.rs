@@ -1,0 +1,483 @@
+//! Loop dependence graphs: operations, scheduling edges, virtual registers.
+//!
+//! The representation mirrors the paper's `G = {V, E_sched, E_reg}`: vertices
+//! are operations; *scheduling edges* carry a latency `l` and an iteration
+//! distance `w` and constrain `time(to) + w*II - time(from) >= l`; *register
+//! edges* tie a value-producing operation to its consumers and determine
+//! virtual-register lifetimes (a register is reserved from its definition
+//! cycle until the cycle following its last use).
+
+use std::fmt;
+
+use optimod_machine::{Machine, OpClass};
+
+/// Identifier of an operation within one [`Loop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Dense index of this operation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `OpId` from a dense index. Ids are dense creation-order
+    /// indices, so `OpId::from_index(i)` for `i < loop.num_ops()` is always
+    /// valid for that loop.
+    pub fn from_index(i: usize) -> OpId {
+        OpId(u32::try_from(i).expect("operation index fits in u32"))
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// An operation of the loop body.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// Human-readable name (unique within the loop by construction).
+    pub name: String,
+    /// Operation class, mapped by the [`Machine`] to latency and resources.
+    pub class: OpClass,
+}
+
+/// The nature of a scheduling dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Register data flow (true dependence); also generates the lifetime of
+    /// a virtual register.
+    Flow,
+    /// Anti or output dependence through a register.
+    Anti,
+    /// Ordering between memory operations on (possibly) aliasing locations.
+    Memory,
+    /// Control or miscellaneous ordering constraints.
+    Control,
+}
+
+/// A scheduling edge: `time(to) + distance*II - time(from) >= latency`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedEdge {
+    /// Producer / earlier operation.
+    pub from: OpId,
+    /// Consumer / later operation (`distance` iterations later).
+    pub to: OpId,
+    /// Minimum separation in cycles (may be zero or negative for anti
+    /// dependences).
+    pub latency: i64,
+    /// Iteration distance `w >= 0`.
+    pub distance: u32,
+    /// Dependence kind.
+    pub kind: DepKind,
+}
+
+/// One use of a virtual register: operation `op`, `distance` iterations
+/// after the defining iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegUse {
+    /// Consuming operation.
+    pub op: OpId,
+    /// Iteration distance from the definition.
+    pub distance: u32,
+}
+
+/// A virtual register: defined by one operation, consumed by zero or more.
+///
+/// The register is reserved in the cycle its definition issues and stays
+/// reserved through the issue cycle of its last use (becoming free the
+/// following cycle), per Section 2 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualRegister {
+    /// Defining operation.
+    pub def: OpId,
+    /// All uses (empty for a dead value, which still occupies its
+    /// definition cycle).
+    pub uses: Vec<RegUse>,
+}
+
+/// An innermost loop body ready for modulo scheduling.
+///
+/// Construct with [`LoopBuilder`]:
+///
+/// ```
+/// use optimod_ddg::LoopBuilder;
+/// use optimod_machine::{example_3fu, OpClass};
+///
+/// let machine = example_3fu();
+/// let mut b = LoopBuilder::new("axpy");
+/// let x = b.op(OpClass::Load, "ld-x");
+/// let m = b.op(OpClass::FMul, "mul");
+/// let s = b.op(OpClass::Store, "st");
+/// b.flow(x, m, 0);
+/// b.flow(m, s, 0);
+/// let l = b.build(&machine);
+/// assert_eq!(l.num_ops(), 3);
+/// assert_eq!(l.vregs().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Loop {
+    name: String,
+    ops: Vec<Op>,
+    edges: Vec<SchedEdge>,
+    vregs: Vec<VirtualRegister>,
+}
+
+impl Loop {
+    /// Loop name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations (the paper's `N`).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// All operation ids in index order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// The operation record for `id`.
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.index()]
+    }
+
+    /// All operations in index order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// All scheduling edges.
+    pub fn edges(&self) -> &[SchedEdge] {
+        &self.edges
+    }
+
+    /// All virtual registers.
+    pub fn vregs(&self) -> &[VirtualRegister] {
+        &self.vregs
+    }
+
+    /// Whether any dependence cycle exists (i.e. the loop carries a
+    /// recurrence). Cycles necessarily contain an edge with distance >= 1.
+    pub fn has_recurrence(&self) -> bool {
+        // Tarjan-free check: iterate DFS over the full edge set looking for
+        // a cycle in the directed graph (distances ignored: any directed
+        // cycle in a valid loop is a recurrence).
+        let n = self.ops.len();
+        let mut adj = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.from.index()].push(e.to.index());
+        }
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        fn dfs(u: usize, adj: &[Vec<usize>], state: &mut [u8]) -> bool {
+            state[u] = 1;
+            for &v in &adj[u] {
+                #[allow(clippy::collapsible_match)] // guard needs &mut state
+                match state[v] {
+                    0 => {
+                        if dfs(v, adj, state) {
+                            return true;
+                        }
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            }
+            state[u] = 2;
+            false
+        }
+        (0..n).any(|u| state[u] == 0 && dfs(u, &adj, &mut state))
+    }
+
+    /// Validates structural invariants. Returns a description of the first
+    /// problem found, or `None` when the loop is well-formed:
+    ///
+    /// * every edge and register reference resolves to an operation;
+    /// * no dependence cycle has total distance zero (such a loop could
+    ///   never be scheduled at any `II` if the cycle's latency is positive,
+    ///   and indicates a malformed graph);
+    /// * each operation defines at most one virtual register.
+    pub fn validate(&self) -> Option<String> {
+        let n = self.ops.len();
+        for e in &self.edges {
+            if e.from.index() >= n || e.to.index() >= n {
+                return Some(format!("edge {e:?} references a missing operation"));
+            }
+        }
+        let mut seen_def = vec![false; n];
+        for vr in &self.vregs {
+            if vr.def.index() >= n {
+                return Some(format!("vreg def {} out of range", vr.def));
+            }
+            if seen_def[vr.def.index()] {
+                return Some(format!("operation {} defines two vregs", vr.def));
+            }
+            seen_def[vr.def.index()] = true;
+            for u in &vr.uses {
+                if u.op.index() >= n {
+                    return Some(format!("vreg use {} out of range", u.op));
+                }
+            }
+        }
+        // Zero-distance subgraph must be acyclic.
+        let mut adj = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.distance == 0 {
+                adj[e.from.index()].push(e.to.index());
+            }
+        }
+        let mut state = vec![0u8; n];
+        fn acyclic(u: usize, adj: &[Vec<usize>], state: &mut [u8]) -> bool {
+            state[u] = 1;
+            for &v in &adj[u] {
+                #[allow(clippy::collapsible_match)] // guard needs &mut state
+                match state[v] {
+                    0 => {
+                        if !acyclic(v, adj, state) {
+                            return false;
+                        }
+                    }
+                    1 => return false,
+                    _ => {}
+                }
+            }
+            state[u] = 2;
+            true
+        }
+        for u in 0..n {
+            if state[u] == 0 && !acyclic(u, &adj, &mut state) {
+                return Some("zero-distance dependence cycle".to_string());
+            }
+        }
+        None
+    }
+
+    /// Emits a Graphviz `dot` rendering (for debugging and docs).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        for (i, op) in self.ops.iter().enumerate() {
+            let _ = writeln!(s, "  op{i} [label=\"{} ({})\"];", op.name, op.class);
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                DepKind::Flow => "solid",
+                DepKind::Anti => "dashed",
+                DepKind::Memory => "dotted",
+                DepKind::Control => "bold",
+            };
+            let _ = writeln!(
+                s,
+                "  op{} -> op{} [label=\"l={},w={}\", style={style}];",
+                e.from.index(),
+                e.to.index(),
+                e.latency,
+                e.distance
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Pending flow (register) dependence recorded by [`LoopBuilder::flow`].
+#[derive(Debug, Clone, Copy)]
+struct PendingFlow {
+    def: OpId,
+    user: OpId,
+    distance: u32,
+}
+
+/// Incremental builder for [`Loop`].
+///
+/// Flow edges resolve their latency from the machine at [`LoopBuilder::build`]
+/// time (the latency of the *defining* operation's class); explicit
+/// [`LoopBuilder::dep`] edges carry their own latency.
+#[derive(Debug, Clone)]
+pub struct LoopBuilder {
+    name: String,
+    ops: Vec<Op>,
+    flows: Vec<PendingFlow>,
+    raw_edges: Vec<SchedEdge>,
+}
+
+impl LoopBuilder {
+    /// Starts building a loop with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        LoopBuilder {
+            name: name.into(),
+            ops: Vec::new(),
+            flows: Vec::new(),
+            raw_edges: Vec::new(),
+        }
+    }
+
+    /// Adds an operation and returns its id.
+    pub fn op(&mut self, class: OpClass, name: impl Into<String>) -> OpId {
+        let id = OpId(u32::try_from(self.ops.len()).expect("too many operations"));
+        self.ops.push(Op {
+            name: name.into(),
+            class,
+        });
+        id
+    }
+
+    /// Records a register data-flow dependence: `user` (in the iteration
+    /// `distance` later) consumes the value defined by `def`. Creates both
+    /// the register edge and a scheduling edge whose latency is the
+    /// machine latency of `def`'s class.
+    pub fn flow(&mut self, def: OpId, user: OpId, distance: u32) -> &mut Self {
+        self.flows.push(PendingFlow {
+            def,
+            user,
+            distance,
+        });
+        self
+    }
+
+    /// Records an explicit scheduling-only dependence (memory ordering,
+    /// control, anti) with the given latency and distance.
+    pub fn dep(
+        &mut self,
+        from: OpId,
+        to: OpId,
+        latency: i64,
+        distance: u32,
+        kind: DepKind,
+    ) -> &mut Self {
+        self.raw_edges.push(SchedEdge {
+            from,
+            to,
+            latency,
+            distance,
+            kind,
+        });
+        self
+    }
+
+    /// Finalizes the loop against `machine`, resolving flow latencies and
+    /// grouping register edges into virtual registers (one per defining
+    /// operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting loop fails [`Loop::validate`].
+    pub fn build(&self, machine: &Machine) -> Loop {
+        let mut edges = self.raw_edges.clone();
+        let mut vreg_of_def: Vec<Option<usize>> = vec![None; self.ops.len()];
+        let mut vregs: Vec<VirtualRegister> = Vec::new();
+        for f in &self.flows {
+            let lat = machine.latency(self.ops[f.def.index()].class);
+            edges.push(SchedEdge {
+                from: f.def,
+                to: f.user,
+                latency: lat,
+                distance: f.distance,
+                kind: DepKind::Flow,
+            });
+            let slot = *vreg_of_def[f.def.index()].get_or_insert_with(|| {
+                vregs.push(VirtualRegister {
+                    def: f.def,
+                    uses: Vec::new(),
+                });
+                vregs.len() - 1
+            });
+            vregs[slot].uses.push(RegUse {
+                op: f.user,
+                distance: f.distance,
+            });
+        }
+        let l = Loop {
+            name: self.name.clone(),
+            ops: self.ops.clone(),
+            edges,
+            vregs,
+        };
+        if let Some(err) = l.validate() {
+            panic!("loop '{}' is malformed: {err}", self.name);
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimod_machine::example_3fu;
+
+    #[test]
+    fn builder_resolves_flow_latency() {
+        let m = example_3fu();
+        let mut b = LoopBuilder::new("t");
+        let a = b.op(OpClass::FMul, "mul");
+        let c = b.op(OpClass::Store, "st");
+        b.flow(a, c, 0);
+        let l = b.build(&m);
+        assert_eq!(l.edges().len(), 1);
+        assert_eq!(l.edges()[0].latency, 4); // FMul latency on example-3fu
+        assert_eq!(l.vregs().len(), 1);
+        assert_eq!(l.vregs()[0].uses.len(), 1);
+    }
+
+    #[test]
+    fn recurrence_detection() {
+        let m = example_3fu();
+        let mut b = LoopBuilder::new("rec");
+        let add = b.op(OpClass::FAdd, "acc");
+        let mul = b.op(OpClass::FMul, "mul");
+        b.flow(mul, add, 0);
+        b.flow(add, add, 1); // accumulator self-dependence
+        let l = b.build(&m);
+        assert!(l.has_recurrence());
+
+        let mut b2 = LoopBuilder::new("norec");
+        let x = b2.op(OpClass::Load, "ld");
+        let s = b2.op(OpClass::Store, "st");
+        b2.flow(x, s, 0);
+        assert!(!b2.build(&m).has_recurrence());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-distance dependence cycle")]
+    fn zero_distance_cycle_rejected() {
+        let m = example_3fu();
+        let mut b = LoopBuilder::new("bad");
+        let a = b.op(OpClass::FAdd, "a");
+        let c = b.op(OpClass::FAdd, "b");
+        b.flow(a, c, 0);
+        b.flow(c, a, 0);
+        b.build(&m);
+    }
+
+    #[test]
+    fn multiple_uses_same_def_share_a_vreg() {
+        let m = example_3fu();
+        let mut b = LoopBuilder::new("t");
+        let x = b.op(OpClass::Load, "ld");
+        let u1 = b.op(OpClass::FMul, "m");
+        let u2 = b.op(OpClass::FAdd, "a");
+        b.flow(x, u1, 0);
+        b.flow(x, u2, 1);
+        let l = b.build(&m);
+        assert_eq!(l.vregs().len(), 1);
+        assert_eq!(l.vregs()[0].uses.len(), 2);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_op() {
+        let m = example_3fu();
+        let mut b = LoopBuilder::new("t");
+        let x = b.op(OpClass::Load, "ld");
+        let s = b.op(OpClass::Store, "st");
+        b.flow(x, s, 0);
+        let dot = b.build(&m).to_dot();
+        assert!(dot.contains("ld"));
+        assert!(dot.contains("st"));
+        assert!(dot.contains("l=1,w=0"));
+    }
+}

@@ -1,0 +1,1227 @@
+//! Hand-modeled dependence graphs for classic inner loops.
+//!
+//! These kernels stand in for the paper's Perfect Club / SPEC-89 / Livermore
+//! Fortran Kernel corpus (compiled by the proprietary Cydra 5 Fortran
+//! compiler, which we do not have). Each is a faithful dependence-graph
+//! model of the named loop body after standard scalar optimization:
+//! load/store elimination of loop-invariant values, one value per virtual
+//! register, recurrences expressed as distance-carrying flow edges.
+
+use optimod_machine::{Machine, OpClass};
+
+use crate::graph::{DepKind, Loop, LoopBuilder};
+
+use OpClass::{Compare, FAdd, FDiv, FMul, IAlu, Load, Move, Store};
+
+/// The paper's Figure 1 kernel: `y[i] = x[i]*x[i] - x[i] - a`.
+///
+/// On [`optimod_machine::example_3fu`] this admits an `II = 2` schedule with
+/// register requirement (MaxLive) 7, as shown in the paper.
+pub fn figure1(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("figure1");
+    let ld = b.op(Load, "ld-x");
+    let mul = b.op(FMul, "mult");
+    let add = b.op(FAdd, "add");
+    let sub = b.op(FAdd, "sub");
+    let st = b.op(Store, "st-y");
+    b.flow(ld, mul, 0); // x used twice by the square
+    b.flow(ld, add, 0); // x + a
+    b.flow(mul, sub, 0);
+    b.flow(add, sub, 0);
+    b.flow(sub, st, 0);
+    b.build(machine)
+}
+
+/// `y[i] = a*x[i] + y[i]` — the BLAS `axpy` streaming kernel.
+pub fn saxpy(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("saxpy");
+    let lx = b.op(Load, "ld-x");
+    let ly = b.op(Load, "ld-y");
+    let mul = b.op(FMul, "a*x");
+    let add = b.op(FAdd, "+y");
+    let st = b.op(Store, "st-y");
+    b.flow(lx, mul, 0);
+    b.flow(mul, add, 0);
+    b.flow(ly, add, 0);
+    b.flow(add, st, 0);
+    // The store to y[i] must follow the load of y[i] (same location).
+    b.dep(ly, st, 0, 0, DepKind::Memory);
+    b.build(machine)
+}
+
+/// `s += x[i]*y[i]` — inner (dot) product with an accumulator recurrence.
+pub fn dot_product(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("dot-product");
+    let lx = b.op(Load, "ld-x");
+    let ly = b.op(Load, "ld-y");
+    let mul = b.op(FMul, "x*y");
+    let acc = b.op(FAdd, "acc");
+    b.flow(lx, mul, 0);
+    b.flow(ly, mul, 0);
+    b.flow(mul, acc, 0);
+    b.flow(acc, acc, 1); // loop-carried accumulator
+    b.build(machine)
+}
+
+/// Livermore Kernel 1 (hydro fragment):
+/// `x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])`.
+pub fn lfk1_hydro(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk1-hydro");
+    let lz10 = b.op(Load, "ld-z10");
+    let lz11 = b.op(Load, "ld-z11");
+    let ly = b.op(Load, "ld-y");
+    let m1 = b.op(FMul, "r*z10");
+    let m2 = b.op(FMul, "t*z11");
+    let a1 = b.op(FAdd, "sum");
+    let m3 = b.op(FMul, "y*sum");
+    let a2 = b.op(FAdd, "q+");
+    let st = b.op(Store, "st-x");
+    b.flow(lz10, m1, 0);
+    b.flow(lz11, m2, 0);
+    b.flow(m1, a1, 0);
+    b.flow(m2, a1, 0);
+    b.flow(ly, m3, 0);
+    b.flow(a1, m3, 0);
+    b.flow(m3, a2, 0);
+    b.flow(a2, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 5 (tri-diagonal elimination, below diagonal):
+/// `x[i] = z[i]*(y[i] - x[i-1])` — a tight recurrence through x.
+pub fn lfk5_tridiag(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk5-tridiag");
+    let ly = b.op(Load, "ld-y");
+    let lz = b.op(Load, "ld-z");
+    let sub = b.op(FAdd, "y-x");
+    let mul = b.op(FMul, "z*");
+    let st = b.op(Store, "st-x");
+    b.flow(ly, sub, 0);
+    b.flow(mul, sub, 1); // x[i-1] from the previous iteration
+    b.flow(lz, mul, 0);
+    b.flow(sub, mul, 0);
+    b.flow(mul, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 6 (general linear recurrence, innermost body):
+/// `w[i] += b[k][i] * w[i-k]`, modeled at fixed k.
+pub fn lfk6_recurrence(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk6-recurrence");
+    let lb = b.op(Load, "ld-b");
+    let lw = b.op(Load, "ld-w");
+    let mul = b.op(FMul, "b*w");
+    let acc = b.op(FAdd, "acc");
+    let st = b.op(Store, "st-w");
+    b.flow(lb, mul, 0);
+    b.flow(lw, mul, 0);
+    b.flow(mul, acc, 0);
+    b.flow(acc, acc, 1);
+    b.flow(acc, st, 0);
+    // w store feeds later w loads (conservative memory dependence).
+    b.dep(st, lw, 1, 1, DepKind::Memory);
+    b.build(machine)
+}
+
+/// Livermore Kernel 7 (equation of state fragment) — a wide expression
+/// tree: `x[i] = u[i] + r*(z[i] + r*y[i]) + t*(u[i+3] + r*(u[i+2] +
+/// r*u[i+1]) + t*(u[i+6] + q*(u[i+5] + q*u[i+4])))`.
+pub fn lfk7_eos(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk7-eos");
+    let lu = b.op(Load, "ld-u");
+    let lz = b.op(Load, "ld-z");
+    let ly = b.op(Load, "ld-y");
+    let lu1 = b.op(Load, "ld-u1");
+    let lu2 = b.op(Load, "ld-u2");
+    let lu3 = b.op(Load, "ld-u3");
+    let lu4 = b.op(Load, "ld-u4");
+    let lu5 = b.op(Load, "ld-u5");
+    let lu6 = b.op(Load, "ld-u6");
+    let m_ry = b.op(FMul, "r*y");
+    let a_z = b.op(FAdd, "z+ry");
+    let m_rz = b.op(FMul, "r*(z+ry)");
+    let a_u = b.op(FAdd, "u+rz");
+    let m_ru1 = b.op(FMul, "r*u1");
+    let a_u2 = b.op(FAdd, "u2+ru1");
+    let m_r2 = b.op(FMul, "r*(u2+)");
+    let a_u3 = b.op(FAdd, "u3+");
+    let m_qu4 = b.op(FMul, "q*u4");
+    let a_u5 = b.op(FAdd, "u5+qu4");
+    let m_q2 = b.op(FMul, "q*(u5+)");
+    let a_u6 = b.op(FAdd, "u6+");
+    let m_t2 = b.op(FMul, "t*(u6+)");
+    let a_mid = b.op(FAdd, "mid");
+    let m_t = b.op(FMul, "t*mid");
+    let a_fin = b.op(FAdd, "final");
+    let st = b.op(Store, "st-x");
+    b.flow(ly, m_ry, 0);
+    b.flow(lz, a_z, 0);
+    b.flow(m_ry, a_z, 0);
+    b.flow(a_z, m_rz, 0);
+    b.flow(lu, a_u, 0);
+    b.flow(m_rz, a_u, 0);
+    b.flow(lu1, m_ru1, 0);
+    b.flow(lu2, a_u2, 0);
+    b.flow(m_ru1, a_u2, 0);
+    b.flow(a_u2, m_r2, 0);
+    b.flow(lu3, a_u3, 0);
+    b.flow(m_r2, a_u3, 0);
+    b.flow(lu4, m_qu4, 0);
+    b.flow(lu5, a_u5, 0);
+    b.flow(m_qu4, a_u5, 0);
+    b.flow(a_u5, m_q2, 0);
+    b.flow(lu6, a_u6, 0);
+    b.flow(m_q2, a_u6, 0);
+    b.flow(a_u6, m_t2, 0);
+    b.flow(a_u3, a_mid, 0);
+    b.flow(m_t2, a_mid, 0);
+    b.flow(a_mid, m_t, 0);
+    b.flow(a_u, a_fin, 0);
+    b.flow(m_t, a_fin, 0);
+    b.flow(a_fin, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 9 (integrate predictors): a 10-term dot product of
+/// loop-invariant coefficients with px rows — wide, recurrence-free.
+pub fn lfk9_predictors(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk9-predictors");
+    let mut terms = Vec::new();
+    for t in 0..5 {
+        let ld = b.op(Load, format!("ld-px{t}"));
+        let mul = b.op(FMul, format!("c{t}*px{t}"));
+        b.flow(ld, mul, 0);
+        terms.push(mul);
+    }
+    // Balanced reduction tree.
+    let a1 = b.op(FAdd, "a1");
+    let a2 = b.op(FAdd, "a2");
+    let a3 = b.op(FAdd, "a3");
+    let a4 = b.op(FAdd, "a4");
+    b.flow(terms[0], a1, 0);
+    b.flow(terms[1], a1, 0);
+    b.flow(terms[2], a2, 0);
+    b.flow(terms[3], a2, 0);
+    b.flow(a1, a3, 0);
+    b.flow(a2, a3, 0);
+    b.flow(a3, a4, 0);
+    b.flow(terms[4], a4, 0);
+    let st = b.op(Store, "st-px0");
+    b.flow(a4, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 10 (difference predictors) — chained differences with
+/// several stores per iteration.
+pub fn lfk10_diff_predictors(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk10-diff");
+    let lcx = b.op(Load, "ld-cx");
+    let mut prev = lcx;
+    for t in 0..4 {
+        let ld = b.op(Load, format!("ld-px{t}"));
+        let sub = b.op(FAdd, format!("d{t}"));
+        let st = b.op(Store, format!("st-px{t}"));
+        b.flow(prev, sub, 0);
+        b.flow(ld, sub, 0);
+        b.flow(sub, st, 0);
+        prev = sub;
+    }
+    b.build(machine)
+}
+
+/// Livermore Kernel 11 (first sum): `x[k] = x[k-1] + y[k]` — the canonical
+/// prefix-sum recurrence.
+pub fn lfk11_first_sum(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk11-first-sum");
+    let ly = b.op(Load, "ld-y");
+    let add = b.op(FAdd, "sum");
+    let st = b.op(Store, "st-x");
+    b.flow(ly, add, 0);
+    b.flow(add, add, 1);
+    b.flow(add, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 12 (first difference): `x[k] = y[k+1] - y[k]`.
+pub fn lfk12_first_diff(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk12-first-diff");
+    let l1 = b.op(Load, "ld-y1");
+    let l0 = b.op(Load, "ld-y0");
+    let sub = b.op(FAdd, "diff");
+    let st = b.op(Store, "st-x");
+    b.flow(l1, sub, 0);
+    b.flow(l0, sub, 0);
+    b.flow(sub, st, 0);
+    b.build(machine)
+}
+
+/// A 4-tap FIR filter: `y[i] = sum(c[t] * x[i+t], t=0..4)` with rotating
+/// loads (values reused across iterations via distance-1 flow edges).
+pub fn fir4(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("fir4");
+    // One new sample per iteration; older samples come from previous
+    // iterations' loads (register rotation).
+    let ld = b.op(Load, "ld-x");
+    let m0 = b.op(FMul, "c0*x0");
+    let m1 = b.op(FMul, "c1*x1");
+    let m2 = b.op(FMul, "c2*x2");
+    let m3 = b.op(FMul, "c3*x3");
+    let a0 = b.op(FAdd, "a0");
+    let a1 = b.op(FAdd, "a1");
+    let a2 = b.op(FAdd, "a2");
+    let st = b.op(Store, "st-y");
+    b.flow(ld, m0, 0);
+    b.flow(ld, m1, 1);
+    b.flow(ld, m2, 2);
+    b.flow(ld, m3, 3);
+    b.flow(m0, a0, 0);
+    b.flow(m1, a0, 0);
+    b.flow(m2, a1, 0);
+    b.flow(m3, a1, 0);
+    b.flow(a0, a2, 0);
+    b.flow(a1, a2, 0);
+    b.flow(a2, st, 0);
+    b.build(machine)
+}
+
+/// Complex multiply over arrays: `(cr,ci)[i] = (ar,ai)[i] * (br,bi)[i]`.
+pub fn complex_multiply(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("complex-multiply");
+    let lar = b.op(Load, "ld-ar");
+    let lai = b.op(Load, "ld-ai");
+    let lbr = b.op(Load, "ld-br");
+    let lbi = b.op(Load, "ld-bi");
+    let m1 = b.op(FMul, "ar*br");
+    let m2 = b.op(FMul, "ai*bi");
+    let m3 = b.op(FMul, "ar*bi");
+    let m4 = b.op(FMul, "ai*br");
+    let sr = b.op(FAdd, "re");
+    let si = b.op(FAdd, "im");
+    let str_ = b.op(Store, "st-cr");
+    let sti = b.op(Store, "st-ci");
+    b.flow(lar, m1, 0);
+    b.flow(lbr, m1, 0);
+    b.flow(lai, m2, 0);
+    b.flow(lbi, m2, 0);
+    b.flow(lar, m3, 0);
+    b.flow(lbi, m3, 0);
+    b.flow(lai, m4, 0);
+    b.flow(lbr, m4, 0);
+    b.flow(m1, sr, 0);
+    b.flow(m2, sr, 0);
+    b.flow(m3, si, 0);
+    b.flow(m4, si, 0);
+    b.flow(sr, str_, 0);
+    b.flow(si, sti, 0);
+    b.build(machine)
+}
+
+/// Five-point stencil: `b[i] = w*(a[i-1] + a[i] + a[i+1] + up + down)`.
+pub fn stencil5(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("stencil5");
+    let lc = b.op(Load, "ld-a");
+    let lup = b.op(Load, "ld-up");
+    let ldn = b.op(Load, "ld-down");
+    let a1 = b.op(FAdd, "a1"); // a[i-1] + a[i] via rotation
+    let a2 = b.op(FAdd, "a2"); // + a[i+1]
+    let a3 = b.op(FAdd, "a3");
+    let a4 = b.op(FAdd, "a4");
+    let mul = b.op(FMul, "w*");
+    let st = b.op(Store, "st-b");
+    b.flow(lc, a1, 1); // a[i-1]: previous iteration's center load
+    b.flow(lc, a1, 0);
+    b.flow(lc, a2, 0); // modeling a[i+1] stream through same load
+    b.flow(a1, a2, 0);
+    b.flow(lup, a3, 0);
+    b.flow(a2, a3, 0);
+    b.flow(ldn, a4, 0);
+    b.flow(a3, a4, 0);
+    b.flow(a4, mul, 0);
+    b.flow(mul, st, 0);
+    b.build(machine)
+}
+
+/// Matrix-vector product inner loop: `y[i] += a[i][j] * x[j]`.
+pub fn matvec_inner(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("matvec-inner");
+    let la = b.op(Load, "ld-a");
+    let lx = b.op(Load, "ld-x");
+    let mul = b.op(FMul, "a*x");
+    let acc = b.op(FAdd, "acc");
+    b.flow(la, mul, 0);
+    b.flow(lx, mul, 0);
+    b.flow(mul, acc, 0);
+    b.flow(acc, acc, 1);
+    b.build(machine)
+}
+
+/// Horner polynomial evaluation per element:
+/// `y[i] = ((c3*x + c2)*x + c1)*x + c0` — a deep multiply-add chain.
+pub fn horner(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("horner");
+    let lx = b.op(Load, "ld-x");
+    let m1 = b.op(FMul, "c3*x");
+    let a1 = b.op(FAdd, "+c2");
+    let m2 = b.op(FMul, "*x");
+    let a2 = b.op(FAdd, "+c1");
+    let m3 = b.op(FMul, "*x");
+    let a3 = b.op(FAdd, "+c0");
+    let st = b.op(Store, "st-y");
+    b.flow(lx, m1, 0);
+    b.flow(m1, a1, 0);
+    b.flow(a1, m2, 0);
+    b.flow(lx, m2, 0);
+    b.flow(m2, a2, 0);
+    b.flow(a2, m3, 0);
+    b.flow(lx, m3, 0);
+    b.flow(m3, a3, 0);
+    b.flow(a3, st, 0);
+    b.build(machine)
+}
+
+/// Array maximum with index tracking (Livermore Kernel 24 flavor):
+/// compare + conditional moves with loop-carried state.
+pub fn argmax(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("argmax");
+    let lx = b.op(Load, "ld-x");
+    let cmp = b.op(Compare, "cmp");
+    let selv = b.op(Move, "sel-val");
+    let seli = b.op(Move, "sel-idx");
+    let inc = b.op(IAlu, "i++");
+    b.flow(lx, cmp, 0);
+    b.flow(selv, cmp, 1); // compare against running max
+    b.flow(cmp, selv, 0);
+    b.flow(lx, selv, 0);
+    b.flow(cmp, seli, 0);
+    b.flow(inc, seli, 0);
+    b.flow(seli, seli, 1);
+    b.flow(inc, inc, 1);
+    b.build(machine)
+}
+
+/// Prefix product with reciprocal (uses the divider):
+/// `r[i] = r[i-1] / x[i]`.
+pub fn divide_recurrence(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("divide-recurrence");
+    let lx = b.op(Load, "ld-x");
+    let div = b.op(FDiv, "div");
+    let st = b.op(Store, "st-r");
+    b.flow(lx, div, 0);
+    b.flow(div, div, 1);
+    b.flow(div, st, 0);
+    b.build(machine)
+}
+
+/// Newton-Raphson reciprocal refinement per element:
+/// `y = y*(2 - x*y)` twice, starting from a table seed.
+pub fn newton_reciprocal(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("newton-reciprocal");
+    let lx = b.op(Load, "ld-x");
+    let seed = b.op(Load, "ld-seed");
+    let m1 = b.op(FMul, "x*y0");
+    let s1 = b.op(FAdd, "2-");
+    let m2 = b.op(FMul, "y0*");
+    let m3 = b.op(FMul, "x*y1");
+    let s2 = b.op(FAdd, "2-'");
+    let m4 = b.op(FMul, "y1*");
+    let st = b.op(Store, "st-y");
+    b.flow(lx, m1, 0);
+    b.flow(seed, m1, 0);
+    b.flow(m1, s1, 0);
+    b.flow(seed, m2, 0);
+    b.flow(s1, m2, 0);
+    b.flow(lx, m3, 0);
+    b.flow(m2, m3, 0);
+    b.flow(m3, s2, 0);
+    b.flow(m2, m4, 0);
+    b.flow(s2, m4, 0);
+    b.flow(m4, st, 0);
+    b.build(machine)
+}
+
+/// Streaming copy with address update: `b[i] = a[i]`.
+pub fn stream_copy(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("stream-copy");
+    let ld = b.op(Load, "ld-a");
+    let st = b.op(Store, "st-b");
+    b.flow(ld, st, 0);
+    b.build(machine)
+}
+
+/// A load whose address depends on the previous iteration's loaded value
+/// (pointer chase): extreme RecMII.
+pub fn pointer_chase(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("pointer-chase");
+    let ld = b.op(Load, "ld-next");
+    let addr = b.op(IAlu, "addr");
+    b.flow(ld, addr, 0);
+    b.flow(addr, ld, 1);
+    b.build(machine)
+}
+
+/// FFT butterfly (radix-2, one butterfly per iteration).
+pub fn fft_butterfly(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("fft-butterfly");
+    let lar = b.op(Load, "ld-ar");
+    let lai = b.op(Load, "ld-ai");
+    let lbr = b.op(Load, "ld-br");
+    let lbi = b.op(Load, "ld-bi");
+    // Twiddle multiply of (br, bi).
+    let m1 = b.op(FMul, "wr*br");
+    let m2 = b.op(FMul, "wi*bi");
+    let m3 = b.op(FMul, "wr*bi");
+    let m4 = b.op(FMul, "wi*br");
+    let tr = b.op(FAdd, "tr");
+    let ti = b.op(FAdd, "ti");
+    let or0 = b.op(FAdd, "ar+tr");
+    let oi0 = b.op(FAdd, "ai+ti");
+    let or1 = b.op(FAdd, "ar-tr");
+    let oi1 = b.op(FAdd, "ai-ti");
+    let s0 = b.op(Store, "st-r0");
+    let s1 = b.op(Store, "st-i0");
+    let s2 = b.op(Store, "st-r1");
+    let s3 = b.op(Store, "st-i1");
+    b.flow(lbr, m1, 0);
+    b.flow(lbi, m2, 0);
+    b.flow(lbi, m3, 0);
+    b.flow(lbr, m4, 0);
+    b.flow(m1, tr, 0);
+    b.flow(m2, tr, 0);
+    b.flow(m3, ti, 0);
+    b.flow(m4, ti, 0);
+    b.flow(lar, or0, 0);
+    b.flow(tr, or0, 0);
+    b.flow(lai, oi0, 0);
+    b.flow(ti, oi0, 0);
+    b.flow(lar, or1, 0);
+    b.flow(tr, or1, 0);
+    b.flow(lai, oi1, 0);
+    b.flow(ti, oi1, 0);
+    b.flow(or0, s0, 0);
+    b.flow(oi0, s1, 0);
+    b.flow(or1, s2, 0);
+    b.flow(oi1, s3, 0);
+    // Stores must not bypass the loads of the same locations.
+    b.dep(lar, s2, 0, 0, DepKind::Memory);
+    b.dep(lai, s3, 0, 0, DepKind::Memory);
+    b.build(machine)
+}
+
+/// Integer address arithmetic + gather: `y[i] = x[idx[i]] * s`.
+pub fn gather_scale(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("gather-scale");
+    let lidx = b.op(Load, "ld-idx");
+    let addr = b.op(IAlu, "addr");
+    let lx = b.op(Load, "ld-x");
+    let mul = b.op(FMul, "*s");
+    let st = b.op(Store, "st-y");
+    b.flow(lidx, addr, 0);
+    b.flow(addr, lx, 0);
+    b.flow(lx, mul, 0);
+    b.flow(mul, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 3-like banded matrix multiply fragment with two
+/// accumulators combined at the end of the expression.
+pub fn banded_matmul(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("banded-matmul");
+    let la0 = b.op(Load, "ld-a0");
+    let la1 = b.op(Load, "ld-a1");
+    let lx0 = b.op(Load, "ld-x0");
+    let lx1 = b.op(Load, "ld-x1");
+    let m0 = b.op(FMul, "a0*x0");
+    let m1 = b.op(FMul, "a1*x1");
+    let acc0 = b.op(FAdd, "acc0");
+    let acc1 = b.op(FAdd, "acc1");
+    b.flow(la0, m0, 0);
+    b.flow(lx0, m0, 0);
+    b.flow(la1, m1, 0);
+    b.flow(lx1, m1, 0);
+    b.flow(m0, acc0, 0);
+    b.flow(acc0, acc0, 1);
+    b.flow(m1, acc1, 0);
+    b.flow(acc1, acc1, 1);
+    b.build(machine)
+}
+
+/// Livermore Kernel 2 (ICCG excerpt): `x[i] = x[i] - v[i]*x[i+m]`,
+/// modeled with the conservative store-to-load ordering the Cydra compiler
+/// would keep for the aliasing x references.
+pub fn lfk2_iccg(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk2-iccg");
+    let lx = b.op(Load, "ld-x");
+    let lv = b.op(Load, "ld-v");
+    let lxm = b.op(Load, "ld-x+m");
+    let mul = b.op(FMul, "v*x");
+    let sub = b.op(FAdd, "x-");
+    let st = b.op(Store, "st-x");
+    b.flow(lv, mul, 0);
+    b.flow(lxm, mul, 0);
+    b.flow(lx, sub, 0);
+    b.flow(mul, sub, 0);
+    b.flow(sub, st, 0);
+    b.dep(st, lxm, 1, 1, DepKind::Memory); // x written here is read m later
+    b.build(machine)
+}
+
+/// Livermore Kernel 4 (banded linear equations, inner accumulation):
+/// `q += y[j]*x[k+j]` at two offsets per trip.
+pub fn lfk4_banded(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk4-banded");
+    let ly0 = b.op(Load, "ld-y0");
+    let lx0 = b.op(Load, "ld-x0");
+    let ly1 = b.op(Load, "ld-y1");
+    let lx1 = b.op(Load, "ld-x1");
+    let m0 = b.op(FMul, "y0*x0");
+    let m1 = b.op(FMul, "y1*x1");
+    let a0 = b.op(FAdd, "acc0");
+    let a1 = b.op(FAdd, "acc");
+    b.flow(ly0, m0, 0);
+    b.flow(lx0, m0, 0);
+    b.flow(ly1, m1, 0);
+    b.flow(lx1, m1, 0);
+    b.flow(m0, a0, 0);
+    b.flow(m1, a0, 0);
+    b.flow(a0, a1, 0);
+    b.flow(a1, a1, 1); // running q
+    b.build(machine)
+}
+
+/// Livermore Kernel 8 (ADI integration fragment): a wide expression with
+/// three result streams.
+pub fn lfk8_adi(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk8-adi");
+    let du1 = b.op(Load, "ld-du1");
+    let du2 = b.op(Load, "ld-du2");
+    let du3 = b.op(Load, "ld-du3");
+    let u1 = b.op(Load, "ld-u1");
+    let u2 = b.op(Load, "ld-u2");
+    let u3 = b.op(Load, "ld-u3");
+    let m1 = b.op(FMul, "a11*u1");
+    let m2 = b.op(FMul, "a12*du1");
+    let m3 = b.op(FMul, "a13*du2");
+    let m4 = b.op(FMul, "a21*u2");
+    let m5 = b.op(FMul, "a22*du2");
+    let m6 = b.op(FMul, "a23*du3");
+    let m7 = b.op(FMul, "a31*u3");
+    let m8 = b.op(FMul, "a32*du1");
+    let m9 = b.op(FMul, "a33*du3");
+    let s1 = b.op(FAdd, "s1");
+    let s2 = b.op(FAdd, "s2");
+    let s3 = b.op(FAdd, "s3");
+    let t1 = b.op(FAdd, "t1");
+    let t2 = b.op(FAdd, "t2");
+    let t3 = b.op(FAdd, "t3");
+    let w1 = b.op(Store, "st-u1");
+    let w2 = b.op(Store, "st-u2");
+    let w3 = b.op(Store, "st-u3");
+    b.flow(u1, m1, 0);
+    b.flow(du1, m2, 0);
+    b.flow(du2, m3, 0);
+    b.flow(u2, m4, 0);
+    b.flow(du2, m5, 0);
+    b.flow(du3, m6, 0);
+    b.flow(u3, m7, 0);
+    b.flow(du1, m8, 0);
+    b.flow(du3, m9, 0);
+    b.flow(m1, s1, 0);
+    b.flow(m2, s1, 0);
+    b.flow(m4, s2, 0);
+    b.flow(m5, s2, 0);
+    b.flow(m7, s3, 0);
+    b.flow(m8, s3, 0);
+    b.flow(s1, t1, 0);
+    b.flow(m3, t1, 0);
+    b.flow(s2, t2, 0);
+    b.flow(m6, t2, 0);
+    b.flow(s3, t3, 0);
+    b.flow(m9, t3, 0);
+    b.flow(t1, w1, 0);
+    b.flow(t2, w2, 0);
+    b.flow(t3, w3, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 13 (2-D particle-in-cell excerpt): index arithmetic
+/// feeding dependent loads and a scatter update.
+pub fn lfk13_pic(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk13-pic");
+    let lp = b.op(Load, "ld-p");
+    let i1 = b.op(IAlu, "idx1");
+    let i2 = b.op(IAlu, "idx2");
+    let lb_ = b.op(Load, "ld-b");
+    let lc = b.op(Load, "ld-c");
+    let a1 = b.op(FAdd, "p+b");
+    let a2 = b.op(FAdd, "p+c");
+    let sp = b.op(Store, "st-p");
+    let ly = b.op(Load, "ld-y");
+    let ainc = b.op(FAdd, "y+.2");
+    let sy = b.op(Store, "st-y");
+    b.flow(lp, i1, 0);
+    b.flow(lp, i2, 0);
+    b.flow(i1, lb_, 0);
+    b.flow(i2, lc, 0);
+    b.flow(lp, a1, 0);
+    b.flow(lb_, a1, 0);
+    b.flow(a1, a2, 0);
+    b.flow(lc, a2, 0);
+    b.flow(a2, sp, 0);
+    b.flow(ly, ainc, 0);
+    b.flow(ainc, sy, 0);
+    b.dep(sp, lp, 1, 1, DepKind::Memory);
+    b.build(machine)
+}
+
+/// Livermore Kernel 16 (Monte Carlo search): compare-and-branch dominated
+/// control converted to predicated selects.
+pub fn lfk16_monte_carlo(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk16-monte-carlo");
+    let lz = b.op(Load, "ld-zone");
+    let cmp1 = b.op(Compare, "cmp-lb");
+    let cmp2 = b.op(Compare, "cmp-ub");
+    let sel = b.op(Move, "sel-next");
+    let step = b.op(IAlu, "step");
+    let br = b.op(OpClass::Branch, "br-loop");
+    b.flow(lz, cmp1, 0);
+    b.flow(lz, cmp2, 0);
+    b.flow(cmp1, sel, 0);
+    b.flow(cmp2, sel, 0);
+    b.flow(sel, step, 0);
+    b.flow(step, lz, 1); // next zone index
+    b.flow(sel, br, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 18 (2-D explicit hydrodynamics fragment): the ZA-array
+/// update, a broad expression over five input streams.
+pub fn lfk18_hydro2d(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk18-hydro2d");
+    let zp = b.op(Load, "ld-zp");
+    let zq = b.op(Load, "ld-zq");
+    let zr = b.op(Load, "ld-zr");
+    let zm = b.op(Load, "ld-zm");
+    let zz = b.op(Load, "ld-zz");
+    let d1 = b.op(FAdd, "zp+zq");
+    let m1 = b.op(FMul, "*zr");
+    let d2 = b.op(FAdd, "zm-zz");
+    let m2 = b.op(FMul, "*d2");
+    let a3 = b.op(FAdd, "sum");
+    let m3 = b.op(FMul, "*s");
+    let st = b.op(Store, "st-za");
+    b.flow(zp, d1, 0);
+    b.flow(zq, d1, 0);
+    b.flow(d1, m1, 0);
+    b.flow(zr, m1, 0);
+    b.flow(zm, d2, 0);
+    b.flow(zz, d2, 0);
+    b.flow(d2, m2, 0);
+    b.flow(m1, a3, 0);
+    b.flow(m2, a3, 0);
+    b.flow(a3, m3, 0);
+    b.flow(m3, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 20 (discrete ordinates transport): a long chain with a
+/// divide in the steady-state recurrence.
+pub fn lfk20_ordinates(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk20-ordinates");
+    let lg = b.op(Load, "ld-g");
+    let lu = b.op(Load, "ld-u");
+    let m1 = b.op(FMul, "dk*xx");
+    let a1 = b.op(FAdd, "g+");
+    let div = b.op(FDiv, "di/");
+    let m2 = b.op(FMul, "u*di");
+    let a2 = b.op(FAdd, "xx'");
+    let st = b.op(Store, "st-xx");
+    b.flow(m2, m1, 1); // xx from previous iteration
+    b.flow(lg, a1, 0);
+    b.flow(m1, a1, 0);
+    b.flow(a1, div, 0);
+    b.flow(lu, m2, 0);
+    b.flow(div, m2, 0);
+    b.flow(m2, a2, 0);
+    b.flow(a2, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 21 (matrix product inner loop):
+/// `px[i][j] += vy[i][k] * cx[k][j]`.
+pub fn lfk21_matmul(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk21-matmul");
+    let lpx = b.op(Load, "ld-px");
+    let lvy = b.op(Load, "ld-vy");
+    let lcx = b.op(Load, "ld-cx");
+    let mul = b.op(FMul, "vy*cx");
+    let add = b.op(FAdd, "px+");
+    let st = b.op(Store, "st-px");
+    b.flow(lvy, mul, 0);
+    b.flow(lcx, mul, 0);
+    b.flow(lpx, add, 0);
+    b.flow(mul, add, 0);
+    b.flow(add, st, 0);
+    b.dep(lpx, st, 0, 0, DepKind::Memory);
+    b.build(machine)
+}
+
+/// Livermore Kernel 22 (Planck distribution): divide-heavy per-element
+/// evaluation `y[k] = u[k] / (expmax*v[k])`-style.
+pub fn lfk22_planck(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk22-planck");
+    let lu = b.op(Load, "ld-u");
+    let lv = b.op(Load, "ld-v");
+    let m1 = b.op(FMul, "expmax*v");
+    let s1 = b.op(FAdd, "-1");
+    let div = b.op(FDiv, "u/d");
+    let st = b.op(Store, "st-w");
+    b.flow(lv, m1, 0);
+    b.flow(m1, s1, 0);
+    b.flow(lu, div, 0);
+    b.flow(s1, div, 0);
+    b.flow(div, st, 0);
+    b.build(machine)
+}
+
+/// Livermore Kernel 23 (2-D implicit hydrodynamics): neighbor-coupled
+/// update with a same-row recurrence through `za[j][k-1]`.
+pub fn lfk23_hydro_implicit(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("lfk23-hydro-implicit");
+    let lza = b.op(Load, "ld-za");
+    let lzb = b.op(Load, "ld-zb");
+    let lzu = b.op(Load, "ld-zu");
+    let lzv = b.op(Load, "ld-zv");
+    let m1 = b.op(FMul, "zb*up");
+    let m2 = b.op(FMul, "zu*left");
+    let a1 = b.op(FAdd, "m1+m2");
+    let m3 = b.op(FMul, "zv*prev");
+    let a2 = b.op(FAdd, "qa");
+    let s1 = b.op(FAdd, "qa-za");
+    let m4 = b.op(FMul, "*.175");
+    let a3 = b.op(FAdd, "za'");
+    let st = b.op(Store, "st-za");
+    b.flow(lzb, m1, 0);
+    b.flow(lzu, m2, 0);
+    b.flow(m1, a1, 0);
+    b.flow(m2, a1, 0);
+    b.flow(lzv, m3, 0);
+    b.flow(a3, m3, 1); // za[j][k-1]: previous iteration's result
+    b.flow(a1, a2, 0);
+    b.flow(m3, a2, 0);
+    b.flow(lza, s1, 0);
+    b.flow(a2, s1, 0);
+    b.flow(s1, m4, 0);
+    b.flow(lza, a3, 0);
+    b.flow(m4, a3, 0);
+    b.flow(a3, st, 0);
+    b.build(machine)
+}
+
+/// BLAS `scal`: `x[i] = a * x[i]` — the shortest load-compute-store cycle
+/// with an aliasing memory edge.
+pub fn blas_scal(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("blas-scal");
+    let lx = b.op(Load, "ld-x");
+    let mul = b.op(FMul, "a*x");
+    let st = b.op(Store, "st-x");
+    b.flow(lx, mul, 0);
+    b.flow(mul, st, 0);
+    b.dep(lx, st, 0, 0, DepKind::Memory);
+    b.build(machine)
+}
+
+/// BLAS Givens rotation: `x' = c*x + s*y; y' = c*y - s*x`.
+pub fn blas_rot(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("blas-rot");
+    let lx = b.op(Load, "ld-x");
+    let ly = b.op(Load, "ld-y");
+    let m1 = b.op(FMul, "c*x");
+    let m2 = b.op(FMul, "s*y");
+    let m3 = b.op(FMul, "c*y");
+    let m4 = b.op(FMul, "s*x");
+    let a1 = b.op(FAdd, "x'");
+    let a2 = b.op(FAdd, "y'");
+    let s1 = b.op(Store, "st-x");
+    let s2 = b.op(Store, "st-y");
+    b.flow(lx, m1, 0);
+    b.flow(ly, m2, 0);
+    b.flow(ly, m3, 0);
+    b.flow(lx, m4, 0);
+    b.flow(m1, a1, 0);
+    b.flow(m2, a1, 0);
+    b.flow(m3, a2, 0);
+    b.flow(m4, a2, 0);
+    b.flow(a1, s1, 0);
+    b.flow(a2, s2, 0);
+    b.dep(lx, s1, 0, 0, DepKind::Memory);
+    b.dep(ly, s2, 0, 0, DepKind::Memory);
+    b.build(machine)
+}
+
+/// BLAS `asum`: `s += |x[i]|` — absolute value modeled as compare+select
+/// feeding the accumulator.
+pub fn blas_asum(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("blas-asum");
+    let lx = b.op(Load, "ld-x");
+    let cmp = b.op(Compare, "cmp-0");
+    let neg = b.op(FAdd, "negate");
+    let sel = b.op(Move, "select");
+    let acc = b.op(FAdd, "acc");
+    b.flow(lx, cmp, 0);
+    b.flow(lx, neg, 0);
+    b.flow(cmp, sel, 0);
+    b.flow(lx, sel, 0);
+    b.flow(neg, sel, 0);
+    b.flow(sel, acc, 0);
+    b.flow(acc, acc, 1);
+    b.build(machine)
+}
+
+/// BLAS `nrm2` body: `s += x[i]*x[i]`.
+pub fn blas_nrm2(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("blas-nrm2");
+    let lx = b.op(Load, "ld-x");
+    let sq = b.op(FMul, "x*x");
+    let acc = b.op(FAdd, "acc");
+    b.flow(lx, sq, 0);
+    b.flow(lx, sq, 0); // both multiplier inputs
+    b.flow(sq, acc, 0);
+    b.flow(acc, acc, 1);
+    b.build(machine)
+}
+
+/// 3x3 convolution inner loop with full reuse of the sliding window
+/// (one new load per iteration, eight window values from prior trips).
+pub fn conv3x3(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("conv3x3");
+    let ld = b.op(Load, "ld-pix");
+    let mut sums = Vec::new();
+    for t in 0..3u32 {
+        for s in 0..3u32 {
+            let m = b.op(FMul, format!("w{t}{s}*p"));
+            // Window: pixels from iterations 0..2 back (per column), rows
+            // modeled as separate streams folded into distance.
+            b.flow(ld, m, t);
+            sums.push(m);
+        }
+    }
+    let mut acc = sums[0];
+    for (i, &m) in sums.iter().enumerate().skip(1) {
+        let a = b.op(FAdd, format!("a{i}"));
+        b.flow(acc, a, 0);
+        b.flow(m, a, 0);
+        acc = a;
+    }
+    let st = b.op(Store, "st-out");
+    b.flow(acc, st, 0);
+    b.build(machine)
+}
+
+/// Molecular-dynamics pair force: distance, reciprocal square, force
+/// accumulation — divide plus deep chain.
+pub fn md_pair_force(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("md-pair-force");
+    let lxj = b.op(Load, "ld-xj");
+    let dx = b.op(FAdd, "xi-xj");
+    let r2 = b.op(FMul, "dx*dx");
+    let a1 = b.op(FAdd, "+eps");
+    let inv = b.op(FDiv, "1/r2");
+    let f = b.op(FMul, "k*inv");
+    let fx = b.op(FMul, "f*dx");
+    let acc = b.op(FAdd, "facc");
+    let st = b.op(Store, "st-fj");
+    b.flow(lxj, dx, 0);
+    b.flow(dx, r2, 0);
+    b.flow(dx, r2, 0);
+    b.flow(r2, a1, 0);
+    b.flow(a1, inv, 0);
+    b.flow(inv, f, 0);
+    b.flow(f, fx, 0);
+    b.flow(dx, fx, 0);
+    b.flow(fx, acc, 0);
+    b.flow(acc, acc, 1);
+    b.flow(fx, st, 0);
+    b.build(machine)
+}
+
+/// Red-black SOR sweep point update: neighbors plus the value computed
+/// one iteration ago (loop-carried through memory).
+pub fn sor_2d(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("sor-2d");
+    let ln = b.op(Load, "ld-north");
+    let ls = b.op(Load, "ld-south");
+    let le = b.op(Load, "ld-east");
+    let lw = b.op(Load, "ld-west");
+    let a1 = b.op(FAdd, "n+s");
+    let a2 = b.op(FAdd, "e+w");
+    let a3 = b.op(FAdd, "sum");
+    let m1 = b.op(FMul, "omega*");
+    let st = b.op(Store, "st-u");
+    b.flow(ln, a1, 0);
+    b.flow(ls, a1, 0);
+    b.flow(le, a2, 0);
+    b.flow(lw, a2, 0);
+    b.flow(a1, a3, 0);
+    b.flow(a2, a3, 0);
+    b.flow(a3, m1, 0);
+    b.flow(m1, st, 0);
+    // The west neighbor of the next point is the value just stored.
+    b.dep(st, lw, 1, 1, DepKind::Memory);
+    b.build(machine)
+}
+
+/// Histogram update: the classic memory-carried recurrence
+/// `bin[idx[i]] += 1` (store feeds a potentially aliasing later load).
+pub fn histogram(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("histogram");
+    let lidx = b.op(Load, "ld-idx");
+    let addr = b.op(IAlu, "addr");
+    let lbin = b.op(Load, "ld-bin");
+    let inc = b.op(IAlu, "bin+1");
+    let st = b.op(Store, "st-bin");
+    b.flow(lidx, addr, 0);
+    b.flow(addr, lbin, 0);
+    b.flow(lbin, inc, 0);
+    b.flow(inc, st, 0);
+    b.flow(addr, st, 0);
+    b.dep(st, lbin, 1, 1, DepKind::Memory); // may hit the same bin
+    b.build(machine)
+}
+
+/// 3-D cross product per element: `c = a × b` (6 multiplies, 3 subtracts).
+pub fn cross_product(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("cross-product");
+    let ax = b.op(Load, "ld-ax");
+    let ay = b.op(Load, "ld-ay");
+    let az = b.op(Load, "ld-az");
+    let bx = b.op(Load, "ld-bx");
+    let by = b.op(Load, "ld-by");
+    let bz = b.op(Load, "ld-bz");
+    let pairs = [
+        (ay, bz, az, by, "cx"),
+        (az, bx, ax, bz, "cy"),
+        (ax, by, ay, bx, "cz"),
+    ];
+    for (p, q, r, s, name) in pairs {
+        let m1 = b.op(FMul, format!("{name}-m1"));
+        let m2 = b.op(FMul, format!("{name}-m2"));
+        let sub = b.op(FAdd, format!("{name}-sub"));
+        let st = b.op(Store, format!("st-{name}"));
+        b.flow(p, m1, 0);
+        b.flow(q, m1, 0);
+        b.flow(r, m2, 0);
+        b.flow(s, m2, 0);
+        b.flow(m1, sub, 0);
+        b.flow(m2, sub, 0);
+        b.flow(sub, st, 0);
+    }
+    b.build(machine)
+}
+
+/// Viterbi-style path extension: per-state max of two predecessors plus a
+/// transition cost, carried across iterations.
+pub fn viterbi_step(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("viterbi-step");
+    let lc = b.op(Load, "ld-cost");
+    let a1 = b.op(FAdd, "p0+c");
+    let a2 = b.op(FAdd, "p1+c");
+    let cmp = b.op(Compare, "cmp");
+    let sel = b.op(Move, "max");
+    let st = b.op(Store, "st-path");
+    b.flow(lc, a1, 0);
+    b.flow(lc, a2, 0);
+    b.flow(sel, a1, 1); // previous state metrics
+    b.flow(sel, a2, 1);
+    b.flow(a1, cmp, 0);
+    b.flow(a2, cmp, 0);
+    b.flow(cmp, sel, 0);
+    b.flow(a1, sel, 0);
+    b.flow(a2, sel, 0);
+    b.flow(sel, st, 0);
+    b.build(machine)
+}
+
+/// Degree-8 Horner evaluation: the deepest dependence chain in the corpus
+/// without any recurrence.
+pub fn horner8(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("horner8");
+    let lx = b.op(Load, "ld-x");
+    let mut acc = b.op(Load, "ld-c8");
+    for d in (0..8).rev() {
+        let m = b.op(FMul, format!("h{d}-mul"));
+        let a = b.op(FAdd, format!("h{d}-add"));
+        b.flow(acc, m, 0);
+        b.flow(lx, m, 0);
+        b.flow(m, a, 0);
+        acc = a;
+    }
+    let st = b.op(Store, "st-y");
+    b.flow(acc, st, 0);
+    b.build(machine)
+}
+
+/// Strided gather-sum: index load, address arithmetic, gather, running sum
+/// — the pattern sparse codes pipeline.
+pub fn gather_sum(machine: &Machine) -> Loop {
+    let mut b = LoopBuilder::new("gather-sum");
+    let lidx = b.op(Load, "ld-col");
+    let addr = b.op(IAlu, "addr");
+    let lval = b.op(Load, "ld-val");
+    let lx = b.op(Load, "ld-x[col]");
+    let mul = b.op(FMul, "val*x");
+    let acc = b.op(FAdd, "acc");
+    b.flow(lidx, addr, 0);
+    b.flow(addr, lx, 0);
+    b.flow(lval, mul, 0);
+    b.flow(lx, mul, 0);
+    b.flow(mul, acc, 0);
+    b.flow(acc, acc, 1);
+    b.build(machine)
+}
+
+/// Returns the whole named-kernel corpus for `machine`.
+pub fn all_kernels(machine: &Machine) -> Vec<Loop> {
+    vec![
+        figure1(machine),
+        saxpy(machine),
+        dot_product(machine),
+        lfk1_hydro(machine),
+        lfk5_tridiag(machine),
+        lfk6_recurrence(machine),
+        lfk7_eos(machine),
+        lfk9_predictors(machine),
+        lfk10_diff_predictors(machine),
+        lfk11_first_sum(machine),
+        lfk12_first_diff(machine),
+        fir4(machine),
+        complex_multiply(machine),
+        stencil5(machine),
+        matvec_inner(machine),
+        horner(machine),
+        argmax(machine),
+        divide_recurrence(machine),
+        newton_reciprocal(machine),
+        stream_copy(machine),
+        pointer_chase(machine),
+        fft_butterfly(machine),
+        gather_scale(machine),
+        banded_matmul(machine),
+        lfk2_iccg(machine),
+        lfk4_banded(machine),
+        lfk8_adi(machine),
+        lfk13_pic(machine),
+        lfk16_monte_carlo(machine),
+        lfk18_hydro2d(machine),
+        lfk20_ordinates(machine),
+        lfk21_matmul(machine),
+        lfk22_planck(machine),
+        lfk23_hydro_implicit(machine),
+        blas_scal(machine),
+        blas_rot(machine),
+        blas_asum(machine),
+        blas_nrm2(machine),
+        conv3x3(machine),
+        md_pair_force(machine),
+        sor_2d(machine),
+        histogram(machine),
+        cross_product(machine),
+        viterbi_step(machine),
+        horner8(machine),
+        gather_sum(machine),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimod_machine::{cydra_like, example_3fu};
+
+    #[test]
+    fn all_kernels_validate_on_all_machines() {
+        for m in [example_3fu(), cydra_like()] {
+            for l in all_kernels(&m) {
+                assert!(l.validate().is_none(), "{} on {}", l.name(), m.name());
+                assert!(l.num_ops() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_names_unique() {
+        let m = example_3fu();
+        let ks = all_kernels(&m);
+        let mut names: Vec<_> = ks.iter().map(|l| l.name().to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ks.len());
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let m = example_3fu();
+        let l = figure1(&m);
+        assert_eq!(l.num_ops(), 5);
+        assert_eq!(l.vregs().len(), 4); // ld, mult, add, sub produce values
+        assert!(!l.has_recurrence());
+    }
+
+    #[test]
+    fn recurrence_kernels_flagged() {
+        let m = example_3fu();
+        for l in [
+            dot_product(&m),
+            lfk5_tridiag(&m),
+            lfk11_first_sum(&m),
+            pointer_chase(&m),
+            lfk20_ordinates(&m),
+            lfk23_hydro_implicit(&m),
+            histogram(&m),
+            viterbi_step(&m),
+            md_pair_force(&m),
+        ] {
+            assert!(l.has_recurrence(), "{}", l.name());
+        }
+        for l in [
+            figure1(&m),
+            saxpy(&m),
+            lfk12_first_diff(&m),
+            lfk8_adi(&m),
+            cross_product(&m),
+            horner8(&m),
+            blas_rot(&m),
+        ] {
+            assert!(!l.has_recurrence(), "{}", l.name());
+        }
+    }
+
+    #[test]
+    fn corpus_has_wide_size_range() {
+        let m = example_3fu();
+        let ks = all_kernels(&m);
+        assert!(ks.len() >= 40, "corpus shrank to {}", ks.len());
+        let min = ks.iter().map(|l| l.num_ops()).min().unwrap();
+        let max = ks.iter().map(|l| l.num_ops()).max().unwrap();
+        assert!(min <= 3, "smallest kernel has {min} ops");
+        assert!(max >= 24, "largest kernel has {max} ops");
+    }
+
+    #[test]
+    fn conv3x3_reuses_window_across_iterations() {
+        let m = example_3fu();
+        let l = conv3x3(&m);
+        // One load feeds nine multiplies at distances 0..=2.
+        let vr = &l.vregs()[0];
+        assert_eq!(vr.uses.len(), 9);
+        let max_dist = vr.uses.iter().map(|u| u.distance).max().unwrap();
+        assert_eq!(max_dist, 2);
+    }
+
+    #[test]
+    fn horner8_critical_path_dominates() {
+        let m = example_3fu();
+        let l = horner8(&m);
+        // 8 mul+add pairs: chain length 8*(4+1) plus load latency.
+        assert_eq!(l.num_ops(), 2 + 16 + 1);
+        assert!(!l.has_recurrence());
+    }
+}

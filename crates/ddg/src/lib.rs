@@ -1,0 +1,31 @@
+//! Loop dependence graphs for modulo scheduling: IR, kernel corpus, and a
+//! calibrated synthetic loop generator.
+//!
+//! * [`Loop`] / [`LoopBuilder`] — the dependence-graph IR
+//!   (`G = {V, E_sched, E_reg}` in the paper's notation).
+//! * [`kernels`] — hand-modeled classic inner loops (Livermore kernels,
+//!   BLAS streams, recurrences), including the paper's Figure 1 example.
+//! * [`generator`] — seeded synthetic loops matching the paper's corpus
+//!   statistics.
+//! * [`benchmark_corpus`] — the standard experiment population.
+//!
+//! ```
+//! use optimod_ddg::kernels::figure1;
+//! use optimod_machine::example_3fu;
+//!
+//! let machine = example_3fu();
+//! let l = figure1(&machine);
+//! assert_eq!(l.num_ops(), 5);
+//! println!("{}", l.to_dot());
+//! ```
+
+#![warn(missing_docs)]
+
+mod corpus;
+pub mod generator;
+mod graph;
+pub mod kernels;
+
+pub use corpus::{benchmark_corpus, CorpusSize, CORPUS_SEED};
+pub use generator::{generate_corpus, generate_loop, GeneratorConfig};
+pub use graph::{DepKind, Loop, LoopBuilder, Op, OpId, RegUse, SchedEdge, VirtualRegister};

@@ -1,0 +1,120 @@
+//! Property-based tests of the synthetic loop generator and the builder
+//! invariants it must uphold for any configuration.
+
+use optimod_ddg::{generate_loop, DepKind, GeneratorConfig, LoopBuilder};
+use optimod_machine::{cydra_like, example_3fu, risc_scalar, vliw_4issue, Machine, OpClass};
+use proptest::prelude::*;
+
+fn any_machine() -> impl Strategy<Value = Machine> {
+    (0u8..4).prop_map(|i| match i {
+        0 => example_3fu(),
+        1 => cydra_like(),
+        2 => risc_scalar(),
+        _ => vliw_4issue(),
+    })
+}
+
+fn any_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        2usize..6,
+        6usize..40,
+        1.0f64..3.0,
+        0.1f64..0.9,
+        0.0f64..0.6,
+        0.0f64..0.6,
+    )
+        .prop_map(
+            |(min_ops, max_extra, log_med, sigma, rec, extra)| GeneratorConfig {
+                min_ops,
+                max_ops: min_ops + max_extra,
+                size_log_median: log_med,
+                size_log_sigma: sigma,
+                recurrence_prob: rec,
+                max_recurrences: 3,
+                extra_use_prob: extra,
+                memory_dep_prob: extra,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every generated loop is structurally valid for every configuration.
+    #[test]
+    fn generated_loops_always_validate(
+        machine in any_machine(),
+        cfg in any_config(),
+        seed in 0u64..100_000,
+    ) {
+        let l = generate_loop(&cfg, &machine, seed);
+        prop_assert!(l.validate().is_none(), "{}: {:?}", l.name(), l.validate());
+        prop_assert!(l.num_ops() >= cfg.min_ops);
+        prop_assert!(l.num_ops() <= cfg.max_ops);
+        // Register edges all correspond to value-producing defs.
+        for vr in l.vregs() {
+            let class = l.op(vr.def).class;
+            prop_assert!(!matches!(class, OpClass::Store | OpClass::Branch));
+        }
+    }
+
+    /// Generation is a pure function of (config, machine, seed).
+    #[test]
+    fn generation_is_deterministic(
+        machine in any_machine(),
+        cfg in any_config(),
+        seed in 0u64..100_000,
+    ) {
+        let a = generate_loop(&cfg, &machine, seed);
+        let b = generate_loop(&cfg, &machine, seed);
+        prop_assert_eq!(a.num_ops(), b.num_ops());
+        prop_assert_eq!(a.edges().len(), b.edges().len());
+        prop_assert_eq!(a.vregs().len(), b.vregs().len());
+        for (x, y) in a.edges().iter().zip(b.edges()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// Flow latencies always come from the machine's class latency.
+    #[test]
+    fn flow_latencies_match_machine(
+        machine in any_machine(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = GeneratorConfig::default();
+        let l = generate_loop(&cfg, &machine, seed);
+        for e in l.edges() {
+            if e.kind == DepKind::Flow {
+                let class = l.op(e.from).class;
+                prop_assert_eq!(e.latency, machine.latency(class));
+            }
+        }
+    }
+}
+
+/// Builder corner cases that the generator cannot produce.
+#[test]
+fn builder_accepts_multi_distance_self_flow() {
+    let m = example_3fu();
+    let mut b = LoopBuilder::new("self");
+    let acc = b.op(OpClass::FAdd, "acc");
+    b.flow(acc, acc, 1);
+    b.flow(acc, acc, 2); // second-order recurrence
+    let l = b.build(&m);
+    assert_eq!(l.vregs().len(), 1);
+    assert_eq!(l.vregs()[0].uses.len(), 2);
+    assert!(l.has_recurrence());
+}
+
+#[test]
+fn builder_keeps_parallel_edges() {
+    let m = example_3fu();
+    let mut b = LoopBuilder::new("parallel");
+    let x = b.op(OpClass::Load, "ld");
+    let y = b.op(OpClass::FMul, "sq");
+    b.flow(x, y, 0);
+    b.flow(x, y, 0); // squared: same value consumed twice
+    let l = b.build(&m);
+    assert_eq!(l.edges().len(), 2);
+    assert_eq!(l.vregs()[0].uses.len(), 2);
+}

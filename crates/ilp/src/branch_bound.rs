@@ -1,0 +1,541 @@
+//! Depth-first branch-and-bound over LP relaxations.
+//!
+//! The search mirrors the behaviour of early-90s LP-based MIP codes (and
+//! therefore the CPLEX 3.x solver used in the paper): solve the LP
+//! relaxation, pick a fractional integer variable, branch `x <= floor(v)` /
+//! `x >= ceil(v)`, and explore depth-first, pruning on the incumbent. There
+//! are no cuts, no heuristics, and no presolve, so the branch-and-bound node
+//! count directly reflects the tightness of the formulation — which is
+//! exactly the quantity the paper uses to compare formulations.
+
+use std::time::{Duration, Instant};
+
+use crate::model::{Model, Sense, VarId};
+use crate::simplex::{LpStatus, Simplex, SimplexOptions};
+use crate::solution::{SolveOutcome, SolveStats, SolveStatus};
+use crate::INT_TOL;
+
+/// Rule for choosing the branching variable among fractional candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchRule {
+    /// Variable whose LP value is closest to 0.5 away from integrality
+    /// (most fractional); dive toward the nearest integer first.
+    MostFractional,
+    /// First fractional variable in index order. The default: on the
+    /// modulo scheduling formulations, index order follows the operations,
+    /// so the search fixes the schedule one operation at a time — measured
+    /// several times faster than most-fractional on both formulations (see
+    /// the `ablation_branching` benchmark).
+    #[default]
+    FirstFractional,
+    /// Most fractional, but always explore the *up* (ceil) child first —
+    /// effective on assignment-style binaries where setting a variable to 1
+    /// carries the information.
+    MostFractionalUp,
+    /// Prefer the fractional variable with the highest index (stages and
+    /// kill variables are created after the row binaries in the modulo
+    /// scheduling formulations), exploring the up child first.
+    HighestIndexUp,
+}
+
+/// Resource limits for one branch-and-bound solve.
+///
+/// The paper caps each loop at 15 minutes of CPLEX time; [`SolveLimits`]
+/// plays the same role here with both a wall-clock deadline and a node cap.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveLimits {
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Duration,
+    /// Maximum number of branch-and-bound nodes (beyond the root).
+    pub node_limit: u64,
+    /// Maximum total simplex iterations.
+    pub iteration_limit: u64,
+    /// Branching rule.
+    pub branch_rule: BranchRule,
+    /// Stop at the first integral solution instead of proving optimality.
+    /// This is what the paper's NoObj scheduler does ("simply returns the
+    /// first schedule that it finds").
+    pub first_solution_only: bool,
+    /// Known-achievable objective value (in the model's sense), e.g. from a
+    /// heuristic solution. The search prunes every subtree that cannot
+    /// *strictly* beat it, so an [`SolveStatus::Infeasible`] outcome under
+    /// a cutoff means "nothing better than the cutoff exists" — the caller
+    /// already holds a solution attaining it.
+    pub cutoff: Option<f64>,
+}
+
+impl Default for SolveLimits {
+    fn default() -> Self {
+        SolveLimits {
+            time_limit: Duration::from_secs(900),
+            node_limit: 1_000_000,
+            iteration_limit: u64::MAX,
+            branch_rule: BranchRule::default(),
+            first_solution_only: false,
+            cutoff: None,
+        }
+    }
+}
+
+impl SolveLimits {
+    /// Limits with a given wall-clock budget, other limits at default.
+    pub fn with_time(time_limit: Duration) -> Self {
+        SolveLimits {
+            time_limit,
+            ..Default::default()
+        }
+    }
+}
+
+/// LP-based branch-and-bound solver.
+///
+/// ```
+/// use optimod_ilp::{Model, Sense, Solver, SolveLimits, SolveStatus};
+/// let mut m = Model::new();
+/// let x = m.bool_var("x");
+/// let y = m.bool_var("y");
+/// m.set_objective(Sense::Maximize, [(x, 2.0), (y, 3.0)]);
+/// m.add_le([(x, 1.0), (y, 1.0)], 1.0, "choose-one");
+/// let out = Solver::new(SolveLimits::default()).solve(&m);
+/// assert_eq!(out.status, SolveStatus::Optimal);
+/// assert_eq!(out.int_value(y), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    limits: SolveLimits,
+    simplex_options: SimplexOptions,
+}
+
+struct Search<'a> {
+    model: &'a Model,
+    simplex: Simplex,
+    limits: SolveLimits,
+    opts: SimplexOptions,
+    start: Instant,
+    minimize: bool,
+    integral_objective: bool,
+    incumbent: Option<(f64, Vec<f64>)>, // objective in minimize sense
+    /// External cutoff converted to minimize sense (+inf when unset).
+    cutoff_min: f64,
+    best_bound: f64,                    // minimize sense
+    stats: SolveStats,
+    int_vars: Vec<VarId>,
+    limit_hit: bool,
+}
+
+impl Solver {
+    /// Creates a solver with the given limits and default simplex options.
+    pub fn new(limits: SolveLimits) -> Self {
+        Solver {
+            limits,
+            simplex_options: SimplexOptions::default(),
+        }
+    }
+
+    /// Overrides the per-LP simplex options.
+    pub fn with_simplex_options(mut self, opts: SimplexOptions) -> Self {
+        self.simplex_options = opts;
+        self
+    }
+
+    /// Solves `model` to integral optimality (or until a limit fires).
+    pub fn solve(&self, model: &Model) -> SolveOutcome {
+        let start = Instant::now();
+        let minimize = model.obj_sense == Sense::Minimize;
+        // Individual LP solves must not overshoot the whole-solve budget.
+        let mut opts = self.simplex_options;
+        if let Some(budget_end) = start.checked_add(self.limits.time_limit) {
+            opts.deadline = Some(opts.deadline.map_or(budget_end, |d| d.min(budget_end)));
+        }
+        let mut search = Search {
+            model,
+            simplex: Simplex::new(model),
+            limits: self.limits,
+            opts,
+            start,
+            minimize,
+            integral_objective: model.objective_is_integral(),
+            incumbent: None,
+            cutoff_min: self
+                .limits
+                .cutoff
+                .map_or(f64::INFINITY, |c| if minimize { c } else { -c }),
+            best_bound: f64::NEG_INFINITY,
+            stats: SolveStats {
+                variables: model.num_vars() as u64,
+                constraints: model.num_constraints() as u64,
+                ..Default::default()
+            },
+            int_vars: (0..model.num_vars())
+                .map(|i| VarId(i as u32))
+                .filter(|v| model.is_integer(*v))
+                .collect(),
+            limit_hit: false,
+        };
+
+        let mut lb: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].lb).collect();
+        let mut ub: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].ub).collect();
+        // Tighten integer bounds to integral values up front.
+        for &v in &search.int_vars {
+            let j = v.index();
+            lb[j] = lb[j].ceil();
+            ub[j] = ub[j].floor();
+            if lb[j] > ub[j] {
+                return search.finish(true);
+            }
+        }
+
+        let root_pruned = search.explore(&mut lb, &mut ub, 0);
+        let proven_infeasible =
+            root_pruned == Explored::Infeasible && search.incumbent.is_none();
+        search.finish(proven_infeasible)
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Explored {
+    Done,
+    Infeasible,
+    Stop,
+}
+
+impl Search<'_> {
+    /// Objective value converted to "minimize" orientation.
+    fn to_min(&self, model_obj: f64) -> f64 {
+        if self.minimize {
+            model_obj
+        } else {
+            -model_obj
+        }
+    }
+
+    fn min_to_model(&self, min_obj: f64) -> f64 {
+        if self.minimize {
+            min_obj
+        } else {
+            -min_obj
+        }
+    }
+
+    fn out_of_budget(&mut self) -> bool {
+        if self.start.elapsed() >= self.limits.time_limit
+            || self.stats.bb_nodes >= self.limits.node_limit
+            || self.stats.simplex_iterations >= self.limits.iteration_limit
+        {
+            self.limit_hit = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Depth-first exploration; `depth == 0` is the root relaxation, which
+    /// is not counted as a branch-and-bound node (matching the paper, where
+    /// "0 nodes" means the root LP was already integral).
+    fn explore(&mut self, lb: &mut [f64], ub: &mut [f64], depth: u32) -> Explored {
+        if self.out_of_budget() {
+            return Explored::Stop;
+        }
+        if depth > 0 {
+            self.stats.bb_nodes += 1;
+        }
+        let lp = self.simplex.solve(lb, ub, self.opts);
+        self.stats.lp_solves += 1;
+        self.stats.simplex_iterations += lp.iterations;
+        match lp.status {
+            LpStatus::Infeasible => return Explored::Infeasible,
+            LpStatus::Unbounded => {
+                // An unbounded relaxation of a bounded integer program can
+                // only occur with unbounded integer variables; treat the
+                // whole subtree as unprunable and bail out conservatively.
+                self.limit_hit = true;
+                return Explored::Stop;
+            }
+            LpStatus::IterLimit => {
+                self.limit_hit = true;
+                return Explored::Stop;
+            }
+            LpStatus::Optimal => {}
+        }
+        let mut bound = self.to_min(lp.objective);
+        if self.integral_objective {
+            // Any integral solution has an integral objective: round up.
+            bound = (bound - 1e-6).ceil();
+        }
+        if depth == 0 {
+            self.best_bound = bound;
+        }
+        let threshold = self
+            .incumbent
+            .as_ref()
+            .map_or(f64::INFINITY, |(inc, _)| *inc)
+            .min(self.cutoff_min);
+        if bound >= threshold - 1e-9 {
+            return Explored::Done; // pruned by incumbent or external cutoff
+        }
+
+        // Find a fractional integer variable.
+        let mut branch: Option<(VarId, f64)> = None;
+        let mut best_frac = 0.0;
+        for &v in &self.int_vars {
+            let x = lp.values[v.index()];
+            let frac = (x - x.round()).abs();
+            if frac > INT_TOL {
+                match self.limits.branch_rule {
+                    BranchRule::FirstFractional => {
+                        branch = Some((v, x));
+                        break;
+                    }
+                    BranchRule::HighestIndexUp => {
+                        branch = Some((v, x)); // int_vars is index-ordered
+                    }
+                    BranchRule::MostFractional | BranchRule::MostFractionalUp => {
+                        let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
+                        let score = 0.5 - dist;
+                        if branch.is_none() || score > best_frac {
+                            best_frac = score;
+                            branch = Some((v, x));
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some((bv, bx)) = branch else {
+            // Integral solution.
+            let obj = self.to_min(lp.objective);
+            let threshold = self
+                .incumbent
+                .as_ref()
+                .map_or(f64::INFINITY, |(inc, _)| *inc)
+                .min(self.cutoff_min);
+            if obj < threshold - 1e-9 {
+                self.incumbent = Some((obj, lp.values.clone()));
+            }
+            if self.limits.first_solution_only {
+                return Explored::Stop;
+            }
+            return Explored::Done;
+        };
+
+        // Branch: explore the child nearest the LP value first.
+        let j = bv.index();
+        let floor = bx.floor();
+        let (old_lb, old_ub) = (lb[j], ub[j]);
+        // Defensive: an LP value outside the node bounds signals a numerical
+        // failure in the relaxation; branching would not shrink the domain
+        // and the search could recurse forever.
+        if floor >= old_ub || floor + 1.0 <= old_lb {
+            debug_assert!(
+                false,
+                "LP value {bx} of {} escapes node bounds [{old_lb}, {old_ub}]",
+                self.model.var_name(bv)
+            );
+            self.limit_hit = true;
+            return Explored::Stop;
+        }
+        let down_first = match self.limits.branch_rule {
+            BranchRule::MostFractionalUp | BranchRule::HighestIndexUp => false,
+            _ => bx - floor <= 0.5,
+        };
+
+        let run = |this: &mut Self, lb: &mut [f64], ub: &mut [f64], down: bool| {
+            if down {
+                ub[j] = floor;
+            } else {
+                lb[j] = floor + 1.0;
+            }
+            let r = this.explore(lb, ub, depth + 1);
+            lb[j] = old_lb;
+            ub[j] = old_ub;
+            r
+        };
+
+        let first = run(self, lb, ub, down_first);
+        if first == Explored::Stop {
+            return Explored::Stop;
+        }
+        let second = run(self, lb, ub, !down_first);
+        if second == Explored::Stop {
+            return Explored::Stop;
+        }
+        Explored::Done
+    }
+
+    fn finish(mut self, proven_infeasible: bool) -> SolveOutcome {
+        self.stats.wall_time = self.start.elapsed();
+        match self.incumbent.take() {
+            Some((obj, values)) => {
+                let status = if self.limit_hit && !self.limits.first_solution_only {
+                    SolveStatus::Feasible
+                } else {
+                    SolveStatus::Optimal
+                };
+                SolveOutcome {
+                    status,
+                    objective: self.min_to_model(obj),
+                    values,
+                    best_bound: self.min_to_model(if status == SolveStatus::Optimal {
+                        obj
+                    } else {
+                        self.best_bound
+                    }),
+                    stats: self.stats,
+                }
+            }
+            None => SolveOutcome {
+                status: if proven_infeasible && !self.limit_hit {
+                    SolveStatus::Infeasible
+                } else if self.limit_hit {
+                    SolveStatus::LimitReached
+                } else {
+                    SolveStatus::Infeasible
+                },
+                objective: f64::NAN,
+                values: vec![],
+                best_bound: self.min_to_model(self.best_bound),
+                stats: self.stats,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary -> a + c = 17?
+        // candidates: a+c (w5, v17), b+c (w6, v20). Optimal 20.
+        let mut m = Model::new();
+        let a = m.bool_var("a");
+        let b = m.bool_var("b");
+        let c = m.bool_var("c");
+        m.set_objective(Sense::Maximize, [(a, 10.0), (b, 13.0), (c, 7.0)]);
+        m.add_le([(a, 3.0), (b, 4.0), (c, 2.0)], 6.0, "w");
+        let out = m.solve();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert_eq!(out.objective.round() as i64, 20);
+        assert!(m.check_feasible(&out.values, 1e-6).is_none());
+    }
+
+    #[test]
+    fn integer_rounding_gap() {
+        // min y st 2y >= 5, y integer -> 3 (LP bound 2.5 rounds to 3).
+        let mut m = Model::new();
+        let y = m.int_var(0.0, 100.0, "y");
+        m.set_objective(Sense::Minimize, [(y, 1.0)]);
+        m.add_ge([(y, 2.0)], 5.0, "c");
+        let out = m.solve();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert_eq!(out.int_value(y), 3);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 2 <= 3x <= 4 has no integer x... x=1 gives 3 in [2,4]! Use tighter:
+        // 4 <= 3x <= 5 -> x would be 4/3..5/3, no integer.
+        let mut m = Model::new();
+        let x = m.int_var(0.0, 10.0, "x");
+        m.add_ge([(x, 3.0)], 4.0, "lo");
+        m.add_le([(x, 3.0)], 5.0, "hi");
+        let out = m.solve();
+        assert_eq!(out.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn equality_assignment() {
+        // Exactly one of three binaries, max weight.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..3).map(|i| m.bool_var(format!("x{i}"))).collect();
+        m.add_eq(xs.iter().map(|&x| (x, 1.0)), 1.0, "one");
+        m.set_objective(
+            Sense::Maximize,
+            [(xs[0], 1.0), (xs[1], 5.0), (xs[2], 3.0)],
+        );
+        let out = m.solve();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert_eq!(out.int_value(xs[1]), 1);
+        assert_eq!(out.objective.round() as i64, 5);
+    }
+
+    #[test]
+    fn first_solution_mode_stops_early() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..6).map(|i| m.bool_var(format!("x{i}"))).collect();
+        m.add_eq(xs.iter().map(|&x| (x, 1.0)), 1.0, "one");
+        // No objective: any feasible point is fine.
+        let limits = SolveLimits {
+            first_solution_only: true,
+            ..Default::default()
+        };
+        let out = m.solve_with(limits);
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let total: f64 = out.values.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // A problem needing branching, with node_limit 0: the root solves,
+        // then branching is forbidden.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..10).map(|i| m.bool_var(format!("x{i}"))).collect();
+        // sum 3x_i == 7 cannot be satisfied at the root LP integrally but has
+        // no integer solution at all (7 not divisible by 3)... choose rhs 6
+        // so solutions exist but the root is likely fractional with these
+        // conflicting weights.
+        let expr: Vec<_> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, 2.0 + (i % 3) as f64))
+            .collect();
+        m.add_eq(expr.clone(), 7.0, "sum");
+        m.set_objective(Sense::Maximize, xs.iter().map(|&x| (x, 1.0)));
+        let limits = SolveLimits {
+            node_limit: 0,
+            ..Default::default()
+        };
+        let out = m.solve_with(limits);
+        // With zero nodes we may or may not have an incumbent; the status
+        // must reflect that honestly.
+        match out.status {
+            SolveStatus::Optimal | SolveStatus::Feasible => {
+                assert!(m.check_feasible(&out.values, 1e-6).is_none());
+            }
+            SolveStatus::LimitReached => assert!(out.values.is_empty()),
+            SolveStatus::Infeasible => panic!("problem is feasible"),
+        }
+    }
+
+    #[test]
+    fn maximization_bound_sense() {
+        // max 3x + 2y, x,y int in [0,4], x + y <= 5 -> 3*4 + 2*1 = 14.
+        let mut m = Model::new();
+        let x = m.int_var(0.0, 4.0, "x");
+        let y = m.int_var(0.0, 4.0, "y");
+        m.set_objective(Sense::Maximize, [(x, 3.0), (y, 2.0)]);
+        m.add_le([(x, 1.0), (y, 1.0)], 5.0, "cap");
+        let out = m.solve();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert_eq!(out.objective.round() as i64, 14);
+        assert!((out.best_bound - out.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min x + y, x int, y cont; x + 2y >= 3.5; y <= 1 -> x=2,y=0.75?
+        // cost x+y: try x=2, y=0.75 -> 2.75; x=1 -> y=1.25 > ub; x=3,y=0.25
+        // -> 3.25. So 2.75.
+        let mut m = Model::new();
+        let x = m.int_var(0.0, 10.0, "x");
+        let y = m.num_var(0.0, 1.0, "y");
+        m.set_objective(Sense::Minimize, [(x, 1.0), (y, 1.0)]);
+        m.add_ge([(x, 1.0), (y, 2.0)], 3.5, "c");
+        let out = m.solve();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!((out.objective - 2.75).abs() < 1e-6, "{}", out.objective);
+    }
+}

@@ -1,0 +1,204 @@
+//! CPLEX-LP-format export of models.
+//!
+//! Writes a [`Model`] in the human-readable LP file format understood by
+//! CPLEX, Gurobi, HiGHS, SCIP, and glpsol — so a formulation built here can
+//! be cross-checked against an external solver, or inspected directly when
+//! debugging a constraint. (The reverse direction is out of scope: this
+//! crate never parses models.)
+
+use std::fmt::Write as _;
+
+use crate::model::{Model, RowSense, Sense};
+
+/// Renders `model` in LP file format.
+///
+/// Variable names are sanitized (`[`, `]`, and spaces become `_`), and a
+/// positional suffix keeps sanitized duplicates distinct. Constraints keep
+/// their creation names where present, with the same sanitation.
+///
+/// ```
+/// use optimod_ilp::{lp_format, Model, Sense};
+/// let mut m = Model::new();
+/// let x = m.int_var(0.0, 4.0, "x");
+/// m.set_objective(Sense::Maximize, [(x, 3.0)]);
+/// m.add_le([(x, 2.0)], 7.0, "cap");
+/// let text = lp_format(&m);
+/// assert!(text.contains("Maximize"));
+/// assert!(text.contains("cap: + 2 v0_x <= 7"));
+/// ```
+pub fn lp_format(model: &Model) -> String {
+    let var_name = |j: usize| -> String {
+        let raw = model.var_name(crate::VarId(j as u32));
+        let mut clean: String = raw
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if clean.is_empty() {
+            clean.push('v');
+        }
+        // LP-format names must not begin with a digit.
+        format!("v{j}_{clean}")
+            .trim_end_matches('_')
+            .to_string()
+    };
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\\ exported by optimod-ilp: {} variables, {} constraints",
+        model.num_vars(),
+        model.num_constraints()
+    );
+    let _ = writeln!(
+        s,
+        "{}",
+        match model.objective_sense() {
+            Sense::Minimize => "Minimize",
+            Sense::Maximize => "Maximize",
+        }
+    );
+    let mut obj = String::from(" obj:");
+    if model.objective_terms().is_empty() {
+        obj.push_str(" 0 ");
+        obj.push_str(&var_name(0));
+    }
+    for &(v, c) in model.objective_terms() {
+        let _ = write!(obj, " {} {} {}", sign(c), mag(c), var_name(v.index()));
+    }
+    let _ = writeln!(s, "{obj}");
+
+    let _ = writeln!(s, "Subject To");
+    for (i, row) in model.rows.iter().enumerate() {
+        let mut line = String::new();
+        let name: String = row
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let _ = write!(
+            line,
+            " {}:",
+            if name.is_empty() {
+                format!("c{i}")
+            } else {
+                name
+            }
+        );
+        for &(v, c) in &row.coeffs {
+            let _ = write!(line, " {} {} {}", sign(c), mag(c), var_name(v.index()));
+        }
+        let rel = match row.sense {
+            RowSense::Le => "<=",
+            RowSense::Ge => ">=",
+            RowSense::Eq => "=",
+        };
+        let _ = writeln!(s, "{line} {rel} {}", trim_float(row.rhs));
+    }
+
+    let _ = writeln!(s, "Bounds");
+    for j in 0..model.num_vars() {
+        let v = crate::VarId(j as u32);
+        let (lo, hi) = (model.lb(v), model.ub(v));
+        let name = var_name(j);
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(s, " {} <= {name} <= {}", trim_float(lo), trim_float(hi));
+            }
+            (true, false) => {
+                let _ = writeln!(s, " {name} >= {}", trim_float(lo));
+            }
+            (false, true) => {
+                let _ = writeln!(s, " -inf <= {name} <= {}", trim_float(hi));
+            }
+            (false, false) => {
+                let _ = writeln!(s, " {name} free");
+            }
+        }
+    }
+
+    let generals: Vec<String> = (0..model.num_vars())
+        .filter(|&j| model.is_integer(crate::VarId(j as u32)))
+        .map(var_name)
+        .collect();
+    if !generals.is_empty() {
+        let _ = writeln!(s, "Generals");
+        for chunk in generals.chunks(8) {
+            let _ = writeln!(s, " {}", chunk.join(" "));
+        }
+    }
+    let _ = writeln!(s, "End");
+    s
+}
+
+fn sign(c: f64) -> char {
+    if c < 0.0 {
+        '-'
+    } else {
+        '+'
+    }
+}
+
+fn mag(c: f64) -> String {
+    trim_float(c.abs())
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn full_model_export() {
+        let mut m = Model::new();
+        let x = m.int_var(0.0, 5.0, "a[0][1]");
+        let y = m.num_var(f64::NEG_INFINITY, f64::INFINITY, "free y");
+        let z = m.num_var(1.5, f64::INFINITY, "z");
+        m.set_objective(Sense::Minimize, [(x, 1.0), (y, -2.5)]);
+        m.add_ge([(x, 1.0), (y, 1.0), (z, -1.0)], 2.0, "mix");
+        m.add_eq([(z, 3.0)], 4.5, "fix z");
+        let text = lp_format(&m);
+        assert!(text.starts_with("\\ exported"));
+        assert!(text.contains("Minimize"));
+        assert!(text.contains("+ 1 v0_a_0__1"), "{text}");
+        assert!(text.contains("- 2.5 v1_free_y"));
+        assert!(text.contains("mix: + 1 v0_a_0__1 + 1 v1_free_y - 1 v2_z >= 2"));
+        assert!(text.contains("fix_z: + 3 v2_z = 4.5"));
+        assert!(text.contains("v1_free_y free"));
+        assert!(text.contains("v2_z >= 1.5"));
+        assert!(text.contains("Generals"));
+        assert!(text.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn empty_objective_is_syntactically_valid() {
+        let mut m = Model::new();
+        let _ = m.bool_var("x");
+        let text = lp_format(&m);
+        assert!(text.contains("obj: 0"));
+    }
+
+    #[test]
+    fn integers_listed_once_each() {
+        let mut m = Model::new();
+        for i in 0..10 {
+            m.bool_var(format!("b{i}"));
+        }
+        let text = lp_format(&m);
+        let generals: Vec<&str> = text
+            .lines()
+            .skip_while(|l| !l.starts_with("Generals"))
+            .skip(1)
+            .take_while(|l| !l.starts_with("End"))
+            .collect();
+        let names: Vec<&str> = generals.iter().flat_map(|l| l.split_whitespace()).collect();
+        assert_eq!(names.len(), 10);
+    }
+}

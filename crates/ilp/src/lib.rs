@@ -1,0 +1,52 @@
+//! A self-contained integer linear programming solver.
+//!
+//! This crate implements the solver substrate needed to reproduce
+//! *"Efficient Formulation for Optimal Modulo Schedulers"* (Eichenberger &
+//! Davidson, PLDI 1997): a dense bounded-variable primal simplex method and a
+//! depth-first branch-and-bound search. The paper evaluates formulations by
+//! the number of **branch-and-bound nodes** and **simplex iterations** a
+//! solver needs; both statistics are first-class citizens here (see
+//! [`SolveStats`]).
+//!
+//! The solver is deliberately in the style of 1990s LP-based branch-and-bound
+//! codes (no cutting planes, no presolve by default) so that the *relative*
+//! behaviour of the traditional and 0-1-structured formulations mirrors the
+//! paper's CPLEX experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use optimod_ilp::{Model, Sense, SolveStatus};
+//!
+//! // maximize x + 2y  s.t.  x + y <= 4, x, y integer in [0, 3]
+//! let mut m = Model::new();
+//! let x = m.int_var(0.0, 3.0, "x");
+//! let y = m.int_var(0.0, 3.0, "y");
+//! m.set_objective(Sense::Maximize, [(x, 1.0), (y, 2.0)]);
+//! m.add_le([(x, 1.0), (y, 1.0)], 4.0, "cap");
+//! let out = m.solve();
+//! assert_eq!(out.status, SolveStatus::Optimal);
+//! assert_eq!(out.objective.round() as i64, 7); // x=1, y=3
+//! ```
+
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod export;
+mod model;
+mod simplex;
+mod solution;
+
+pub use branch_bound::{BranchRule, SolveLimits, Solver};
+pub use export::lp_format;
+pub use model::{ConstraintId, LinExpr, Model, RowSense, Sense, VarId};
+pub use simplex::{LpOutcome, LpStatus, Simplex, SimplexOptions};
+pub use solution::{SolveOutcome, SolveStats, SolveStatus};
+
+/// Absolute tolerance used to decide primal feasibility of a value with
+/// respect to a bound.
+pub const FEAS_TOL: f64 = 1e-7;
+/// Tolerance on reduced costs when testing dual feasibility (optimality).
+pub const OPT_TOL: f64 = 1e-7;
+/// A value within this distance of an integer is considered integral.
+pub const INT_TOL: f64 = 1e-5;

@@ -1,0 +1,920 @@
+//! Bounded-variable primal simplex with an explicit dense basis inverse.
+//!
+//! The implementation follows the classic two-phase revised simplex method
+//! for problems of the form
+//!
+//! ```text
+//!     minimize    c'x
+//!     subject to  A x (<=|=|>=) b,    l <= x <= u
+//! ```
+//!
+//! Every row receives a slack column with coefficient +1 whose bounds encode
+//! the row sense (`<=` → `[0, ∞)`, `>=` → `(-∞, 0]`, `=` → `[0, 0]`).
+//! Phase 1 introduces signed artificial columns only for rows whose slack
+//! cannot absorb the initial residual. Nonbasic variables rest at one of
+//! their bounds (or at 0 when free); the ratio test supports bound flips.
+//!
+//! Numerical robustness: Dantzig pricing with a Bland's-rule fallback after
+//! a run of degenerate pivots, periodic refactorization of the basis
+//! inverse, and a residual check at claimed optimality.
+//!
+//! Branch-and-bound solves thousands of closely related LPs, so the solver
+//! keeps all working storage (basis inverse, pricing buffers, bound arrays)
+//! inside the [`Simplex`] value and reuses it across [`Simplex::solve`]
+//! calls — no per-node allocation of the constraint matrix.
+
+use crate::model::{Model, RowSense, Sense};
+use crate::{FEAS_TOL, OPT_TOL};
+
+/// Pivot magnitudes below this are not eligible pivots.
+const PIVOT_TOL: f64 = 1e-9;
+/// Number of consecutive degenerate pivots before switching to Bland's rule.
+const DEGEN_LIMIT: u32 = 60;
+/// Refactorize the basis inverse after this many pivots.
+const REFACTOR_EVERY: u64 = 400;
+
+/// Outcome status of a single LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Proven optimal within tolerances.
+    Optimal,
+    /// No feasible point exists (phase 1 ended with positive infeasibility).
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The per-solve iteration limit was exhausted.
+    IterLimit,
+}
+
+/// Result of solving one LP relaxation.
+#[derive(Debug, Clone)]
+pub struct LpOutcome {
+    /// Solve status; `values`/`objective` are meaningful only for
+    /// [`LpStatus::Optimal`].
+    pub status: LpStatus,
+    /// Objective value in the *model's* sense (a maximization model reports
+    /// the maximum).
+    pub objective: f64,
+    /// Values of the structural (model) variables.
+    pub values: Vec<f64>,
+    /// Simplex iterations (pivots and bound flips) performed by this solve.
+    pub iterations: u64,
+}
+
+/// Tunables for the simplex method.
+#[derive(Debug, Clone, Copy)]
+pub struct SimplexOptions {
+    /// Hard cap on iterations for one LP solve.
+    pub max_iterations: u64,
+    /// Wall-clock deadline; checked every few hundred iterations so a
+    /// single large LP cannot overshoot a branch-and-bound budget. A
+    /// deadline hit reports [`LpStatus::IterLimit`].
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 200_000,
+            deadline: None,
+        }
+    }
+}
+
+/// Immutable problem data compiled from a [`Model`].
+#[derive(Debug, Clone)]
+struct Problem {
+    m: usize,
+    n_struct: usize,
+    /// Structural + slack columns (artificials live in `Work`).
+    n: usize,
+    cols: Vec<Vec<(u32, f64)>>,
+    slack_lb: Vec<f64>,
+    slack_ub: Vec<f64>,
+    b: Vec<f64>,
+    /// Minimization cost vector over structural columns.
+    cost: Vec<f64>,
+    obj_constant: f64,
+    maximize: bool,
+}
+
+/// Reusable per-solve state. Indices `0..n` are structural + slack columns;
+/// `n..n+arts` are artificial columns (single signed entry each).
+#[derive(Debug, Clone, Default)]
+struct Work {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    at_upper: Vec<bool>,
+    basic_row: Vec<i32>,
+    art_row: Vec<u32>,
+    art_sign: Vec<f64>,
+    basis: Vec<u32>,
+    xb: Vec<f64>,
+    binv: Vec<f64>,
+    /// Pricing buffer `y = c_B' B^{-1}`.
+    y: Vec<f64>,
+    /// Transformed entering column `v = B^{-1} A_j`.
+    v: Vec<f64>,
+    /// Phase cost vector (resized as artificials appear).
+    cost: Vec<f64>,
+    iterations: u64,
+    pivots_since_refactor: u64,
+    degen_streak: u32,
+}
+
+/// A sparse-column LP instance with reusable solver workspace.
+///
+/// Build once per model with [`Simplex::new`]; call [`Simplex::solve`] with
+/// per-solve structural bounds (branch-and-bound tightens bounds without
+/// rebuilding the matrix).
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    p: Problem,
+    w: Work,
+}
+
+impl Simplex {
+    /// Compiles `model` into a solvable instance. Constraint rows and the
+    /// objective are fixed; structural bounds are passed to
+    /// [`Simplex::solve`].
+    pub fn new(model: &Model) -> Self {
+        let m = model.num_constraints();
+        let n_struct = model.num_vars();
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_struct + m];
+        let mut slack_lb = Vec::with_capacity(m);
+        let mut slack_ub = Vec::with_capacity(m);
+        let mut b = Vec::with_capacity(m);
+        for (i, row) in model.rows.iter().enumerate() {
+            for &(v, c) in &row.coeffs {
+                cols[v.index()].push((i as u32, c));
+            }
+            cols[n_struct + i].push((i as u32, 1.0));
+            let (lo, hi) = match row.sense {
+                RowSense::Le => (0.0, f64::INFINITY),
+                RowSense::Ge => (f64::NEG_INFINITY, 0.0),
+                RowSense::Eq => (0.0, 0.0),
+            };
+            slack_lb.push(lo);
+            slack_ub.push(hi);
+            b.push(row.rhs);
+        }
+        let maximize = model.obj_sense == Sense::Maximize;
+        let mut cost = vec![0.0; n_struct];
+        for &(v, c) in &model.objective {
+            cost[v.index()] = if maximize { -c } else { c };
+        }
+        Simplex {
+            p: Problem {
+                m,
+                n_struct,
+                n: n_struct + m,
+                cols,
+                slack_lb,
+                slack_ub,
+                b,
+                cost,
+                obj_constant: model.obj_constant,
+                maximize,
+            },
+            w: Work::default(),
+        }
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.p.m
+    }
+
+    /// Solves the LP relaxation with the given structural bounds.
+    ///
+    /// `lb`/`ub` must have one entry per structural variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound slices have the wrong length or contain `lb > ub`.
+    pub fn solve(&mut self, lb: &[f64], ub: &[f64], opts: SimplexOptions) -> LpOutcome {
+        let p = &self.p;
+        assert_eq!(lb.len(), p.n_struct, "lower-bound slice length mismatch");
+        assert_eq!(ub.len(), p.n_struct, "upper-bound slice length mismatch");
+        for j in 0..p.n_struct {
+            assert!(lb[j] <= ub[j], "lb > ub for structural variable {j}");
+        }
+
+        init_work(p, &mut self.w, lb, ub);
+
+        if let Some(outcome) = phase1(p, &mut self.w, opts) {
+            return outcome;
+        }
+
+        // Phase 2 on the real objective.
+        let total = p.n + self.w.art_row.len();
+        self.w.cost.clear();
+        self.w.cost.resize(total, 0.0);
+        self.w.cost[..p.n_struct].copy_from_slice(&p.cost);
+        let cost = std::mem::take(&mut self.w.cost);
+        let mut status = optimize(p, &mut self.w, &cost, opts);
+        if status == LpStatus::Optimal && !residual_ok(p, &mut self.w) {
+            refactor(p, &mut self.w);
+            status = optimize(p, &mut self.w, &cost, opts);
+        }
+        self.w.cost = cost;
+        extract(p, &self.w, status)
+    }
+}
+
+fn nb_value(w: &Work, j: usize) -> f64 {
+    let (lo, hi) = (w.lb[j], w.ub[j]);
+    if w.at_upper[j] {
+        if hi.is_finite() {
+            hi
+        } else {
+            0.0
+        }
+    } else if lo.is_finite() {
+        lo
+    } else if hi.is_finite() {
+        hi
+    } else {
+        0.0
+    }
+}
+
+/// Iterates the sparse entries of column `j` (structural, slack, or
+/// artificial).
+#[inline]
+fn for_col(p: &Problem, w: &Work, j: usize, mut f: impl FnMut(usize, f64)) {
+    if j < p.n {
+        for &(i, a) in &p.cols[j] {
+            f(i as usize, a);
+        }
+    } else {
+        let idx = j - p.n;
+        f(w.art_row[idx] as usize, w.art_sign[idx]);
+    }
+}
+
+fn init_work(p: &Problem, w: &mut Work, lb: &[f64], ub: &[f64]) {
+    let m = p.m;
+    w.lb.clear();
+    w.ub.clear();
+    w.lb.extend_from_slice(lb);
+    w.ub.extend_from_slice(ub);
+    w.lb.extend_from_slice(&p.slack_lb);
+    w.ub.extend_from_slice(&p.slack_ub);
+
+    w.at_upper.clear();
+    w.at_upper.resize(p.n, false);
+    for j in 0..p.n_struct {
+        // Rest nonbasic structurals at the finite bound nearest zero.
+        w.at_upper[j] = match (w.lb[j].is_finite(), w.ub[j].is_finite()) {
+            (true, true) => w.ub[j].abs() < w.lb[j].abs(),
+            (true, false) => false,
+            (false, true) => true,
+            (false, false) => false, // free: rests at 0
+        };
+    }
+
+    w.art_row.clear();
+    w.art_sign.clear();
+    w.basic_row.clear();
+    w.basic_row.resize(p.n, -1);
+    w.basis.clear();
+    w.basis.extend((0..m).map(|i| (p.n_struct + i) as u32));
+    for i in 0..m {
+        w.basic_row[p.n_struct + i] = i as i32;
+    }
+    w.binv.clear();
+    w.binv.resize(m * m, 0.0);
+    for i in 0..m {
+        w.binv[i * m + i] = 1.0;
+    }
+    w.xb.clear();
+    w.xb.resize(m, 0.0);
+    w.y.clear();
+    w.y.resize(m, 0.0);
+    w.v.clear();
+    w.v.resize(m, 0.0);
+    w.iterations = 0;
+    w.pivots_since_refactor = 0;
+    w.degen_streak = 0;
+}
+
+/// Residual of the slack-basis start: `b - N x_N` for the current nonbasic
+/// rest positions, per row.
+fn start_residual(p: &Problem, w: &Work) -> Vec<f64> {
+    let mut r = p.b.clone();
+    for j in 0..p.n_struct {
+        let x = nb_value(w, j);
+        if x != 0.0 {
+            for &(i, a) in &p.cols[j] {
+                r[i as usize] -= a * x;
+            }
+        }
+    }
+    r
+}
+
+/// Installs the initial basis; adds artificial columns where the slack
+/// cannot absorb the residual and runs phase 1 over them. Returns an
+/// outcome early only on infeasibility or an iteration-limit hit.
+#[allow(clippy::needless_range_loop)] // rows index several parallel arrays
+fn phase1(p: &Problem, w: &mut Work, opts: SimplexOptions) -> Option<LpOutcome> {
+    let residual = start_residual(p, w);
+    let mut artificial_cols = Vec::new();
+    for i in 0..p.m {
+        let s = p.n_struct + i;
+        let r = residual[i];
+        if r >= w.lb[s] - FEAS_TOL && r <= w.ub[s] + FEAS_TOL {
+            w.xb[i] = r.clamp(w.lb[s].max(f64::NEG_INFINITY), w.ub[s]);
+        } else {
+            // Pin the slack nonbasic at its nearest bound and absorb the
+            // remainder in a signed artificial column.
+            let pin = if r > w.ub[s] { w.ub[s] } else { w.lb[s] };
+            w.basic_row[s] = -1;
+            w.at_upper[s] = pin == w.ub[s] && w.ub[s].is_finite();
+            let rem = r - pin;
+            let aj = p.n + w.art_row.len();
+            // The artificial column is sign(rem) * e_i; the basis inverse
+            // diagonal for this slot carries the same sign.
+            w.binv[i * p.m + i] = rem.signum();
+            w.art_row.push(i as u32);
+            w.art_sign.push(rem.signum());
+            w.lb.push(0.0);
+            w.ub.push(f64::INFINITY);
+            w.at_upper.push(false);
+            w.basic_row.push(i as i32);
+            w.basis[i] = aj as u32;
+            w.xb[i] = rem.abs();
+            artificial_cols.push(aj);
+        }
+    }
+    if artificial_cols.is_empty() {
+        return None;
+    }
+    let total = p.n + w.art_row.len();
+    w.cost.clear();
+    w.cost.resize(total, 0.0);
+    for &aj in &artificial_cols {
+        w.cost[aj] = 1.0;
+    }
+    let cost = std::mem::take(&mut w.cost);
+    let status = optimize(p, w, &cost, opts);
+    w.cost = cost;
+    if status == LpStatus::IterLimit {
+        return Some(LpOutcome {
+            status: LpStatus::IterLimit,
+            objective: f64::NAN,
+            values: vec![],
+            iterations: w.iterations,
+        });
+    }
+    let infeas: f64 = (0..p.m)
+        .filter(|&i| w.basis[i] as usize >= p.n)
+        .map(|i| w.xb[i].max(0.0))
+        .sum();
+    if infeas > 1e-6 {
+        return Some(LpOutcome {
+            status: LpStatus::Infeasible,
+            objective: f64::NAN,
+            values: vec![],
+            iterations: w.iterations,
+        });
+    }
+    // Freeze artificials at zero so phase 2 cannot reuse them; basic
+    // artificials at ~0 sit in degenerate or redundant rows and get pivoted
+    // out where a usable pivot exists.
+    for &aj in &artificial_cols {
+        w.lb[aj] = 0.0;
+        w.ub[aj] = 0.0;
+    }
+    pivot_out_artificials(p, w);
+    None
+}
+
+/// Attempts to replace basic artificial variables (at value 0) with
+/// structural or slack columns.
+fn pivot_out_artificials(p: &Problem, w: &mut Work) {
+    let m = p.m;
+    for row in 0..m {
+        if (w.basis[row] as usize) < p.n {
+            continue;
+        }
+        // Row `row` of B^{-1} A_j = binv[row, :] . A_j over candidates.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..p.n {
+            if w.basic_row[j] >= 0 || w.lb[j] == w.ub[j] {
+                continue;
+            }
+            let mut t = 0.0;
+            for &(i, a) in &p.cols[j] {
+                t += w.binv[row * m + i as usize] * a;
+            }
+            if t.abs() > 1e-7 && best.is_none_or(|(_, bt)| t.abs() > bt.abs()) {
+                best = Some((j, t));
+            }
+        }
+        if let Some((j, _)) = best {
+            compute_column(p, w, j);
+            let enter_val = nb_value(w, j);
+            let v = std::mem::take(&mut w.v);
+            apply_pivot(p, w, row, j, &v, enter_val);
+            w.v = v;
+        }
+    }
+}
+
+/// Fills `w.v = B^{-1} A_j`.
+fn compute_column(p: &Problem, w: &mut Work, j: usize) {
+    let m = p.m;
+    w.v.iter_mut().for_each(|x| *x = 0.0);
+    // Split borrow: read binv, write v.
+    let binv = &w.binv;
+    let v = &mut w.v;
+    if j < p.n {
+        for &(i, a) in &p.cols[j] {
+            let col = i as usize;
+            for k in 0..m {
+                v[k] += binv[k * m + col] * a;
+            }
+        }
+    } else {
+        let idx = j - p.n;
+        let col = w.art_row[idx] as usize;
+        let a = w.art_sign[idx];
+        for k in 0..m {
+            v[k] += binv[k * m + col] * a;
+        }
+    }
+}
+
+/// Core primal simplex loop minimizing `cost` from the current basis.
+#[allow(clippy::needless_range_loop)] // columns index several parallel arrays
+fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: SimplexOptions) -> LpStatus {
+    let m = p.m;
+    loop {
+        if w.iterations >= opts.max_iterations {
+            return LpStatus::IterLimit;
+        }
+        if let Some(deadline) = opts.deadline {
+            // Amortize the clock read over a few hundred iterations.
+            if w.iterations.is_multiple_of(256) && std::time::Instant::now() >= deadline {
+                return LpStatus::IterLimit;
+            }
+        }
+        if w.pivots_since_refactor >= REFACTOR_EVERY {
+            refactor(p, w);
+        }
+        // y = c_B' B^{-1}
+        w.y.iter_mut().for_each(|x| *x = 0.0);
+        for k in 0..m {
+            let cb = cost[w.basis[k] as usize];
+            if cb != 0.0 {
+                let row = &w.binv[k * m..(k + 1) * m];
+                for (yi, ri) in w.y.iter_mut().zip(row) {
+                    *yi += cb * ri;
+                }
+            }
+        }
+        // Pricing.
+        let total = p.n + w.art_row.len();
+        let bland = w.degen_streak >= DEGEN_LIMIT;
+        let mut enter: Option<(usize, f64, i8)> = None; // (col, |d|, dir)
+        for j in 0..total {
+            if w.basic_row[j] >= 0 || w.lb[j] == w.ub[j] {
+                continue;
+            }
+            let mut d = cost[j];
+            for_col(p, w, j, |i, a| d -= w.y[i] * a);
+            let free = !w.lb[j].is_finite() && !w.ub[j].is_finite();
+            let dir: i8 = if free {
+                if d < -OPT_TOL {
+                    1
+                } else if d > OPT_TOL {
+                    -1
+                } else {
+                    0
+                }
+            } else if w.at_upper[j] {
+                if d > OPT_TOL {
+                    -1
+                } else {
+                    0
+                }
+            } else if d < -OPT_TOL {
+                1
+            } else {
+                0
+            };
+            if dir == 0 {
+                continue;
+            }
+            if bland {
+                enter = Some((j, d.abs(), dir));
+                break;
+            }
+            if enter.is_none_or(|(_, best, _)| d.abs() > best) {
+                enter = Some((j, d.abs(), dir));
+            }
+        }
+        let Some((j, _, dir)) = enter else {
+            return LpStatus::Optimal;
+        };
+
+        compute_column(p, w, j);
+        let sigma = dir as f64;
+
+        // Ratio test: step `t >= 0` in direction sigma.
+        let span = w.ub[j] - w.lb[j]; // may be inf
+        let mut t_best = if span.is_finite() { span } else { f64::INFINITY };
+        let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+        for k in 0..m {
+            let wk = sigma * w.v[k];
+            if wk.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let bvar = w.basis[k] as usize;
+            // x_Bk moves by -t * wk.
+            let (limit, at_up) = if wk > 0.0 {
+                (w.lb[bvar], false)
+            } else {
+                (w.ub[bvar], true)
+            };
+            if !limit.is_finite() {
+                continue;
+            }
+            let t = ((w.xb[k] - limit) / wk).max(0.0);
+            if t < t_best - 1e-12
+                || (t < t_best + 1e-12
+                    && leave.is_some_and(|(lk, _)| w.v[k].abs() > w.v[lk].abs()))
+            {
+                t_best = t;
+                leave = Some((k, at_up));
+            }
+        }
+
+        if t_best.is_infinite() {
+            return LpStatus::Unbounded;
+        }
+        w.iterations += 1;
+        w.degen_streak = if t_best < 1e-9 { w.degen_streak + 1 } else { 0 };
+
+        match leave {
+            None => {
+                // Bound flip: entering runs to its opposite bound.
+                for k in 0..m {
+                    w.xb[k] -= sigma * t_best * w.v[k];
+                }
+                w.at_upper[j] = !w.at_upper[j];
+            }
+            Some((row, leaves_at_upper)) => {
+                let enter_val = nb_value(w, j) + sigma * t_best;
+                for k in 0..m {
+                    if k != row {
+                        w.xb[k] -= sigma * t_best * w.v[k];
+                    }
+                }
+                let leaving = w.basis[row] as usize;
+                w.at_upper[leaving] = leaves_at_upper;
+                let v = std::mem::take(&mut w.v);
+                apply_pivot(p, w, row, j, &v, enter_val);
+                w.v = v;
+            }
+        }
+    }
+}
+
+/// Replaces the basic variable of `row` with column `j`, given the
+/// transformed entering column `v = B^{-1} A_j`, updating the inverse and
+/// bookkeeping.
+fn apply_pivot(p: &Problem, w: &mut Work, row: usize, j: usize, v: &[f64], enter_val: f64) {
+    let m = p.m;
+    let leaving = w.basis[row] as usize;
+    w.basic_row[leaving] = -1;
+    w.basis[row] = j as u32;
+    w.basic_row[j] = row as i32;
+    w.xb[row] = enter_val;
+
+    let inv_piv = 1.0 / v[row];
+    // Scale pivot row of binv, then eliminate the other rows.
+    for c in 0..m {
+        w.binv[row * m + c] *= inv_piv;
+    }
+    let (before, rest) = w.binv.split_at_mut(row * m);
+    let (pivot_row, after) = rest.split_at_mut(m);
+    for (k, chunk) in before.chunks_exact_mut(m).enumerate() {
+        let f = v[k];
+        if f.abs() > 1e-13 {
+            for (x, pr) in chunk.iter_mut().zip(pivot_row.iter()) {
+                *x -= f * pr;
+            }
+        }
+    }
+    for (k, chunk) in after.chunks_exact_mut(m).enumerate() {
+        let f = v[row + 1 + k];
+        if f.abs() > 1e-13 {
+            for (x, pr) in chunk.iter_mut().zip(pivot_row.iter()) {
+                *x -= f * pr;
+            }
+        }
+    }
+    w.pivots_since_refactor += 1;
+}
+
+/// Rebuilds `binv` and `xb` from the basis by Gauss-Jordan elimination.
+#[allow(clippy::needless_range_loop)] // dense Gauss-Jordan indexing
+fn refactor(p: &Problem, w: &mut Work) {
+    let m = p.m;
+    let mut bmat = vec![0.0; m * m];
+    for (col, &bv) in w.basis.iter().enumerate() {
+        let bv = bv as usize;
+        if bv < p.n {
+            for &(i, a) in &p.cols[bv] {
+                bmat[i as usize * m + col] = a;
+            }
+        } else {
+            let idx = bv - p.n;
+            bmat[w.art_row[idx] as usize * m + col] = w.art_sign[idx];
+        }
+    }
+    let mut inv = vec![0.0; m * m];
+    for i in 0..m {
+        inv[i * m + i] = 1.0;
+    }
+    for col in 0..m {
+        let mut piv = col;
+        for r in col + 1..m {
+            if bmat[r * m + col].abs() > bmat[piv * m + col].abs() {
+                piv = r;
+            }
+        }
+        if bmat[piv * m + col].abs() < 1e-12 {
+            // Singular basis should not happen; bail out leaving the old
+            // inverse in place (residual check will catch trouble).
+            return;
+        }
+        if piv != col {
+            for c in 0..m {
+                bmat.swap(piv * m + c, col * m + c);
+                inv.swap(piv * m + c, col * m + c);
+            }
+        }
+        let d = 1.0 / bmat[col * m + col];
+        for c in 0..m {
+            bmat[col * m + c] *= d;
+            inv[col * m + c] *= d;
+        }
+        for r in 0..m {
+            if r == col {
+                continue;
+            }
+            let f = bmat[r * m + col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in 0..m {
+                bmat[r * m + c] -= f * bmat[col * m + c];
+                inv[r * m + c] -= f * inv[col * m + c];
+            }
+        }
+    }
+    w.binv = inv;
+    recompute_xb(p, w);
+    w.pivots_since_refactor = 0;
+}
+
+/// Recomputes basic values `x_B = B^{-1} (b - N x_N)`.
+fn recompute_xb(p: &Problem, w: &mut Work) {
+    let m = p.m;
+    let total = p.n + w.art_row.len();
+    let mut rhs = p.b.clone();
+    for j in 0..total {
+        if w.basic_row[j] >= 0 {
+            continue;
+        }
+        let x = nb_value(w, j);
+        if x != 0.0 {
+            for_col(p, w, j, |i, a| rhs[i] -= a * x);
+        }
+    }
+    for k in 0..m {
+        let row = &w.binv[k * m..(k + 1) * m];
+        w.xb[k] = row.iter().zip(&rhs).map(|(a, b)| a * b).sum();
+    }
+}
+
+/// Verifies `A x = b` within tolerance for the current point.
+fn residual_ok(p: &Problem, w: &mut Work) -> bool {
+    let total = p.n + w.art_row.len();
+    let mut r = p.b.clone();
+    for j in 0..total {
+        let x = if w.basic_row[j] >= 0 {
+            w.xb[w.basic_row[j] as usize]
+        } else {
+            nb_value(w, j)
+        };
+        if x != 0.0 {
+            for_col(p, w, j, |i, a| r[i] -= a * x);
+        }
+    }
+    r.iter().all(|x| x.abs() <= 1e-6)
+}
+
+fn extract(p: &Problem, w: &Work, status: LpStatus) -> LpOutcome {
+    let mut values = vec![0.0; p.n_struct];
+    if status == LpStatus::Optimal {
+        for (j, value) in values.iter_mut().enumerate() {
+            *value = if w.basic_row[j] >= 0 {
+                w.xb[w.basic_row[j] as usize]
+            } else {
+                nb_value(w, j)
+            };
+        }
+    }
+    let raw: f64 = values.iter().zip(&p.cost).map(|(x, c)| x * c).sum();
+    let objective = if status == LpStatus::Optimal {
+        if p.maximize {
+            -raw + p.obj_constant
+        } else {
+            raw + p.obj_constant
+        }
+    } else {
+        f64::NAN
+    };
+    LpOutcome {
+        status,
+        objective,
+        values,
+        iterations: w.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    fn solve_lp(model: &Model) -> LpOutcome {
+        let mut sx = Simplex::new(model);
+        let lb: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].lb).collect();
+        let ub: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].ub).collect();
+        sx.solve(&lb, &ub, SimplexOptions::default())
+    }
+
+    #[test]
+    fn trivial_bounds_only() {
+        let mut m = Model::new();
+        let x = m.num_var(1.0, 5.0, "x");
+        m.set_objective(Sense::Minimize, [(x, 1.0)]);
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn classic_2d_max() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> obj 36 at (2, 6)
+        let mut m = Model::new();
+        let x = m.num_var(0.0, f64::INFINITY, "x");
+        let y = m.num_var(0.0, f64::INFINITY, "y");
+        m.set_objective(Sense::Maximize, [(x, 3.0), (y, 5.0)]);
+        m.add_le([(x, 1.0)], 4.0, "c1");
+        m.add_le([(y, 2.0)], 12.0, "c2");
+        m.add_le([(x, 3.0), (y, 2.0)], 18.0, "c3");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 36.0).abs() < 1e-7, "{}", out.objective);
+        assert!((out.values[0] - 2.0).abs() < 1e-7);
+        assert!((out.values[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_rows_need_phase1() {
+        // min x + y st x + y = 10, x - y = 4 -> x=7, y=3, obj 10
+        let mut m = Model::new();
+        let x = m.num_var(0.0, f64::INFINITY, "x");
+        let y = m.num_var(0.0, f64::INFINITY, "y");
+        m.set_objective(Sense::Minimize, [(x, 1.0), (y, 1.0)]);
+        m.add_eq([(x, 1.0), (y, 1.0)], 10.0, "sum");
+        m.add_eq([(x, 1.0), (y, -1.0)], 4.0, "diff");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.values[0] - 7.0).abs() < 1e-7);
+        assert!((out.values[1] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.num_var(0.0, 1.0, "x");
+        m.add_ge([(x, 1.0)], 2.0, "too-big");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.num_var(0.0, f64::INFINITY, "x");
+        m.set_objective(Sense::Maximize, [(x, 1.0)]);
+        m.add_ge([(x, 1.0)], 1.0, "at-least-one");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn ge_rows_and_negative_coeffs() {
+        let mut m = Model::new();
+        let x = m.num_var(0.0, f64::INFINITY, "x");
+        let y = m.num_var(0.0, 3.0, "y");
+        m.set_objective(Sense::Minimize, [(x, 2.0), (y, 3.0)]);
+        m.add_ge([(x, 1.0), (y, 1.0)], 4.0, "c1");
+        m.add_le([(x, 1.0), (y, -1.0)], 2.0, "c2");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 9.0).abs() < 1e-7, "{}", out.objective);
+    }
+
+    #[test]
+    fn free_variable_enters() {
+        // min x st x + y = 3, y in [0, 1], x free -> x = 2
+        let mut m = Model::new();
+        let x = m.num_var(f64::NEG_INFINITY, f64::INFINITY, "x");
+        let y = m.num_var(0.0, 1.0, "y");
+        m.set_objective(Sense::Minimize, [(x, 1.0)]);
+        m.add_eq([(x, 1.0), (y, 1.0)], 3.0, "sum");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 2.0).abs() < 1e-7, "{}", out.objective);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        let mut m = Model::new();
+        let x = m.num_var(-5.0, 5.0, "x");
+        let y = m.num_var(-5.0, 5.0, "y");
+        m.set_objective(Sense::Minimize, [(x, 1.0), (y, 1.0)]);
+        m.add_ge([(x, 1.0), (y, 1.0)], -3.0, "floor");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective + 3.0).abs() < 1e-7, "{}", out.objective);
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        let mut m = Model::new();
+        let x = m.num_var(0.0, 1.0, "x");
+        let y = m.num_var(0.0, 1.0, "y");
+        m.set_objective(Sense::Maximize, [(x, 1.0), (y, 1.0)]);
+        m.add_le([(x, 1.0), (y, 1.0)], 1.5, "cap");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut m = Model::new();
+        let x = m.num_var(0.0, 10.0, "x");
+        let y = m.num_var(0.0, 10.0, "y");
+        m.set_objective(Sense::Maximize, [(x, 1.0), (y, 1.0)]);
+        for i in 0..20 {
+            let a = 1.0 + (i as f64) * 0.1;
+            m.add_le([(x, a), (y, 1.0)], 10.0, format!("c{i}"));
+        }
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!(out.objective > 0.0);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        let mut m = Model::new();
+        let x = m.num_var(2.0, 2.0, "x");
+        let y = m.num_var(0.0, 10.0, "y");
+        m.set_objective(Sense::Minimize, [(y, 1.0)]);
+        m.add_ge([(x, 1.0), (y, 1.0)], 5.0, "c");
+        let out = solve_lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.values[1] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn workspace_reuse_across_solves() {
+        // The same instance solved repeatedly with different bounds must
+        // give fresh, correct answers each time.
+        let mut m = Model::new();
+        let x = m.num_var(0.0, 10.0, "x");
+        let y = m.num_var(0.0, 10.0, "y");
+        m.set_objective(Sense::Maximize, [(x, 1.0), (y, 2.0)]);
+        m.add_le([(x, 1.0), (y, 1.0)], 6.0, "cap");
+        let mut sx = Simplex::new(&m);
+        let o1 = sx.solve(&[0.0, 0.0], &[10.0, 10.0], SimplexOptions::default());
+        assert!((o1.objective - 12.0).abs() < 1e-7); // y = 6
+        let o2 = sx.solve(&[0.0, 0.0], &[10.0, 2.0], SimplexOptions::default());
+        assert!((o2.objective - 8.0).abs() < 1e-7); // y = 2, x = 4
+        let o3 = sx.solve(&[5.0, 5.0], &[10.0, 10.0], SimplexOptions::default());
+        assert_eq!(o3.status, LpStatus::Infeasible); // 5 + 5 > 6
+        let o4 = sx.solve(&[0.0, 0.0], &[10.0, 10.0], SimplexOptions::default());
+        assert!((o4.objective - 12.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,113 @@
+//! Solve outcomes and the effort statistics the paper's evaluation reports.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Final status of a branch-and-bound solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An integral solution was found and proven optimal.
+    Optimal,
+    /// An integral solution was found, but a limit stopped the proof of
+    /// optimality.
+    Feasible,
+    /// The problem was proven integer-infeasible.
+    Infeasible,
+    /// A limit (time, nodes, or iterations) was reached before any integral
+    /// solution was found; nothing is known.
+    LimitReached,
+}
+
+impl SolveStatus {
+    /// Whether an integral assignment is available in the outcome.
+    pub fn has_solution(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
+}
+
+impl fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Feasible => "feasible (limit reached)",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::LimitReached => "limit reached (no solution)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Solver-effort statistics, mirroring the measurements of the paper's
+/// Tables 1 and 2 (variables, constraints, branch-and-bound nodes, simplex
+/// iterations).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Variables in the formulation, prior to any simplification.
+    pub variables: u64,
+    /// Constraint rows in the formulation, prior to any simplification.
+    pub constraints: u64,
+    /// Branch-and-bound nodes visited *beyond the root relaxation* — the
+    /// paper counts the nodes CPLEX explores "when it must force variables to
+    /// integral values", so a problem whose root LP is integral reports 0.
+    pub bb_nodes: u64,
+    /// Total simplex iterations across all LP solves.
+    pub simplex_iterations: u64,
+    /// Number of LP relaxations solved (root + one per node).
+    pub lp_solves: u64,
+    /// Wall-clock time spent in the solver.
+    pub wall_time: Duration,
+}
+
+impl SolveStats {
+    /// Accumulates another run's statistics into `self` (durations add).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.variables = self.variables.max(other.variables);
+        self.constraints = self.constraints.max(other.constraints);
+        self.bb_nodes += other.bb_nodes;
+        self.simplex_iterations += other.simplex_iterations;
+        self.lp_solves += other.lp_solves;
+        self.wall_time += other.wall_time;
+    }
+}
+
+/// Result of a branch-and-bound solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Final status.
+    pub status: SolveStatus,
+    /// Objective of the best integral solution (model sense); `NaN` when no
+    /// solution was found.
+    pub objective: f64,
+    /// Best integral assignment (empty when no solution was found).
+    pub values: Vec<f64>,
+    /// Best proven dual bound on the optimum (in the model's sense). Equals
+    /// `objective` for [`SolveStatus::Optimal`].
+    pub best_bound: f64,
+    /// Effort statistics.
+    pub stats: SolveStats,
+}
+
+impl SolveOutcome {
+    /// Value of variable `v` in the best solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available.
+    pub fn value(&self, v: crate::VarId) -> f64 {
+        assert!(
+            self.status.has_solution(),
+            "no solution available (status: {})",
+            self.status
+        );
+        self.values[v.index()]
+    }
+
+    /// Value of variable `v` rounded to the nearest integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solution is available.
+    pub fn int_value(&self, v: crate::VarId) -> i64 {
+        self.value(v).round() as i64
+    }
+}

@@ -1,0 +1,157 @@
+//! Brute-force validation of *mixed* integer programs: integer variables
+//! are enumerated, and the single continuous variable is optimized
+//! analytically per assignment (its feasible set is an interval, so the
+//! optimum sits at an endpoint).
+
+use optimod_ilp::{Model, RowSense, Sense, SolveStatus};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct MixedIp {
+    int_bounds: Vec<(i64, i64)>,
+    int_obj: Vec<i64>,
+    /// Continuous variable: bounds and objective coefficient.
+    y_bounds: (f64, f64),
+    y_obj: f64,
+    /// Rows: integer coefficients, y coefficient, sense, rhs.
+    rows: Vec<(Vec<i64>, i64, RowSense, i64)>,
+    maximize: bool,
+}
+
+fn strategy() -> impl Strategy<Value = MixedIp> {
+    (2usize..=4).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0i64..=1, 2i64..=3), n)
+                .prop_map(|v| v.into_iter().collect::<Vec<_>>()),
+            proptest::collection::vec(-3i64..=3, n),
+            (-2i64..=0, 1i64..=4).prop_map(|(a, b)| (a as f64, b as f64)),
+            -3i64..=3,
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(-2i64..=2, n),
+                    -2i64..=2,
+                    prop_oneof![Just(RowSense::Le), Just(RowSense::Ge)],
+                    -4i64..=8,
+                ),
+                1..=3,
+            ),
+            proptest::bool::ANY,
+        )
+            .prop_map(
+                move |(int_bounds, int_obj, y_bounds, y_obj, rows, maximize)| MixedIp {
+                    int_bounds,
+                    int_obj,
+                    y_bounds,
+                    y_obj: y_obj as f64,
+                    rows,
+                    maximize,
+                },
+            )
+    })
+}
+
+/// Best objective over the integer grid with analytic continuous optimum.
+fn brute(ip: &MixedIp) -> Option<f64> {
+    let n = ip.int_bounds.len();
+    let mut asn = vec![0i64; n];
+    let mut best: Option<f64> = None;
+    fn rec(ip: &MixedIp, i: usize, asn: &mut Vec<i64>, best: &mut Option<f64>) {
+        if i == asn.len() {
+            // Feasible y interval from bounds and rows.
+            let (mut lo, mut hi) = ip.y_bounds;
+            for (coef, yc, sense, rhs) in &ip.rows {
+                let fixed: i64 = coef.iter().zip(asn.iter()).map(|(c, x)| c * x).sum();
+                let rem = (*rhs - fixed) as f64;
+                let yc = *yc as f64;
+                match (sense, yc) {
+                    (RowSense::Le, c) if c > 0.0 => hi = hi.min(rem / c),
+                    (RowSense::Le, c) if c < 0.0 => lo = lo.max(rem / c),
+                    (RowSense::Le, _) => {
+                        if 0.0 > rem {
+                            return;
+                        }
+                    }
+                    (RowSense::Ge, c) if c > 0.0 => lo = lo.max(rem / c),
+                    (RowSense::Ge, c) if c < 0.0 => hi = hi.min(rem / c),
+                    (RowSense::Ge, _) => {
+                        if 0.0 < rem {
+                            return;
+                        }
+                    }
+                    (RowSense::Eq, _) => unreachable!("no Eq rows generated"),
+                }
+            }
+            if lo > hi + 1e-12 {
+                return;
+            }
+            let int_part: f64 = ip
+                .int_obj
+                .iter()
+                .zip(asn.iter())
+                .map(|(c, x)| (c * x) as f64)
+                .sum();
+            let y = if (ip.y_obj > 0.0) == ip.maximize { hi } else { lo };
+            let obj = int_part + ip.y_obj * y;
+            *best = Some(match *best {
+                None => obj,
+                Some(b) if ip.maximize => b.max(obj),
+                Some(b) => b.min(obj),
+            });
+            return;
+        }
+        let (lo, hi) = ip.int_bounds[i];
+        for v in lo..=hi {
+            asn[i] = v;
+            rec(ip, i + 1, asn, best);
+        }
+    }
+    rec(ip, 0, &mut asn, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn mixed_bb_matches_analytic_brute_force(ip in strategy()) {
+        let mut m = Model::new();
+        let xs: Vec<_> = ip
+            .int_bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, hi))| m.int_var(lo as f64, hi as f64, format!("x{i}")))
+            .collect();
+        let y = m.num_var(ip.y_bounds.0, ip.y_bounds.1, "y");
+        let mut obj: Vec<(optimod_ilp::VarId, f64)> = xs
+            .iter()
+            .zip(&ip.int_obj)
+            .map(|(&x, &c)| (x, c as f64))
+            .collect();
+        obj.push((y, ip.y_obj));
+        m.set_objective(
+            if ip.maximize { Sense::Maximize } else { Sense::Minimize },
+            obj,
+        );
+        for (i, (coef, yc, sense, rhs)) in ip.rows.iter().enumerate() {
+            let mut terms: Vec<(optimod_ilp::VarId, f64)> = xs
+                .iter()
+                .zip(coef)
+                .map(|(&x, &c)| (x, c as f64))
+                .collect();
+            terms.push((y, *yc as f64));
+            m.add_row(terms, *sense, *rhs as f64, format!("r{i}"));
+        }
+        let out = m.solve();
+        match brute(&ip) {
+            None => prop_assert_eq!(out.status, SolveStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(out.status, SolveStatus::Optimal);
+                prop_assert!(
+                    (out.objective - best).abs() < 1e-6,
+                    "solver {} vs brute {}", out.objective, best
+                );
+                prop_assert!(m.check_feasible(&out.values, 1e-6).is_none());
+            }
+        }
+    }
+}

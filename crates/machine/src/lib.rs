@@ -1,0 +1,27 @@
+//! Machine resource models for modulo scheduling.
+//!
+//! A [`Machine`] maps each operation class to a [`Reservation`]: the result
+//! latency plus the set of `(resource, cycle-offset)` slots the operation
+//! occupies relative to its issue cycle. This is the `c ∈ Res(i,q)` notation
+//! of the paper's resource constraints (Inequality 5): operation `i` uses a
+//! resource of type `q` exactly `c` cycles after being issued.
+//!
+//! Machines with *complex* reservation patterns (several resources, several
+//! cycles) are what make the Cydra 5 experiments in the paper interesting;
+//! [`cydra_like`] provides a comparable substitute, while [`example_3fu`]
+//! reproduces the simple three-unit machine of the paper's Section 2.
+//!
+//! ```
+//! use optimod_machine::{example_3fu, OpClass};
+//! let m = example_3fu();
+//! assert_eq!(m.latency(OpClass::FMul), 4);
+//! assert_eq!(m.latency(OpClass::Load), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod machines;
+mod model;
+
+pub use machines::{cydra_like, example_3fu, risc_scalar, vliw_4issue};
+pub use model::{Machine, MachineBuilder, OpClass, Reservation, ResourceId};

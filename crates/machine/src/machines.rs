@@ -1,0 +1,162 @@
+//! Ready-made machine descriptions.
+
+use crate::model::{Machine, MachineBuilder, OpClass};
+
+/// The example machine of the paper's Section 2: three fully-pipelined
+/// general-purpose functional units, memory and add/sub latency of one
+/// cycle, multiply latency of four cycles.
+///
+/// Up to three operations of any kind may issue per cycle; every operation
+/// occupies one unit for its issue cycle only.
+pub fn example_3fu() -> Machine {
+    let mut b = MachineBuilder::new("example-3fu");
+    let fu = b.resource("fu", 3);
+    b.default_reservation(1, [(fu, 0)]);
+    b.reserve(OpClass::FMul, 4, [(fu, 0)]);
+    b.reserve(OpClass::IMul, 4, [(fu, 0)]);
+    b.reserve(OpClass::FDiv, 4, [(fu, 0)]);
+    b.build()
+}
+
+/// A Cydra-5-like machine with complex, multi-cycle reservation patterns.
+///
+/// The real Cydra 5 numeric processor had seven functional units fed by
+/// explicit address/data paths, and its reduced machine description (see
+/// reference \[22\] of the paper) exhibits operations that occupy several
+/// resources at several cycle offsets. This substitute recreates that
+/// *shape*:
+///
+/// * two memory ports, each memory operation also holding a shared memory
+///   bus one cycle after issue and a result bus when the value returns;
+/// * separate FP add and FP multiply pipelines with result-bus usage at the
+///   end of the pipeline;
+/// * an unpipelined divider (occupied for six consecutive cycles);
+/// * one branch unit and a pair of general ALUs.
+///
+/// The multi-offset usages create the same kind of MRT packing conflicts
+/// that the paper's "machine with complex resource requirements" produces.
+pub fn cydra_like() -> Machine {
+    let mut b = MachineBuilder::new("cydra-like");
+    let mem_port = b.resource("mem-port", 2);
+    let mem_bus = b.resource("mem-bus", 1);
+    let alu = b.resource("alu", 2);
+    let fp_add = b.resource("fp-add", 1);
+    let fp_mul = b.resource("fp-mul", 1);
+    let div = b.resource("divider", 1);
+    let br = b.resource("branch", 1);
+    let result_bus = b.resource("result-bus", 2);
+
+    // Loads: address on the port, then the bus, result delivered cycle 5.
+    b.reserve(OpClass::Load, 6, [(mem_port, 0), (mem_bus, 1), (result_bus, 5)]);
+    // Stores: port + bus, no result.
+    b.reserve(OpClass::Store, 1, [(mem_port, 0), (mem_bus, 1)]);
+    b.reserve(OpClass::IAlu, 1, [(alu, 0), (result_bus, 0)]);
+    b.reserve(OpClass::IMul, 4, [(fp_mul, 0), (result_bus, 3)]);
+    b.reserve(OpClass::FAdd, 3, [(fp_add, 0), (result_bus, 2)]);
+    b.reserve(OpClass::FMul, 4, [(fp_mul, 0), (result_bus, 3)]);
+    // Unpipelined divide: holds the divider for six consecutive cycles.
+    b.reserve(
+        OpClass::FDiv,
+        9,
+        [
+            (div, 0),
+            (div, 1),
+            (div, 2),
+            (div, 3),
+            (div, 4),
+            (div, 5),
+            (result_bus, 8),
+        ],
+    );
+    b.reserve(OpClass::Move, 1, [(alu, 0), (result_bus, 0)]);
+    b.reserve(OpClass::Compare, 1, [(alu, 0)]);
+    b.reserve(OpClass::Branch, 1, [(br, 0)]);
+    b.build()
+}
+
+/// A single-issue scalar machine: one universal slot, short latencies.
+/// Useful as a stress test for resource-bound loops (ResMII = N).
+pub fn risc_scalar() -> Machine {
+    let mut b = MachineBuilder::new("risc-scalar");
+    let slot = b.resource("issue-slot", 1);
+    b.default_reservation(1, [(slot, 0)]);
+    b.reserve(OpClass::Load, 2, [(slot, 0)]);
+    b.reserve(OpClass::FMul, 3, [(slot, 0)]);
+    b.reserve(OpClass::IMul, 3, [(slot, 0)]);
+    b.reserve(OpClass::FAdd, 2, [(slot, 0)]);
+    b.reserve(OpClass::FDiv, 8, [(slot, 0)]);
+    b.build()
+}
+
+/// A four-issue VLIW with two memory ports, two FP pipes, and two ALUs —
+/// the kind of target LLVM's MachinePipeliner typically models.
+pub fn vliw_4issue() -> Machine {
+    let mut b = MachineBuilder::new("vliw-4issue");
+    let issue = b.resource("issue", 4);
+    let mem = b.resource("mem", 2);
+    let fp = b.resource("fp", 2);
+    let alu = b.resource("alu", 2);
+    b.reserve(OpClass::Load, 3, [(issue, 0), (mem, 0)]);
+    b.reserve(OpClass::Store, 1, [(issue, 0), (mem, 0)]);
+    b.reserve(OpClass::IAlu, 1, [(issue, 0), (alu, 0)]);
+    b.reserve(OpClass::IMul, 3, [(issue, 0), (fp, 0)]);
+    b.reserve(OpClass::FAdd, 2, [(issue, 0), (fp, 0)]);
+    b.reserve(OpClass::FMul, 3, [(issue, 0), (fp, 0)]);
+    b.reserve(
+        OpClass::FDiv,
+        10,
+        [(issue, 0), (fp, 0), (fp, 1), (fp, 2), (fp, 3)],
+    );
+    b.reserve(OpClass::Move, 1, [(issue, 0), (alu, 0)]);
+    b.reserve(OpClass::Compare, 1, [(issue, 0), (alu, 0)]);
+    b.reserve(OpClass::Branch, 1, [(issue, 0)]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3fu_matches_paper_section2() {
+        let m = example_3fu();
+        assert_eq!(m.latency(OpClass::Load), 1);
+        assert_eq!(m.latency(OpClass::IAlu), 1);
+        assert_eq!(m.latency(OpClass::FAdd), 1);
+        assert_eq!(m.latency(OpClass::FMul), 4);
+        // 3 ops of any kind per cycle.
+        let r = m.usages(OpClass::Load);
+        assert_eq!(r.len(), 1);
+        assert_eq!(m.resource_count(r[0].0), 3);
+    }
+
+    #[test]
+    fn cydra_like_has_complex_patterns() {
+        let m = cydra_like();
+        // Loads hold three distinct resources at three offsets.
+        assert_eq!(m.usages(OpClass::Load).len(), 3);
+        // Divide is unpipelined: consecutive divider slots.
+        let div_usages = m.usages(OpClass::FDiv);
+        assert!(div_usages.len() >= 6);
+        assert!(m.max_usage_offset() >= 5);
+    }
+
+    #[test]
+    fn all_machines_cover_all_classes() {
+        for m in [example_3fu(), cydra_like(), risc_scalar(), vliw_4issue()] {
+            for c in OpClass::ALL {
+                assert!(m.latency(c) >= 0, "{}: {c}", m.name());
+                assert!(!m.usages(c).is_empty(), "{}: {c}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_machine_single_slot() {
+        let m = risc_scalar();
+        for c in OpClass::ALL {
+            assert_eq!(m.usages(c).len(), 1);
+            assert_eq!(m.resource_count(m.usages(c)[0].0), 1);
+        }
+    }
+}

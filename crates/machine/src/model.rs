@@ -1,0 +1,331 @@
+//! Machine description data model: resources, reservations, op classes.
+
+use std::fmt;
+
+/// Coarse operation classes that a dependence graph labels its operations
+/// with; the machine maps each class to a reservation pattern and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Integer/address add, subtract, logic.
+    IAlu,
+    /// Integer multiply.
+    IMul,
+    /// Floating-point add/subtract/compare.
+    FAdd,
+    /// Floating-point multiply.
+    FMul,
+    /// Floating-point divide / square root (typically unpipelined).
+    FDiv,
+    /// Register-to-register move / select.
+    Move,
+    /// Compare or predicate-setting operation.
+    Compare,
+    /// Branch or loop-control operation.
+    Branch,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::IAlu,
+        OpClass::IMul,
+        OpClass::FAdd,
+        OpClass::FMul,
+        OpClass::FDiv,
+        OpClass::Move,
+        OpClass::Compare,
+        OpClass::Branch,
+    ];
+
+    /// Short lowercase mnemonic (`"load"`, `"fmul"`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::IAlu => "ialu",
+            OpClass::IMul => "imul",
+            OpClass::FAdd => "fadd",
+            OpClass::FMul => "fmul",
+            OpClass::FDiv => "fdiv",
+            OpClass::Move => "move",
+            OpClass::Compare => "cmp",
+            OpClass::Branch => "br",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Identifier of a resource type within one [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// Dense index of this resource type.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Resource {
+    pub name: String,
+    pub count: u32,
+}
+
+/// The reservation pattern of one operation class: result latency plus the
+/// exact `(resource, offset)` slots occupied relative to issue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Reservation {
+    /// Cycles from issue until the result may be consumed.
+    pub latency: i64,
+    /// `(resource, cycle offset)` pairs; an operation may use several
+    /// resources, the same resource at several offsets, or even the same
+    /// resource several times at one offset (counted with multiplicity).
+    pub usages: Vec<(ResourceId, u32)>,
+}
+
+/// An immutable machine description.
+///
+/// Build one with [`MachineBuilder`]:
+///
+/// ```
+/// use optimod_machine::{MachineBuilder, OpClass};
+/// let mut b = MachineBuilder::new("toy");
+/// let alu = b.resource("alu", 2);
+/// b.reserve(OpClass::IAlu, 1, [(alu, 0)]);
+/// b.default_reservation(1, [(alu, 0)]);
+/// let m = b.build();
+/// assert_eq!(m.resource_count(alu), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    name: String,
+    resources: Vec<Resource>,
+    table: Vec<Reservation>, // indexed by OpClass position in OpClass::ALL
+}
+
+/// Incremental builder for [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    name: String,
+    resources: Vec<Resource>,
+    table: Vec<Option<Reservation>>,
+    default: Option<Reservation>,
+}
+
+impl MachineBuilder {
+    /// Starts a new machine description.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineBuilder {
+            name: name.into(),
+            resources: Vec::new(),
+            table: vec![None; OpClass::ALL.len()],
+            default: None,
+        }
+    }
+
+    /// Declares a resource type with `count` identical instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn resource(&mut self, name: impl Into<String>, count: u32) -> ResourceId {
+        assert!(count > 0, "resource count must be positive");
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource {
+            name: name.into(),
+            count,
+        });
+        id
+    }
+
+    /// Sets the reservation for `class`: result `latency` and occupied
+    /// `(resource, offset)` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a usage references an undeclared resource or `latency` is
+    /// negative.
+    pub fn reserve(
+        &mut self,
+        class: OpClass,
+        latency: i64,
+        usages: impl IntoIterator<Item = (ResourceId, u32)>,
+    ) -> &mut Self {
+        let usages: Vec<_> = usages.into_iter().collect();
+        self.check(latency, &usages);
+        self.table[class_index(class)] = Some(Reservation { latency, usages });
+        self
+    }
+
+    /// Sets the reservation used for any class without an explicit
+    /// [`MachineBuilder::reserve`] entry.
+    pub fn default_reservation(
+        &mut self,
+        latency: i64,
+        usages: impl IntoIterator<Item = (ResourceId, u32)>,
+    ) -> &mut Self {
+        let usages: Vec<_> = usages.into_iter().collect();
+        self.check(latency, &usages);
+        self.default = Some(Reservation { latency, usages });
+        self
+    }
+
+    fn check(&self, latency: i64, usages: &[(ResourceId, u32)]) {
+        assert!(latency >= 0, "latency must be non-negative");
+        for &(r, _) in usages {
+            assert!(
+                r.index() < self.resources.len(),
+                "usage references undeclared resource {r:?}"
+            );
+        }
+    }
+
+    /// Finalizes the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some class has neither an explicit reservation nor a
+    /// default.
+    pub fn build(self) -> Machine {
+        let default = self.default;
+        let table = self
+            .table
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.or_else(|| default.clone()).unwrap_or_else(|| {
+                    panic!(
+                        "no reservation for op class {} and no default set",
+                        OpClass::ALL[i]
+                    )
+                })
+            })
+            .collect();
+        Machine {
+            name: self.name,
+            resources: self.resources,
+            table,
+        }
+    }
+}
+
+fn class_index(c: OpClass) -> usize {
+    OpClass::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("class present in ALL")
+}
+
+impl Machine {
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of resource types.
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Iterates over resource ids.
+    pub fn resources(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        (0..self.resources.len()).map(|i| ResourceId(i as u32))
+    }
+
+    /// Number of instances of resource `r`.
+    pub fn resource_count(&self, r: ResourceId) -> u32 {
+        self.resources[r.index()].count
+    }
+
+    /// Name of resource `r`.
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        &self.resources[r.index()].name
+    }
+
+    /// Result latency of `class`.
+    pub fn latency(&self, class: OpClass) -> i64 {
+        self.table[class_index(class)].latency
+    }
+
+    /// Reservation pattern of `class`.
+    pub fn reservation(&self, class: OpClass) -> &Reservation {
+        &self.table[class_index(class)]
+    }
+
+    /// `(resource, offset)` usage slots of `class`.
+    pub fn usages(&self, class: OpClass) -> &[(ResourceId, u32)] {
+        &self.table[class_index(class)].usages
+    }
+
+    /// The largest usage offset over all classes (how deep reservation
+    /// tables reach past issue).
+    pub fn max_usage_offset(&self) -> u32 {
+        self.table
+            .iter()
+            .flat_map(|r| r.usages.iter().map(|&(_, c)| c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = MachineBuilder::new("t");
+        let alu = b.resource("alu", 2);
+        let bus = b.resource("bus", 1);
+        b.reserve(OpClass::IAlu, 1, [(alu, 0), (bus, 1)]);
+        b.default_reservation(1, [(alu, 0)]);
+        let m = b.build();
+        assert_eq!(m.name(), "t");
+        assert_eq!(m.num_resources(), 2);
+        assert_eq!(m.usages(OpClass::IAlu), &[(alu, 0), (bus, 1)]);
+        assert_eq!(m.usages(OpClass::FMul), &[(alu, 0)]); // default
+        assert_eq!(m.max_usage_offset(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reservation")]
+    fn missing_default_panics() {
+        let mut b = MachineBuilder::new("t");
+        let alu = b.resource("alu", 1);
+        b.reserve(OpClass::IAlu, 1, [(alu, 0)]);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared resource")]
+    fn foreign_resource_panics() {
+        let mut b1 = MachineBuilder::new("a");
+        let r1 = b1.resource("alu", 1);
+        let _ = r1;
+        let mut b2 = MachineBuilder::new("b");
+        // r1 was declared on b1, not b2.
+        b2.reserve(OpClass::IAlu, 1, [(r1, 0)]);
+    }
+
+    #[test]
+    fn multiplicity_usages_allowed() {
+        let mut b = MachineBuilder::new("t");
+        let port = b.resource("port", 2);
+        // A wide op that needs both ports in its issue cycle.
+        b.default_reservation(1, [(port, 0), (port, 0)]);
+        let m = b.build();
+        assert_eq!(m.usages(OpClass::Load).len(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Define a custom machine and loop, then explore the II / register-
+//! pressure trade-off — the API walkthrough for users bringing their own
+//! target.
+//!
+//! Builds a 2-issue DSP-like machine with a single multiply-accumulate
+//! pipeline, models a small FIR-like loop against it, and sweeps the
+//! initiation interval upward from the MII to show how register pressure
+//! falls as the schedule is relaxed (using `feasible_at` probes and
+//! row-pinned ILP re-solves).
+//!
+//! Run: `cargo run --release --example custom_machine`
+
+use std::time::Duration;
+
+use optimod::{
+    build_model, compute_mii, DepStyle, FormulationConfig, Objective, OptimalScheduler,
+    SchedulerConfig,
+};
+use optimod_ddg::LoopBuilder;
+use optimod_machine::{MachineBuilder, OpClass};
+
+fn main() {
+    // A 2-issue DSP: one memory port, one MAC pipeline (latency 3), and a
+    // writeback bus shared by everything.
+    let mut mb = MachineBuilder::new("dsp-2issue");
+    let issue = mb.resource("issue", 2);
+    let mem = mb.resource("mem-port", 1);
+    let mac = mb.resource("mac", 1);
+    let wb = mb.resource("writeback", 1);
+    mb.reserve(OpClass::Load, 2, [(issue, 0), (mem, 0), (wb, 1)]);
+    mb.reserve(OpClass::Store, 1, [(issue, 0), (mem, 0)]);
+    mb.reserve(OpClass::FMul, 3, [(issue, 0), (mac, 0), (wb, 2)]);
+    mb.reserve(OpClass::FAdd, 3, [(issue, 0), (mac, 0), (wb, 2)]);
+    mb.default_reservation(1, [(issue, 0), (wb, 0)]);
+    let machine = mb.build();
+
+    // y[i] = c0*x[i] + c1*x[i-1] + acc feedback.
+    let mut lb = LoopBuilder::new("dsp-fir");
+    let ld = lb.op(OpClass::Load, "ld-x");
+    let m0 = lb.op(OpClass::FMul, "c0*x");
+    let m1 = lb.op(OpClass::FMul, "c1*x'");
+    let acc = lb.op(OpClass::FAdd, "acc");
+    let st = lb.op(OpClass::Store, "st-y");
+    lb.flow(ld, m0, 0);
+    lb.flow(ld, m1, 1); // previous iteration's sample
+    lb.flow(m0, acc, 0);
+    lb.flow(m1, acc, 0);
+    lb.flow(acc, st, 0);
+    let l = lb.build(&machine);
+
+    let mii = compute_mii(&l, &machine);
+    println!(
+        "loop '{}': N={}, ResMII={}, RecMII={}, MII={}\n",
+        l.name(),
+        l.num_ops(),
+        mii.res_mii,
+        mii.rec_mii,
+        mii.value()
+    );
+
+    // Find the minimum II and its minimum register requirement.
+    let minreg = OptimalScheduler::new(
+        SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+            .with_time_limit(Duration::from_secs(10)),
+    );
+    let best = minreg.schedule(&l, &machine);
+    let best_ii = best.ii.expect("schedulable");
+    println!("minimum II = {best_ii}, minimum MaxLive there = {}\n", best
+        .schedule
+        .as_ref()
+        .expect("scheduled")
+        .max_live(&l));
+
+    // Sweep II upward: optimal registers at each II (direct model builds).
+    println!("II sweep (optimal MaxLive per II):");
+    for ii in best_ii..best_ii + 4 {
+        let cfg = FormulationConfig {
+            dep_style: DepStyle::Structured,
+            objective: Objective::MinMaxLive,
+            sched_len_slack: 20,
+            max_live_limit: None,
+        };
+        let Some(built) = build_model(&l, &machine, ii, &cfg) else {
+            println!("  II={ii}: below RecMII");
+            continue;
+        };
+        let out = built.model.solve();
+        if out.status.has_solution() {
+            let s = built.extract_schedule(&out);
+            println!(
+                "  II={ii}: MaxLive {} (schedule length {})",
+                s.max_live(&l),
+                s.length()
+            );
+        } else {
+            println!("  II={ii}: {}", out.status);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: reproduce the paper's Figure 1 end to end.
+//!
+//! Schedules the kernel `y[i] = x[i]*x[i] - x[i] - a` on the paper's
+//! three-unit example machine, minimizing register requirements, and prints
+//! the schedule, the modulo reservation table, the register lifetimes, and
+//! MaxLive — the exact artifacts of the paper's Figure 1.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use optimod::{compute_mii, DepStyle, Objective, OptimalScheduler, SchedulerConfig};
+use optimod_ddg::kernels::figure1;
+use optimod_machine::example_3fu;
+
+fn main() {
+    let machine = example_3fu();
+    let l = figure1(&machine);
+
+    println!("kernel: y[i] = x[i]*x[i] - x[i] - a  ({} operations)", l.num_ops());
+    println!("machine: {} (3 universal FUs, mult latency 4)\n", machine.name());
+
+    let mii = compute_mii(&l, &machine);
+    println!("ResMII = {}, RecMII = {}, MII = {}\n", mii.res_mii, mii.rec_mii, mii.value());
+
+    // MinReg modulo scheduler: minimum II, then minimum MaxLive.
+    let scheduler = OptimalScheduler::new(SchedulerConfig::new(
+        DepStyle::Structured,
+        Objective::MinMaxLive,
+    ));
+    let result = scheduler.schedule(&l, &machine);
+    let schedule = result.schedule.expect("figure1 schedules at II=2");
+
+    println!("achieved II = {} (status: {:?})", schedule.ii(), result.status);
+    println!(
+        "solver effort: {} branch-and-bound nodes, {} simplex iterations\n",
+        result.stats.bb_nodes, result.stats.simplex_iterations
+    );
+
+    println!("schedule (cycle: op, row, stage):");
+    for id in l.op_ids() {
+        println!(
+            "  t={:<3} {:<6} row {}  stage {}",
+            schedule.time(id),
+            l.op(id).name,
+            schedule.row(id),
+            schedule.stage(id)
+        );
+    }
+
+    println!("\nmodulo reservation table:");
+    print!("{}", schedule.mrt_to_string(&l));
+
+    println!("\nregister lifetimes:");
+    for vr in l.vregs() {
+        let lt = schedule.lifetime(vr);
+        println!(
+            "  {:<6} [{}, {}] ({} cycles)",
+            l.op(vr.def).name,
+            lt.start,
+            lt.end,
+            lt.length()
+        );
+    }
+
+    println!("\nlive registers per MRT row: {:?}", schedule.live_per_row(&l));
+    println!("MaxLive = {} (paper: 7)", schedule.max_live(&l));
+    assert_eq!(schedule.max_live(&l), 7);
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates every experiment output in this directory.
+# Usage: OPTIMOD_CORPUS=small OPTIMOD_BUDGET_MS=2000 sh results/run_all.sh
+set -e
+cd "$(dirname "$0")/.."
+for bin in table1_structured table2_traditional exp3_ims_optimality \
+           exp4_stage_vs_optimal ablation_branching ablation_stage_ilp; do
+  echo "=== $bin ==="
+  ./target/release/$bin > results/$bin.txt 2>results/$bin.err
+done
+echo done

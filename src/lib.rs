@@ -1,0 +1,13 @@
+//! Umbrella crate for the `optimod` workspace.
+//!
+//! Re-exports the public APIs of all member crates so that examples and
+//! integration tests can use a single dependency. Library users should
+//! depend on the individual crates ([`optimod`], [`optimod_ilp`],
+//! [`optimod_ddg`], [`optimod_machine`]) directly.
+
+#![warn(missing_docs)]
+
+pub use optimod;
+pub use optimod_ddg;
+pub use optimod_ilp;
+pub use optimod_machine;

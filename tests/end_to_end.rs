@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full pipeline from dependence graph
+//! through machine model, MII, ILP formulation, solver, schedule
+//! extraction, and heuristic grading.
+
+use std::time::Duration;
+
+use optimod_suite::optimod::heuristic::{ims_schedule, stage_schedule, ImsConfig};
+use optimod_suite::optimod::{
+    compute_mii, DepStyle, LoopStatus, Objective, OptimalScheduler, SchedulerConfig,
+};
+use optimod_suite::optimod_ddg::{benchmark_corpus, kernels, CorpusSize, LoopBuilder};
+use optimod_suite::optimod_machine::{cydra_like, example_3fu, MachineBuilder, OpClass};
+
+fn quick(style: DepStyle, objective: Objective) -> OptimalScheduler {
+    OptimalScheduler::new(
+        SchedulerConfig::new(style, objective).with_time_limit(Duration::from_secs(3)),
+    )
+}
+
+/// The paper's Figure 1, end to end through the public API.
+#[test]
+fn figure1_pipeline() {
+    let machine = example_3fu();
+    let l = kernels::figure1(&machine);
+    assert_eq!(compute_mii(&l, &machine).value(), 2);
+    let r = quick(DepStyle::Structured, Objective::MinMaxLive).schedule(&l, &machine);
+    assert_eq!(r.status, LoopStatus::Optimal);
+    let s = r.schedule.expect("scheduled");
+    assert_eq!(s.ii(), 2);
+    assert_eq!(s.max_live(&l), 7);
+    assert_eq!(s.validate(&l, &machine), None);
+}
+
+/// Every named kernel schedules on the Cydra-like machine with the
+/// structured NoObj scheduler, and the result is always valid.
+#[test]
+fn all_kernels_schedule_on_cydra() {
+    let machine = cydra_like();
+    let sched = quick(DepStyle::Structured, Objective::FirstFeasible);
+    let mut scheduled = 0;
+    for l in kernels::all_kernels(&machine) {
+        let r = sched.schedule(&l, &machine);
+        if let Some(s) = &r.schedule {
+            assert_eq!(s.validate(&l, &machine), None, "{}", l.name());
+            assert!(s.ii() >= r.mii.value(), "{}", l.name());
+            scheduled += 1;
+        }
+    }
+    assert!(scheduled >= 20, "only {scheduled} kernels scheduled");
+}
+
+/// A user-defined machine and loop work through the whole stack.
+#[test]
+fn custom_machine_pipeline() {
+    let mut mb = MachineBuilder::new("tiny");
+    let slot = mb.resource("slot", 2);
+    mb.default_reservation(1, [(slot, 0)]);
+    mb.reserve(OpClass::FMul, 3, [(slot, 0)]);
+    let machine = mb.build();
+
+    let mut lb = LoopBuilder::new("user-loop");
+    let a = lb.op(OpClass::Load, "ld");
+    let b = lb.op(OpClass::FMul, "mul");
+    let c = lb.op(OpClass::FAdd, "acc");
+    let d = lb.op(OpClass::Store, "st");
+    lb.flow(a, b, 0);
+    lb.flow(b, c, 0);
+    lb.flow(c, c, 1);
+    lb.flow(c, d, 0);
+    let l = lb.build(&machine);
+
+    let r = quick(DepStyle::Structured, Objective::MinMaxLive).schedule(&l, &machine);
+    assert_eq!(r.status, LoopStatus::Optimal);
+    let s = r.schedule.expect("scheduled");
+    // 4 ops, 2 slots -> ResMII 2; acc self-loop latency 1 -> RecMII 1.
+    assert_eq!(s.ii(), 2);
+    assert_eq!(s.max_live(&l) as f64, r.objective_value.expect("objective"));
+}
+
+/// Structured formulation reproduces the same optima as the traditional
+/// one on the kernel corpus (the cross-crate version of the paper's
+/// equivalence claim).
+#[test]
+fn kernel_corpus_equivalence() {
+    let machine = example_3fu();
+    for l in kernels::all_kernels(&machine) {
+        let a = quick(DepStyle::Traditional, Objective::MinMaxLive).schedule(&l, &machine);
+        let b = quick(DepStyle::Structured, Objective::MinMaxLive).schedule(&l, &machine);
+        if a.status == LoopStatus::Optimal && b.status == LoopStatus::Optimal {
+            assert_eq!(a.ii, b.ii, "{}", l.name());
+            assert_eq!(a.objective_value, b.objective_value, "{}", l.name());
+        }
+    }
+}
+
+/// IMS + stage scheduling grades correctly against the optimum on a corpus
+/// slice: the heuristic never beats proven optima.
+#[test]
+fn heuristic_grading_consistency() {
+    let machine = cydra_like();
+    let loops: Vec<_> = benchmark_corpus(&machine, CorpusSize::Small)
+        .into_iter()
+        .take(24)
+        .collect();
+    let noobj = quick(DepStyle::Structured, Objective::FirstFeasible);
+    let minreg = quick(DepStyle::Structured, Objective::MinMaxLive);
+    for l in &loops {
+        let ims = ims_schedule(l, &machine, &ImsConfig::default()).expect("ims");
+        let staged = stage_schedule(l, &machine, &ims.schedule);
+        assert!(staged.max_live(l) <= ims.schedule.max_live(l).max(staged.max_live(l)));
+
+        let opt = noobj.schedule(l, &machine);
+        if let Some(opt_ii) = opt.ii {
+            assert!(ims.schedule.ii() >= opt_ii, "{}", l.name());
+        }
+        let reg = minreg.schedule(l, &machine);
+        if reg.status == LoopStatus::Optimal && reg.ii == Some(staged.ii()) {
+            assert!(
+                reg.objective_value.expect("objective") <= staged.max_live(l) as f64,
+                "{}",
+                l.name()
+            );
+        }
+    }
+}
+
+/// The solver statistics the experiments aggregate are actually populated.
+#[test]
+fn stats_are_populated() {
+    let machine = example_3fu();
+    let l = kernels::lfk1_hydro(&machine);
+    let r = quick(DepStyle::Traditional, Objective::MinMaxLive).schedule(&l, &machine);
+    assert!(r.stats.variables > 0);
+    assert!(r.stats.constraints > 0);
+    assert!(r.stats.lp_solves > 0);
+    assert!(r.stats.simplex_iterations > 0);
+    assert!(r.stats.wall_time > Duration::ZERO);
+}
