@@ -23,8 +23,7 @@ fn bench_cases() -> Vec<(&'static str, Machine, Loop)> {
 
 fn scheduler(style: DepStyle, objective: Objective) -> OptimalScheduler {
     OptimalScheduler::new(
-        SchedulerConfig::new(style, objective)
-            .with_time_limit(Duration::from_secs(20)),
+        SchedulerConfig::new(style, objective).with_time_limit(Duration::from_secs(20)),
     )
 }
 

@@ -16,11 +16,7 @@ fn main() {
     let cfg = ExperimentConfig::from_env();
     let machine = cfg.machine();
     // A slice of the corpus keeps this ablation quick.
-    let loops: Vec<_> = cfg
-        .corpus_loops(&machine)
-        .into_iter()
-        .take(48)
-        .collect();
+    let loops: Vec<_> = cfg.corpus_loops(&machine).into_iter().take(48).collect();
     println!(
         "Branching-rule ablation (MinReg) — {} loops, {} ms/loop\n",
         loops.len(),

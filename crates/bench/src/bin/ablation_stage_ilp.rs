@@ -16,11 +16,7 @@ use optimod_ilp::SolveLimits;
 fn main() {
     let cfg = ExperimentConfig::from_env();
     let machine = cfg.machine();
-    let loops: Vec<_> = cfg
-        .corpus_loops(&machine)
-        .into_iter()
-        .take(48)
-        .collect();
+    let loops: Vec<_> = cfg.corpus_loops(&machine).into_iter().take(48).collect();
     println!(
         "Stage-assignment ablation — {} loops, {} ms/loop\n",
         loops.len(),

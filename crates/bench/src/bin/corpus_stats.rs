@@ -31,7 +31,10 @@ fn main() {
         ("virtual registers", &vregs),
         ("MII", &mii_vals),
     ] {
-        println!("{}", Summary::from_values(vals).expect("non-empty").row(label));
+        println!(
+            "{}",
+            Summary::from_values(vals).expect("non-empty").row(label)
+        );
     }
 
     let with_rec = loops.iter().filter(|l| l.has_recurrence()).count();
@@ -58,7 +61,12 @@ fn main() {
     println!("\noperation mix ({total_ops} ops):");
     for (c, n) in OpClass::ALL.iter().zip(&class_counts) {
         if *n > 0 {
-            println!("  {:<6} {:>6} ({:>5.1}%)", c.mnemonic(), n, 100.0 * *n as f64 / total_ops as f64);
+            println!(
+                "  {:<6} {:>6} ({:>5.1}%)",
+                c.mnemonic(),
+                n,
+                100.0 * *n as f64 / total_ops as f64
+            );
         }
     }
 

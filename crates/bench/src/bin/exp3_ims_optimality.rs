@@ -105,24 +105,19 @@ fn main() {
                 l.name(),
                 ims_ii,
                 best_known,
-                if decided_floor { " (proven minimal)" } else { "" }
+                if decided_floor {
+                    " (proven minimal)"
+                } else {
+                    ""
+                }
             );
         }
     }
 
     println!("\namong the interesting loops:");
-    println!(
-        "  II proven not decreasable:        {:>4}",
-        improved_by[0]
-    );
-    println!(
-        "  II decreased by exactly 1 cycle:  {:>4}",
-        improved_by[1]
-    );
-    println!(
-        "  II decreased by 2 or more cycles: {:>4}",
-        improved_by[2]
-    );
+    println!("  II proven not decreasable:        {:>4}", improved_by[0]);
+    println!("  II decreased by exactly 1 cycle:  {:>4}", improved_by[1]);
+    println!("  II decreased by 2 or more cycles: {:>4}", improved_by[2]);
     println!("  undecided within the budget:      {undecided:>4}");
     let _ = proven_optimal;
     println!(

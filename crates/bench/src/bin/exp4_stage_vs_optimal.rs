@@ -58,9 +58,7 @@ fn main() {
             }
         }
         let pct = |x: usize| 100.0 * x as f64 / loops.len() as f64;
-        println!(
-            "{name:<8} vs IMS+stage-scheduling ({compared} same-II comparisons):"
-        );
+        println!("{name:<8} vs IMS+stage-scheduling ({compared} same-II comparisons):");
         println!(
             "  optimal scheduler lower MaxLive:  {optimal_better:>4} loops ({:>5.1}%)",
             pct(optimal_better)

@@ -88,7 +88,11 @@ fn main() {
             cov(strc),
             t_time,
             s_time,
-            if s_time > 0.0 { t_time / s_time } else { f64::NAN }
+            if s_time > 0.0 {
+                t_time / s_time
+            } else {
+                f64::NAN
+            }
         );
     }
 }

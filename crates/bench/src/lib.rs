@@ -13,15 +13,17 @@
 //!   (default 2000; the paper used 15 minutes on an HP-9000/715).
 //! * `OPTIMOD_NODE_CAP` — per-loop branch-and-bound node cap
 //!   (default 200000).
+//! * `OPTIMOD_THREADS` — worker threads for the corpus driver (default:
+//!   all cores). The corpus is parallelized *across* loops while each
+//!   per-loop solve stays single-threaded, so node and iteration counts
+//!   are identical at any thread count.
 
 #![warn(missing_docs)]
 
 use std::time::Duration;
 
 use optimod::heuristic::{ims_schedule, stage_schedule, ImsConfig};
-use optimod::{
-    DepStyle, LoopResult, Objective, OptimalScheduler, Schedule, SchedulerConfig,
-};
+use optimod::{DepStyle, LoopResult, Objective, OptimalScheduler, Schedule, SchedulerConfig};
 use optimod_ddg::{benchmark_corpus, CorpusSize, Loop};
 use optimod_machine::{cydra_like, Machine};
 
@@ -53,6 +55,10 @@ pub struct ExperimentConfig {
     pub budget: Duration,
     /// Per-loop branch-and-bound node cap.
     pub node_cap: u64,
+    /// Worker threads for the corpus driver (`0` = all cores, honoring
+    /// `OPTIMOD_THREADS`). Parallelism is across loops; each per-loop
+    /// solve runs single-threaded so statistics stay deterministic.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -61,12 +67,14 @@ impl Default for ExperimentConfig {
             corpus: CorpusSize::Small,
             budget: Duration::from_millis(2000),
             node_cap: 200_000,
+            threads: 0,
         }
     }
 }
 
 impl ExperimentConfig {
     /// Reads `OPTIMOD_CORPUS`, `OPTIMOD_BUDGET_MS`, and `OPTIMOD_NODE_CAP`.
+    /// (`OPTIMOD_THREADS` is resolved lazily by the parallel driver.)
     pub fn from_env() -> Self {
         let mut cfg = ExperimentConfig::default();
         match std::env::var("OPTIMOD_CORPUS").as_deref() {
@@ -99,15 +107,21 @@ impl ExperimentConfig {
     }
 
     /// A scheduler with this experiment's budgets.
+    ///
+    /// The solver is pinned to one thread: the harness parallelizes across
+    /// loops instead, which keeps per-loop node and iteration counts
+    /// bit-identical to a fully sequential run.
     pub fn scheduler(&self, style: DepStyle, objective: Objective) -> OptimalScheduler {
-        OptimalScheduler::new(
-            SchedulerConfig::new(style, objective)
-                .with_time_limit(self.budget)
-                .with_node_limit(self.node_cap),
-        )
+        let mut cfg = SchedulerConfig::new(style, objective)
+            .with_time_limit(self.budget)
+            .with_node_limit(self.node_cap);
+        cfg.limits.threads = 1;
+        OptimalScheduler::new(cfg)
     }
 
-    /// Runs one scheduler over the whole corpus.
+    /// Runs one scheduler over the whole corpus, one loop per worker task.
+    ///
+    /// Results come back in corpus order regardless of thread count.
     pub fn run_suite(
         &self,
         machine: &Machine,
@@ -116,14 +130,11 @@ impl ExperimentConfig {
         objective: Objective,
     ) -> Vec<LoopRecord> {
         let sched = self.scheduler(style, objective);
-        loops
-            .iter()
-            .map(|l| LoopRecord {
-                name: l.name().to_string(),
-                n_ops: l.num_ops(),
-                result: sched.schedule(l, machine),
-            })
-            .collect()
+        optimod_par::par_map(self.threads, loops, |_, l| LoopRecord {
+            name: l.name().to_string(),
+            n_ops: l.num_ops(),
+            result: sched.schedule(l, machine),
+        })
     }
 }
 
@@ -145,20 +156,17 @@ pub struct HeuristicRecord {
 /// Panics if IMS cannot schedule a loop at any `II` within its span, which
 /// would indicate a corpus or heuristic bug.
 pub fn run_heuristics(machine: &Machine, loops: &[Loop]) -> Vec<HeuristicRecord> {
-    loops
-        .iter()
-        .map(|l| {
-            let ims = ims_schedule(l, machine, &ImsConfig::default())
-                .unwrap_or_else(|| panic!("IMS failed on {}", l.name()))
-                .schedule;
-            let staged = stage_schedule(l, machine, &ims);
-            HeuristicRecord {
-                name: l.name().to_string(),
-                ims,
-                staged,
-            }
-        })
-        .collect()
+    optimod_par::par_map(0, loops, |_, l| {
+        let ims = ims_schedule(l, machine, &ImsConfig::default())
+            .unwrap_or_else(|| panic!("IMS failed on {}", l.name()))
+            .schedule;
+        let staged = stage_schedule(l, machine, &ims);
+        HeuristicRecord {
+            name: l.name().to_string(),
+            ims,
+            staged,
+        }
+    })
 }
 
 /// The paper's per-measurement summary: min, frequency of the min, median,
@@ -224,7 +232,11 @@ pub fn print_measurement_block(title: &str, records: &[LoopRecord]) {
         .iter()
         .filter(|r| r.result.status.scheduled())
         .collect();
-    println!("{title}: ({} loops scheduled of {})", ok.len(), records.len());
+    println!(
+        "{title}: ({} loops scheduled of {})",
+        ok.len(),
+        records.len()
+    );
     if ok.is_empty() {
         println!("  (nothing scheduled — raise OPTIMOD_BUDGET_MS)");
         return;
@@ -281,6 +293,7 @@ mod tests {
             corpus: CorpusSize::Small,
             budget: Duration::from_millis(300),
             node_cap: 5_000,
+            threads: 2,
         };
         let machine = cfg.machine();
         let loops: Vec<_> = cfg.corpus_loops(&machine).into_iter().take(8).collect();

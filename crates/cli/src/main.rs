@@ -8,6 +8,10 @@
 //!   --style <structured|traditional>                    (default structured)
 //!   --budget-ms <n>       per-loop solver budget        (default 10000)
 //!   --registers <n>       hard register-file cap
+//!   --threads <n>         branch-and-bound worker threads
+//!                         (default: OPTIMOD_THREADS, else all cores;
+//!                         1 = deterministic serial search)
+//!   --speculate           race II and II+1 solves concurrently
 //!   --expand              also print the MVE-expanded pipelined loop
 //!   --lp                  dump the ILP in CPLEX LP format instead of solving
 //! ```
@@ -21,8 +25,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use optimod::{
-    build_model, codegen, compute_mii, DepStyle, FormulationConfig, Objective,
-    OptimalScheduler, SchedulerConfig,
+    build_model, codegen, compute_mii, DepStyle, FormulationConfig, Objective, OptimalScheduler,
+    SchedulerConfig,
 };
 
 struct Options {
@@ -31,6 +35,8 @@ struct Options {
     style: DepStyle,
     budget: Duration,
     registers: Option<u32>,
+    threads: u32,
+    speculate: bool,
     expand: bool,
     lp: bool,
 }
@@ -43,6 +49,8 @@ fn parse_args() -> Result<Options, String> {
         style: DepStyle::Structured,
         budget: Duration::from_secs(10),
         registers: None,
+        threads: 0,
+        speculate: false,
         expand: false,
         lp: false,
     };
@@ -74,9 +82,13 @@ fn parse_args() -> Result<Options, String> {
             }
             "--registers" => {
                 let v = args.next().ok_or("--registers needs a value")?;
-                opts.registers =
-                    Some(v.parse().map_err(|_| "--registers must be an integer")?);
+                opts.registers = Some(v.parse().map_err(|_| "--registers must be an integer")?);
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| "--threads must be an integer")?;
+            }
+            "--speculate" => opts.speculate = true,
             "--expand" => opts.expand = true,
             "--lp" => opts.lp = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -93,7 +105,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
-[--style structured|traditional] [--budget-ms N] [--registers N] [--expand] [--lp]";
+[--style structured|traditional] [--budget-ms N] [--registers N] [--threads N] \
+[--speculate] [--expand] [--lp]";
 
 fn main() -> ExitCode {
     match run() {
@@ -140,9 +153,10 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let mut cfg = SchedulerConfig::new(opts.style, opts.objective)
-        .with_time_limit(opts.budget);
+    let mut cfg = SchedulerConfig::new(opts.style, opts.objective).with_time_limit(opts.budget);
     cfg.register_limit = opts.registers;
+    cfg.limits.threads = opts.threads;
+    cfg.speculate_ii = opts.speculate;
     let result = OptimalScheduler::new(cfg).schedule(&l, &machine);
 
     let Some(schedule) = &result.schedule else {
@@ -168,7 +182,10 @@ fn run() -> Result<(), String> {
             schedule.stage(id)
         );
     }
-    println!("\nmodulo reservation table:\n{}", schedule.mrt_to_string(&l));
+    println!(
+        "\nmodulo reservation table:\n{}",
+        schedule.mrt_to_string(&l)
+    );
     println!(
         "MaxLive = {}, buffers = {}, cumulative lifetime = {}",
         schedule.max_live(&l),

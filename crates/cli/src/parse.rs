@@ -71,15 +71,12 @@ pub fn parse(text: &str) -> Result<LoopFile, String> {
         match toks[0].as_str() {
             "op" => {
                 let name = toks.get(1).ok_or_else(|| err(lineno, "op needs a name"))?;
-                let class = toks
-                    .get(2)
-                    .ok_or_else(|| err(lineno, "op needs a class"))?;
+                let class = toks.get(2).ok_or_else(|| err(lineno, "op needs a class"))?;
                 if ids.contains_key(name) {
                     return Err(err(lineno, &format!("duplicate op '{name}'")));
                 }
-                let class = parse_class(class).ok_or_else(|| {
-                    err(lineno, &format!("unknown op class '{class}'"))
-                })?;
+                let class = parse_class(class)
+                    .ok_or_else(|| err(lineno, &format!("unknown op class '{class}'")))?;
                 ids.insert(name.clone(), b.op(class, name.clone()));
             }
             "flow" => {

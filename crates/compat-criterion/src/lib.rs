@@ -1,0 +1,266 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with `sample_size` and
+//! `bench_with_input`, `BenchmarkId`, `black_box`).
+//!
+//! The build environment has no crates.io mirror, so the real `criterion`
+//! cannot be fetched. Measurement here is deliberately simple: each
+//! benchmark runs a short warmup, then `sample_size` timed samples, and the
+//! report prints min / median / mean wall time per iteration. `--test` (as
+//! passed by `cargo test --benches`) runs every benchmark exactly once; a
+//! positional argument filters benchmarks by substring.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time one sample aims for; the per-sample iteration count is
+/// scaled so slow benchmarks still finish in a few samples.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            default_sample_size: 20,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test`, `--bench`,
+    /// and an optional substring filter).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => c.test_mode = true,
+                // Flags cargo/criterion pass that we can safely ignore.
+                "--bench" | "--nocapture" | "-q" | "--quiet" | "--verbose" => {}
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run(name.to_string(), sample_size, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Prints the closing line (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!(
+            "\n{} benchmark{} run{}",
+            self.ran,
+            if self.ran == 1 { "" } else { "s" },
+            if self.test_mode { " (test mode)" } else { "" }
+        );
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+        let mut b = Bencher {
+            samples: Vec::new(),
+            test_mode: self.test_mode,
+            sample_size,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{name}: ok");
+            return;
+        }
+        b.samples.sort();
+        let n = b.samples.len();
+        if n == 0 {
+            println!("{name}: no samples");
+            return;
+        }
+        let mean = b.samples.iter().sum::<Duration>() / n as u32;
+        println!(
+            "{name:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({n} samples)",
+            b.samples[0],
+            b.samples[n / 2],
+            mean
+        );
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.run(full, sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        let sample_size = self.sample_size;
+        self.criterion.run(full, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier built from a function name and a parameter
+/// (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times a closure (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`; per-iteration wall time is recorded.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup and per-sample iteration-count calibration.
+        let t = Instant::now();
+        black_box(routine());
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters);
+        }
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Default::default()
+        };
+        let mut hits = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("f", "p"), &21, |b, &x| {
+                b.iter(|| {
+                    hits += 1;
+                    x * 2
+                })
+            });
+            g.finish();
+        }
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        assert_eq!(hits, 1); // test mode: exactly one call
+        assert_eq!(c.ran, 2);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("yes".into()),
+            ..Default::default()
+        };
+        c.bench_function("yes-match", |b| b.iter(|| ()));
+        c.bench_function("no-match... well", |b| b.iter(|| ()));
+        assert_eq!(c.ran, 1);
+    }
+}

@@ -135,14 +135,7 @@ fn sources_for(l: &Loop, op: OpId, iter: i64, unroll: u32) -> Vec<String> {
 /// absolute while the naming iteration is shifted so that names line up
 /// with the kernel's copy numbering at the seam (kernel copy `j` executes
 /// absolute iterations `i ≡ j + stages - 1 (mod unroll)`).
-fn make_inst(
-    l: &Loop,
-    op: OpId,
-    cycle: i64,
-    iter: i64,
-    name_iter: i64,
-    unroll: u32,
-) -> Inst {
+fn make_inst(l: &Loop, op: OpId, cycle: i64, iter: i64, name_iter: i64, unroll: u32) -> Inst {
     Inst {
         cycle,
         op,
@@ -165,10 +158,7 @@ pub fn expand(l: &Loop, s: &Schedule) -> PipelinedLoop {
     let ii = s.ii() as i64;
     // Normalize times so min stage is 0.
     let min_stage = l.op_ids().map(|op| s.stage(op)).min().unwrap_or(0);
-    let times: Vec<i64> = l
-        .op_ids()
-        .map(|op| s.time(op) - min_stage * ii)
-        .collect();
+    let times: Vec<i64> = l.op_ids().map(|op| s.time(op) - min_stage * ii).collect();
     let max_time = times.iter().copied().max().unwrap_or(0);
     let stages = (max_time / ii + 1) as u32;
     let unroll = unroll_factor(l, s);
@@ -273,8 +263,8 @@ mod tests {
         let (_, l, s) = fig1();
         let p = expand(&l, &s);
         assert_eq!(p.stages, 4); // times 0..6 at II=2
-        // The prologue covers cycles [0, 6): iteration 0 fully up to t<6,
-        // iteration 1 shifted by 2, iteration 2 by 4.
+                                 // The prologue covers cycles [0, 6): iteration 0 fully up to t<6,
+                                 // iteration 1 shifted by 2, iteration 2 by 4.
         for i in &p.prologue {
             assert!(i.cycle < 6);
             assert_eq!(
@@ -380,8 +370,7 @@ mod tests {
                             // The register currently holding the wanted
                             // value...
                             let holder = file.iter().find_map(|(name, &(d, it))| {
-                                (d == vr.def.index() && it == want_iter)
-                                    .then_some(*name)
+                                (d == vr.def.index() && it == want_iter).then_some(*name)
                             });
                             let holder = holder.unwrap_or_else(|| {
                                 panic!(

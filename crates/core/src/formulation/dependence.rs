@@ -162,12 +162,9 @@ mod tests {
                 for distance in -2..=2i64 {
                     for t_from in 0..(3 * ii as i64) {
                         for t_to in 0..(3 * ii as i64) {
-                            let truth =
-                                t_to + distance * ii as i64 - t_from >= latency;
+                            let truth = t_to + distance * ii as i64 - t_from >= latency;
                             for style in [DepStyle::Traditional, DepStyle::Structured] {
-                                let got = accepts(
-                                    style, ii, 6, latency, distance, t_from, t_to,
-                                );
+                                let got = accepts(style, ii, 6, latency, distance, t_from, t_to);
                                 assert_eq!(
                                     got, truth,
                                     "style={style:?} ii={ii} l={latency} w={distance} \

@@ -194,11 +194,7 @@ pub fn build_model(
 
     // Assignment constraints (Eq. 1).
     for (i, rows) in a.iter().enumerate() {
-        model.add_eq(
-            rows.iter().map(|&v| (v, 1.0)),
-            1.0,
-            format!("assign[{i}]"),
-        );
+        model.add_eq(rows.iter().map(|&v| (v, 1.0)), 1.0, format!("assign[{i}]"));
     }
 
     // Dependence constraints for every scheduling edge.
@@ -239,11 +235,7 @@ pub fn build_model(
                 let row = (r - c as i64).rem_euclid(ii as i64) as usize;
                 expr.add_term(a[i][row], 1.0);
             }
-            model.add_le(
-                expr,
-                cap,
-                format!("res[{}][{r}]", machine.resource_name(q)),
-            );
+            model.add_le(expr, cap, format!("res[{}][{r}]", machine.resource_name(q)));
         }
     }
 

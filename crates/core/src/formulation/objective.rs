@@ -164,9 +164,7 @@ fn install_max_live(built: &mut BuiltModel, l: &Loop) {
     let ub: i64 = (0..l.vregs().len())
         .map(|v| kill_stage_bound(built, l, v) + 1)
         .sum();
-    let ml = built
-        .model
-        .int_var(0.0, ub.max(0) as f64, "max-live");
+    let ml = built.model.int_var(0.0, ub.max(0) as f64, "max-live");
     for r in 0..built.ii as usize {
         let mut expr = LinExpr::new();
         for v in 0..l.vregs().len() {
@@ -216,9 +214,7 @@ fn install_buffers_traditional(built: &mut BuiltModel, l: &Loop) {
     for (v, vr) in l.vregs().iter().enumerate() {
         let d = vr.def.index();
         let ub = kill_stage_bound(built, l, v) + 2;
-        let b = built
-            .model
-            .int_var(1.0, ub as f64, format!("buf[{v}]"));
+        let b = built.model.int_var(1.0, ub as f64, format!("buf[{v}]"));
         // b*II >= time(kill) - time(def) + 1, with times expanded into
         // row-weighted binaries and II-weighted stages (not 0-1-structured).
         let mut e = LinExpr::term(b, ii);
@@ -261,9 +257,7 @@ fn install_lifetime_traditional(built: &mut BuiltModel, l: &Loop) {
     for (v, vr) in l.vregs().iter().enumerate() {
         let d = vr.def.index();
         let ub = (kill_stage_bound(built, l, v) + 2) * ii;
-        let lv = built
-            .model
-            .int_var(0.0, ub as f64, format!("life[{v}]"));
+        let lv = built.model.int_var(0.0, ub as f64, format!("life[{v}]"));
         for (ui, u) in vr.uses.iter().enumerate() {
             let uop = u.op.index();
             // L_v >= time(use) + dist*II - time(def)
@@ -287,11 +281,9 @@ fn install_lifetime_traditional(built: &mut BuiltModel, l: &Loop) {
 
 fn install_sched_length(built: &mut BuiltModel, l: &Loop) {
     let ii = built.ii as i64;
-    let t = built.model.int_var(
-        0.0,
-        (built.num_stages * ii) as f64,
-        "makespan",
-    );
+    let t = built
+        .model
+        .int_var(0.0, (built.num_stages * ii) as f64, "makespan");
     for i in 0..l.num_ops() {
         let mut e = LinExpr::term(t, 1.0);
         for r in 0..built.ii as usize {

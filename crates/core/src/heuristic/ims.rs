@@ -53,7 +53,9 @@ pub struct ImsResult {
 /// at a large enough `II` the loop schedules sequentially).
 pub fn ims_schedule(l: &Loop, machine: &Machine, cfg: &ImsConfig) -> Option<ImsResult> {
     let mii = compute_mii(l, machine).value();
-    let budget = (l.num_ops() as u32).saturating_mul(cfg.budget_ratio).max(16);
+    let budget = (l.num_ops() as u32)
+        .saturating_mul(cfg.budget_ratio)
+        .max(16);
     for (attempt, ii) in (mii..=mii + cfg.max_ii_span).enumerate() {
         if let Some(schedule) = try_ii(l, machine, ii, budget) {
             debug_assert_eq!(schedule.validate(l, machine), None);
@@ -243,7 +245,10 @@ fn try_ii(l: &Loop, machine: &Machine, ii: u32, budget: u32) -> Option<Schedule>
     // Normalize so the earliest issue is cycle >= 0 (estart logic keeps
     // times non-negative already, but displacement churn can in principle
     // leave gaps; shifting by a multiple of II preserves rows).
-    let concrete: Vec<i64> = times.into_iter().map(|t| t.expect("all scheduled")).collect();
+    let concrete: Vec<i64> = times
+        .into_iter()
+        .map(|t| t.expect("all scheduled"))
+        .collect();
     let min = *concrete.iter().min().expect("non-empty loop");
     let shift = if min < 0 {
         min.div_euclid(ii_i) * ii_i // shift up by whole IIs

@@ -61,8 +61,7 @@ pub fn stage_schedule(l: &Loop, machine: &Machine, s: &Schedule) -> Schedule {
         let time = |i: usize| stages[i] * ii + rows[i];
         let mut cost = 0i64;
         for vr in l.vregs() {
-            let involved = vr.def.index() == op
-                || vr.uses.iter().any(|u| u.op.index() == op);
+            let involved = vr.def.index() == op || vr.uses.iter().any(|u| u.op.index() == op);
             if !involved {
                 continue;
             }
@@ -127,10 +126,7 @@ pub fn stage_schedule(l: &Loop, machine: &Machine, s: &Schedule) -> Schedule {
         }
     }
 
-    let out = Schedule::new(
-        s.ii(),
-        (0..n).map(|i| stages[i] * ii + rows[i]).collect(),
-    );
+    let out = Schedule::new(s.ii(), (0..n).map(|i| stages[i] * ii + rows[i]).collect());
     debug_assert_eq!(out.validate(l, machine), None);
     out
 }

@@ -97,10 +97,7 @@ pub fn allocate(l: &Loop, s: &Schedule) -> RotatingAllocation {
     let hi = placed.iter().map(|&(_, b)| b).max().expect("non-empty");
     let span_regs = ((hi - lo + 1) + ii - 1) / ii + 1;
     let file_size = span_regs.max(1) as u32;
-    RotatingAllocation {
-        offsets,
-        file_size,
-    }
+    RotatingAllocation { offsets, file_size }
 }
 
 /// Checks an allocation for collisions by brute force over a window of
@@ -170,13 +167,7 @@ mod tests {
                     .expect("ims")
                     .schedule;
                 let alloc = allocate(&l, &s);
-                assert_eq!(
-                    verify(&l, &s, &alloc),
-                    None,
-                    "{} on {}",
-                    l.name(),
-                    m.name()
-                );
+                assert_eq!(verify(&l, &s, &alloc), None, "{} on {}", l.name(), m.name());
                 assert!(
                     alloc.file_size >= s.max_live(&l),
                     "{}: file {} below MaxLive {}",

@@ -100,8 +100,8 @@ impl Schedule {
     pub fn check_dependences(&self, l: &Loop) -> Option<String> {
         let ii = self.ii as i64;
         for e in l.edges() {
-            let sep = self.times[e.to.index()] + ii * e.distance as i64
-                - self.times[e.from.index()];
+            let sep =
+                self.times[e.to.index()] + ii * e.distance as i64 - self.times[e.from.index()];
             if sep < e.latency {
                 return Some(format!(
                     "edge {}->{} (l={}, w={}): separation {sep}",

@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use optimod_ddg::Loop;
-use optimod_ilp::{SolveLimits, SolveStats, SolveStatus};
+use optimod_ilp::{SolveLimits, SolveOutcome, SolveStats, SolveStatus};
 use optimod_machine::Machine;
 
 use crate::formulation::{build_model, DepStyle, FormulationConfig, Objective};
@@ -24,7 +24,10 @@ pub struct SchedulerConfig {
     /// Secondary objective.
     pub objective: Objective,
     /// Total solver budget for the loop, across all tentative `II` values
-    /// (the paper allots 15 minutes per loop).
+    /// (the paper allots 15 minutes per loop). `limits.threads` selects the
+    /// branch-and-bound engine per solve (see
+    /// [`SolveLimits::resolve_threads`]); `limits.stop` cancels the whole
+    /// scheduling run cooperatively.
     pub limits: SolveLimits,
     /// Schedule-length slack beyond the dependence minimum (paper: 20).
     pub sched_len_slack: u32,
@@ -33,6 +36,14 @@ pub struct SchedulerConfig {
     /// Hard register-file constraint (`MaxLive <= limit`); `None` means
     /// unlimited registers, as in the paper's experiments.
     pub register_limit: Option<u32>,
+    /// Race `II` and `II + 1` speculatively on separate threads (each racer
+    /// gets half the worker budget). When the tentative `II` proves
+    /// infeasible — the common case until the achievable `II` is reached —
+    /// the `II + 1` result is already in hand; when `II` succeeds the
+    /// speculative racer is cancelled through its [`optimod_ilp::StopFlag`].
+    /// Off by default: speculation burns extra CPU and makes per-loop node
+    /// counts nondeterministic, so experiments keep it disabled.
+    pub speculate_ii: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -44,6 +55,7 @@ impl Default for SchedulerConfig {
             sched_len_slack: 20,
             max_ii_span: 64,
             register_limit: None,
+            speculate_ii: false,
         }
     }
 }
@@ -146,6 +158,11 @@ impl OptimalScheduler {
     }
 
     /// Schedules `l` on `machine`, escalating `II` from the MII.
+    ///
+    /// With [`SchedulerConfig::speculate_ii`] set (and more than one worker
+    /// thread available), `II` and `II + 1` are solved concurrently at each
+    /// escalation step; the `II + 1` racer is cancelled cooperatively when
+    /// `II` succeeds, and consulted when `II` proves infeasible.
     pub fn schedule(&self, l: &Loop, machine: &Machine) -> LoopResult {
         let start = Instant::now();
         let mii = compute_mii(l, machine);
@@ -158,81 +175,148 @@ impl OptimalScheduler {
         };
         let first_only = self.config.objective == Objective::FirstFeasible;
 
-        for ii in mii.value()..=mii.value() + self.config.max_ii_span {
+        let give_up = |status: LoopStatus, mut stats: SolveStats| {
+            stats.wall_time = start.elapsed();
+            LoopResult {
+                status,
+                mii,
+                ii: None,
+                schedule: None,
+                objective_value: None,
+                stats,
+            }
+        };
+
+        let end_ii = mii.value() + self.config.max_ii_span;
+        let mut ii = mii.value();
+        while ii <= end_ii {
             let elapsed = start.elapsed();
             if elapsed >= self.config.limits.time_limit
                 || stats.bb_nodes >= self.config.limits.node_limit
+                || self.config.limits.stop.is_stopped()
             {
-                stats.wall_time = elapsed;
-                return LoopResult {
-                    status: LoopStatus::TimedOut,
-                    mii,
-                    ii: None,
-                    schedule: None,
-                    objective_value: None,
-                    stats,
-                };
+                return give_up(LoopStatus::TimedOut, stats);
             }
             let Some(built) = build_model(l, machine, ii, &cfg) else {
+                ii += 1;
                 continue; // below RecMII (possible only via direct calls)
             };
             let limits = SolveLimits {
                 time_limit: self.config.limits.time_limit - elapsed,
                 node_limit: self.config.limits.node_limit - stats.bb_nodes,
-                iteration_limit: self.config.limits.iteration_limit,
-                branch_rule: self.config.limits.branch_rule,
                 first_solution_only: first_only,
-                cutoff: self.config.limits.cutoff,
+                ..self.config.limits.clone()
             };
-            let out = built.model.solve_with(limits);
+
+            // Speculation: solve `ii + 1` concurrently on half the workers.
+            let threads = limits.resolve_threads();
+            let mut speculative = None;
+            let out = if self.config.speculate_ii && threads > 1 && ii < end_ii {
+                if let Some(built_next) = build_model(l, machine, ii + 1, &cfg) {
+                    let half = (threads / 2).max(1) as u32;
+                    let stop_next = self.config.limits.stop.child();
+                    let limits_main = SolveLimits {
+                        threads: half,
+                        stop: self.config.limits.stop.child(),
+                        ..limits.clone()
+                    };
+                    let limits_next = SolveLimits {
+                        threads: half,
+                        stop: stop_next.clone(),
+                        ..limits
+                    };
+                    let (out, out_next) = std::thread::scope(|scope| {
+                        let racer = scope.spawn(|| built_next.model.solve_with(limits_next));
+                        let out = built.model.solve_with(limits_main);
+                        if out.status != SolveStatus::Infeasible {
+                            // Scheduled at `ii` (or giving up): the
+                            // speculative result will not be consulted.
+                            stop_next.stop();
+                        }
+                        (out, racer.join().expect("speculative solver panicked"))
+                    });
+                    stats.absorb(&out_next.stats);
+                    speculative = Some((built_next, out_next));
+                    out
+                } else {
+                    built.model.solve_with(limits)
+                }
+            } else {
+                built.model.solve_with(limits)
+            };
             stats.absorb(&out.stats);
+
             match out.status {
                 SolveStatus::Optimal | SolveStatus::Feasible => {
-                    let schedule = built.extract_schedule(&out);
-                    debug_assert_eq!(schedule.validate(l, machine), None);
-                    stats.wall_time = start.elapsed();
-                    return LoopResult {
-                        status: if out.status == SolveStatus::Optimal {
-                            LoopStatus::Optimal
-                        } else {
-                            LoopStatus::FeasibleOnly
-                        },
-                        mii,
-                        ii: Some(ii),
-                        schedule: Some(schedule),
-                        objective_value: (!first_only).then(|| {
-                            // Our objectives are all integral; strip float
-                            // noise from the simplex.
-                            if (out.objective - out.objective.round()).abs() < 1e-6 {
-                                out.objective.round()
-                            } else {
-                                out.objective
+                    return self.scheduled(l, machine, &built, &out, ii, mii, stats, start);
+                }
+                SolveStatus::Infeasible => {
+                    if let Some((built_next, out_next)) = speculative {
+                        match out_next.status {
+                            SolveStatus::Optimal | SolveStatus::Feasible => {
+                                return self.scheduled(
+                                    l,
+                                    machine,
+                                    &built_next,
+                                    &out_next,
+                                    ii + 1,
+                                    mii,
+                                    stats,
+                                    start,
+                                );
                             }
-                        }),
-                        stats,
-                    };
+                            SolveStatus::Infeasible => {
+                                ii += 2; // both candidates refuted
+                                continue;
+                            }
+                            SolveStatus::LimitReached => {
+                                return give_up(LoopStatus::TimedOut, stats)
+                            }
+                        }
+                    }
+                    ii += 1;
                 }
-                SolveStatus::Infeasible => continue,
-                SolveStatus::LimitReached => {
-                    stats.wall_time = start.elapsed();
-                    return LoopResult {
-                        status: LoopStatus::TimedOut,
-                        mii,
-                        ii: None,
-                        schedule: None,
-                        objective_value: None,
-                        stats,
-                    };
-                }
+                SolveStatus::LimitReached => return give_up(LoopStatus::TimedOut, stats),
             }
         }
+        give_up(LoopStatus::Infeasible, stats)
+    }
+
+    /// Packages a successful solve into a [`LoopResult`].
+    #[allow(clippy::too_many_arguments)] // internal plumbing of loop-local state
+    fn scheduled(
+        &self,
+        l: &Loop,
+        machine: &Machine,
+        built: &crate::formulation::BuiltModel,
+        out: &SolveOutcome,
+        ii: u32,
+        mii: Mii,
+        mut stats: SolveStats,
+        start: Instant,
+    ) -> LoopResult {
+        let first_only = self.config.objective == Objective::FirstFeasible;
+        let schedule = built.extract_schedule(out);
+        debug_assert_eq!(schedule.validate(l, machine), None);
         stats.wall_time = start.elapsed();
         LoopResult {
-            status: LoopStatus::Infeasible,
+            status: if out.status == SolveStatus::Optimal {
+                LoopStatus::Optimal
+            } else {
+                LoopStatus::FeasibleOnly
+            },
             mii,
-            ii: None,
-            schedule: None,
-            objective_value: None,
+            ii: Some(ii),
+            schedule: Some(schedule),
+            objective_value: (!first_only).then(|| {
+                // Our objectives are all integral; strip float noise from
+                // the simplex.
+                if (out.objective - out.objective.round()).abs() < 1e-6 {
+                    out.objective.round()
+                } else {
+                    out.objective
+                }
+            }),
             stats,
         }
     }
@@ -254,7 +338,7 @@ impl OptimalScheduler {
         };
         let limits = SolveLimits {
             first_solution_only: true,
-            ..self.config.limits
+            ..self.config.limits.clone()
         };
         match built.model.solve_with(limits).status {
             SolveStatus::Optimal | SolveStatus::Feasible => Some(true),
@@ -311,10 +395,7 @@ mod tests {
         ] {
             let mut results = Vec::new();
             for style in [DepStyle::Traditional, DepStyle::Structured] {
-                let s = OptimalScheduler::new(SchedulerConfig::new(
-                    style,
-                    Objective::MinMaxLive,
-                ));
+                let s = OptimalScheduler::new(SchedulerConfig::new(style, Objective::MinMaxLive));
                 let r = s.schedule(&l, &m);
                 assert_eq!(r.status, LoopStatus::Optimal, "{} {style:?}", l.name());
                 results.push((r.ii, r.objective_value));
@@ -359,6 +440,48 @@ mod tests {
         assert_eq!(r.objective_value, Some(6.0));
         assert_eq!(sched.length(), 7);
         assert_eq!(sched.validate(&l, &m), None);
+    }
+
+    #[test]
+    fn speculative_ii_race_matches_sequential_escalation() {
+        let m = example_3fu();
+        for l in [
+            kernels::figure1(&m),
+            kernels::lfk5_tridiag(&m),
+            kernels::dot_product(&m),
+        ] {
+            let baseline = OptimalScheduler::new(SchedulerConfig::default()).schedule(&l, &m);
+            let mut cfg = SchedulerConfig {
+                speculate_ii: true,
+                ..Default::default()
+            };
+            cfg.limits.threads = 2;
+            let raced = OptimalScheduler::new(cfg).schedule(&l, &m);
+            assert_eq!(raced.status, baseline.status, "{}", l.name());
+            assert_eq!(raced.ii, baseline.ii, "{}", l.name());
+            assert_eq!(
+                raced.objective_value,
+                baseline.objective_value,
+                "{}",
+                l.name()
+            );
+            assert_eq!(
+                raced.schedule.unwrap().validate(&l, &m),
+                None,
+                "{}",
+                l.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stopped_scheduler_reports_timeout() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let cfg = SchedulerConfig::default();
+        cfg.limits.stop.stop();
+        let r = OptimalScheduler::new(cfg).schedule(&l, &m);
+        assert_eq!(r.status, LoopStatus::TimedOut);
     }
 
     #[test]

@@ -11,9 +11,7 @@
 use std::time::Duration;
 
 use optimod::heuristic::{ims_schedule, ImsConfig};
-use optimod::{
-    DepStyle, LoopStatus, Objective, OptimalScheduler, SchedulerConfig,
-};
+use optimod::{DepStyle, LoopStatus, Objective, OptimalScheduler, SchedulerConfig};
 use optimod_ddg::{generate_loop, GeneratorConfig};
 use optimod_machine::{example_3fu, vliw_4issue, Machine};
 
@@ -29,8 +27,7 @@ fn small_cfg() -> GeneratorConfig {
 
 fn scheduler(style: DepStyle, objective: Objective) -> OptimalScheduler {
     OptimalScheduler::new(
-        SchedulerConfig::new(style, objective)
-            .with_time_limit(Duration::from_secs(30)),
+        SchedulerConfig::new(style, objective).with_time_limit(Duration::from_secs(30)),
     )
 }
 
@@ -47,10 +44,8 @@ fn formulations_agree_on_ii_and_maxlive() {
         for seed in 0..30 {
             let l = generate_loop(&cfg, &machine, seed);
             attempted += 1;
-            let a = scheduler(DepStyle::Traditional, Objective::MinMaxLive)
-                .schedule(&l, &machine);
-            let b = scheduler(DepStyle::Structured, Objective::MinMaxLive)
-                .schedule(&l, &machine);
+            let a = scheduler(DepStyle::Traditional, Objective::MinMaxLive).schedule(&l, &machine);
+            let b = scheduler(DepStyle::Structured, Objective::MinMaxLive).schedule(&l, &machine);
             // Loops where either style exhausts its budget carry no
             // equivalence information (the paper, too, compares only loops
             // "successfully scheduled by both formulations").
@@ -60,7 +55,8 @@ fn formulations_agree_on_ii_and_maxlive() {
             compared += 1;
             assert_eq!(a.ii, b.ii, "{} II mismatch", l.name());
             assert_eq!(
-                a.objective_value, b.objective_value,
+                a.objective_value,
+                b.objective_value,
                 "{} MaxLive mismatch",
                 l.name()
             );
@@ -81,8 +77,7 @@ fn reported_maxlive_matches_schedule_ground_truth() {
         for seed in 30..55 {
             let l = generate_loop(&cfg, &machine, seed);
             attempted += 1;
-            let r = scheduler(DepStyle::Structured, Objective::MinMaxLive)
-                .schedule(&l, &machine);
+            let r = scheduler(DepStyle::Structured, Objective::MinMaxLive).schedule(&l, &machine);
             if r.status != LoopStatus::Optimal {
                 continue;
             }
@@ -110,10 +105,8 @@ fn formulations_agree_on_buffers() {
     let mut compared = 0;
     for seed in 0..20 {
         let l = generate_loop(&cfg, &machine, seed);
-        let a = scheduler(DepStyle::Traditional, Objective::MinBuffers)
-            .schedule(&l, &machine);
-        let b = scheduler(DepStyle::Structured, Objective::MinBuffers)
-            .schedule(&l, &machine);
+        let a = scheduler(DepStyle::Traditional, Objective::MinBuffers).schedule(&l, &machine);
+        let b = scheduler(DepStyle::Structured, Objective::MinBuffers).schedule(&l, &machine);
         if a.status != LoopStatus::Optimal || b.status != LoopStatus::Optimal {
             continue;
         }
@@ -129,7 +122,10 @@ fn formulations_agree_on_buffers() {
             l.name()
         );
     }
-    assert!(compared >= 14, "only {compared}/20 buffer loops solved by both");
+    assert!(
+        compared >= 14,
+        "only {compared}/20 buffer loops solved by both"
+    );
 }
 
 #[test]
@@ -139,10 +135,8 @@ fn formulations_agree_on_cumulative_lifetime() {
     let mut compared = 0;
     for seed in 20..40 {
         let l = generate_loop(&cfg, &machine, seed);
-        let a = scheduler(DepStyle::Traditional, Objective::MinCumLifetime)
-            .schedule(&l, &machine);
-        let b = scheduler(DepStyle::Structured, Objective::MinCumLifetime)
-            .schedule(&l, &machine);
+        let a = scheduler(DepStyle::Traditional, Objective::MinCumLifetime).schedule(&l, &machine);
+        let b = scheduler(DepStyle::Structured, Objective::MinCumLifetime).schedule(&l, &machine);
         if a.status != LoopStatus::Optimal || b.status != LoopStatus::Optimal {
             continue;
         }
@@ -167,7 +161,10 @@ fn formulations_agree_on_cumulative_lifetime() {
             l.name()
         );
     }
-    assert!(compared >= 14, "only {compared}/20 lifetime loops solved by both");
+    assert!(
+        compared >= 14,
+        "only {compared}/20 lifetime loops solved by both"
+    );
 }
 
 #[test]
@@ -179,10 +176,8 @@ fn noobj_iis_agree_across_styles() {
     let machine = vliw_4issue();
     for seed in 100..130 {
         let l = generate_loop(&cfg, &machine, seed);
-        let a = scheduler(DepStyle::Traditional, Objective::FirstFeasible)
-            .schedule(&l, &machine);
-        let b = scheduler(DepStyle::Structured, Objective::FirstFeasible)
-            .schedule(&l, &machine);
+        let a = scheduler(DepStyle::Traditional, Objective::FirstFeasible).schedule(&l, &machine);
+        let b = scheduler(DepStyle::Structured, Objective::FirstFeasible).schedule(&l, &machine);
         if !a.status.scheduled() || !b.status.scheduled() {
             continue;
         }
@@ -203,8 +198,7 @@ fn optimal_ii_is_a_floor_for_ims() {
     let machine = vliw_4issue();
     for seed in 200..225 {
         let l = generate_loop(&cfg, &machine, seed);
-        let opt = scheduler(DepStyle::Structured, Objective::FirstFeasible)
-            .schedule(&l, &machine);
+        let opt = scheduler(DepStyle::Structured, Objective::FirstFeasible).schedule(&l, &machine);
         let Some(opt_ii) = opt.ii else { continue };
         let ims = ims_schedule(&l, &machine, &ImsConfig::default()).expect("ims");
         assert!(
@@ -226,8 +220,7 @@ fn minreg_is_a_floor_for_stage_scheduled_ims() {
         let l = generate_loop(&cfg, &machine, seed);
         let ims = ims_schedule(&l, &machine, &ImsConfig::default()).expect("ims");
         let staged = stage_schedule(&l, &machine, &ims.schedule);
-        let opt = scheduler(DepStyle::Structured, Objective::MinMaxLive)
-            .schedule(&l, &machine);
+        let opt = scheduler(DepStyle::Structured, Objective::MinMaxLive).schedule(&l, &machine);
         if opt.status == LoopStatus::Optimal && opt.ii == Some(ims.schedule.ii()) {
             assert!(
                 opt.objective_value.unwrap() <= staged.max_live(&l) as f64,

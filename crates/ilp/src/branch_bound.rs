@@ -7,12 +7,27 @@
 //! are no cuts, no heuristics, and no presolve, so the branch-and-bound node
 //! count directly reflects the tightness of the formulation — which is
 //! exactly the quantity the paper uses to compare formulations.
+//!
+//! Two search engines share the node logic:
+//!
+//! * **Serial** ([`SolveLimits::threads`] resolving to 1): an explicit
+//!   open-node stack that reproduces the classic recursive DFS order
+//!   exactly — node counts and simplex-iteration totals are bit-identical
+//!   run to run, which the figure/table experiments depend on. The explicit
+//!   stack also removes any recursion-depth limit on deep searches.
+//! * **Parallel** (threads > 1): a work-stealing pool where each worker
+//!   owns a private [`Simplex`] workspace and a deque of open nodes
+//!   (depth-first from the back of its own deque, stealing from the front
+//!   of others'), sharing the incumbent through an atomic. Node counts may
+//!   vary between runs — statuses and optimal objectives do not.
 
 use std::time::{Duration, Instant};
 
 use crate::model::{Model, Sense, VarId};
+use crate::parallel;
 use crate::simplex::{LpStatus, Simplex, SimplexOptions};
 use crate::solution::{SolveOutcome, SolveStats, SolveStatus};
+use crate::stop::StopFlag;
 use crate::INT_TOL;
 
 /// Rule for choosing the branching variable among fractional candidates.
@@ -38,11 +53,59 @@ pub enum BranchRule {
     HighestIndexUp,
 }
 
+/// Picks the branching variable under `rule` from the fractional integer
+/// variables of an LP point. Shared by the serial and parallel engines so
+/// both walk the same tree shape.
+pub(crate) fn choose_branch(
+    rule: BranchRule,
+    int_vars: &[VarId],
+    values: &[f64],
+) -> Option<(VarId, f64)> {
+    let mut branch: Option<(VarId, f64)> = None;
+    let mut best_frac = 0.0;
+    for &v in int_vars {
+        let x = values[v.index()];
+        let frac = (x - x.round()).abs();
+        if frac > INT_TOL {
+            match rule {
+                BranchRule::FirstFractional => return Some((v, x)),
+                BranchRule::HighestIndexUp => {
+                    branch = Some((v, x)); // int_vars is index-ordered
+                }
+                BranchRule::MostFractional | BranchRule::MostFractionalUp => {
+                    let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
+                    let score = 0.5 - dist;
+                    if branch.is_none() || score > best_frac {
+                        best_frac = score;
+                        branch = Some((v, x));
+                    }
+                }
+            }
+        }
+    }
+    branch
+}
+
+/// Whether to explore the down (floor) child before the up (ceil) child.
+pub(crate) fn down_child_first(rule: BranchRule, bx: f64, floor: f64) -> bool {
+    match rule {
+        BranchRule::MostFractionalUp | BranchRule::HighestIndexUp => false,
+        _ => bx - floor <= 0.5,
+    }
+}
+
+/// Rounds an LP bound up to the next representable objective value when the
+/// objective is integral over integer solutions.
+#[inline]
+pub(crate) fn tighten_integral_bound(bound: f64) -> f64 {
+    (bound - 1e-6).ceil()
+}
+
 /// Resource limits for one branch-and-bound solve.
 ///
 /// The paper caps each loop at 15 minutes of CPLEX time; [`SolveLimits`]
 /// plays the same role here with both a wall-clock deadline and a node cap.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveLimits {
     /// Wall-clock limit for the whole solve.
     pub time_limit: Duration,
@@ -62,6 +125,16 @@ pub struct SolveLimits {
     /// a cutoff means "nothing better than the cutoff exists" — the caller
     /// already holds a solution attaining it.
     pub cutoff: Option<f64>,
+    /// Worker threads for the search. `1` (the experiments' setting) runs
+    /// the deterministic serial DFS; `n > 1` runs the work-stealing
+    /// parallel search; `0` resolves from the environment — the
+    /// `OPTIMOD_THREADS` variable when set, otherwise the machine's
+    /// available parallelism.
+    pub threads: u32,
+    /// Cooperative cancellation observed between nodes and inside every LP
+    /// pivot loop. Cloning `SolveLimits` shares the flag, so a caller can
+    /// keep a clone and stop a solve running on another thread.
+    pub stop: StopFlag,
 }
 
 impl Default for SolveLimits {
@@ -73,6 +146,8 @@ impl Default for SolveLimits {
             branch_rule: BranchRule::default(),
             first_solution_only: false,
             cutoff: None,
+            threads: 0,
+            stop: StopFlag::new(),
         }
     }
 }
@@ -83,6 +158,17 @@ impl SolveLimits {
         SolveLimits {
             time_limit,
             ..Default::default()
+        }
+    }
+
+    /// The effective worker-thread count: the `threads` field when
+    /// positive, otherwise `OPTIMOD_THREADS` from the environment, falling
+    /// back to the machine's available parallelism.
+    pub fn resolve_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads as usize
+        } else {
+            optimod_par::default_threads()
         }
     }
 }
@@ -117,7 +203,7 @@ struct Search<'a> {
     incumbent: Option<(f64, Vec<f64>)>, // objective in minimize sense
     /// External cutoff converted to minimize sense (+inf when unset).
     cutoff_min: f64,
-    best_bound: f64,                    // minimize sense
+    best_bound: f64, // minimize sense
     stats: SolveStats,
     int_vars: Vec<VarId>,
     limit_hit: bool,
@@ -142,15 +228,22 @@ impl Solver {
     pub fn solve(&self, model: &Model) -> SolveOutcome {
         let start = Instant::now();
         let minimize = model.obj_sense == Sense::Minimize;
-        // Individual LP solves must not overshoot the whole-solve budget.
-        let mut opts = self.simplex_options;
+        // Individual LP solves must not overshoot the whole-solve budget,
+        // and must observe the caller's cancellation flag.
+        let mut opts = self.simplex_options.clone();
         if let Some(budget_end) = start.checked_add(self.limits.time_limit) {
             opts.deadline = Some(opts.deadline.map_or(budget_end, |d| d.min(budget_end)));
         }
+        opts.stop = self.limits.stop.clone();
+
+        if self.limits.resolve_threads() > 1 {
+            return parallel::solve(model, &self.limits, &opts, start);
+        }
+
         let mut search = Search {
             model,
             simplex: Simplex::new(model),
-            limits: self.limits,
+            limits: self.limits.clone(),
             opts,
             start,
             minimize,
@@ -185,9 +278,8 @@ impl Solver {
             }
         }
 
-        let root_pruned = search.explore(&mut lb, &mut ub, 0);
-        let proven_infeasible =
-            root_pruned == Explored::Infeasible && search.incumbent.is_none();
+        let root_result = search.run(&mut lb, &mut ub);
+        let proven_infeasible = root_result == Explored::Infeasible && search.incumbent.is_none();
         search.finish(proven_infeasible)
     }
 }
@@ -197,6 +289,20 @@ enum Explored {
     Done,
     Infeasible,
     Stop,
+}
+
+/// One entry of the explicit DFS stack. `Node` expands the subproblem
+/// defined by the *current* contents of the bound arrays; the `Set*`
+/// frames mutate one bound in place, serving both as "apply child bound"
+/// (pushed below a `Node`) and as "undo on the way back up" (pushed below
+/// the sibling's frames). This replaces recursion one-for-one: frames are
+/// pushed in reverse execution order, so popping replays exactly the
+/// recursive apply/explore/restore sequence — same node order, same node
+/// count — without consuming call stack on deep searches.
+enum Frame {
+    Node { depth: u32 },
+    SetLb { j: usize, v: f64 },
+    SetUb { j: usize, v: f64 },
 }
 
 impl Search<'_> {
@@ -221,6 +327,7 @@ impl Search<'_> {
         if self.start.elapsed() >= self.limits.time_limit
             || self.stats.bb_nodes >= self.limits.node_limit
             || self.stats.simplex_iterations >= self.limits.iteration_limit
+            || self.limits.stop.is_stopped()
         {
             self.limit_hit = true;
             true
@@ -229,17 +336,49 @@ impl Search<'_> {
         }
     }
 
-    /// Depth-first exploration; `depth == 0` is the root relaxation, which
-    /// is not counted as a branch-and-bound node (matching the paper, where
-    /// "0 nodes" means the root LP was already integral).
-    fn explore(&mut self, lb: &mut [f64], ub: &mut [f64], depth: u32) -> Explored {
+    /// Iterative depth-first exploration from the root relaxation.
+    /// Returns the root's own classification (`Infeasible` only when the
+    /// root LP itself was infeasible — a child's infeasibility just prunes
+    /// that subtree, as in the recursive formulation).
+    fn run(&mut self, lb: &mut [f64], ub: &mut [f64]) -> Explored {
+        let mut stack: Vec<Frame> = vec![Frame::Node { depth: 0 }];
+        let mut root_result = Explored::Done;
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::SetLb { j, v } => lb[j] = v,
+                Frame::SetUb { j, v } => ub[j] = v,
+                Frame::Node { depth } => match self.expand(lb, ub, depth, &mut stack) {
+                    Explored::Stop => return Explored::Stop,
+                    r => {
+                        if depth == 0 {
+                            root_result = r;
+                        }
+                    }
+                },
+            }
+        }
+        root_result
+    }
+
+    /// Processes one node: budget check, LP relaxation, prune / record /
+    /// branch. Child subproblems are pushed onto `stack`; `depth == 0` is
+    /// the root relaxation, which is not counted as a branch-and-bound node
+    /// (matching the paper, where "0 nodes" means the root LP was already
+    /// integral).
+    fn expand(
+        &mut self,
+        lb: &mut [f64],
+        ub: &mut [f64],
+        depth: u32,
+        stack: &mut Vec<Frame>,
+    ) -> Explored {
         if self.out_of_budget() {
             return Explored::Stop;
         }
         if depth > 0 {
             self.stats.bb_nodes += 1;
         }
-        let lp = self.simplex.solve(lb, ub, self.opts);
+        let lp = self.simplex.solve(lb, ub, &self.opts);
         self.stats.lp_solves += 1;
         self.stats.simplex_iterations += lp.iterations;
         match lp.status {
@@ -260,7 +399,7 @@ impl Search<'_> {
         let mut bound = self.to_min(lp.objective);
         if self.integral_objective {
             // Any integral solution has an integral objective: round up.
-            bound = (bound - 1e-6).ceil();
+            bound = tighten_integral_bound(bound);
         }
         if depth == 0 {
             self.best_bound = bound;
@@ -274,41 +413,10 @@ impl Search<'_> {
             return Explored::Done; // pruned by incumbent or external cutoff
         }
 
-        // Find a fractional integer variable.
-        let mut branch: Option<(VarId, f64)> = None;
-        let mut best_frac = 0.0;
-        for &v in &self.int_vars {
-            let x = lp.values[v.index()];
-            let frac = (x - x.round()).abs();
-            if frac > INT_TOL {
-                match self.limits.branch_rule {
-                    BranchRule::FirstFractional => {
-                        branch = Some((v, x));
-                        break;
-                    }
-                    BranchRule::HighestIndexUp => {
-                        branch = Some((v, x)); // int_vars is index-ordered
-                    }
-                    BranchRule::MostFractional | BranchRule::MostFractionalUp => {
-                        let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
-                        let score = 0.5 - dist;
-                        if branch.is_none() || score > best_frac {
-                            best_frac = score;
-                            branch = Some((v, x));
-                        }
-                    }
-                }
-            }
-        }
-
-        let Some((bv, bx)) = branch else {
+        let Some((bv, bx)) = choose_branch(self.limits.branch_rule, &self.int_vars, &lp.values)
+        else {
             // Integral solution.
             let obj = self.to_min(lp.objective);
-            let threshold = self
-                .incumbent
-                .as_ref()
-                .map_or(f64::INFINITY, |(inc, _)| *inc)
-                .min(self.cutoff_min);
             if obj < threshold - 1e-9 {
                 self.incumbent = Some((obj, lp.values.clone()));
             }
@@ -324,7 +432,7 @@ impl Search<'_> {
         let (old_lb, old_ub) = (lb[j], ub[j]);
         // Defensive: an LP value outside the node bounds signals a numerical
         // failure in the relaxation; branching would not shrink the domain
-        // and the search could recurse forever.
+        // and the search could loop forever.
         if floor >= old_ub || floor + 1.0 <= old_lb {
             debug_assert!(
                 false,
@@ -334,31 +442,29 @@ impl Search<'_> {
             self.limit_hit = true;
             return Explored::Stop;
         }
-        let down_first = match self.limits.branch_rule {
-            BranchRule::MostFractionalUp | BranchRule::HighestIndexUp => false,
-            _ => bx - floor <= 0.5,
-        };
+        let down_first = down_child_first(self.limits.branch_rule, bx, floor);
 
-        let run = |this: &mut Self, lb: &mut [f64], ub: &mut [f64], down: bool| {
+        // Push apply / explore / restore frames for both children in
+        // reverse execution order (the down child tightens the upper bound
+        // to `floor`, the up child raises the lower bound to `floor + 1`).
+        let child = |down: bool| {
             if down {
-                ub[j] = floor;
+                (Frame::SetUb { j, v: floor }, Frame::SetUb { j, v: old_ub })
             } else {
-                lb[j] = floor + 1.0;
+                (
+                    Frame::SetLb { j, v: floor + 1.0 },
+                    Frame::SetLb { j, v: old_lb },
+                )
             }
-            let r = this.explore(lb, ub, depth + 1);
-            lb[j] = old_lb;
-            ub[j] = old_ub;
-            r
         };
-
-        let first = run(self, lb, ub, down_first);
-        if first == Explored::Stop {
-            return Explored::Stop;
-        }
-        let second = run(self, lb, ub, !down_first);
-        if second == Explored::Stop {
-            return Explored::Stop;
-        }
+        let (first_apply, first_restore) = child(down_first);
+        let (second_apply, second_restore) = child(!down_first);
+        stack.push(second_restore);
+        stack.push(Frame::Node { depth: depth + 1 });
+        stack.push(second_apply);
+        stack.push(first_restore);
+        stack.push(Frame::Node { depth: depth + 1 });
+        stack.push(first_apply);
         Explored::Done
     }
 
@@ -451,10 +557,7 @@ mod tests {
         let mut m = Model::new();
         let xs: Vec<_> = (0..3).map(|i| m.bool_var(format!("x{i}"))).collect();
         m.add_eq(xs.iter().map(|&x| (x, 1.0)), 1.0, "one");
-        m.set_objective(
-            Sense::Maximize,
-            [(xs[0], 1.0), (xs[1], 5.0), (xs[2], 3.0)],
-        );
+        m.set_objective(Sense::Maximize, [(xs[0], 1.0), (xs[1], 5.0), (xs[2], 3.0)]);
         let out = m.solve();
         assert_eq!(out.status, SolveStatus::Optimal);
         assert_eq!(out.int_value(xs[1]), 1);
@@ -537,5 +640,98 @@ mod tests {
         let out = m.solve();
         assert_eq!(out.status, SolveStatus::Optimal);
         assert!((out.objective - 2.75).abs() < 1e-6, "{}", out.objective);
+    }
+
+    /// A knapsack-style model big enough to force some branching.
+    fn branching_model(n: usize) -> Model {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..n).map(|i| m.bool_var(format!("x{i}"))).collect();
+        let weights: Vec<f64> = (0..n).map(|i| 2.0 + ((i * 7) % 5) as f64).collect();
+        let values: Vec<f64> = (0..n).map(|i| 3.0 + ((i * 11) % 7) as f64).collect();
+        m.add_le(
+            xs.iter().zip(&weights).map(|(&x, &w)| (x, w)),
+            weights.iter().sum::<f64>() / 2.5,
+            "cap",
+        );
+        m.set_objective(
+            Sense::Maximize,
+            xs.iter().zip(&values).map(|(&x, &v)| (x, v)),
+        );
+        m
+    }
+
+    #[test]
+    fn parallel_matches_serial_objective() {
+        let m = branching_model(14);
+        let serial = m.solve_with(SolveLimits {
+            threads: 1,
+            ..Default::default()
+        });
+        assert_eq!(serial.status, SolveStatus::Optimal);
+        for threads in [2, 4] {
+            let par = m.solve_with(SolveLimits {
+                threads,
+                ..Default::default()
+            });
+            assert_eq!(par.status, SolveStatus::Optimal, "{threads} threads");
+            assert!(
+                (par.objective - serial.objective).abs() < 1e-6,
+                "{threads} threads: {} vs {}",
+                par.objective,
+                serial.objective
+            );
+            assert!(m.check_feasible(&par.values, 1e-6).is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.int_var(0.0, 10.0, "x");
+        m.add_ge([(x, 3.0)], 4.0, "lo");
+        m.add_le([(x, 3.0)], 5.0, "hi");
+        let out = m.solve_with(SolveLimits {
+            threads: 4,
+            ..Default::default()
+        });
+        assert_eq!(out.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn parallel_respects_node_limit() {
+        let m = branching_model(18);
+        let out = m.solve_with(SolveLimits {
+            threads: 4,
+            node_limit: 3,
+            ..Default::default()
+        });
+        // The node counter may overshoot by at most one in-flight node per
+        // worker.
+        assert!(out.stats.bb_nodes <= 3 + 4, "{}", out.stats.bb_nodes);
+        match out.status {
+            SolveStatus::Feasible | SolveStatus::LimitReached | SolveStatus::Optimal => {}
+            SolveStatus::Infeasible => panic!("problem is feasible"),
+        }
+    }
+
+    #[test]
+    fn stop_flag_cancels_solve() {
+        let m = branching_model(20);
+        let limits = SolveLimits::default();
+        limits.stop.stop(); // cancelled before it starts
+        let out = m.solve_with(limits);
+        assert_eq!(out.status, SolveStatus::LimitReached);
+    }
+
+    #[test]
+    fn parallel_first_solution_is_feasible() {
+        let m = branching_model(12);
+        let out = m.solve_with(SolveLimits {
+            threads: 4,
+            first_solution_only: true,
+            ..Default::default()
+        });
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!(m.check_feasible(&out.values, 1e-6).is_none());
     }
 }

@@ -37,9 +37,7 @@ pub fn lp_format(model: &Model) -> String {
             clean.push('v');
         }
         // LP-format names must not begin with a digit.
-        format!("v{j}_{clean}")
-            .trim_end_matches('_')
-            .to_string()
+        format!("v{j}_{clean}").trim_end_matches('_').to_string()
     };
 
     let mut s = String::new();

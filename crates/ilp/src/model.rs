@@ -39,8 +39,7 @@ impl ConstraintId {
 }
 
 /// Direction of optimization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Sense {
     /// Minimize the objective expression.
     #[default]
@@ -298,7 +297,6 @@ pub struct Model {
     pub(crate) obj_constant: f64,
 }
 
-
 impl Model {
     /// Creates an empty model (minimization by default, zero objective).
     pub fn new() -> Self {
@@ -313,7 +311,10 @@ impl Model {
     ///
     /// Panics if `lb > ub` or either bound is NaN.
     pub fn num_var(&mut self, lb: f64, ub: f64, name: impl Into<String>) -> VarId {
-        assert!(!lb.is_nan() && !ub.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lb <= ub, "variable lower bound exceeds upper bound");
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
         self.vars.push(VarDef {
@@ -382,7 +383,10 @@ impl Model {
     ///
     /// Panics if `lb > ub` or either bound is NaN.
     pub fn set_bounds(&mut self, var: VarId, lb: f64, ub: f64) {
-        assert!(!lb.is_nan() && !ub.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lb.is_nan() && !ub.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lb <= ub, "variable lower bound exceeds upper bound");
         let v = &mut self.vars[var.index()];
         v.lb = lb;
@@ -483,11 +487,7 @@ impl Model {
             }
         }
         for row in &self.rows {
-            let lhs: f64 = row
-                .coeffs
-                .iter()
-                .map(|&(v, c)| c * values[v.index()])
-                .sum();
+            let lhs: f64 = row.coeffs.iter().map(|&(v, c)| c * values[v.index()]).sum();
             let ok = match row.sense {
                 RowSense::Le => lhs <= row.rhs + tol,
                 RowSense::Ge => lhs >= row.rhs - tol,
@@ -508,9 +508,10 @@ impl Model {
     /// case any feasible objective value is integral, which lets
     /// branch-and-bound round its dual bounds.
     pub fn objective_is_integral(&self) -> bool {
-        self.objective.iter().all(|&(v, c)| {
-            self.vars[v.index()].integer && (c - c.round()).abs() < 1e-9
-        }) && (self.obj_constant - self.obj_constant.round()).abs() < 1e-9
+        self.objective
+            .iter()
+            .all(|&(v, c)| self.vars[v.index()].integer && (c - c.round()).abs() < 1e-9)
+            && (self.obj_constant - self.obj_constant.round()).abs() < 1e-9
     }
 
     /// Solves the model with default [`SolveLimits`].

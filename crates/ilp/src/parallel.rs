@@ -1,0 +1,492 @@
+//! Work-stealing parallel branch-and-bound (selected when
+//! [`SolveLimits`](crate::SolveLimits) resolves to more than one thread).
+//!
+//! Architecture:
+//!
+//! * The root relaxation is solved on the calling thread; if it branches,
+//!   its two children seed the node pool and `threads` workers are spawned
+//!   with [`std::thread::scope`].
+//! * Each worker owns a private [`Simplex`] workspace (the dense basis
+//!   inverse is far too hot to share) and a deque of open nodes. Workers
+//!   pop from the *back* of their own deque (depth-first, keeping the
+//!   open-node memory footprint low) and steal from the *front* of a victim's
+//!   deque (breadth-first steals hand out the shallowest — largest —
+//!   subtrees).
+//! * An open node is a path of bound tightenings (`Arc` chain back to the
+//!   root), not a bound vector: pushing a child is O(1) and memory is
+//!   shared between siblings. Workers materialize the bound arrays by
+//!   replaying the path onto the root bounds; branch tightenings are
+//!   monotone (`lb` only rises, `ub` only falls), so `max`/`min` folding in
+//!   any order reproduces the exact node bounds.
+//! * The incumbent objective is shared as an [`AtomicU64`] holding `f64`
+//!   bits (monotonically decreasing in minimize sense, updated under the
+//!   incumbent mutex, read lock-free on the pruning fast path).
+//! * Termination: `pending` counts nodes that are queued or in flight;
+//!   a worker that finds every deque empty exits when `pending == 0`.
+//!   Cancellation (budget exhausted, first solution found in
+//!   `first_solution_only` mode, or a caller-side stop) is broadcast
+//!   through a [`StopFlag`] that every worker and every LP pivot loop
+//!   polls.
+//!
+//! Node counts and which optimal *solution vector* is found may vary
+//! between runs (pruning races); solve status and optimal objective value
+//! do not.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::branch_bound::{choose_branch, down_child_first, tighten_integral_bound, SolveLimits};
+use crate::model::{Model, Sense, VarId};
+use crate::simplex::{LpStatus, Simplex, SimplexOptions};
+use crate::solution::{SolveOutcome, SolveStats, SolveStatus};
+use crate::stop::StopFlag;
+
+/// One open node: a single bound tightening plus the chain to the root.
+struct PathStep {
+    j: usize,
+    /// `true` tightens `lb[j]` up to `value`; `false` tightens `ub[j]`
+    /// down to `value`.
+    is_lb: bool,
+    value: f64,
+    parent: Option<Arc<PathStep>>,
+}
+
+/// State shared by all workers of one solve.
+struct Shared<'a> {
+    model: &'a Model,
+    limits: &'a SolveLimits,
+    start: Instant,
+    minimize: bool,
+    integral_objective: bool,
+    int_vars: &'a [VarId],
+    root_lb: &'a [f64],
+    root_ub: &'a [f64],
+    /// External cutoff in minimize sense (+inf when unset).
+    cutoff_min: f64,
+    /// Per-worker deques; worker `i` owns `queues[i]`.
+    queues: Vec<Mutex<VecDeque<Arc<PathStep>>>>,
+    /// Nodes queued or currently being expanded.
+    pending: AtomicUsize,
+    /// Incumbent objective (minimize sense) as `f64` bits; read lock-free
+    /// for pruning, written only under the `incumbent` lock.
+    incumbent_bits: AtomicU64,
+    incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    bb_nodes: AtomicU64,
+    lp_solves: AtomicU64,
+    simplex_iterations: AtomicU64,
+    limit_hit: AtomicBool,
+    /// Set when `first_solution_only` found its solution, so the resulting
+    /// cooperative LP interruptions are not misread as a budget limit.
+    found_first: AtomicBool,
+    /// Search-internal stop (child of the caller's flag).
+    stop: StopFlag,
+}
+
+impl Shared<'_> {
+    fn to_min(&self, model_obj: f64) -> f64 {
+        if self.minimize {
+            model_obj
+        } else {
+            -model_obj
+        }
+    }
+
+    /// Current pruning threshold in minimize sense.
+    fn threshold(&self) -> f64 {
+        f64::from_bits(self.incumbent_bits.load(Ordering::Acquire)).min(self.cutoff_min)
+    }
+
+    fn hit_limit(&self) {
+        self.limit_hit.store(true, Ordering::Release);
+        self.stop.stop();
+    }
+
+    /// Records an integral solution; returns whether it became incumbent.
+    fn offer_incumbent(&self, obj_min: f64, values: Vec<f64>) -> bool {
+        let mut guard = self.incumbent.lock().expect("incumbent lock poisoned");
+        let current = guard.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
+        if obj_min < current.min(self.cutoff_min) - 1e-9 {
+            self.incumbent_bits
+                .store(obj_min.to_bits(), Ordering::Release);
+            *guard = Some((obj_min, values));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Budget check at node entry (mirrors the serial `out_of_budget`).
+    fn out_of_budget(&self) -> bool {
+        if self.start.elapsed() >= self.limits.time_limit
+            || self.bb_nodes.load(Ordering::Relaxed) >= self.limits.node_limit
+            || self.simplex_iterations.load(Ordering::Relaxed) >= self.limits.iteration_limit
+        {
+            self.hit_limit();
+            return true;
+        }
+        false
+    }
+}
+
+/// Pops work for `wid`: own deque from the back, else steal from the front
+/// of the first non-empty victim.
+fn pop_work(shared: &Shared, wid: usize) -> Option<Arc<PathStep>> {
+    if let Some(node) = shared.queues[wid]
+        .lock()
+        .expect("queue lock poisoned")
+        .pop_back()
+    {
+        return Some(node);
+    }
+    let n = shared.queues.len();
+    for d in 1..n {
+        let victim = &shared.queues[(wid + d) % n];
+        if let Some(node) = victim.lock().expect("queue lock poisoned").pop_front() {
+            return Some(node);
+        }
+    }
+    None
+}
+
+fn worker(shared: &Shared, opts: &SimplexOptions, wid: usize) {
+    let mut simplex = Simplex::new(shared.model);
+    let mut lb = vec![0.0; shared.root_lb.len()];
+    let mut ub = vec![0.0; shared.root_ub.len()];
+    let mut idle_rounds = 0u32;
+    loop {
+        if shared.stop.is_stopped() {
+            return;
+        }
+        let Some(node) = pop_work(shared, wid) else {
+            if shared.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Other workers still hold nodes that may spawn children; back
+            // off progressively so a 2-thread solve on one core does not
+            // burn half the machine spinning.
+            idle_rounds += 1;
+            if idle_rounds > 32 {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        };
+        idle_rounds = 0;
+        expand_node(shared, &mut simplex, opts, &node, &mut lb, &mut ub, wid);
+        shared.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Expands one open node: materialize bounds, solve the relaxation, prune /
+/// record / enqueue children.
+fn expand_node(
+    shared: &Shared,
+    simplex: &mut Simplex,
+    opts: &SimplexOptions,
+    node: &Arc<PathStep>,
+    lb: &mut [f64],
+    ub: &mut [f64],
+    wid: usize,
+) {
+    if shared.out_of_budget() {
+        return;
+    }
+    shared.bb_nodes.fetch_add(1, Ordering::Relaxed);
+
+    // Replay the path's tightenings onto the root bounds.
+    lb.copy_from_slice(shared.root_lb);
+    ub.copy_from_slice(shared.root_ub);
+    let mut step: Option<&Arc<PathStep>> = Some(node);
+    while let Some(s) = step {
+        if s.is_lb {
+            lb[s.j] = lb[s.j].max(s.value);
+        } else {
+            ub[s.j] = ub[s.j].min(s.value);
+        }
+        step = s.parent.as_ref();
+    }
+
+    let lp = simplex.solve(lb, ub, opts);
+    shared.lp_solves.fetch_add(1, Ordering::Relaxed);
+    shared
+        .simplex_iterations
+        .fetch_add(lp.iterations, Ordering::Relaxed);
+    match lp.status {
+        LpStatus::Infeasible => return, // subtree pruned
+        LpStatus::Unbounded => {
+            shared.hit_limit();
+            return;
+        }
+        LpStatus::IterLimit => {
+            // Either a genuine per-LP/deadline limit or our own cooperative
+            // cancellation after the first solution was found — only the
+            // former is a reportable limit.
+            if !shared.found_first.load(Ordering::Acquire) {
+                shared.hit_limit();
+            }
+            return;
+        }
+        LpStatus::Optimal => {}
+    }
+
+    let mut bound = shared.to_min(lp.objective);
+    if shared.integral_objective {
+        bound = tighten_integral_bound(bound);
+    }
+    if bound >= shared.threshold() - 1e-9 {
+        return; // pruned by incumbent or external cutoff
+    }
+
+    let rule = shared.limits.branch_rule;
+    let Some((bv, bx)) = choose_branch(rule, shared.int_vars, &lp.values) else {
+        // Integral solution.
+        let obj = shared.to_min(lp.objective);
+        if shared.offer_incumbent(obj, lp.values) && shared.limits.first_solution_only {
+            shared.found_first.store(true, Ordering::Release);
+            shared.stop.stop();
+        }
+        return;
+    };
+
+    let j = bv.index();
+    let floor = bx.floor();
+    if floor >= ub[j] || floor + 1.0 <= lb[j] {
+        debug_assert!(
+            false,
+            "LP value {bx} of {} escapes node bounds [{}, {}]",
+            shared.model.var_name(bv),
+            lb[j],
+            ub[j]
+        );
+        shared.hit_limit();
+        return;
+    }
+    let down = Arc::new(PathStep {
+        j,
+        is_lb: false,
+        value: floor,
+        parent: Some(Arc::clone(node)),
+    });
+    let up = Arc::new(PathStep {
+        j,
+        is_lb: true,
+        value: floor + 1.0,
+        parent: Some(Arc::clone(node)),
+    });
+    let (first, second) = if down_child_first(rule, bx, floor) {
+        (down, up)
+    } else {
+        (up, down)
+    };
+    shared.pending.fetch_add(2, Ordering::AcqRel);
+    let mut q = shared.queues[wid].lock().expect("queue lock poisoned");
+    q.push_back(second);
+    q.push_back(first); // owner pops from the back: first child explored next
+}
+
+/// Entry point: parallel counterpart of the serial `Solver::solve` body.
+/// `base_opts` carries the per-LP options with the whole-solve deadline
+/// already clamped and `stop` set to the *caller's* flag.
+pub(crate) fn solve(
+    model: &Model,
+    limits: &SolveLimits,
+    base_opts: &SimplexOptions,
+    start: Instant,
+) -> SolveOutcome {
+    let threads = limits.resolve_threads();
+    let minimize = model.obj_sense == Sense::Minimize;
+    let cutoff_min = limits
+        .cutoff
+        .map_or(f64::INFINITY, |c| if minimize { c } else { -c });
+    let min_to_model = |v: f64| if minimize { v } else { -v };
+    let mut stats = SolveStats {
+        variables: model.num_vars() as u64,
+        constraints: model.num_constraints() as u64,
+        ..Default::default()
+    };
+    let int_vars: Vec<VarId> = (0..model.num_vars())
+        .map(|i| VarId(i as u32))
+        .filter(|v| model.is_integer(*v))
+        .collect();
+
+    let finish = |status: SolveStatus, mut stats: SolveStats, best_bound: f64| {
+        stats.wall_time = start.elapsed();
+        SolveOutcome {
+            status,
+            objective: f64::NAN,
+            values: vec![],
+            best_bound: min_to_model(best_bound),
+            stats,
+        }
+    };
+
+    let mut root_lb: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].lb).collect();
+    let mut root_ub: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].ub).collect();
+    for &v in &int_vars {
+        let j = v.index();
+        root_lb[j] = root_lb[j].ceil();
+        root_ub[j] = root_ub[j].floor();
+        if root_lb[j] > root_ub[j] {
+            return finish(SolveStatus::Infeasible, stats, f64::NEG_INFINITY);
+        }
+    }
+
+    // Search-internal cancellation: a child of the caller's flag, so that
+    // stopping the search (budget, first solution) does not stop the
+    // caller's other solves, while a caller-side stop still reaches us.
+    let search_stop = limits.stop.child();
+    let opts = SimplexOptions {
+        stop: search_stop.clone(),
+        ..base_opts.clone()
+    };
+
+    // Root relaxation on the calling thread.
+    let mut root_simplex = Simplex::new(model);
+    let lp = root_simplex.solve(&root_lb, &root_ub, &opts);
+    stats.lp_solves += 1;
+    stats.simplex_iterations += lp.iterations;
+    match lp.status {
+        LpStatus::Infeasible => return finish(SolveStatus::Infeasible, stats, f64::NEG_INFINITY),
+        LpStatus::Unbounded | LpStatus::IterLimit => {
+            return finish(SolveStatus::LimitReached, stats, f64::NEG_INFINITY)
+        }
+        LpStatus::Optimal => {}
+    }
+    let mut root_bound = if minimize {
+        lp.objective
+    } else {
+        -lp.objective
+    };
+    if model.objective_is_integral() {
+        root_bound = tighten_integral_bound(root_bound);
+    }
+    if root_bound >= cutoff_min - 1e-9 {
+        // Nothing can beat the external cutoff (same Infeasible contract as
+        // the serial search).
+        return finish(SolveStatus::Infeasible, stats, root_bound);
+    }
+
+    let root_branch = choose_branch(limits.branch_rule, &int_vars, &lp.values);
+    let Some((bv, bx)) = root_branch else {
+        // Root already integral: optimal without any branching.
+        let obj = if minimize {
+            lp.objective
+        } else {
+            -lp.objective
+        };
+        stats.wall_time = start.elapsed();
+        return SolveOutcome {
+            status: SolveStatus::Optimal,
+            objective: min_to_model(obj),
+            values: lp.values,
+            best_bound: min_to_model(obj),
+            stats,
+        };
+    };
+    drop(root_simplex);
+
+    let shared = Shared {
+        model,
+        limits,
+        start,
+        minimize,
+        integral_objective: model.objective_is_integral(),
+        int_vars: &int_vars,
+        root_lb: &root_lb,
+        root_ub: &root_ub,
+        cutoff_min,
+        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(2),
+        incumbent_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        incumbent: Mutex::new(None),
+        bb_nodes: AtomicU64::new(0),
+        lp_solves: AtomicU64::new(0),
+        simplex_iterations: AtomicU64::new(0),
+        limit_hit: AtomicBool::new(false),
+        found_first: AtomicBool::new(false),
+        stop: search_stop,
+    };
+
+    // Seed the pool with the root's two children, first-explored on top.
+    {
+        let j = bv.index();
+        let floor = bx.floor();
+        if floor >= root_ub[j] || floor + 1.0 <= root_lb[j] {
+            debug_assert!(false, "root LP value {bx} escapes bounds");
+            return finish(SolveStatus::LimitReached, stats, root_bound);
+        }
+        let down = Arc::new(PathStep {
+            j,
+            is_lb: false,
+            value: floor,
+            parent: None,
+        });
+        let up = Arc::new(PathStep {
+            j,
+            is_lb: true,
+            value: floor + 1.0,
+            parent: None,
+        });
+        let (first, second) = if down_child_first(limits.branch_rule, bx, floor) {
+            (down, up)
+        } else {
+            (up, down)
+        };
+        let mut q = shared.queues[0].lock().expect("queue lock poisoned");
+        q.push_back(second);
+        q.push_back(first);
+    }
+
+    std::thread::scope(|scope| {
+        for wid in 0..threads {
+            let shared = &shared;
+            let opts = opts.clone();
+            scope.spawn(move || worker(shared, &opts, wid));
+        }
+    });
+
+    stats.bb_nodes = shared.bb_nodes.load(Ordering::Relaxed);
+    stats.lp_solves += shared.lp_solves.load(Ordering::Relaxed);
+    stats.simplex_iterations += shared.simplex_iterations.load(Ordering::Relaxed);
+    stats.wall_time = start.elapsed();
+    let limit_hit = shared.limit_hit.load(Ordering::Acquire);
+    let incumbent = shared
+        .incumbent
+        .lock()
+        .expect("incumbent lock poisoned")
+        .take();
+    match incumbent {
+        Some((obj, values)) => {
+            let status = if limit_hit && !limits.first_solution_only {
+                SolveStatus::Feasible
+            } else {
+                SolveStatus::Optimal
+            };
+            SolveOutcome {
+                status,
+                objective: min_to_model(obj),
+                values,
+                best_bound: min_to_model(if status == SolveStatus::Optimal {
+                    obj
+                } else {
+                    root_bound
+                }),
+                stats,
+            }
+        }
+        None => SolveOutcome {
+            status: if limit_hit {
+                SolveStatus::LimitReached
+            } else {
+                SolveStatus::Infeasible
+            },
+            objective: f64::NAN,
+            values: vec![],
+            best_bound: min_to_model(root_bound),
+            stats,
+        },
+    }
+}

@@ -24,6 +24,7 @@
 //! calls — no per-node allocation of the constraint matrix.
 
 use crate::model::{Model, RowSense, Sense};
+use crate::stop::StopFlag;
 use crate::{FEAS_TOL, OPT_TOL};
 
 /// Pivot magnitudes below this are not eligible pivots.
@@ -62,7 +63,7 @@ pub struct LpOutcome {
 }
 
 /// Tunables for the simplex method.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimplexOptions {
     /// Hard cap on iterations for one LP solve.
     pub max_iterations: u64,
@@ -70,6 +71,12 @@ pub struct SimplexOptions {
     /// single large LP cannot overshoot a branch-and-bound budget. A
     /// deadline hit reports [`LpStatus::IterLimit`].
     pub deadline: Option<std::time::Instant>,
+    /// Cooperative cancellation, checked alongside the deadline inside the
+    /// pivot loop; a stop reports [`LpStatus::IterLimit`]. Unlike the
+    /// poll-only deadline this lets *another thread* interrupt a solve —
+    /// the parallel branch-and-bound and the scheduler's speculative `II`
+    /// race both rely on it.
+    pub stop: StopFlag,
 }
 
 impl Default for SimplexOptions {
@@ -77,6 +84,7 @@ impl Default for SimplexOptions {
         SimplexOptions {
             max_iterations: 200_000,
             deadline: None,
+            stop: StopFlag::new(),
         }
     }
 }
@@ -192,7 +200,7 @@ impl Simplex {
     /// # Panics
     ///
     /// Panics if the bound slices have the wrong length or contain `lb > ub`.
-    pub fn solve(&mut self, lb: &[f64], ub: &[f64], opts: SimplexOptions) -> LpOutcome {
+    pub fn solve(&mut self, lb: &[f64], ub: &[f64], opts: &SimplexOptions) -> LpOutcome {
         let p = &self.p;
         assert_eq!(lb.len(), p.n_struct, "lower-bound slice length mismatch");
         assert_eq!(ub.len(), p.n_struct, "upper-bound slice length mismatch");
@@ -318,7 +326,7 @@ fn start_residual(p: &Problem, w: &Work) -> Vec<f64> {
 /// cannot absorb the residual and runs phase 1 over them. Returns an
 /// outcome early only on infeasibility or an iteration-limit hit.
 #[allow(clippy::needless_range_loop)] // rows index several parallel arrays
-fn phase1(p: &Problem, w: &mut Work, opts: SimplexOptions) -> Option<LpOutcome> {
+fn phase1(p: &Problem, w: &mut Work, opts: &SimplexOptions) -> Option<LpOutcome> {
     let residual = start_residual(p, w);
     let mut artificial_cols = Vec::new();
     for i in 0..p.m {
@@ -449,16 +457,22 @@ fn compute_column(p: &Problem, w: &mut Work, j: usize) {
 
 /// Core primal simplex loop minimizing `cost` from the current basis.
 #[allow(clippy::needless_range_loop)] // columns index several parallel arrays
-fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: SimplexOptions) -> LpStatus {
+fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: &SimplexOptions) -> LpStatus {
     let m = p.m;
     loop {
         if w.iterations >= opts.max_iterations {
             return LpStatus::IterLimit;
         }
-        if let Some(deadline) = opts.deadline {
-            // Amortize the clock read over a few hundred iterations.
-            if w.iterations.is_multiple_of(256) && std::time::Instant::now() >= deadline {
+        // Amortize the clock read and the cancellation check over a few
+        // hundred iterations.
+        if w.iterations.is_multiple_of(256) {
+            if opts.stop.is_stopped() {
                 return LpStatus::IterLimit;
+            }
+            if let Some(deadline) = opts.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return LpStatus::IterLimit;
+                }
             }
         }
         if w.pivots_since_refactor >= REFACTOR_EVERY {
@@ -525,7 +539,11 @@ fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: SimplexOptions) -> Lp
 
         // Ratio test: step `t >= 0` in direction sigma.
         let span = w.ub[j] - w.lb[j]; // may be inf
-        let mut t_best = if span.is_finite() { span } else { f64::INFINITY };
+        let mut t_best = if span.is_finite() {
+            span
+        } else {
+            f64::INFINITY
+        };
         let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
         for k in 0..m {
             let wk = sigma * w.v[k];
@@ -544,8 +562,7 @@ fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: SimplexOptions) -> Lp
             }
             let t = ((w.xb[k] - limit) / wk).max(0.0);
             if t < t_best - 1e-12
-                || (t < t_best + 1e-12
-                    && leave.is_some_and(|(lk, _)| w.v[k].abs() > w.v[lk].abs()))
+                || (t < t_best + 1e-12 && leave.is_some_and(|(lk, _)| w.v[k].abs() > w.v[lk].abs()))
             {
                 t_best = t;
                 leave = Some((k, at_up));
@@ -757,7 +774,7 @@ mod tests {
         let mut sx = Simplex::new(model);
         let lb: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].lb).collect();
         let ub: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].ub).collect();
-        sx.solve(&lb, &ub, SimplexOptions::default())
+        sx.solve(&lb, &ub, &SimplexOptions::default())
     }
 
     #[test]
@@ -908,13 +925,13 @@ mod tests {
         m.set_objective(Sense::Maximize, [(x, 1.0), (y, 2.0)]);
         m.add_le([(x, 1.0), (y, 1.0)], 6.0, "cap");
         let mut sx = Simplex::new(&m);
-        let o1 = sx.solve(&[0.0, 0.0], &[10.0, 10.0], SimplexOptions::default());
+        let o1 = sx.solve(&[0.0, 0.0], &[10.0, 10.0], &SimplexOptions::default());
         assert!((o1.objective - 12.0).abs() < 1e-7); // y = 6
-        let o2 = sx.solve(&[0.0, 0.0], &[10.0, 2.0], SimplexOptions::default());
+        let o2 = sx.solve(&[0.0, 0.0], &[10.0, 2.0], &SimplexOptions::default());
         assert!((o2.objective - 8.0).abs() < 1e-7); // y = 2, x = 4
-        let o3 = sx.solve(&[5.0, 5.0], &[10.0, 10.0], SimplexOptions::default());
+        let o3 = sx.solve(&[5.0, 5.0], &[10.0, 10.0], &SimplexOptions::default());
         assert_eq!(o3.status, LpStatus::Infeasible); // 5 + 5 > 6
-        let o4 = sx.solve(&[0.0, 0.0], &[10.0, 10.0], SimplexOptions::default());
+        let o4 = sx.solve(&[0.0, 0.0], &[10.0, 10.0], &SimplexOptions::default());
         assert!((o4.objective - 12.0).abs() < 1e-7);
     }
 }

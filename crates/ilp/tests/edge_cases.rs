@@ -2,9 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use optimod_ilp::{
-    LinExpr, Model, Sense, SimplexOptions, SolveLimits, SolveStatus, Solver,
-};
+use optimod_ilp::{LinExpr, Model, Sense, SimplexOptions, SolveLimits, SolveStatus, Solver};
 
 #[test]
 fn empty_model_is_trivially_optimal() {
@@ -88,11 +86,7 @@ fn deadline_stops_runaway_solves() {
     let mut m = Model::new();
     let xs: Vec<_> = (0..28).map(|i| m.bool_var(format!("x{i}"))).collect();
     let coeffs: Vec<f64> = (0..28).map(|i| (17 * i % 97 + 3) as f64).collect();
-    m.add_eq(
-        xs.iter().zip(&coeffs).map(|(&x, &c)| (x, c)),
-        531.0,
-        "knap",
-    );
+    m.add_eq(xs.iter().zip(&coeffs).map(|(&x, &c)| (x, c)), 531.0, "knap");
     m.set_objective(
         Sense::Maximize,
         xs.iter().zip(&coeffs).map(|(&x, &c)| (x, c * 0.9 + 1.0)),
@@ -124,7 +118,9 @@ fn deadline_stops_runaway_solves() {
 #[test]
 fn iteration_limit_is_respected() {
     let mut m = Model::new();
-    let xs: Vec<_> = (0..20).map(|i| m.num_var(0.0, 1.0, format!("x{i}"))).collect();
+    let xs: Vec<_> = (0..20)
+        .map(|i| m.num_var(0.0, 1.0, format!("x{i}")))
+        .collect();
     for i in 0..19 {
         m.add_le([(xs[i], 1.0), (xs[i + 1], 1.0)], 1.2, format!("c{i}"));
     }

@@ -90,7 +90,11 @@ fn brute(ip: &MixedIp) -> Option<f64> {
                 .zip(asn.iter())
                 .map(|(c, x)| (c * x) as f64)
                 .sum();
-            let y = if (ip.y_obj > 0.0) == ip.maximize { hi } else { lo };
+            let y = if (ip.y_obj > 0.0) == ip.maximize {
+                hi
+            } else {
+                lo
+            };
             let obj = int_part + ip.y_obj * y;
             *best = Some(match *best {
                 None => obj,

@@ -15,11 +15,7 @@ struct RandomIp {
 }
 
 fn row_sense() -> impl Strategy<Value = RowSense> {
-    prop_oneof![
-        Just(RowSense::Le),
-        Just(RowSense::Ge),
-        Just(RowSense::Eq),
-    ]
+    prop_oneof![Just(RowSense::Le), Just(RowSense::Ge), Just(RowSense::Eq),]
 }
 
 fn random_ip() -> impl Strategy<Value = RandomIp> {
@@ -37,13 +33,7 @@ fn random_ip() -> impl Strategy<Value = RandomIp> {
                 ),
                 0..=4,
             );
-            (
-                Just(num_vars),
-                bounds,
-                objective,
-                proptest::bool::ANY,
-                rows,
-            )
+            (Just(num_vars), bounds, objective, proptest::bool::ANY, rows)
         })
         .prop_map(|(num_vars, bounds, objective, maximize, rows)| RandomIp {
             num_vars,
@@ -113,9 +103,7 @@ fn build_model(ip: &RandomIp) -> Model {
         } else {
             Sense::Minimize
         },
-        vars.iter()
-            .zip(&ip.objective)
-            .map(|(&v, &c)| (v, c as f64)),
+        vars.iter().zip(&ip.objective).map(|(&v, &c)| (v, c as f64)),
     );
     for (i, (coeffs, sense, rhs)) in ip.rows.iter().enumerate() {
         m.add_row(
@@ -222,9 +210,7 @@ fn lp_relaxation_dominates_ip() {
             } else {
                 Sense::Minimize
             },
-            vars.iter()
-                .zip(&ip.objective)
-                .map(|(&v, &c)| (v, c as f64)),
+            vars.iter().zip(&ip.objective).map(|(&v, &c)| (v, c as f64)),
         );
         for (i, (coeffs, sense, rhs)) in ip.rows.iter().enumerate() {
             m.add_row(

@@ -47,7 +47,11 @@ pub fn cydra_like() -> Machine {
     let result_bus = b.resource("result-bus", 2);
 
     // Loads: address on the port, then the bus, result delivered cycle 5.
-    b.reserve(OpClass::Load, 6, [(mem_port, 0), (mem_bus, 1), (result_bus, 5)]);
+    b.reserve(
+        OpClass::Load,
+        6,
+        [(mem_port, 0), (mem_bus, 1), (result_bus, 5)],
+    );
     // Stores: port + bus, no result.
     b.reserve(OpClass::Store, 1, [(mem_port, 0), (mem_bus, 1)]);
     b.reserve(OpClass::IAlu, 1, [(alu, 0), (result_bus, 0)]);

@@ -65,11 +65,10 @@ fn main() {
     );
     let best = minreg.schedule(&l, &machine);
     let best_ii = best.ii.expect("schedulable");
-    println!("minimum II = {best_ii}, minimum MaxLive there = {}\n", best
-        .schedule
-        .as_ref()
-        .expect("scheduled")
-        .max_live(&l));
+    println!(
+        "minimum II = {best_ii}, minimum MaxLive there = {}\n",
+        best.schedule.as_ref().expect("scheduled").max_live(&l)
+    );
 
     // Sweep II upward: optimal registers at each II (direct model builds).
     println!("II sweep (optimal MaxLive per II):");

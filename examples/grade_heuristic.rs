@@ -38,8 +38,8 @@ fn main() {
     let mut reg_optimal = 0;
     let mut graded = 0;
     for l in &loops {
-        let ims = ims_schedule(l, &machine, &ImsConfig::default())
-            .expect("IMS schedules every kernel");
+        let ims =
+            ims_schedule(l, &machine, &ImsConfig::default()).expect("IMS schedules every kernel");
         let staged = stage_schedule(l, &machine, &ims.schedule);
 
         let opt = noobj.schedule(l, &machine);
@@ -63,7 +63,9 @@ fn main() {
             opt_ii,
             ims.schedule.max_live(l),
             staged.max_live(l),
-            opt_regs.map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+            opt_regs
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "-".into()),
         );
 
         if opt.ii == Some(ims.schedule.ii()) {

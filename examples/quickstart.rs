@@ -15,11 +15,22 @@ fn main() {
     let machine = example_3fu();
     let l = figure1(&machine);
 
-    println!("kernel: y[i] = x[i]*x[i] - x[i] - a  ({} operations)", l.num_ops());
-    println!("machine: {} (3 universal FUs, mult latency 4)\n", machine.name());
+    println!(
+        "kernel: y[i] = x[i]*x[i] - x[i] - a  ({} operations)",
+        l.num_ops()
+    );
+    println!(
+        "machine: {} (3 universal FUs, mult latency 4)\n",
+        machine.name()
+    );
 
     let mii = compute_mii(&l, &machine);
-    println!("ResMII = {}, RecMII = {}, MII = {}\n", mii.res_mii, mii.rec_mii, mii.value());
+    println!(
+        "ResMII = {}, RecMII = {}, MII = {}\n",
+        mii.res_mii,
+        mii.rec_mii,
+        mii.value()
+    );
 
     // MinReg modulo scheduler: minimum II, then minimum MaxLive.
     let scheduler = OptimalScheduler::new(SchedulerConfig::new(
@@ -29,7 +40,11 @@ fn main() {
     let result = scheduler.schedule(&l, &machine);
     let schedule = result.schedule.expect("figure1 schedules at II=2");
 
-    println!("achieved II = {} (status: {:?})", schedule.ii(), result.status);
+    println!(
+        "achieved II = {} (status: {:?})",
+        schedule.ii(),
+        result.status
+    );
     println!(
         "solver effort: {} branch-and-bound nodes, {} simplex iterations\n",
         result.stats.bb_nodes, result.stats.simplex_iterations
@@ -61,7 +76,10 @@ fn main() {
         );
     }
 
-    println!("\nlive registers per MRT row: {:?}", schedule.live_per_row(&l));
+    println!(
+        "\nlive registers per MRT row: {:?}",
+        schedule.live_per_row(&l)
+    );
     println!("MaxLive = {} (paper: 7)", schedule.max_live(&l));
     assert_eq!(schedule.max_live(&l), 7);
 }

@@ -26,7 +26,10 @@ fn main() {
     );
     let base = minreg.schedule(&l, &machine);
     let Some(base_sched) = base.schedule else {
-        eprintln!("baseline solve hit its budget ({:?}); try a faster machine", base.status);
+        eprintln!(
+            "baseline solve hit its budget ({:?}); try a faster machine",
+            base.status
+        );
         return;
     };
     let best_ii = base_sched.ii();
@@ -34,7 +37,10 @@ fn main() {
     println!("unconstrained optimum: II = {best_ii}, MaxLive = {best_regs}\n");
 
     println!("{:>12} {:>6} {:>9}", "register cap", "II", "MaxLive");
-    println!("{:>12} {:>6} {:>9}   (unconstrained)", "-", best_ii, best_regs);
+    println!(
+        "{:>12} {:>6} {:>9}   (unconstrained)",
+        "-", best_ii, best_regs
+    );
     let mut cap = best_regs - 1;
     while cap >= 4 {
         let mut cfg = SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
