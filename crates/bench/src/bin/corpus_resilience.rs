@@ -1,0 +1,116 @@
+//! Resilience acceptance scenario: a corpus seeded with a malformed loop,
+//! a budget-exhausting loop, and a deliberately crashing pipeline must
+//! sweep end-to-end with per-loop outcomes and zero process aborts, and
+//! the fallback ladder must schedule the loop the exact solver timed out
+//! on.
+//!
+//! Respects the usual `OPTIMOD_*` knobs where sensible, but pins the
+//! per-loop budget low so the budget-exhausting loop reliably exhausts it.
+
+use std::time::Duration;
+
+use optimod::{DepStyle, FallbackConfig, Objective, OptimalScheduler, SchedulerConfig};
+use optimod_bench::{print_outcome_table, run_resilient, ExperimentConfig, OutcomeKind};
+use optimod_ddg::{generate_loop, DepKind, GeneratorConfig, Loop, LoopBuilder, OpId};
+use optimod_machine::OpClass;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let machine = cfg.machine();
+
+    // Healthy corpus loops.
+    let mut loops: Vec<Loop> = cfg.corpus_loops(&machine).into_iter().take(6).collect();
+
+    // Malformed: an edge whose endpoint does not exist, built unchecked so
+    // it reaches the scheduler's own validation.
+    let mut bad = LoopBuilder::new("malformed-dangling");
+    let a = bad.op(OpClass::IAlu, "a");
+    bad.dep(a, OpId::from_index(7), 1, 0, DepKind::Memory);
+    loops.push(bad.build_unchecked(&machine));
+
+    // Budget-exhausting: a large dense loop under a register-minimizing
+    // objective; the exact solver cannot even finish the root relaxation
+    // in its slice of the budget below.
+    let gen = GeneratorConfig {
+        min_ops: 60,
+        max_ops: 60,
+        recurrence_prob: 1.0,
+        ..Default::default()
+    };
+    let hard = generate_loop(&gen, &machine, 7);
+    let hard_name = hard.name().to_string();
+    loops.push(hard);
+
+    // A healthy loop whose pipeline the driver closure deliberately
+    // crashes, standing in for "pathological loop hits a solver bug".
+    let mut pb = LoopBuilder::new("inject-panic");
+    let x = pb.op(OpClass::Load, "x");
+    let y = pb.op(OpClass::IAlu, "y");
+    pb.flow(x, y, 0);
+    loops.push(pb.build(&machine));
+
+    let budget = Duration::from_millis(1500);
+    let fallback = FallbackConfig {
+        enabled: true,
+        exact_share: 0.05,
+        stage_share: 0.3,
+    };
+
+    // First, demonstrate the exact solver alone times out on the hard loop
+    // within the ladder's rung-1 slice.
+    let exact_slice = budget.mul_f64(fallback.exact_share);
+    let mut exact_cfg = SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+        .with_time_limit(exact_slice)
+        .with_node_limit(cfg.node_cap);
+    exact_cfg.limits.threads = 1;
+    let exact_only = OptimalScheduler::new(exact_cfg.clone());
+    let hard_loop = loops
+        .iter()
+        .find(|l| l.name() == hard_name)
+        .expect("seeded");
+    let exact_result = exact_only.schedule(hard_loop, &machine);
+    assert!(
+        !exact_result.status.scheduled(),
+        "expected the exact solver to run out of budget on {hard_name}, got {:?}",
+        exact_result.status
+    );
+    println!(
+        "exact solver alone on {hard_name} within {exact_slice:?}: {:?} (no schedule)",
+        exact_result.status
+    );
+
+    // Now the resilient sweep with the fallback ladder enabled.
+    let mut ladder_cfg = exact_cfg;
+    ladder_cfg.limits.time_limit = budget;
+    ladder_cfg.fallback = fallback;
+    let sched = OptimalScheduler::new(ladder_cfg);
+    let rows = run_resilient(cfg.threads, &loops, |_, l| {
+        if l.name() == "inject-panic" {
+            panic!("injected fault: pathological loop crashed the pipeline");
+        }
+        sched.schedule(l, &machine)
+    });
+
+    print_outcome_table("resilient corpus sweep", &rows);
+
+    // Acceptance criteria.
+    assert_eq!(rows.len(), loops.len(), "one row per loop, crash or not");
+    let kind_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing row for {name}"))
+            .kind
+    };
+    assert_eq!(kind_of("inject-panic"), OutcomeKind::Crashed);
+    assert_eq!(kind_of("malformed-dangling"), OutcomeKind::Invalid);
+    assert!(
+        matches!(kind_of(&hard_name), OutcomeKind::Degraded(_)),
+        "fallback ladder should schedule {hard_name}, got {}",
+        kind_of(&hard_name)
+    );
+    assert!(
+        rows.iter().any(|r| r.kind == OutcomeKind::Exact),
+        "healthy loops should still schedule exactly"
+    );
+    println!("acceptance criteria satisfied: complete sweep, crash isolated, ladder engaged");
+}

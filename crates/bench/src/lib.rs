@@ -20,11 +20,16 @@
 
 #![warn(missing_docs)]
 
-use std::time::Duration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use optimod::heuristic::{ims_schedule, stage_schedule, ImsConfig};
-use optimod::{DepStyle, LoopResult, Objective, OptimalScheduler, Schedule, SchedulerConfig};
+use optimod::{
+    DepStyle, LoopResult, LoopStatus, Objective, OptimalScheduler, Provenance, Schedule,
+    SchedulerConfig,
+};
 use optimod_ddg::{benchmark_corpus, CorpusSize, Loop};
+use optimod_ilp::panic_message;
 use optimod_machine::{cydra_like, Machine};
 
 /// One benchmark loop together with the optimal scheduler's outcome.
@@ -136,6 +141,154 @@ impl ExperimentConfig {
             result: sched.schedule(l, machine),
         })
     }
+}
+
+/// Classification of one loop's outcome in a resilient corpus run: what
+/// the coverage experiments count (exact vs. degraded vs. the various ways
+/// of coming up empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Scheduled by the exact solver (rung 1).
+    Exact,
+    /// Scheduled by a fallback rung; the payload says which.
+    Degraded(Provenance),
+    /// The budget ran out with no schedule from any rung.
+    TimedOut,
+    /// Proven infeasible within the `II` span.
+    Infeasible,
+    /// The input loop failed validation.
+    Invalid,
+    /// The pipeline reported a typed failure (solver instability, worker
+    /// panic, undecodable solution) with no schedule.
+    Failed,
+    /// `schedule()` itself panicked; the driver caught the unwind and the
+    /// sweep continued.
+    Crashed,
+}
+
+impl OutcomeKind {
+    /// Whether a schedule was produced (by any rung).
+    pub fn scheduled(self) -> bool {
+        matches!(self, OutcomeKind::Exact | OutcomeKind::Degraded(_))
+    }
+}
+
+impl std::fmt::Display for OutcomeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutcomeKind::Exact => f.write_str("exact"),
+            OutcomeKind::Degraded(p) => write!(f, "degraded({p})"),
+            OutcomeKind::TimedOut => f.write_str("timed-out"),
+            OutcomeKind::Infeasible => f.write_str("infeasible"),
+            OutcomeKind::Invalid => f.write_str("invalid"),
+            OutcomeKind::Failed => f.write_str("failed"),
+            OutcomeKind::Crashed => f.write_str("CRASHED"),
+        }
+    }
+}
+
+/// One row of the resilient corpus driver's outcome table.
+#[derive(Debug, Clone)]
+pub struct CorpusRow {
+    /// Loop name.
+    pub name: String,
+    /// Operation count.
+    pub n_ops: usize,
+    /// Outcome classification.
+    pub kind: OutcomeKind,
+    /// Achieved `II` (when scheduled).
+    pub ii: Option<u32>,
+    /// Wall time spent on the loop.
+    pub wall_time: Duration,
+    /// Error or panic message, when the outcome carries one.
+    pub detail: Option<String>,
+}
+
+impl CorpusRow {
+    /// Classifies a scheduling result into an outcome row.
+    pub fn classify(name: &str, n_ops: usize, r: &LoopResult) -> CorpusRow {
+        let kind = match r.status {
+            LoopStatus::Optimal | LoopStatus::FeasibleOnly => match r.provenance {
+                Some(p) if p.degraded() => OutcomeKind::Degraded(p),
+                _ => OutcomeKind::Exact,
+            },
+            LoopStatus::TimedOut => OutcomeKind::TimedOut,
+            LoopStatus::Infeasible => OutcomeKind::Infeasible,
+            LoopStatus::Invalid => OutcomeKind::Invalid,
+            LoopStatus::Failed => OutcomeKind::Failed,
+        };
+        CorpusRow {
+            name: name.to_string(),
+            n_ops,
+            kind,
+            ii: r.ii,
+            wall_time: r.stats.wall_time,
+            detail: r.error.as_ref().map(|e| e.to_string()),
+        }
+    }
+}
+
+/// Runs `schedule` over every loop with per-loop fault isolation: a panic
+/// inside one loop's pipeline becomes a [`OutcomeKind::Crashed`] row while
+/// the rest of the sweep proceeds. Results come back in corpus order.
+///
+/// This is the driver the coverage experiments use on untrusted or
+/// adversarial corpora; `schedule` is a closure (rather than a fixed
+/// [`OptimalScheduler`]) so tests can inject faults for specific loops.
+pub fn run_resilient<F>(threads: usize, loops: &[Loop], schedule: F) -> Vec<CorpusRow>
+where
+    F: Fn(usize, &Loop) -> LoopResult + Sync,
+{
+    optimod_par::par_map(threads, loops, |i, l| {
+        let start = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| schedule(i, l))) {
+            Ok(r) => CorpusRow::classify(l.name(), l.num_ops(), &r),
+            Err(payload) => CorpusRow {
+                name: l.name().to_string(),
+                n_ops: l.num_ops(),
+                kind: OutcomeKind::Crashed,
+                ii: None,
+                wall_time: start.elapsed(),
+                detail: Some(panic_message(payload.as_ref())),
+            },
+        }
+    })
+}
+
+/// Prints the per-loop outcome table plus the degraded-coverage summary
+/// (scheduled = exact + degraded, per rung) that EXPERIMENTS.md records.
+pub fn print_outcome_table(title: &str, rows: &[CorpusRow]) {
+    println!("{title}");
+    println!(
+        "{:<28} {:>5} {:>18} {:>6} {:>9}  detail",
+        "loop", "ops", "outcome", "II", "time"
+    );
+    for r in rows {
+        println!(
+            "{:<28} {:>5} {:>18} {:>6} {:>8.2}s  {}",
+            r.name,
+            r.n_ops,
+            r.kind.to_string(),
+            r.ii.map_or_else(|| "-".to_string(), |ii| ii.to_string()),
+            r.wall_time.as_secs_f64(),
+            r.detail.as_deref().unwrap_or("-"),
+        );
+    }
+    let count = |pred: fn(OutcomeKind) -> bool| rows.iter().filter(|r| pred(r.kind)).count();
+    let exact = count(|k| k == OutcomeKind::Exact);
+    let stage = count(|k| k == OutcomeKind::Degraded(Provenance::StageIlp));
+    let ims = count(|k| k == OutcomeKind::Degraded(Provenance::Ims));
+    println!(
+        "coverage: {}/{} scheduled ({exact} exact, {stage} stage-ilp, {ims} ims); \
+         {} timed out, {} infeasible, {} invalid, {} failed, {} crashed",
+        exact + stage + ims,
+        rows.len(),
+        count(|k| k == OutcomeKind::TimedOut),
+        count(|k| k == OutcomeKind::Infeasible),
+        count(|k| k == OutcomeKind::Invalid),
+        count(|k| k == OutcomeKind::Failed),
+        count(|k| k == OutcomeKind::Crashed),
+    );
 }
 
 /// IMS (+ stage scheduling) outcomes for the heuristic experiments.

@@ -12,12 +12,17 @@
 //!                         (default: OPTIMOD_THREADS, else all cores;
 //!                         1 = deterministic serial search)
 //!   --speculate           race II and II+1 solves concurrently
+//!   --fallback            degrade to stage-ILP / IMS when the exact
+//!                         solver exhausts its budget slice
 //!   --expand              also print the MVE-expanded pipelined loop
 //!   --lp                  dump the ILP in CPLEX LP format instead of solving
 //! ```
 //!
 //! The loop-file grammar is documented in the `parse` module (one `op` /
 //! `flow` / `dep` directive per line plus a `machine` selection).
+//!
+//! Exit codes: 0 success, 2 usage error, 3 parse/validation error,
+//! 4 scheduling failure, 5 I/O error.
 
 mod parse;
 
@@ -25,9 +30,35 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use optimod::{
-    build_model, codegen, compute_mii, DepStyle, FormulationConfig, Objective, OptimalScheduler,
-    SchedulerConfig,
+    build_model, codegen, compute_mii, DepStyle, FallbackConfig, FormulationConfig, Objective,
+    OptimalScheduler, Provenance, SchedulerConfig,
 };
+
+/// A failure with its exit code, so scripts can tell a bad loop file (3)
+/// from a loop the solver could not schedule (4).
+enum Failure {
+    Usage(String),
+    Parse(String),
+    Scheduling(String),
+    Io(String),
+}
+
+impl Failure {
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            Failure::Usage(_) => 2,
+            Failure::Parse(_) => 3,
+            Failure::Scheduling(_) => 4,
+            Failure::Io(_) => 5,
+        })
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Failure::Usage(m) | Failure::Parse(m) | Failure::Scheduling(m) | Failure::Io(m) => m,
+        }
+    }
+}
 
 struct Options {
     file: String,
@@ -37,6 +68,7 @@ struct Options {
     registers: Option<u32>,
     threads: u32,
     speculate: bool,
+    fallback: bool,
     expand: bool,
     lp: bool,
 }
@@ -51,6 +83,7 @@ fn parse_args() -> Result<Options, String> {
         registers: None,
         threads: 0,
         speculate: false,
+        fallback: false,
         expand: false,
         lp: false,
     };
@@ -89,6 +122,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = v.parse().map_err(|_| "--threads must be an integer")?;
             }
             "--speculate" => opts.speculate = true,
+            "--fallback" => opts.fallback = true,
             "--expand" => opts.expand = true,
             "--lp" => opts.lp = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -106,23 +140,24 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
 [--style structured|traditional] [--budget-ms N] [--registers N] [--threads N] \
-[--speculate] [--expand] [--lp]";
+[--speculate] [--fallback] [--expand] [--lp]\n\
+exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O";
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("{}", f.message());
+            f.exit_code()
         }
     }
 }
 
-fn run() -> Result<(), String> {
-    let opts = parse_args()?;
+fn run() -> Result<(), Failure> {
+    let opts = parse_args().map_err(Failure::Usage)?;
     let text = std::fs::read_to_string(&opts.file)
-        .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
-    let parsed = parse::parse(&text)?;
+        .map_err(|e| Failure::Io(format!("cannot read {}: {e}", opts.file)))?;
+    let parsed = parse::parse(&text).map_err(Failure::Parse)?;
     let (l, machine) = (parsed.l, parsed.machine);
 
     let mii = compute_mii(&l, &machine);
@@ -147,8 +182,9 @@ fn run() -> Result<(), String> {
             sched_len_slack: 20,
             max_live_limit: opts.registers,
         };
-        let built = build_model(&l, &machine, mii.value(), &cfg)
-            .ok_or("MII below the recurrence bound — no model")?;
+        let built = build_model(&l, &machine, mii.value(), &cfg).ok_or_else(|| {
+            Failure::Scheduling("MII below the recurrence bound — no model".into())
+        })?;
         print!("{}", optimod_ilp::lp_format(&built.model));
         return Ok(());
     }
@@ -157,18 +193,32 @@ fn run() -> Result<(), String> {
     cfg.register_limit = opts.registers;
     cfg.limits.threads = opts.threads;
     cfg.speculate_ii = opts.speculate;
+    if opts.fallback {
+        cfg.fallback = FallbackConfig::enabled();
+    }
     let result = OptimalScheduler::new(cfg).schedule(&l, &machine);
 
+    if let Some(e) = &result.error {
+        eprintln!("warning: {e}");
+    }
     let Some(schedule) = &result.schedule else {
-        return Err(format!(
-            "no schedule found (status {:?}; {} nodes, {} simplex iterations)",
-            result.status, result.stats.bb_nodes, result.stats.simplex_iterations
-        ));
+        return Err(Failure::Scheduling(format!(
+            "no schedule found (status {:?}; {} nodes, {} simplex iterations){}",
+            result.status,
+            result.stats.bb_nodes,
+            result.stats.simplex_iterations,
+            if opts.fallback {
+                ""
+            } else {
+                " — consider --fallback for a heuristic schedule"
+            }
+        )));
     };
     println!(
-        "\nII = {} ({:?}; {} branch-and-bound nodes, {} simplex iterations)",
+        "\nII = {} ({:?} via {}; {} branch-and-bound nodes, {} simplex iterations)",
         schedule.ii(),
         result.status,
+        result.provenance.unwrap_or(Provenance::Exact),
         result.stats.bb_nodes,
         result.stats.simplex_iterations
     );

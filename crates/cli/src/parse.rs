@@ -113,10 +113,13 @@ pub fn parse(text: &str) -> Result<LoopFile, String> {
     if ids.is_empty() {
         return Err("loop has no operations".to_string());
     }
-    Ok(LoopFile {
-        l: b.build(&machine),
-        machine,
-    })
+    // `try_build` runs `Loop::validate`, so semantic defects the per-line
+    // checks cannot see (latency/distance overflow, zero-distance cycles)
+    // come back as typed diagnostics instead of a panic.
+    let l = b
+        .try_build(&machine)
+        .map_err(|e| format!("invalid loop: {e}"))?;
+    Ok(LoopFile { l, machine })
 }
 
 fn err(lineno: usize, msg: &str) -> String {
@@ -198,6 +201,25 @@ dep ldy sty 0 0 memory
     fn reports_bad_numbers() {
         let e = parse("machine example-3fu\nop a load\nop b fmul\nflow a b x\n").unwrap_err();
         assert!(e.contains("distance"), "{e}");
+    }
+
+    #[test]
+    fn overflowing_latency_is_a_diagnostic_not_a_panic() {
+        let e =
+            parse("machine example-3fu\nop a load\nop b fmul\ndep a b 99999999999999 0 memory\n")
+                .unwrap_err();
+        assert!(e.contains("invalid loop"), "{e}");
+        assert!(e.contains("latency"), "{e}");
+    }
+
+    #[test]
+    fn zero_distance_cycle_is_a_diagnostic_not_a_panic() {
+        let e = parse(
+            "machine example-3fu\nop a load\nop b fmul\n\
+             dep a b 1 0 memory\ndep b a 1 0 memory\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("zero-distance dependence cycle"), "{e}");
     }
 
     #[test]

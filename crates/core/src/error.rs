@@ -1,0 +1,89 @@
+//! Typed errors for the scheduling pipeline.
+//!
+//! Every abnormal path of [`OptimalScheduler`](crate::OptimalScheduler) —
+//! malformed input, solver instability, worker panics, solution extraction
+//! failures — surfaces as a [`ScheduleError`] carried in
+//! [`LoopResult::error`](crate::LoopResult::error) instead of unwinding
+//! through the caller. The corpus driver and CLI render them into per-loop
+//! diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+use optimod_ddg::LoopError;
+use optimod_ilp::SolveError;
+
+/// An abnormal condition in the scheduling pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The input dependence graph failed [`optimod_ddg::Loop::validate`].
+    InvalidLoop(LoopError),
+    /// The ILP solver reported an abnormal condition (numerical
+    /// instability, a worker panic).
+    Solver(SolveError),
+    /// A solver outcome claimed a solution that does not decode into a
+    /// schedule (e.g. no row binary set for an operation) — a solver or
+    /// formulation bug, reported instead of panicking.
+    MalformedSolution {
+        /// What was wrong with the claimed solution.
+        detail: String,
+    },
+    /// The extracted schedule failed post-hoc validation against the loop
+    /// and machine (dependence or resource violation).
+    InvalidSchedule {
+        /// The violated constraint, as reported by
+        /// [`Schedule::validate`](crate::Schedule::validate).
+        detail: String,
+    },
+    /// The loop's recurrence-constrained MII exceeds
+    /// [`MAX_SCHEDULABLE_II`](crate::scheduler::MAX_SCHEDULABLE_II): the
+    /// row binaries of the ILP grow linearly with `II`, so such a loop
+    /// cannot be formulated (and no realistic pipeline wants an initiation
+    /// interval that long).
+    MiiOverflow {
+        /// The combined MII lower bound (saturated at `u32::MAX`).
+        mii: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InvalidLoop(e) => write!(f, "invalid loop: {e}"),
+            ScheduleError::Solver(e) => write!(f, "solver failure: {e}"),
+            ScheduleError::MalformedSolution { detail } => {
+                write!(f, "malformed solver solution: {detail}")
+            }
+            ScheduleError::InvalidSchedule { detail } => {
+                write!(f, "extracted schedule is invalid: {detail}")
+            }
+            ScheduleError::MiiOverflow { mii } => write!(
+                f,
+                "recurrence-constrained MII {mii} exceeds the schedulable ceiling {}",
+                crate::scheduler::MAX_SCHEDULABLE_II
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::InvalidLoop(e) => Some(e),
+            ScheduleError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LoopError> for ScheduleError {
+    fn from(e: LoopError) -> Self {
+        ScheduleError::InvalidLoop(e)
+    }
+}
+
+impl From<SolveError> for ScheduleError {
+    fn from(e: SolveError) -> Self {
+        ScheduleError::Solver(e)
+    }
+}

@@ -21,6 +21,7 @@ use optimod_ddg::{Loop, OpId};
 use optimod_ilp::{LinExpr, Model, SolveOutcome, VarId};
 use optimod_machine::Machine;
 
+use crate::error::ScheduleError;
 use crate::mii::asap_times;
 use crate::schedule::Schedule;
 
@@ -125,22 +126,37 @@ impl BuiltModel {
     ///
     /// # Panics
     ///
-    /// Panics if `out` carries no solution.
+    /// Panics if `out` carries no solution or the solution does not decode
+    /// into a schedule; use [`BuiltModel::try_extract_schedule`] for a
+    /// non-panicking variant.
     pub fn extract_schedule(&self, out: &SolveOutcome) -> Schedule {
+        match self.try_extract_schedule(out) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Recovers the concrete schedule from a solved model, reporting a
+    /// no-solution outcome or an undecodable assignment as a typed error
+    /// instead of panicking.
+    pub fn try_extract_schedule(&self, out: &SolveOutcome) -> Result<Schedule, ScheduleError> {
+        if !out.status.has_solution() {
+            return Err(ScheduleError::MalformedSolution {
+                detail: format!("no solution available (status: {})", out.status),
+            });
+        }
         let ii = self.ii as i64;
-        let times = self
-            .a
-            .iter()
-            .zip(&self.k)
-            .map(|(rows, &k)| {
-                let row = rows
-                    .iter()
-                    .position(|&v| out.value(v) > 0.5)
-                    .expect("assignment constraint guarantees one row");
-                out.int_value(k) * ii + row as i64
-            })
-            .collect();
-        Schedule::new(self.ii, times)
+        let mut times = Vec::with_capacity(self.a.len());
+        for (i, (rows, &k)) in self.a.iter().zip(&self.k).enumerate() {
+            let row = rows
+                .iter()
+                .position(|&v| out.value(v) > 0.5)
+                .ok_or_else(|| ScheduleError::MalformedSolution {
+                    detail: format!("no MRT row selected for op{i} (assignment violated)"),
+                })?;
+            times.push(out.int_value(k) * ii + row as i64);
+        }
+        Ok(Schedule::new(self.ii, times))
     }
 
     /// Pins the MRT rows of every operation to those of `s` (used by the

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod codegen;
+pub mod error;
 pub mod formulation;
 pub mod heuristic;
 pub mod mii;
@@ -50,8 +51,12 @@ pub mod schedule;
 pub mod scheduler;
 
 pub use codegen::{expand, unroll_factor, Inst, PipelinedLoop};
+pub use error::ScheduleError;
 pub use formulation::{build_model, BuiltModel, DepStyle, FormulationConfig, Objective};
 pub use mii::{compute_mii, Mii};
 pub use rotating::{allocate, RotatingAllocation};
 pub use schedule::{Lifetime, Schedule};
-pub use scheduler::{LoopResult, LoopStatus, OptimalScheduler, SchedulerConfig};
+pub use scheduler::{
+    FallbackConfig, LoopResult, LoopStatus, OptimalScheduler, Provenance, SchedulerConfig,
+    MAX_SCHEDULABLE_II,
+};

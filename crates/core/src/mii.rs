@@ -75,7 +75,11 @@ pub fn rec_mii(l: &Loop) -> u32 {
             hi = mid;
         }
     }
-    u32::try_from(lo).expect("RecMII fits in u32")
+    // Saturate rather than panic: validated loops bound each edge latency,
+    // but a cycle can still sum past `u32::MAX`. The scheduler rejects any
+    // MII above its practical ceiling with a typed error, so the exact
+    // saturated value never reaches a solver.
+    u32::try_from(lo).unwrap_or(u32::MAX)
 }
 
 /// True when the dependence graph contains a cycle of positive total weight

@@ -9,12 +9,100 @@
 use std::time::{Duration, Instant};
 
 use optimod_ddg::Loop;
-use optimod_ilp::{SolveLimits, SolveOutcome, SolveStats, SolveStatus};
+use optimod_ilp::{panic_message, SolveError, SolveLimits, SolveOutcome, SolveStats, SolveStatus};
 use optimod_machine::Machine;
 
+use crate::error::ScheduleError;
 use crate::formulation::{build_model, DepStyle, FormulationConfig, Objective};
+use crate::heuristic::ims::{ims_schedule, ImsConfig};
+use crate::heuristic::stage::{optimal_stages, stage_schedule};
 use crate::mii::{compute_mii, Mii};
 use crate::schedule::Schedule;
+
+/// Largest MII the scheduler will attempt to formulate. The ILP carries
+/// `II` row binaries per operation, so a pathological recurrence (huge
+/// validated latencies around a cycle) would otherwise demand an absurd
+/// allocation before the solver even starts. Loops whose MII exceeds this
+/// yield [`LoopStatus::Invalid`] with [`ScheduleError::MiiOverflow`].
+pub const MAX_SCHEDULABLE_II: u32 = 1 << 16;
+
+/// Our objectives are all integral; strip float noise from the simplex.
+fn round_integral(v: f64) -> f64 {
+    if (v - v.round()).abs() < 1e-6 {
+        v.round()
+    } else {
+        v
+    }
+}
+
+/// Budgeted degradation ladder: when the exact solver cannot schedule a
+/// loop within its slice of the budget, cheaper methods take over rather
+/// than reporting nothing (the coverage-first strategy of SAT-MapIt-style
+/// mappers). The rungs are: exact structured ILP → stage-scheduler ILP
+/// (IMS rows, exact stages) → plain IMS heuristic. Which rung produced the
+/// schedule is recorded in [`LoopResult::provenance`].
+#[derive(Debug, Clone, Copy)]
+pub struct FallbackConfig {
+    /// Whether the ladder is active. Off by default: the paper's
+    /// experiments measure the exact solvers alone, and a degraded
+    /// schedule would silently contaminate their statistics.
+    pub enabled: bool,
+    /// Fraction of the per-loop time budget given to the exact solver
+    /// (rung 1) before degrading.
+    pub exact_share: f64,
+    /// Fraction of the per-loop time budget given to the stage-scheduler
+    /// ILP (rung 2); the remainder is slack for the IMS rung, which is
+    /// combinatorial but effectively instant.
+    pub stage_share: f64,
+}
+
+impl Default for FallbackConfig {
+    fn default() -> Self {
+        FallbackConfig {
+            enabled: false,
+            exact_share: 0.7,
+            stage_share: 0.2,
+        }
+    }
+}
+
+impl FallbackConfig {
+    /// An enabled ladder with the default budget split.
+    pub fn enabled() -> Self {
+        FallbackConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Which rung of the fallback ladder produced a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Rung 1: the exact ILP over the full scheduling space.
+    Exact,
+    /// Rung 2: IMS rows with ILP-optimal stage assignment.
+    StageIlp,
+    /// Rung 3: the IMS heuristic (with greedy stage improvement).
+    Ims,
+}
+
+impl Provenance {
+    /// Whether the schedule came from a degraded (non-exact) rung.
+    pub fn degraded(self) -> bool {
+        self != Provenance::Exact
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Provenance::Exact => "exact",
+            Provenance::StageIlp => "stage-ilp",
+            Provenance::Ims => "ims",
+        })
+    }
+}
 
 /// Configuration of an optimal modulo scheduler run.
 #[derive(Debug, Clone)]
@@ -44,6 +132,8 @@ pub struct SchedulerConfig {
     /// Off by default: speculation burns extra CPU and makes per-loop node
     /// counts nondeterministic, so experiments keep it disabled.
     pub speculate_ii: bool,
+    /// Degradation ladder configuration (see [`FallbackConfig`]).
+    pub fallback: FallbackConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -56,6 +146,7 @@ impl Default for SchedulerConfig {
             max_ii_span: 64,
             register_limit: None,
             speculate_ii: false,
+            fallback: FallbackConfig::default(),
         }
     }
 }
@@ -96,6 +187,13 @@ pub enum LoopStatus {
     TimedOut,
     /// No schedule exists within the allowed `II` span and schedule length.
     Infeasible,
+    /// The input loop failed [`Loop::validate`]; nothing was attempted.
+    /// The cause is in [`LoopResult::error`].
+    Invalid,
+    /// The pipeline failed abnormally (solver instability, a worker panic,
+    /// an undecodable solution) and no rung produced a schedule. The cause
+    /// is in [`LoopResult::error`].
+    Failed,
 }
 
 impl LoopStatus {
@@ -123,6 +221,13 @@ pub struct LoopResult {
     /// (`variables`/`constraints` are those of the largest model built —
     /// i.e. the final one, since sizes grow with `II`).
     pub stats: SolveStats,
+    /// Which ladder rung produced the schedule (`None` when unscheduled).
+    /// Always [`Provenance::Exact`] when the fallback ladder is disabled.
+    pub provenance: Option<Provenance>,
+    /// Abnormal condition encountered along the way, if any. Present even
+    /// on scheduled results when a rung failed abnormally before a later
+    /// rung (or the incumbent) recovered.
+    pub error: Option<ScheduleError>,
 }
 
 /// An optimal modulo scheduler (NoObj / MinReg / MinBuff / MinLife /
@@ -159,14 +264,172 @@ impl OptimalScheduler {
 
     /// Schedules `l` on `machine`, escalating `II` from the MII.
     ///
+    /// The input is validated first; a malformed loop yields
+    /// [`LoopStatus::Invalid`] with the cause in [`LoopResult::error`].
+    ///
     /// With [`SchedulerConfig::speculate_ii`] set (and more than one worker
     /// thread available), `II` and `II + 1` are solved concurrently at each
     /// escalation step; the `II + 1` racer is cancelled cooperatively when
     /// `II` succeeds, and consulted when `II` proves infeasible.
+    ///
+    /// With [`SchedulerConfig::fallback`] enabled, an exact attempt that
+    /// runs out of budget (or fails abnormally) degrades down the ladder —
+    /// stage-scheduler ILP, then plain IMS — instead of returning without a
+    /// schedule; [`LoopResult::provenance`] records the producing rung.
     pub fn schedule(&self, l: &Loop, machine: &Machine) -> LoopResult {
         let start = Instant::now();
+        // Validate before anything touches the graph: even the MII
+        // computation indexes operations through edges, so a dangling
+        // endpoint would panic there.
+        if let Err(e) = l.validate() {
+            return LoopResult {
+                status: LoopStatus::Invalid,
+                mii: Mii {
+                    res_mii: 0,
+                    rec_mii: 0,
+                },
+                ii: None,
+                schedule: None,
+                objective_value: None,
+                stats: SolveStats {
+                    wall_time: start.elapsed(),
+                    ..Default::default()
+                },
+                provenance: None,
+                error: Some(ScheduleError::InvalidLoop(e)),
+            };
+        }
         let mii = compute_mii(l, machine);
+        if mii.value() > MAX_SCHEDULABLE_II {
+            // A validated loop can still carry a recurrence no practical II
+            // satisfies (latency sums near the validation cap). Refuse it
+            // up front: neither the ILP nor the heuristics could represent
+            // a schedule that long.
+            return LoopResult {
+                status: LoopStatus::Invalid,
+                mii,
+                ii: None,
+                schedule: None,
+                objective_value: None,
+                stats: SolveStats {
+                    wall_time: start.elapsed(),
+                    ..Default::default()
+                },
+                provenance: None,
+                error: Some(ScheduleError::MiiOverflow { mii: mii.value() }),
+            };
+        }
+        let fb = self.config.fallback;
+        if !fb.enabled {
+            return self.schedule_exact(l, machine, start, mii, self.config.limits.time_limit);
+        }
+
+        // Rung 1: the exact solver on its slice of the budget.
+        let total = self.config.limits.time_limit;
+        let exact_budget = total.mul_f64(fb.exact_share.clamp(0.0, 1.0));
+        let exact = self.schedule_exact(l, machine, start, mii, exact_budget);
+        if exact.status.scheduled() || exact.status == LoopStatus::Infeasible {
+            // A schedule, or a *proof* that none exists in the II span —
+            // either way the ladder has nothing to add.
+            return exact;
+        }
+        self.degrade(l, machine, start, exact)
+    }
+
+    /// Rungs 2 and 3 of the fallback ladder, entered with the exact
+    /// attempt's (unscheduled) result in hand.
+    fn degrade(
+        &self,
+        l: &Loop,
+        machine: &Machine,
+        start: Instant,
+        exact: LoopResult,
+    ) -> LoopResult {
+        let mut result = exact;
+        let ims_cfg = ImsConfig {
+            max_ii_span: self.config.max_ii_span,
+            ..Default::default()
+        };
+        let Some(ims) = ims_schedule(l, machine, &ims_cfg) else {
+            // Not even the heuristic finds a schedule: report the exact
+            // attempt's outcome unchanged.
+            result.stats.wall_time = start.elapsed();
+            return result;
+        };
+
+        // Rung 2: pin the IMS rows and let the ILP place stages optimally
+        // for the configured objective, within the stage slice of whatever
+        // budget remains.
+        let total = self.config.limits.time_limit;
+        let stage_budget = total.mul_f64(self.config.fallback.stage_share.clamp(0.0, 1.0));
+        let remaining = total.saturating_sub(start.elapsed());
+        let limits = SolveLimits {
+            time_limit: stage_budget.min(remaining).max(Duration::from_millis(1)),
+            first_solution_only: self.config.objective == Objective::FirstFeasible,
+            stop: self.config.limits.stop.child(),
+            ..self.config.limits.clone()
+        };
+        if let Some((schedule, obj)) =
+            optimal_stages(l, machine, &ims.schedule, self.config.objective, limits)
+        {
+            return self.degraded(
+                l,
+                machine,
+                result,
+                schedule,
+                Provenance::StageIlp,
+                Some(obj),
+                start,
+            );
+        }
+
+        // Rung 3: greedy stage improvement of the raw IMS schedule. Pure
+        // combinatorics — always lands, regardless of budget state.
+        let schedule = stage_schedule(l, machine, &ims.schedule);
+        self.degraded(l, machine, result, schedule, Provenance::Ims, None, start)
+    }
+
+    /// Packages a ladder-produced schedule on top of the exact attempt's
+    /// result (keeping its solver statistics and recorded error).
+    #[allow(clippy::too_many_arguments)] // internal plumbing of loop-local state
+    fn degraded(
+        &self,
+        l: &Loop,
+        machine: &Machine,
+        mut base: LoopResult,
+        schedule: Schedule,
+        rung: Provenance,
+        obj: Option<f64>,
+        start: Instant,
+    ) -> LoopResult {
+        debug_assert_eq!(schedule.validate(l, machine), None);
+        base.status = LoopStatus::FeasibleOnly;
+        base.ii = Some(schedule.ii());
+        base.objective_value = if self.config.objective == Objective::FirstFeasible {
+            None
+        } else {
+            obj.map(round_integral)
+        };
+        base.schedule = Some(schedule);
+        base.provenance = Some(rung);
+        base.stats.wall_time = start.elapsed();
+        base
+    }
+
+    /// The exact (rung-1) scheduler: MII, per-`II` solve, `II` escalation,
+    /// bounded by `time_budget`.
+    fn schedule_exact(
+        &self,
+        l: &Loop,
+        machine: &Machine,
+        start: Instant,
+        mii: Mii,
+        time_budget: Duration,
+    ) -> LoopResult {
         let mut stats = SolveStats::default();
+        // First abnormal-but-survivable condition seen (a racer panic, a
+        // stalled LP); reported even when a later attempt succeeds.
+        let mut sticky_error: Option<ScheduleError> = None;
         let cfg = FormulationConfig {
             dep_style: self.config.dep_style,
             objective: self.config.objective,
@@ -175,7 +438,7 @@ impl OptimalScheduler {
         };
         let first_only = self.config.objective == Objective::FirstFeasible;
 
-        let give_up = |status: LoopStatus, mut stats: SolveStats| {
+        let give_up = |status: LoopStatus, mut stats: SolveStats, error: Option<ScheduleError>| {
             stats.wall_time = start.elapsed();
             LoopResult {
                 status,
@@ -184,6 +447,8 @@ impl OptimalScheduler {
                 schedule: None,
                 objective_value: None,
                 stats,
+                provenance: None,
+                error,
             }
         };
 
@@ -191,19 +456,22 @@ impl OptimalScheduler {
         let mut ii = mii.value();
         while ii <= end_ii {
             let elapsed = start.elapsed();
-            if elapsed >= self.config.limits.time_limit
+            if elapsed >= time_budget
                 || stats.bb_nodes >= self.config.limits.node_limit
                 || self.config.limits.stop.is_stopped()
             {
-                return give_up(LoopStatus::TimedOut, stats);
+                return give_up(LoopStatus::TimedOut, stats, sticky_error);
             }
             let Some(built) = build_model(l, machine, ii, &cfg) else {
                 ii += 1;
                 continue; // below RecMII (possible only via direct calls)
             };
+            // Saturating: `elapsed` keeps advancing between the budget
+            // check above and here, so a plain subtraction could underflow
+            // under a racing clock.
             let limits = SolveLimits {
-                time_limit: self.config.limits.time_limit - elapsed,
-                node_limit: self.config.limits.node_limit - stats.bb_nodes,
+                time_limit: time_budget.saturating_sub(elapsed),
+                node_limit: self.config.limits.node_limit.saturating_sub(stats.bb_nodes),
                 first_solution_only: first_only,
                 ..self.config.limits.clone()
             };
@@ -225,7 +493,7 @@ impl OptimalScheduler {
                         stop: stop_next.clone(),
                         ..limits
                     };
-                    let (out, out_next) = std::thread::scope(|scope| {
+                    let (out, race) = std::thread::scope(|scope| {
                         let racer = scope.spawn(|| built_next.model.solve_with(limits_next));
                         let out = built.model.solve_with(limits_main);
                         if out.status != SolveStatus::Infeasible {
@@ -233,10 +501,22 @@ impl OptimalScheduler {
                             // speculative result will not be consulted.
                             stop_next.stop();
                         }
-                        (out, racer.join().expect("speculative solver panicked"))
+                        let race = racer.join().map_err(|p| panic_message(p.as_ref()));
+                        (out, race)
                     });
-                    stats.absorb(&out_next.stats);
-                    speculative = Some((built_next, out_next));
+                    match race {
+                        Ok(out_next) => {
+                            stats.absorb(&out_next.stats);
+                            speculative = Some((built_next, out_next));
+                        }
+                        Err(msg) => {
+                            // The speculative racer died; its result was
+                            // only ever advisory, so record the panic and
+                            // continue with sequential escalation.
+                            sticky_error
+                                .get_or_insert(ScheduleError::Solver(SolveError::WorkerPanic(msg)));
+                        }
+                    }
                     out
                 } else {
                     built.model.solve_with(limits)
@@ -245,13 +525,29 @@ impl OptimalScheduler {
                 built.model.solve_with(limits)
             };
             stats.absorb(&out.stats);
+            if let Some(e) = &out.error {
+                sticky_error.get_or_insert(ScheduleError::Solver(e.clone()));
+            }
 
             match out.status {
                 SolveStatus::Optimal | SolveStatus::Feasible => {
-                    return self.scheduled(l, machine, &built, &out, ii, mii, stats, start);
+                    return self.scheduled(
+                        l,
+                        machine,
+                        &built,
+                        &out,
+                        ii,
+                        mii,
+                        stats,
+                        start,
+                        sticky_error,
+                    );
                 }
                 SolveStatus::Infeasible => {
                     if let Some((built_next, out_next)) = speculative {
+                        if let Some(e) = &out_next.error {
+                            sticky_error.get_or_insert(ScheduleError::Solver(e.clone()));
+                        }
                         match out_next.status {
                             SolveStatus::Optimal | SolveStatus::Feasible => {
                                 return self.scheduled(
@@ -263,6 +559,7 @@ impl OptimalScheduler {
                                     mii,
                                     stats,
                                     start,
+                                    sticky_error,
                                 );
                             }
                             SolveStatus::Infeasible => {
@@ -270,19 +567,23 @@ impl OptimalScheduler {
                                 continue;
                             }
                             SolveStatus::LimitReached => {
-                                return give_up(LoopStatus::TimedOut, stats)
+                                return give_up(LoopStatus::TimedOut, stats, sticky_error)
                             }
                         }
                     }
                     ii += 1;
                 }
-                SolveStatus::LimitReached => return give_up(LoopStatus::TimedOut, stats),
+                SolveStatus::LimitReached => {
+                    return give_up(LoopStatus::TimedOut, stats, sticky_error)
+                }
             }
         }
-        give_up(LoopStatus::Infeasible, stats)
+        give_up(LoopStatus::Infeasible, stats, sticky_error)
     }
 
-    /// Packages a successful solve into a [`LoopResult`].
+    /// Packages a successful solve into a [`LoopResult`]. A solution that
+    /// fails to decode or validate yields [`LoopStatus::Failed`] with a
+    /// typed cause instead of panicking.
     #[allow(clippy::too_many_arguments)] // internal plumbing of loop-local state
     fn scheduled(
         &self,
@@ -294,11 +595,27 @@ impl OptimalScheduler {
         mii: Mii,
         mut stats: SolveStats,
         start: Instant,
+        sticky_error: Option<ScheduleError>,
     ) -> LoopResult {
         let first_only = self.config.objective == Objective::FirstFeasible;
-        let schedule = built.extract_schedule(out);
-        debug_assert_eq!(schedule.validate(l, machine), None);
         stats.wall_time = start.elapsed();
+        let fail = |error: ScheduleError, stats: SolveStats| LoopResult {
+            status: LoopStatus::Failed,
+            mii,
+            ii: None,
+            schedule: None,
+            objective_value: None,
+            stats,
+            provenance: None,
+            error: Some(error),
+        };
+        let schedule = match built.try_extract_schedule(out) {
+            Ok(s) => s,
+            Err(e) => return fail(e, stats),
+        };
+        if let Some(detail) = schedule.validate(l, machine) {
+            return fail(ScheduleError::InvalidSchedule { detail }, stats);
+        }
         LoopResult {
             status: if out.status == SolveStatus::Optimal {
                 LoopStatus::Optimal
@@ -308,16 +625,10 @@ impl OptimalScheduler {
             mii,
             ii: Some(ii),
             schedule: Some(schedule),
-            objective_value: (!first_only).then(|| {
-                // Our objectives are all integral; strip float noise from
-                // the simplex.
-                if (out.objective - out.objective.round()).abs() < 1e-6 {
-                    out.objective.round()
-                } else {
-                    out.objective
-                }
-            }),
+            objective_value: (!first_only).then(|| round_integral(out.objective)),
             stats,
+            provenance: Some(Provenance::Exact),
+            error: sticky_error,
         }
     }
 

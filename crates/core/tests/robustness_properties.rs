@@ -1,0 +1,244 @@
+//! Robustness properties of the scheduling pipeline: degenerate or
+//! adversarial inputs must come back as a typed error or a valid schedule —
+//! never a panic — and mid-solve cancellation must leave a well-formed
+//! [`LoopResult`] with the fallback ladder engaged.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use optimod::{
+    DepStyle, FallbackConfig, LoopResult, LoopStatus, Objective, OptimalScheduler, ScheduleError,
+    SchedulerConfig,
+};
+use optimod_ddg::{
+    generate_loop, DepKind, GeneratorConfig, Loop, LoopBuilder, OpId, MAX_DISTANCE, MAX_LATENCY,
+};
+use optimod_machine::{example_3fu, Machine, OpClass};
+use proptest::prelude::*;
+
+fn tight_scheduler() -> OptimalScheduler {
+    let mut cfg = SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+        .with_time_limit(Duration::from_millis(250))
+        .with_node_limit(2_000);
+    cfg.limits.threads = 1;
+    OptimalScheduler::new(cfg)
+}
+
+/// The invariant every input must satisfy: the scheduler returns (no
+/// unwinding), an invalid loop is reported as such with a typed cause, and
+/// any schedule handed back validates against the loop and machine.
+fn assert_never_panics(l: &Loop, machine: &Machine, sched: &OptimalScheduler) -> LoopResult {
+    let validity = l.validate();
+    let r = catch_unwind(AssertUnwindSafe(|| sched.schedule(l, machine)))
+        .unwrap_or_else(|_| panic!("scheduler panicked on {}", l.name()));
+    match validity {
+        Err(_) => {
+            assert_eq!(r.status, LoopStatus::Invalid, "{}", l.name());
+            assert!(
+                r.error.is_some(),
+                "{}: Invalid must carry a cause",
+                l.name()
+            );
+            assert!(r.schedule.is_none(), "{}", l.name());
+        }
+        Ok(()) => {
+            if r.status.scheduled() {
+                let s = r.schedule.as_ref().expect("scheduled => schedule");
+                assert_eq!(s.validate(l, machine), None, "{}", l.name());
+                assert!(r.provenance.is_some(), "{}", l.name());
+            } else {
+                assert!(r.schedule.is_none(), "{}", l.name());
+            }
+        }
+    }
+    r
+}
+
+fn class_for(i: usize) -> OpClass {
+    match i % 4 {
+        0 => OpClass::Load,
+        1 => OpClass::IAlu,
+        2 => OpClass::FAdd,
+        _ => OpClass::FMul,
+    }
+}
+
+/// Arbitrary possibly-degenerate loops: up to 4 ops (including none at
+/// all), edges whose endpoints may dangle, latencies and distances that
+/// probe the validation caps, and a mix of dep kinds and register flows.
+fn arb_degenerate_loop() -> impl Strategy<Value = Loop> {
+    let edge = (0usize..6, 0usize..6, 0usize..6, 0usize..4, 0usize..3);
+    (0usize..=4, proptest::collection::vec(edge, 0..8)).prop_map(|(n, edges)| {
+        let machine = example_3fu();
+        let mut b = LoopBuilder::new("prop-degenerate");
+        for i in 0..n {
+            b.op(class_for(i), format!("op{i}"));
+        }
+        for (f, t, lat_c, dist_c, kind_c) in edges {
+            let from = OpId::from_index(f);
+            let to = OpId::from_index(t);
+            let latency = match lat_c {
+                0 => 0,
+                1 => 1,
+                2 => 4,
+                3 => -2,
+                4 => MAX_LATENCY,
+                _ => MAX_LATENCY + 1,
+            };
+            let distance = match dist_c {
+                0 => 0,
+                1 => 1,
+                2 => 2,
+                _ => MAX_DISTANCE + 1,
+            };
+            match kind_c {
+                0 => b.dep(from, to, latency, distance, DepKind::Memory),
+                1 => b.dep(from, to, latency, distance, DepKind::Anti),
+                _ => b.flow(from, to, distance),
+            };
+        }
+        b.build_unchecked(&machine)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite (c): arbitrary degenerate graphs — dangling endpoints,
+    /// overflowing annotations, zero-distance cycles, empty bodies — go
+    /// through `Loop::validate` and the full scheduler without panicking.
+    #[test]
+    fn degenerate_loops_yield_typed_error_or_valid_schedule(l in arb_degenerate_loop()) {
+        let machine = example_3fu();
+        assert_never_panics(&l, &machine, &tight_scheduler());
+    }
+
+    /// Satellite (d): a `StopFlag` child fired from another thread at a
+    /// randomized point mid-solve. The pipeline must return a well-formed
+    /// result, and with the ladder enabled a schedule must still land
+    /// (the IMS rung does not consult the flag).
+    #[test]
+    fn stop_mid_solve_is_well_formed_and_ladder_engages(
+        delay_us in 0u64..4_000,
+        threads in 1u32..3,
+        seed in 0u64..4,
+    ) {
+        let machine = example_3fu();
+        let gen = GeneratorConfig {
+            min_ops: 20,
+            max_ops: 20,
+            recurrence_prob: 0.5,
+            ..Default::default()
+        };
+        let l = generate_loop(&gen, &machine, seed);
+        let mut cfg = SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+            .with_time_limit(Duration::from_secs(10));
+        cfg.limits.threads = threads;
+        cfg.fallback = FallbackConfig::enabled();
+        let stop = cfg.limits.stop.clone();
+        let sched = OptimalScheduler::new(cfg);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(delay_us));
+            stop.stop();
+        });
+        let r = assert_never_panics(&l, &machine, &sched);
+        killer.join().expect("killer thread");
+        // Whether the stop landed before or after the exact solve
+        // finished, the ladder guarantees a schedule on a valid loop.
+        prop_assert!(r.status.scheduled(), "status {:?}", r.status);
+        prop_assert!(r.provenance.is_some());
+    }
+}
+
+// -- Deterministic corners named in the issue ------------------------------
+
+#[test]
+fn empty_body_schedules_without_panic() {
+    let machine = example_3fu();
+    let l = LoopBuilder::new("empty").build(&machine);
+    let r = assert_never_panics(&l, &machine, &tight_scheduler());
+    assert!(r.status.scheduled(), "empty loop is trivially schedulable");
+}
+
+#[test]
+fn single_op_self_edge_schedules() {
+    let machine = example_3fu();
+    let mut b = LoopBuilder::new("self-edge");
+    let a = b.op(OpClass::IAlu, "a");
+    b.dep(a, a, 1, 1, DepKind::Memory);
+    let l = b.build(&machine);
+    let r = assert_never_panics(&l, &machine, &tight_scheduler());
+    assert!(r.status.scheduled());
+}
+
+#[test]
+fn zero_distance_self_edge_is_invalid_not_a_panic() {
+    let machine = example_3fu();
+    let mut b = LoopBuilder::new("zero-distance-self");
+    let a = b.op(OpClass::IAlu, "a");
+    b.dep(a, a, 1, 0, DepKind::Memory);
+    let l = b.build_unchecked(&machine);
+    let r = assert_never_panics(&l, &machine, &tight_scheduler());
+    assert_eq!(r.status, LoopStatus::Invalid);
+}
+
+#[test]
+fn max_latency_recurrence_is_rejected_with_typed_overflow() {
+    // Passes `Loop::validate` (latency exactly at the cap) but implies a
+    // RecMII of 2^40 — far past anything the ILP could formulate. The
+    // scheduler must refuse with `MiiOverflow` instead of allocating.
+    let machine = example_3fu();
+    let mut b = LoopBuilder::new("max-latency-cycle");
+    let a = b.op(OpClass::FAdd, "a");
+    b.dep(a, a, MAX_LATENCY, 1, DepKind::Memory);
+    let l = b.build(&machine);
+    let r = assert_never_panics(&l, &machine, &tight_scheduler());
+    assert_eq!(r.status, LoopStatus::Invalid);
+    assert!(
+        matches!(r.error, Some(ScheduleError::MiiOverflow { .. })),
+        "{:?}",
+        r.error
+    );
+}
+
+#[test]
+fn distance_beyond_ii_span_schedules() {
+    // A dependence whose distance dwarfs any II the escalation will try:
+    // the constraint `t_to - t_from >= latency - II * distance` is slack
+    // at every candidate, and must not trip any arithmetic on the way.
+    let machine = example_3fu();
+    let mut b = LoopBuilder::new("long-distance");
+    let x = b.op(OpClass::Load, "x");
+    let y = b.op(OpClass::FAdd, "y");
+    b.flow(x, y, 0);
+    b.dep(y, x, 3, 500, DepKind::Memory);
+    let l = b.build(&machine);
+    let r = assert_never_panics(&l, &machine, &tight_scheduler());
+    assert!(r.status.scheduled());
+}
+
+#[test]
+fn ladder_engages_when_exact_budget_is_zero() {
+    // Deterministic ladder engagement: a zero exact share times out rung 1
+    // immediately, so any schedule that comes back is a degraded rung's.
+    let machine = example_3fu();
+    let l = optimod_ddg::kernels::lfk5_tridiag(&machine);
+    let mut cfg = SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+        .with_time_limit(Duration::from_secs(10));
+    cfg.limits.threads = 1;
+    cfg.fallback = FallbackConfig {
+        enabled: true,
+        exact_share: 0.0,
+        stage_share: 0.5,
+    };
+    let r = OptimalScheduler::new(cfg).schedule(&l, &machine);
+    assert!(r.status.scheduled(), "ladder must land: {:?}", r.status);
+    let rung = r.provenance.expect("scheduled => provenance");
+    assert!(rung.degraded(), "exact had no budget, got {rung}");
+    assert_eq!(
+        r.schedule
+            .expect("scheduled => schedule")
+            .validate(&l, &machine),
+        None
+    );
+}

@@ -249,7 +249,7 @@ mod tests {
         let m = cydra_like();
         let cfg = GeneratorConfig::default();
         for l in generate_corpus(&cfg, &m, 0, 200) {
-            assert!(l.validate().is_none(), "{} invalid", l.name());
+            assert!(l.validate().is_ok(), "{} invalid", l.name());
         }
     }
 

@@ -7,9 +7,122 @@
 //! virtual-register lifetimes (a register is reserved from its definition
 //! cycle until the cycle following its last use).
 
+use std::error::Error;
 use std::fmt;
 
 use optimod_machine::{Machine, OpClass};
+
+/// Largest edge latency magnitude accepted by [`Loop::validate`].
+///
+/// Latencies enter `latency - II * distance` arithmetic (recurrence bounds,
+/// ASAP times, ILP coefficients) as `i64`; capping the magnitude keeps every
+/// sum over a path or cycle far from overflow even on degenerate graphs.
+pub const MAX_LATENCY: i64 = 1 << 40;
+
+/// Largest iteration distance accepted by [`Loop::validate`].
+///
+/// Distances are multiplied by candidate `II` values (which are themselves
+/// bounded by latency sums); the cap keeps `II * distance` inside `i64`.
+pub const MAX_DISTANCE: u32 = 1 << 20;
+
+/// A structural defect detected by [`Loop::validate`].
+///
+/// Every variant names the offending entity so diagnostics can point at the
+/// exact edge or register instead of a generic "malformed graph" panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopError {
+    /// A scheduling edge endpoint does not name an operation of the loop.
+    DanglingEdge {
+        /// Index of the edge in [`Loop::edges`].
+        edge: usize,
+        /// `from` endpoint as a dense index.
+        from: usize,
+        /// `to` endpoint as a dense index.
+        to: usize,
+        /// Number of operations in the loop.
+        num_ops: usize,
+    },
+    /// An edge latency exceeds [`MAX_LATENCY`] in magnitude, risking
+    /// overflow in recurrence-bound and formulation arithmetic.
+    LatencyOverflow {
+        /// Index of the edge in [`Loop::edges`].
+        edge: usize,
+        /// The offending latency.
+        latency: i64,
+    },
+    /// An edge iteration distance exceeds [`MAX_DISTANCE`], risking
+    /// overflow in `II * distance` arithmetic.
+    DistanceOverflow {
+        /// Index of the edge in [`Loop::edges`].
+        edge: usize,
+        /// The offending distance.
+        distance: u32,
+    },
+    /// A virtual register's defining operation is out of range.
+    DanglingVregDef {
+        /// Index of the register in [`Loop::vregs`].
+        vreg: usize,
+        /// Definition operation as a dense index.
+        def: usize,
+    },
+    /// Two virtual registers claim the same defining operation.
+    DuplicateVregDef {
+        /// The operation (dense index) that defines both.
+        def: usize,
+    },
+    /// A virtual-register use names a missing operation.
+    DanglingVregUse {
+        /// Index of the register in [`Loop::vregs`].
+        vreg: usize,
+        /// Consuming operation as a dense index.
+        op: usize,
+    },
+    /// A dependence cycle with total iteration distance zero: unreachable
+    /// at any `II`, so the loop can never be scheduled.
+    ZeroDistanceCycle {
+        /// One operation (dense index) on the offending cycle.
+        on: usize,
+    },
+}
+
+impl fmt::Display for LoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LoopError::DanglingEdge {
+                edge,
+                from,
+                to,
+                num_ops,
+            } => write!(
+                f,
+                "edge {edge} (op{from} -> op{to}) references a missing operation \
+                 (loop has {num_ops})"
+            ),
+            LoopError::LatencyOverflow { edge, latency } => write!(
+                f,
+                "edge {edge} latency {latency} exceeds the supported magnitude {MAX_LATENCY}"
+            ),
+            LoopError::DistanceOverflow { edge, distance } => write!(
+                f,
+                "edge {edge} distance {distance} exceeds the supported maximum {MAX_DISTANCE}"
+            ),
+            LoopError::DanglingVregDef { vreg, def } => {
+                write!(f, "vreg {vreg} def op{def} out of range")
+            }
+            LoopError::DuplicateVregDef { def } => {
+                write!(f, "operation op{def} defines two vregs")
+            }
+            LoopError::DanglingVregUse { vreg, op } => {
+                write!(f, "vreg {vreg} use op{op} out of range")
+            }
+            LoopError::ZeroDistanceCycle { on } => {
+                write!(f, "zero-distance dependence cycle through op{on}")
+            }
+        }
+    }
+}
+
+impl Error for LoopError {}
 
 /// Identifier of an operation within one [`Loop`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -193,33 +306,65 @@ impl Loop {
         (0..n).any(|u| state[u] == 0 && dfs(u, &adj, &mut state))
     }
 
-    /// Validates structural invariants. Returns a description of the first
-    /// problem found, or `None` when the loop is well-formed:
+    /// Validates structural invariants. Returns the first problem found as a
+    /// typed [`LoopError`], or `Ok(())` when the loop is well-formed:
     ///
     /// * every edge and register reference resolves to an operation;
-    /// * no dependence cycle has total distance zero (such a loop could
-    ///   never be scheduled at any `II` if the cycle's latency is positive,
-    ///   and indicates a malformed graph);
+    /// * edge latencies and distances stay within [`MAX_LATENCY`] /
+    ///   [`MAX_DISTANCE`], so downstream `latency - II * distance`
+    ///   arithmetic cannot overflow;
+    /// * no dependence cycle has total distance zero (such a recurrence is
+    ///   unreachable at any `II` and indicates a malformed graph);
     /// * each operation defines at most one virtual register.
-    pub fn validate(&self) -> Option<String> {
+    ///
+    /// Everything downstream (MII bounds, ILP construction, the heuristics)
+    /// may index freely once validation passes; the scheduling pipeline
+    /// validates up front so garbage inputs yield a diagnostic instead of an
+    /// out-of-bounds panic deep inside a solver.
+    pub fn validate(&self) -> Result<(), LoopError> {
         let n = self.ops.len();
-        for e in &self.edges {
+        for (i, e) in self.edges.iter().enumerate() {
             if e.from.index() >= n || e.to.index() >= n {
-                return Some(format!("edge {e:?} references a missing operation"));
+                return Err(LoopError::DanglingEdge {
+                    edge: i,
+                    from: e.from.index(),
+                    to: e.to.index(),
+                    num_ops: n,
+                });
+            }
+            if e.latency.checked_abs().is_none_or(|l| l > MAX_LATENCY) {
+                return Err(LoopError::LatencyOverflow {
+                    edge: i,
+                    latency: e.latency,
+                });
+            }
+            if e.distance > MAX_DISTANCE {
+                return Err(LoopError::DistanceOverflow {
+                    edge: i,
+                    distance: e.distance,
+                });
             }
         }
         let mut seen_def = vec![false; n];
-        for vr in &self.vregs {
+        for (vi, vr) in self.vregs.iter().enumerate() {
             if vr.def.index() >= n {
-                return Some(format!("vreg def {} out of range", vr.def));
+                return Err(LoopError::DanglingVregDef {
+                    vreg: vi,
+                    def: vr.def.index(),
+                });
             }
             if seen_def[vr.def.index()] {
-                return Some(format!("operation {} defines two vregs", vr.def));
+                return Err(LoopError::DuplicateVregDef {
+                    def: vr.def.index(),
+                });
             }
             seen_def[vr.def.index()] = true;
             for u in &vr.uses {
                 if u.op.index() >= n {
-                    return Some(format!("vreg use {} out of range", u.op));
+                    return Err(LoopError::DanglingVregUse {
+                        vreg: vi,
+                        op: u.op.index(),
+                    });
                 }
             }
         }
@@ -250,10 +395,10 @@ impl Loop {
         }
         for u in 0..n {
             if state[u] == 0 && !acyclic(u, &adj, &mut state) {
-                return Some("zero-distance dependence cycle".to_string());
+                return Err(LoopError::ZeroDistanceCycle { on: u });
             }
         }
-        None
+        Ok(())
     }
 
     /// Emits a Graphviz `dot` rendering (for debugging and docs).
@@ -366,13 +511,43 @@ impl LoopBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the resulting loop fails [`Loop::validate`].
+    /// Panics if the resulting loop fails [`Loop::validate`]. Use
+    /// [`LoopBuilder::try_build`] to receive the defect as a typed error
+    /// instead (the CLI parser does, so a bad loop file is a diagnostic,
+    /// not a crash).
     pub fn build(&self, machine: &Machine) -> Loop {
+        match self.try_build(machine) {
+            Ok(l) => l,
+            Err(err) => panic!("loop '{}' is malformed: {err}", self.name),
+        }
+    }
+
+    /// Fallible variant of [`LoopBuilder::build`]: returns the first
+    /// structural defect as a [`LoopError`] instead of panicking.
+    pub fn try_build(&self, machine: &Machine) -> Result<Loop, LoopError> {
+        let l = self.build_unchecked(machine);
+        l.validate()?;
+        Ok(l)
+    }
+
+    /// Builds the loop **without** running [`Loop::validate`].
+    ///
+    /// Intended for robustness tests and fault-injection harnesses that
+    /// need to feed deliberately malformed graphs (dangling [`OpId`]s,
+    /// overflowing latencies) through the validation and scheduling
+    /// pipeline. Production callers should use [`LoopBuilder::try_build`];
+    /// passing an unvalidated loop to the schedulers may panic.
+    pub fn build_unchecked(&self, machine: &Machine) -> Loop {
         let mut edges = self.raw_edges.clone();
         let mut vreg_of_def: Vec<Option<usize>> = vec![None; self.ops.len()];
         let mut vregs: Vec<VirtualRegister> = Vec::new();
         for f in &self.flows {
-            let lat = machine.latency(self.ops[f.def.index()].class);
+            // Tolerate a dangling def here (latency 0): validation reports
+            // it as a typed error rather than an index panic.
+            let lat = self
+                .ops
+                .get(f.def.index())
+                .map_or(0, |op| machine.latency(op.class));
             edges.push(SchedEdge {
                 from: f.def,
                 to: f.user,
@@ -380,7 +555,10 @@ impl LoopBuilder {
                 distance: f.distance,
                 kind: DepKind::Flow,
             });
-            let slot = *vreg_of_def[f.def.index()].get_or_insert_with(|| {
+            let Some(vreg_slot) = vreg_of_def.get_mut(f.def.index()) else {
+                continue; // dangling def: the edge above carries the defect
+            };
+            let slot = *vreg_slot.get_or_insert_with(|| {
                 vregs.push(VirtualRegister {
                     def: f.def,
                     uses: Vec::new(),
@@ -392,16 +570,12 @@ impl LoopBuilder {
                 distance: f.distance,
             });
         }
-        let l = Loop {
+        Loop {
             name: self.name.clone(),
             ops: self.ops.clone(),
             edges,
             vregs,
-        };
-        if let Some(err) = l.validate() {
-            panic!("loop '{}' is malformed: {err}", self.name);
         }
-        l
     }
 }
 
@@ -452,6 +626,62 @@ mod tests {
         b.flow(a, c, 0);
         b.flow(c, a, 0);
         b.build(&m);
+    }
+
+    #[test]
+    fn dangling_edge_reported_typed() {
+        let m = example_3fu();
+        let mut b = LoopBuilder::new("dangling");
+        let a = b.op(OpClass::Load, "ld");
+        b.dep(a, OpId::from_index(7), 1, 0, DepKind::Memory);
+        let err = b.try_build(&m).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LoopError::DanglingEdge {
+                    to: 7,
+                    num_ops: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("missing operation"), "{err}");
+    }
+
+    #[test]
+    fn overflowing_annotations_rejected() {
+        let m = example_3fu();
+        let mut b = LoopBuilder::new("overflow");
+        let a = b.op(OpClass::FAdd, "a");
+        let c = b.op(OpClass::FAdd, "b");
+        b.dep(a, c, MAX_LATENCY + 1, 1, DepKind::Control);
+        assert!(matches!(
+            b.try_build(&m).unwrap_err(),
+            LoopError::LatencyOverflow { edge: 0, .. }
+        ));
+
+        let mut b = LoopBuilder::new("overflow-dist");
+        let a = b.op(OpClass::FAdd, "a");
+        let c = b.op(OpClass::FAdd, "b");
+        b.dep(a, c, 1, MAX_DISTANCE + 1, DepKind::Memory);
+        assert!(matches!(
+            b.try_build(&m).unwrap_err(),
+            LoopError::DistanceOverflow { edge: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn dangling_flow_def_reported_not_panicking() {
+        let m = example_3fu();
+        let mut b = LoopBuilder::new("dangling-flow");
+        let a = b.op(OpClass::Load, "ld");
+        b.flow(OpId::from_index(3), a, 0);
+        let err = b.try_build(&m).unwrap_err();
+        assert!(
+            matches!(err, LoopError::DanglingEdge { from: 3, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -1140,7 +1140,7 @@ mod tests {
     fn all_kernels_validate_on_all_machines() {
         for m in [example_3fu(), cydra_like()] {
             for l in all_kernels(&m) {
-                assert!(l.validate().is_none(), "{} on {}", l.name(), m.name());
+                assert!(l.validate().is_ok(), "{} on {}", l.name(), m.name());
                 assert!(l.num_ops() >= 2);
             }
         }

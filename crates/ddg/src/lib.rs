@@ -28,4 +28,7 @@ pub mod kernels;
 
 pub use corpus::{benchmark_corpus, CorpusSize, CORPUS_SEED};
 pub use generator::{generate_corpus, generate_loop, GeneratorConfig};
-pub use graph::{DepKind, Loop, LoopBuilder, Op, OpId, RegUse, SchedEdge, VirtualRegister};
+pub use graph::{
+    DepKind, Loop, LoopBuilder, LoopError, Op, OpId, RegUse, SchedEdge, VirtualRegister,
+    MAX_DISTANCE, MAX_LATENCY,
+};

@@ -48,7 +48,7 @@ proptest! {
         seed in 0u64..100_000,
     ) {
         let l = generate_loop(&cfg, &machine, seed);
-        prop_assert!(l.validate().is_none(), "{}: {:?}", l.name(), l.validate());
+        prop_assert!(l.validate().is_ok(), "{}: {:?}", l.name(), l.validate());
         prop_assert!(l.num_ops() >= cfg.min_ops);
         prop_assert!(l.num_ops() <= cfg.max_ops);
         // Register edges all correspond to value-producing defs.

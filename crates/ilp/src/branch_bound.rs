@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 use crate::model::{Model, Sense, VarId};
 use crate::parallel;
 use crate::simplex::{LpStatus, Simplex, SimplexOptions};
-use crate::solution::{SolveOutcome, SolveStats, SolveStatus};
+use crate::solution::{SolveError, SolveOutcome, SolveStats, SolveStatus};
 use crate::stop::StopFlag;
 use crate::INT_TOL;
 
@@ -207,6 +207,7 @@ struct Search<'a> {
     stats: SolveStats,
     int_vars: Vec<VarId>,
     limit_hit: bool,
+    error: Option<SolveError>,
 }
 
 impl Solver {
@@ -264,6 +265,7 @@ impl Solver {
                 .filter(|v| model.is_integer(*v))
                 .collect(),
             limit_hit: false,
+            error: None,
         };
 
         let mut lb: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].lb).collect();
@@ -394,6 +396,15 @@ impl Search<'_> {
                 self.limit_hit = true;
                 return Explored::Stop;
             }
+            LpStatus::Stalled => {
+                // The watchdog abandoned a numerically unstable LP. Keep
+                // whatever incumbent exists and report the cause.
+                self.limit_hit = true;
+                self.error = Some(SolveError::NumericallyUnstable {
+                    iterations: lp.iterations,
+                });
+                return Explored::Stop;
+            }
             LpStatus::Optimal => {}
         }
         let mut bound = self.to_min(lp.objective);
@@ -487,6 +498,7 @@ impl Search<'_> {
                         self.best_bound
                     }),
                     stats: self.stats,
+                    error: self.error.take(),
                 }
             }
             None => SolveOutcome {
@@ -501,6 +513,7 @@ impl Search<'_> {
                 values: vec![],
                 best_bound: self.min_to_model(self.best_bound),
                 stats: self.stats,
+                error: self.error.take(),
             },
         }
     }

@@ -43,7 +43,7 @@ pub use branch_bound::{BranchRule, SolveLimits, Solver};
 pub use export::lp_format;
 pub use model::{ConstraintId, LinExpr, Model, RowSense, Sense, VarId};
 pub use simplex::{LpOutcome, LpStatus, Simplex, SimplexOptions};
-pub use solution::{SolveOutcome, SolveStats, SolveStatus};
+pub use solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 pub use stop::StopFlag;
 
 /// Absolute tolerance used to decide primal feasibility of a value with

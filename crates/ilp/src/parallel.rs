@@ -40,7 +40,7 @@ use std::time::Instant;
 use crate::branch_bound::{choose_branch, down_child_first, tighten_integral_bound, SolveLimits};
 use crate::model::{Model, Sense, VarId};
 use crate::simplex::{LpStatus, Simplex, SimplexOptions};
-use crate::solution::{SolveOutcome, SolveStats, SolveStatus};
+use crate::solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 use crate::stop::StopFlag;
 
 /// One open node: a single bound tightening plus the chain to the root.
@@ -80,6 +80,9 @@ struct Shared<'a> {
     /// Set when `first_solution_only` found its solution, so the resulting
     /// cooperative LP interruptions are not misread as a budget limit.
     found_first: AtomicBool,
+    /// First abnormal condition observed by any worker (stalled LP, worker
+    /// panic); later ones are dropped.
+    error: Mutex<Option<SolveError>>,
     /// Search-internal stop (child of the caller's flag).
     stop: StopFlag,
 }
@@ -101,6 +104,12 @@ impl Shared<'_> {
     fn hit_limit(&self) {
         self.limit_hit.store(true, Ordering::Release);
         self.stop.stop();
+    }
+
+    /// Records the first abnormal condition of the solve.
+    fn record_error(&self, err: SolveError) {
+        let mut guard = self.error.lock().expect("error lock poisoned");
+        guard.get_or_insert(err);
     }
 
     /// Records an integral solution; returns whether it became incumbent.
@@ -175,8 +184,19 @@ fn worker(shared: &Shared, opts: &SimplexOptions, wid: usize) {
             continue;
         };
         idle_rounds = 0;
-        expand_node(shared, &mut simplex, opts, &node, &mut lb, &mut ub, wid);
+        // A panic inside node expansion (numerical debug_assert, index bug
+        // on a pathological model) must not abort the process: record it as
+        // a typed error, drop the node, and let the solve wind down with
+        // whatever incumbent exists.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            expand_node(shared, &mut simplex, opts, &node, &mut lb, &mut ub, wid);
+        }));
         shared.pending.fetch_sub(1, Ordering::AcqRel);
+        if let Err(payload) = unwound {
+            shared.record_error(SolveError::WorkerPanic(panic_message(payload.as_ref())));
+            shared.hit_limit();
+            return;
+        }
     }
 }
 
@@ -227,6 +247,13 @@ fn expand_node(
             if !shared.found_first.load(Ordering::Acquire) {
                 shared.hit_limit();
             }
+            return;
+        }
+        LpStatus::Stalled => {
+            shared.record_error(SolveError::NumericallyUnstable {
+                iterations: lp.iterations,
+            });
+            shared.hit_limit();
             return;
         }
         LpStatus::Optimal => {}
@@ -312,16 +339,18 @@ pub(crate) fn solve(
         .filter(|v| model.is_integer(*v))
         .collect();
 
-    let finish = |status: SolveStatus, mut stats: SolveStats, best_bound: f64| {
-        stats.wall_time = start.elapsed();
-        SolveOutcome {
-            status,
-            objective: f64::NAN,
-            values: vec![],
-            best_bound: min_to_model(best_bound),
-            stats,
-        }
-    };
+    let finish =
+        |status: SolveStatus, mut stats: SolveStats, best_bound: f64, error: Option<SolveError>| {
+            stats.wall_time = start.elapsed();
+            SolveOutcome {
+                status,
+                objective: f64::NAN,
+                values: vec![],
+                best_bound: min_to_model(best_bound),
+                stats,
+                error,
+            }
+        };
 
     let mut root_lb: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].lb).collect();
     let mut root_ub: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].ub).collect();
@@ -330,7 +359,7 @@ pub(crate) fn solve(
         root_lb[j] = root_lb[j].ceil();
         root_ub[j] = root_ub[j].floor();
         if root_lb[j] > root_ub[j] {
-            return finish(SolveStatus::Infeasible, stats, f64::NEG_INFINITY);
+            return finish(SolveStatus::Infeasible, stats, f64::NEG_INFINITY, None);
         }
     }
 
@@ -349,9 +378,21 @@ pub(crate) fn solve(
     stats.lp_solves += 1;
     stats.simplex_iterations += lp.iterations;
     match lp.status {
-        LpStatus::Infeasible => return finish(SolveStatus::Infeasible, stats, f64::NEG_INFINITY),
+        LpStatus::Infeasible => {
+            return finish(SolveStatus::Infeasible, stats, f64::NEG_INFINITY, None)
+        }
         LpStatus::Unbounded | LpStatus::IterLimit => {
-            return finish(SolveStatus::LimitReached, stats, f64::NEG_INFINITY)
+            return finish(SolveStatus::LimitReached, stats, f64::NEG_INFINITY, None)
+        }
+        LpStatus::Stalled => {
+            return finish(
+                SolveStatus::LimitReached,
+                stats,
+                f64::NEG_INFINITY,
+                Some(SolveError::NumericallyUnstable {
+                    iterations: lp.iterations,
+                }),
+            )
         }
         LpStatus::Optimal => {}
     }
@@ -366,7 +407,7 @@ pub(crate) fn solve(
     if root_bound >= cutoff_min - 1e-9 {
         // Nothing can beat the external cutoff (same Infeasible contract as
         // the serial search).
-        return finish(SolveStatus::Infeasible, stats, root_bound);
+        return finish(SolveStatus::Infeasible, stats, root_bound, None);
     }
 
     let root_branch = choose_branch(limits.branch_rule, &int_vars, &lp.values);
@@ -384,6 +425,7 @@ pub(crate) fn solve(
             values: lp.values,
             best_bound: min_to_model(obj),
             stats,
+            error: None,
         };
     };
     drop(root_simplex);
@@ -407,6 +449,7 @@ pub(crate) fn solve(
         simplex_iterations: AtomicU64::new(0),
         limit_hit: AtomicBool::new(false),
         found_first: AtomicBool::new(false),
+        error: Mutex::new(None),
         stop: search_stop,
     };
 
@@ -416,7 +459,7 @@ pub(crate) fn solve(
         let floor = bx.floor();
         if floor >= root_ub[j] || floor + 1.0 <= root_lb[j] {
             debug_assert!(false, "root LP value {bx} escapes bounds");
-            return finish(SolveStatus::LimitReached, stats, root_bound);
+            return finish(SolveStatus::LimitReached, stats, root_bound, None);
         }
         let down = Arc::new(PathStep {
             j,
@@ -453,6 +496,7 @@ pub(crate) fn solve(
     stats.simplex_iterations += shared.simplex_iterations.load(Ordering::Relaxed);
     stats.wall_time = start.elapsed();
     let limit_hit = shared.limit_hit.load(Ordering::Acquire);
+    let error = shared.error.lock().expect("error lock poisoned").take();
     let incumbent = shared
         .incumbent
         .lock()
@@ -475,6 +519,7 @@ pub(crate) fn solve(
                     root_bound
                 }),
                 stats,
+                error,
             }
         }
         None => SolveOutcome {
@@ -487,6 +532,7 @@ pub(crate) fn solve(
             values: vec![],
             best_bound: min_to_model(root_bound),
             stats,
+            error,
         },
     }
 }

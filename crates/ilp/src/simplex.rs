@@ -33,6 +33,15 @@ const PIVOT_TOL: f64 = 1e-9;
 const DEGEN_LIMIT: u32 = 60;
 /// Refactorize the basis inverse after this many pivots.
 const REFACTOR_EVERY: u64 = 400;
+/// Degenerate-pivot streak at which the watchdog forces an out-of-cycle
+/// refactorization (a drifted basis inverse can fake degeneracy).
+const STALL_REFACTOR: u32 = 2_000;
+/// Degenerate-pivot streak at which the solve is abandoned as numerically
+/// unstable ([`LpStatus::Stalled`]). Bland's rule terminates in exact
+/// arithmetic, so a streak this long under Bland's pricing means floating
+/// point is cycling; burning the rest of a branch-and-bound budget on one
+/// LP would be worse than reporting the stall.
+const STALL_ABORT: u32 = 50_000;
 
 /// Outcome status of a single LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +54,10 @@ pub enum LpStatus {
     Unbounded,
     /// The per-solve iteration limit was exhausted.
     IterLimit,
+    /// The watchdog abandoned the solve: degenerate pivots kept cycling
+    /// after the switch to Bland's rule and a forced refactorization —
+    /// numerical instability on this LP instance.
+    Stalled,
 }
 
 /// Result of solving one LP relaxation.
@@ -195,17 +208,26 @@ impl Simplex {
 
     /// Solves the LP relaxation with the given structural bounds.
     ///
-    /// `lb`/`ub` must have one entry per structural variable.
+    /// `lb`/`ub` must have one entry per structural variable. A crossed
+    /// bound pair (`lb[j] > ub[j]`) describes an empty box and reports
+    /// [`LpStatus::Infeasible`] — branch-and-bound tightens bounds
+    /// concurrently with pruning, so an empty box is a legitimate node, not
+    /// a caller bug.
     ///
     /// # Panics
     ///
-    /// Panics if the bound slices have the wrong length or contain `lb > ub`.
+    /// Panics if the bound slices have the wrong length.
     pub fn solve(&mut self, lb: &[f64], ub: &[f64], opts: &SimplexOptions) -> LpOutcome {
         let p = &self.p;
         assert_eq!(lb.len(), p.n_struct, "lower-bound slice length mismatch");
         assert_eq!(ub.len(), p.n_struct, "upper-bound slice length mismatch");
-        for j in 0..p.n_struct {
-            assert!(lb[j] <= ub[j], "lb > ub for structural variable {j}");
+        if (0..p.n_struct).any(|j| lb[j] > ub[j]) {
+            return LpOutcome {
+                status: LpStatus::Infeasible,
+                objective: f64::NAN,
+                values: vec![],
+                iterations: 0,
+            };
         }
 
         init_work(p, &mut self.w, lb, ub);
@@ -574,6 +596,15 @@ fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: &SimplexOptions) -> L
         }
         w.iterations += 1;
         w.degen_streak = if t_best < 1e-9 { w.degen_streak + 1 } else { 0 };
+        // Watchdog escalation: Bland's rule engaged at DEGEN_LIMIT (see
+        // `bland` above); a persisting streak next forces a refactorization
+        // (a drifted inverse can fake degeneracy), and finally abandons the
+        // solve rather than cycle forever on an unstable instance.
+        if w.degen_streak == STALL_REFACTOR {
+            refactor(p, w);
+        } else if w.degen_streak >= STALL_ABORT {
+            return LpStatus::Stalled;
+        }
 
         match leave {
             None => {

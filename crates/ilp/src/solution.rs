@@ -1,7 +1,58 @@
 //! Solve outcomes and the effort statistics the paper's evaluation reports.
 
+use std::error::Error;
 use std::fmt;
 use std::time::Duration;
+
+/// An abnormal solver condition, reported alongside the outcome instead of
+/// unwinding through the caller.
+///
+/// A [`SolveOutcome`] carrying one of these still has a well-formed status
+/// (typically [`SolveStatus::LimitReached`], or [`SolveStatus::Feasible`]
+/// when an incumbent was already in hand): the solver degrades, it does not
+/// die. Callers that need the cause (the scheduler's fallback ladder, the
+/// corpus driver's outcome table) read it from [`SolveOutcome::error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The simplex stalled: a long run of degenerate pivots survived both
+    /// the switch to Bland's anti-cycling rule and a basis refactorization,
+    /// indicating numerical instability on this LP.
+    NumericallyUnstable {
+        /// Pivots performed by the stalled LP before it was abandoned.
+        iterations: u64,
+    },
+    /// A worker thread of the parallel search (or a speculative racer)
+    /// panicked; the payload is the panic message.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NumericallyUnstable { iterations } => write!(
+                f,
+                "simplex stalled after {iterations} iterations of degenerate pivots \
+                 (numerical instability)"
+            ),
+            SolveError::WorkerPanic(msg) => write!(f, "solver worker panicked: {msg}"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Extracts a human-readable message from a panic payload (the `Box<dyn
+/// Any>` that [`std::thread::JoinHandle::join`] and
+/// [`std::panic::catch_unwind`] return on unwind).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Final status of a branch-and-bound solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +136,11 @@ pub struct SolveOutcome {
     pub best_bound: f64,
     /// Effort statistics.
     pub stats: SolveStats,
+    /// Abnormal condition encountered during the solve (numerical
+    /// instability, a worker panic), if any. The status above remains
+    /// honest — an error with an incumbent reports [`SolveStatus::Feasible`],
+    /// without one [`SolveStatus::LimitReached`].
+    pub error: Option<SolveError>,
 }
 
 impl SolveOutcome {

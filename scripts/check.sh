@@ -12,4 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> cargo test (release with debug assertions)"
+# Release codegen with debug_assert! live: catches invariant violations
+# (schedule re-validation, solver bookkeeping) that dev-profile timings
+# hide and plain release builds compile out.
+CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true \
+CARGO_PROFILE_RELEASE_OVERFLOW_CHECKS=true \
+    cargo test --workspace -q --release
+
 echo "All checks passed."
