@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use optimod::heuristic::{ims_schedule, stage_schedule, ImsConfig};
@@ -31,6 +32,7 @@ use optimod::{
 use optimod_ddg::{benchmark_corpus, CorpusSize, Loop};
 use optimod_ilp::panic_message;
 use optimod_machine::{cydra_like, Machine};
+use optimod_trace::{HistSummary, MemorySink, Phase, SolveReport, Trace};
 
 /// One benchmark loop together with the optimal scheduler's outcome.
 #[derive(Debug, Clone)]
@@ -117,11 +119,39 @@ impl ExperimentConfig {
     /// loops instead, which keeps per-loop node and iteration counts
     /// bit-identical to a fully sequential run.
     pub fn scheduler(&self, style: DepStyle, objective: Objective) -> OptimalScheduler {
+        self.scheduler_with_trace(style, objective, Trace::disabled())
+    }
+
+    /// Like [`ExperimentConfig::scheduler`], with a trace handle attached
+    /// to the solver limits (e.g. a shared `NullSink` for overhead
+    /// measurement).
+    pub fn scheduler_with_trace(
+        &self,
+        style: DepStyle,
+        objective: Objective,
+        trace: Trace,
+    ) -> OptimalScheduler {
         let mut cfg = SchedulerConfig::new(style, objective)
             .with_time_limit(self.budget)
             .with_node_limit(self.node_cap);
         cfg.limits.threads = 1;
+        cfg.limits.trace = trace;
         OptimalScheduler::new(cfg)
+    }
+
+    /// Runs a prepared scheduler over the whole corpus, one loop per worker
+    /// task. Results come back in corpus order regardless of thread count.
+    pub fn run_suite_with(
+        &self,
+        machine: &Machine,
+        loops: &[Loop],
+        sched: &OptimalScheduler,
+    ) -> Vec<LoopRecord> {
+        optimod_par::par_map(self.threads, loops, |_, l| LoopRecord {
+            name: l.name().to_string(),
+            n_ops: l.num_ops(),
+            result: sched.schedule(l, machine),
+        })
     }
 
     /// Runs one scheduler over the whole corpus, one loop per worker task.
@@ -134,12 +164,77 @@ impl ExperimentConfig {
         style: DepStyle,
         objective: Objective,
     ) -> Vec<LoopRecord> {
-        let sched = self.scheduler(style, objective);
-        optimod_par::par_map(self.threads, loops, |_, l| LoopRecord {
-            name: l.name().to_string(),
-            n_ops: l.num_ops(),
-            result: sched.schedule(l, machine),
+        self.run_suite_with(machine, loops, &self.scheduler(style, objective))
+    }
+
+    /// Traced variant of [`ExperimentConfig::run_suite`]: each loop gets a
+    /// private [`MemorySink`], and its aggregated [`SolveReport`] comes back
+    /// alongside the record. Per-loop solves stay single-threaded, so the
+    /// per-loop event streams are deterministic.
+    pub fn run_suite_traced(
+        &self,
+        machine: &Machine,
+        loops: &[Loop],
+        style: DepStyle,
+        objective: Objective,
+    ) -> Vec<(LoopRecord, SolveReport)> {
+        optimod_par::par_map(self.threads, loops, |_, l| {
+            let sink = Arc::new(MemorySink::default());
+            let sched = self.scheduler_with_trace(style, objective, Trace::new(sink.clone()));
+            let record = LoopRecord {
+                name: l.name().to_string(),
+                n_ops: l.num_ops(),
+                result: sched.schedule(l, machine),
+            };
+            (record, sink.report())
         })
+    }
+}
+
+/// Prints a trace-derived percentile table (min/p50/p90/max across loops)
+/// for one formulation's traced run: per-phase wall clock plus the
+/// branch-and-bound and LP counters.
+pub fn print_trace_percentiles(title: &str, reports: &[SolveReport]) {
+    println!("{title}");
+    println!(
+        "  {:<24} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "measure", "loops", "min", "p50", "p90", "max"
+    );
+    for phase in Phase::ALL {
+        let micros: Vec<u64> = reports
+            .iter()
+            .filter_map(|r| r.phase(phase))
+            .map(|p| u64::try_from(p.total.as_micros()).unwrap_or(u64::MAX))
+            .collect();
+        if micros.is_empty() {
+            continue;
+        }
+        let h = HistSummary::from_values(&micros);
+        println!(
+            "  {:<24} {:>7} {:>10}us {:>10}us {:>10}us {:>10}us",
+            format!("{} wall", phase.name()),
+            h.count,
+            h.min,
+            h.p50,
+            h.p90,
+            h.max
+        );
+    }
+    type Extract = fn(&SolveReport) -> u64;
+    let counters: [(&str, Extract); 5] = [
+        ("bb nodes", |r| r.nodes_opened),
+        ("lp solves", |r| r.lp_solves),
+        ("simplex iterations", |r| r.simplex_iterations),
+        ("refactorizations", |r| r.refactors),
+        ("incumbent updates", |r| r.incumbents),
+    ];
+    for (label, f) in counters {
+        let vals: Vec<u64> = reports.iter().map(f).collect();
+        let h = HistSummary::from_values(&vals);
+        println!(
+            "  {label:<24} {:>7} {:>12} {:>12} {:>12} {:>12}",
+            h.count, h.min, h.p50, h.p90, h.max
+        );
     }
 }
 

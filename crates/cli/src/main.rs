@@ -16,6 +16,8 @@
 //!                         solver exhausts its budget slice
 //!   --expand              also print the MVE-expanded pipelined loop
 //!   --lp                  dump the ILP in CPLEX LP format instead of solving
+//!   --trace <path>        write the structured solve trace as JSON lines
+//!   --report              print the per-phase timing / solver-counter report
 //! ```
 //!
 //! The loop-file grammar is documented in the `parse` module (one `op` /
@@ -26,13 +28,16 @@
 
 mod parse;
 
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use optimod::{
     build_model, codegen, compute_mii, DepStyle, FallbackConfig, FormulationConfig, Objective,
     OptimalScheduler, Provenance, SchedulerConfig,
 };
+use optimod_trace::{JsonlSink, MemorySink, TeeSink, Trace, TraceSink};
 
 /// A failure with its exit code, so scripts can tell a bad loop file (3)
 /// from a loop the solver could not schedule (4).
@@ -71,6 +76,8 @@ struct Options {
     fallback: bool,
     expand: bool,
     lp: bool,
+    trace: Option<String>,
+    report: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -86,6 +93,8 @@ fn parse_args() -> Result<Options, String> {
         fallback: false,
         expand: false,
         lp: false,
+        trace: None,
+        report: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -125,6 +134,8 @@ fn parse_args() -> Result<Options, String> {
             "--fallback" => opts.fallback = true,
             "--expand" => opts.expand = true,
             "--lp" => opts.lp = true,
+            "--trace" => opts.trace = Some(args.next().ok_or("--trace needs a path")?),
+            "--report" => opts.report = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if opts.file.is_empty() && !other.starts_with('-') => {
                 opts.file = other.to_string();
@@ -140,7 +151,7 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
 [--style structured|traditional] [--budget-ms N] [--registers N] [--threads N] \
-[--speculate] [--fallback] [--expand] [--lp]\n\
+[--speculate] [--fallback] [--expand] [--lp] [--trace PATH] [--report]\n\
 exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O";
 
 fn main() -> ExitCode {
@@ -196,8 +207,39 @@ fn run() -> Result<(), Failure> {
     if opts.fallback {
         cfg.fallback = FallbackConfig::enabled();
     }
+
+    // Observability: --report buffers events in memory for the end-of-run
+    // summary; --trace streams them to disk as JSON lines; both together
+    // tee one stream into both sinks.
+    let memory = opts.report.then(|| Arc::new(MemorySink::default()));
+    let jsonl = match &opts.trace {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| Failure::Io(format!("cannot create {path}: {e}")))?;
+            Some(Arc::new(JsonlSink::new(BufWriter::new(file))))
+        }
+        None => None,
+    };
+    let sink: Option<Arc<dyn TraceSink>> = match (&memory, &jsonl) {
+        (Some(m), Some(j)) => Some(Arc::new(TeeSink(m.clone(), j.clone()))),
+        (Some(m), None) => Some(m.clone()),
+        (None, Some(j)) => Some(j.clone()),
+        (None, None) => None,
+    };
+    if let Some(sink) = sink {
+        cfg.limits.trace = Trace::new(sink);
+    }
+
     let result = OptimalScheduler::new(cfg).schedule(&l, &machine);
 
+    if let Some(j) = &jsonl {
+        j.flush()
+            .map_err(|e| Failure::Io(format!("cannot flush trace: {e}")))?;
+    }
+    if let Some(m) = &memory {
+        println!("\n--- solve report ---");
+        print!("{}", m.report().render());
+    }
     if let Some(e) = &result.error {
         eprintln!("warning: {e}");
     }

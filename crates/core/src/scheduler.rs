@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use optimod_ddg::Loop;
 use optimod_ilp::{panic_message, SolveError, SolveLimits, SolveOutcome, SolveStats, SolveStatus};
 use optimod_machine::Machine;
+use optimod_trace::{Phase, TraceEvent};
 
 use crate::error::ScheduleError;
 use crate::formulation::{build_model, DepStyle, FormulationConfig, Objective};
@@ -345,12 +346,17 @@ impl OptimalScheduler {
         start: Instant,
         exact: LoopResult,
     ) -> LoopResult {
+        let trace = self.config.limits.trace.clone();
         let mut result = exact;
         let ims_cfg = ImsConfig {
             max_ii_span: self.config.max_ii_span,
             ..Default::default()
         };
-        let Some(ims) = ims_schedule(l, machine, &ims_cfg) else {
+        let ims = {
+            let _span = trace.span(Phase::Ims);
+            ims_schedule(l, machine, &ims_cfg)
+        };
+        let Some(ims) = ims else {
             // Not even the heuristic finds a schedule: report the exact
             // attempt's outcome unchanged.
             result.stats.wall_time = start.elapsed();
@@ -369,9 +375,12 @@ impl OptimalScheduler {
             stop: self.config.limits.stop.child(),
             ..self.config.limits.clone()
         };
-        if let Some((schedule, obj)) =
+        trace.emit(|| TraceEvent::Rung { rung: "stage-ilp" });
+        let stage_result = {
+            let _span = trace.span(Phase::StageIlp);
             optimal_stages(l, machine, &ims.schedule, self.config.objective, limits)
-        {
+        };
+        if let Some((schedule, obj)) = stage_result {
             return self.degraded(
                 l,
                 machine,
@@ -385,7 +394,11 @@ impl OptimalScheduler {
 
         // Rung 3: greedy stage improvement of the raw IMS schedule. Pure
         // combinatorics — always lands, regardless of budget state.
-        let schedule = stage_schedule(l, machine, &ims.schedule);
+        trace.emit(|| TraceEvent::Rung { rung: "ims" });
+        let schedule = {
+            let _span = trace.span(Phase::Ims);
+            stage_schedule(l, machine, &ims.schedule)
+        };
         self.degraded(l, machine, result, schedule, Provenance::Ims, None, start)
     }
 
@@ -427,6 +440,8 @@ impl OptimalScheduler {
         time_budget: Duration,
     ) -> LoopResult {
         let mut stats = SolveStats::default();
+        let trace = self.config.limits.trace.clone();
+        trace.emit(|| TraceEvent::Rung { rung: "exact" });
         // First abnormal-but-survivable condition seen (a racer panic, a
         // stalled LP); reported even when a later attempt succeeds.
         let mut sticky_error: Option<ScheduleError> = None;
@@ -462,7 +477,12 @@ impl OptimalScheduler {
             {
                 return give_up(LoopStatus::TimedOut, stats, sticky_error);
             }
-            let Some(built) = build_model(l, machine, ii, &cfg) else {
+            trace.emit(|| TraceEvent::IiAttempt { ii });
+            let built = {
+                let _span = trace.span(Phase::Formulation);
+                build_model(l, machine, ii, &cfg)
+            };
+            let Some(built) = built else {
                 ii += 1;
                 continue; // below RecMII (possible only via direct calls)
             };
@@ -479,6 +499,7 @@ impl OptimalScheduler {
             // Speculation: solve `ii + 1` concurrently on half the workers.
             let threads = limits.resolve_threads();
             let mut speculative = None;
+            let search_span = trace.span(Phase::Search);
             let out = if self.config.speculate_ii && threads > 1 && ii < end_ii {
                 if let Some(built_next) = build_model(l, machine, ii + 1, &cfg) {
                     let half = (threads / 2).max(1) as u32;
@@ -524,6 +545,7 @@ impl OptimalScheduler {
             } else {
                 built.model.solve_with(limits)
             };
+            drop(search_span);
             stats.absorb(&out.stats);
             if let Some(e) = &out.error {
                 sticky_error.get_or_insert(ScheduleError::Solver(e.clone()));
@@ -609,13 +631,18 @@ impl OptimalScheduler {
             provenance: None,
             error: Some(error),
         };
-        let schedule = match built.try_extract_schedule(out) {
-            Ok(s) => s,
-            Err(e) => return fail(e, stats),
+        let trace = &self.config.limits.trace;
+        let schedule = {
+            let _span = trace.span(Phase::Extraction);
+            let schedule = match built.try_extract_schedule(out) {
+                Ok(s) => s,
+                Err(e) => return fail(e, stats),
+            };
+            if let Some(detail) = schedule.validate(l, machine) {
+                return fail(ScheduleError::InvalidSchedule { detail }, stats);
+            }
+            schedule
         };
-        if let Some(detail) = schedule.validate(l, machine) {
-            return fail(ScheduleError::InvalidSchedule { detail }, stats);
-        }
         LoopResult {
             status: if out.status == SolveStatus::Optimal {
                 LoopStatus::Optimal

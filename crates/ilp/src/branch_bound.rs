@@ -23,12 +23,25 @@
 
 use std::time::{Duration, Instant};
 
+use optimod_trace::{LpClass, NodeOutcome, Phase, Trace, TraceEvent};
+
 use crate::model::{Model, Sense, VarId};
 use crate::parallel;
 use crate::simplex::{LpStatus, Simplex, SimplexOptions};
 use crate::solution::{SolveError, SolveOutcome, SolveStats, SolveStatus};
 use crate::stop::StopFlag;
 use crate::INT_TOL;
+
+/// Maps an LP status to its trace classification.
+pub(crate) fn lp_class(status: LpStatus) -> LpClass {
+    match status {
+        LpStatus::Optimal => LpClass::Optimal,
+        LpStatus::Infeasible => LpClass::Infeasible,
+        LpStatus::Unbounded => LpClass::Unbounded,
+        LpStatus::IterLimit => LpClass::Limit,
+        LpStatus::Stalled => LpClass::Stalled,
+    }
+}
 
 /// Rule for choosing the branching variable among fractional candidates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -135,6 +148,11 @@ pub struct SolveLimits {
     /// pivot loop. Cloning `SolveLimits` shares the flag, so a caller can
     /// keep a clone and stop a solve running on another thread.
     pub stop: StopFlag,
+    /// Structured trace of the solve (node lifecycle, LP solves, incumbent
+    /// updates). Cloning `SolveLimits` shares the sink, so the scheduler's
+    /// per-`II` solves land on one timeline. The default handle is disabled
+    /// and costs one pointer check per event site.
+    pub trace: Trace,
 }
 
 impl Default for SolveLimits {
@@ -148,6 +166,7 @@ impl Default for SolveLimits {
             cutoff: None,
             threads: 0,
             stop: StopFlag::new(),
+            trace: Trace::disabled(),
         }
     }
 }
@@ -241,6 +260,11 @@ impl Solver {
             return parallel::solve(model, &self.limits, &opts, start);
         }
 
+        self.limits.trace.emit(|| TraceEvent::SolveBegin {
+            variables: model.num_vars() as u64,
+            constraints: model.num_constraints() as u64,
+            threads: 1,
+        });
         let mut search = Search {
             model,
             simplex: Simplex::new(model),
@@ -377,32 +401,64 @@ impl Search<'_> {
         if self.out_of_budget() {
             return Explored::Stop;
         }
+        // Cloning releases the borrow on `self.limits` so spans can coexist
+        // with `&mut self` field access below; clones share the sink.
+        let trace = self.limits.trace.clone();
+        // The root (depth 0) is not a counted node and gets no open/close
+        // pair — every NodeOpen in the stream is a counted bb_node.
+        let close = |outcome: NodeOutcome| {
+            if depth > 0 {
+                trace.emit(|| TraceEvent::NodeClose { worker: 0, outcome });
+            }
+        };
         if depth > 0 {
             self.stats.bb_nodes += 1;
+            trace.emit(|| TraceEvent::NodeOpen { worker: 0, depth });
         }
-        let lp = self.simplex.solve(lb, ub, &self.opts);
+        let lp = {
+            let _root_span = if depth == 0 {
+                Some(trace.span(Phase::RootLp))
+            } else {
+                None
+            };
+            self.simplex.solve(lb, ub, &self.opts)
+        };
         self.stats.lp_solves += 1;
         self.stats.simplex_iterations += lp.iterations;
+        self.stats.refactors += lp.refactors;
+        trace.emit(|| TraceEvent::LpSolved {
+            worker: 0,
+            class: lp_class(lp.status),
+            iterations: lp.iterations,
+            refactors: lp.refactors,
+        });
         match lp.status {
-            LpStatus::Infeasible => return Explored::Infeasible,
+            LpStatus::Infeasible => {
+                close(NodeOutcome::Infeasible);
+                return Explored::Infeasible;
+            }
             LpStatus::Unbounded => {
                 // An unbounded relaxation of a bounded integer program can
                 // only occur with unbounded integer variables; treat the
                 // whole subtree as unprunable and bail out conservatively.
                 self.limit_hit = true;
+                close(NodeOutcome::Limit);
                 return Explored::Stop;
             }
             LpStatus::IterLimit => {
                 self.limit_hit = true;
+                close(NodeOutcome::Limit);
                 return Explored::Stop;
             }
             LpStatus::Stalled => {
                 // The watchdog abandoned a numerically unstable LP. Keep
                 // whatever incumbent exists and report the cause.
+                self.stats.stalled_lps += 1;
                 self.limit_hit = true;
                 self.error = Some(SolveError::NumericallyUnstable {
                     iterations: lp.iterations,
                 });
+                close(NodeOutcome::Limit);
                 return Explored::Stop;
             }
             LpStatus::Optimal => {}
@@ -421,6 +477,7 @@ impl Search<'_> {
             .map_or(f64::INFINITY, |(inc, _)| *inc)
             .min(self.cutoff_min);
         if bound >= threshold - 1e-9 {
+            close(NodeOutcome::PrunedBound);
             return Explored::Done; // pruned by incumbent or external cutoff
         }
 
@@ -429,8 +486,15 @@ impl Search<'_> {
             // Integral solution.
             let obj = self.to_min(lp.objective);
             if obj < threshold - 1e-9 {
+                self.stats.incumbents += 1;
+                let model_obj = self.min_to_model(obj);
+                trace.emit(|| TraceEvent::Incumbent {
+                    worker: 0,
+                    objective: model_obj,
+                });
                 self.incumbent = Some((obj, lp.values.clone()));
             }
+            close(NodeOutcome::Integral);
             if self.limits.first_solution_only {
                 return Explored::Stop;
             }
@@ -451,6 +515,7 @@ impl Search<'_> {
                 self.model.var_name(bv)
             );
             self.limit_hit = true;
+            close(NodeOutcome::Limit);
             return Explored::Stop;
         }
         let down_first = down_child_first(self.limits.branch_rule, bx, floor);
@@ -476,12 +541,13 @@ impl Search<'_> {
         stack.push(first_restore);
         stack.push(Frame::Node { depth: depth + 1 });
         stack.push(first_apply);
+        close(NodeOutcome::Branched);
         Explored::Done
     }
 
     fn finish(mut self, proven_infeasible: bool) -> SolveOutcome {
         self.stats.wall_time = self.start.elapsed();
-        match self.incumbent.take() {
+        let outcome = match self.incumbent.take() {
             Some((obj, values)) => {
                 let status = if self.limit_hit && !self.limits.first_solution_only {
                     SolveStatus::Feasible
@@ -515,7 +581,11 @@ impl Search<'_> {
                 stats: self.stats,
                 error: self.error.take(),
             },
-        }
+        };
+        self.limits.trace.emit(|| TraceEvent::SolveEnd {
+            status: outcome.status.name(),
+        });
+        outcome
     }
 }
 

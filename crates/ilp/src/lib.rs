@@ -46,6 +46,11 @@ pub use simplex::{LpOutcome, LpStatus, Simplex, SimplexOptions};
 pub use solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 pub use stop::StopFlag;
 
+// Re-exported so downstream crates can attach a trace to [`SolveLimits`]
+// without naming `optimod-trace` themselves.
+pub use optimod_trace as trace;
+pub use optimod_trace::{Trace, TraceSink};
+
 /// Absolute tolerance used to decide primal feasibility of a value with
 /// respect to a bound.
 pub const FEAS_TOL: f64 = 1e-7;

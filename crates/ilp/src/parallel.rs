@@ -37,7 +37,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::branch_bound::{choose_branch, down_child_first, tighten_integral_bound, SolveLimits};
+use optimod_trace::{NodeOutcome, Phase, TraceEvent};
+
+use crate::branch_bound::{
+    choose_branch, down_child_first, lp_class, tighten_integral_bound, SolveLimits,
+};
 use crate::model::{Model, Sense, VarId};
 use crate::simplex::{LpStatus, Simplex, SimplexOptions};
 use crate::solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
@@ -76,6 +80,10 @@ struct Shared<'a> {
     bb_nodes: AtomicU64,
     lp_solves: AtomicU64,
     simplex_iterations: AtomicU64,
+    incumbents: AtomicU64,
+    refactors: AtomicU64,
+    stalled_lps: AtomicU64,
+    panics_recovered: AtomicU64,
     limit_hit: AtomicBool,
     /// Set when `first_solution_only` found its solution, so the resulting
     /// cooperative LP interruptions are not misread as a budget limit.
@@ -193,6 +201,18 @@ fn worker(shared: &Shared, opts: &SimplexOptions, wid: usize) {
         }));
         shared.pending.fetch_sub(1, Ordering::AcqRel);
         if let Err(payload) = unwound {
+            // The node's NodeOpen was already emitted (it directly follows
+            // the budget check, which cannot panic), so close it here to
+            // keep every worker's open/close stream balanced.
+            shared.panics_recovered.fetch_add(1, Ordering::Relaxed);
+            shared.limits.trace.emit(|| TraceEvent::NodeClose {
+                worker: wid as u32,
+                outcome: NodeOutcome::Panicked,
+            });
+            shared
+                .limits
+                .trace
+                .emit(|| TraceEvent::PanicRecovered { worker: wid as u32 });
             shared.record_error(SolveError::WorkerPanic(panic_message(payload.as_ref())));
             shared.hit_limit();
             return;
@@ -215,6 +235,28 @@ fn expand_node(
         return;
     }
     shared.bb_nodes.fetch_add(1, Ordering::Relaxed);
+    let trace = &shared.limits.trace;
+    // NodeOpen directly follows the node-count increment so that a panic
+    // anywhere in the expansion always has an open to match its
+    // `NodeClose(Panicked)`, and so that every open is a counted node.
+    if trace.is_active() {
+        let mut depth = 0u32;
+        let mut step: Option<&Arc<PathStep>> = Some(node);
+        while let Some(s) = step {
+            depth += 1;
+            step = s.parent.as_ref();
+        }
+        trace.emit(|| TraceEvent::NodeOpen {
+            worker: wid as u32,
+            depth,
+        });
+    }
+    let close = |outcome: NodeOutcome| {
+        trace.emit(|| TraceEvent::NodeClose {
+            worker: wid as u32,
+            outcome,
+        });
+    };
 
     // Replay the path's tightenings onto the root bounds.
     lb.copy_from_slice(shared.root_lb);
@@ -234,10 +276,21 @@ fn expand_node(
     shared
         .simplex_iterations
         .fetch_add(lp.iterations, Ordering::Relaxed);
+    shared.refactors.fetch_add(lp.refactors, Ordering::Relaxed);
+    trace.emit(|| TraceEvent::LpSolved {
+        worker: wid as u32,
+        class: lp_class(lp.status),
+        iterations: lp.iterations,
+        refactors: lp.refactors,
+    });
     match lp.status {
-        LpStatus::Infeasible => return, // subtree pruned
+        LpStatus::Infeasible => {
+            close(NodeOutcome::Infeasible);
+            return; // subtree pruned
+        }
         LpStatus::Unbounded => {
             shared.hit_limit();
+            close(NodeOutcome::Limit);
             return;
         }
         LpStatus::IterLimit => {
@@ -247,13 +300,16 @@ fn expand_node(
             if !shared.found_first.load(Ordering::Acquire) {
                 shared.hit_limit();
             }
+            close(NodeOutcome::Limit);
             return;
         }
         LpStatus::Stalled => {
+            shared.stalled_lps.fetch_add(1, Ordering::Relaxed);
             shared.record_error(SolveError::NumericallyUnstable {
                 iterations: lp.iterations,
             });
             shared.hit_limit();
+            close(NodeOutcome::Limit);
             return;
         }
         LpStatus::Optimal => {}
@@ -264,6 +320,7 @@ fn expand_node(
         bound = tighten_integral_bound(bound);
     }
     if bound >= shared.threshold() - 1e-9 {
+        close(NodeOutcome::PrunedBound);
         return; // pruned by incumbent or external cutoff
     }
 
@@ -271,10 +328,19 @@ fn expand_node(
     let Some((bv, bx)) = choose_branch(rule, shared.int_vars, &lp.values) else {
         // Integral solution.
         let obj = shared.to_min(lp.objective);
-        if shared.offer_incumbent(obj, lp.values) && shared.limits.first_solution_only {
-            shared.found_first.store(true, Ordering::Release);
-            shared.stop.stop();
+        let obj_model = if shared.minimize { obj } else { -obj };
+        if shared.offer_incumbent(obj, lp.values) {
+            shared.incumbents.fetch_add(1, Ordering::Relaxed);
+            trace.emit(|| TraceEvent::Incumbent {
+                worker: wid as u32,
+                objective: obj_model,
+            });
+            if shared.limits.first_solution_only {
+                shared.found_first.store(true, Ordering::Release);
+                shared.stop.stop();
+            }
         }
+        close(NodeOutcome::Integral);
         return;
     };
 
@@ -289,6 +355,7 @@ fn expand_node(
             ub[j]
         );
         shared.hit_limit();
+        close(NodeOutcome::Limit);
         return;
     }
     let down = Arc::new(PathStep {
@@ -309,9 +376,12 @@ fn expand_node(
         (up, down)
     };
     shared.pending.fetch_add(2, Ordering::AcqRel);
-    let mut q = shared.queues[wid].lock().expect("queue lock poisoned");
-    q.push_back(second);
-    q.push_back(first); // owner pops from the back: first child explored next
+    {
+        let mut q = shared.queues[wid].lock().expect("queue lock poisoned");
+        q.push_back(second);
+        q.push_back(first); // owner pops from the back: first child explored next
+    }
+    close(NodeOutcome::Branched);
 }
 
 /// Entry point: parallel counterpart of the serial `Solver::solve` body.
@@ -324,6 +394,12 @@ pub(crate) fn solve(
     start: Instant,
 ) -> SolveOutcome {
     let threads = limits.resolve_threads();
+    let trace = limits.trace.clone();
+    trace.emit(|| TraceEvent::SolveBegin {
+        variables: model.num_vars() as u64,
+        constraints: model.num_constraints() as u64,
+        threads: threads as u32,
+    });
     let minimize = model.obj_sense == Sense::Minimize;
     let cutoff_min = limits
         .cutoff
@@ -342,6 +418,9 @@ pub(crate) fn solve(
     let finish =
         |status: SolveStatus, mut stats: SolveStats, best_bound: f64, error: Option<SolveError>| {
             stats.wall_time = start.elapsed();
+            trace.emit(|| TraceEvent::SolveEnd {
+                status: status.name(),
+            });
             SolveOutcome {
                 status,
                 objective: f64::NAN,
@@ -374,9 +453,19 @@ pub(crate) fn solve(
 
     // Root relaxation on the calling thread.
     let mut root_simplex = Simplex::new(model);
-    let lp = root_simplex.solve(&root_lb, &root_ub, &opts);
+    let lp = {
+        let _root_span = trace.span(Phase::RootLp);
+        root_simplex.solve(&root_lb, &root_ub, &opts)
+    };
     stats.lp_solves += 1;
     stats.simplex_iterations += lp.iterations;
+    stats.refactors += lp.refactors;
+    trace.emit(|| TraceEvent::LpSolved {
+        worker: 0,
+        class: lp_class(lp.status),
+        iterations: lp.iterations,
+        refactors: lp.refactors,
+    });
     match lp.status {
         LpStatus::Infeasible => {
             return finish(SolveStatus::Infeasible, stats, f64::NEG_INFINITY, None)
@@ -385,6 +474,7 @@ pub(crate) fn solve(
             return finish(SolveStatus::LimitReached, stats, f64::NEG_INFINITY, None)
         }
         LpStatus::Stalled => {
+            stats.stalled_lps += 1;
             return finish(
                 SolveStatus::LimitReached,
                 stats,
@@ -392,7 +482,7 @@ pub(crate) fn solve(
                 Some(SolveError::NumericallyUnstable {
                     iterations: lp.iterations,
                 }),
-            )
+            );
         }
         LpStatus::Optimal => {}
     }
@@ -418,7 +508,15 @@ pub(crate) fn solve(
         } else {
             -lp.objective
         };
+        stats.incumbents += 1;
+        trace.emit(|| TraceEvent::Incumbent {
+            worker: 0,
+            objective: min_to_model(obj),
+        });
         stats.wall_time = start.elapsed();
+        trace.emit(|| TraceEvent::SolveEnd {
+            status: SolveStatus::Optimal.name(),
+        });
         return SolveOutcome {
             status: SolveStatus::Optimal,
             objective: min_to_model(obj),
@@ -447,6 +545,10 @@ pub(crate) fn solve(
         bb_nodes: AtomicU64::new(0),
         lp_solves: AtomicU64::new(0),
         simplex_iterations: AtomicU64::new(0),
+        incumbents: AtomicU64::new(0),
+        refactors: AtomicU64::new(0),
+        stalled_lps: AtomicU64::new(0),
+        panics_recovered: AtomicU64::new(0),
         limit_hit: AtomicBool::new(false),
         found_first: AtomicBool::new(false),
         error: Mutex::new(None),
@@ -494,6 +596,10 @@ pub(crate) fn solve(
     stats.bb_nodes = shared.bb_nodes.load(Ordering::Relaxed);
     stats.lp_solves += shared.lp_solves.load(Ordering::Relaxed);
     stats.simplex_iterations += shared.simplex_iterations.load(Ordering::Relaxed);
+    stats.incumbents += shared.incumbents.load(Ordering::Relaxed);
+    stats.refactors += shared.refactors.load(Ordering::Relaxed);
+    stats.stalled_lps += shared.stalled_lps.load(Ordering::Relaxed);
+    stats.panics_recovered += shared.panics_recovered.load(Ordering::Relaxed);
     stats.wall_time = start.elapsed();
     let limit_hit = shared.limit_hit.load(Ordering::Acquire);
     let error = shared.error.lock().expect("error lock poisoned").take();
@@ -502,7 +608,7 @@ pub(crate) fn solve(
         .lock()
         .expect("incumbent lock poisoned")
         .take();
-    match incumbent {
+    let outcome = match incumbent {
         Some((obj, values)) => {
             let status = if limit_hit && !limits.first_solution_only {
                 SolveStatus::Feasible
@@ -534,5 +640,9 @@ pub(crate) fn solve(
             stats,
             error,
         },
-    }
+    };
+    trace.emit(|| TraceEvent::SolveEnd {
+        status: outcome.status.name(),
+    });
+    outcome
 }

@@ -73,6 +73,9 @@ pub struct LpOutcome {
     pub values: Vec<f64>,
     /// Simplex iterations (pivots and bound flips) performed by this solve.
     pub iterations: u64,
+    /// Basis refactorizations performed by this solve (scheduled rebuilds
+    /// plus watchdog-forced ones).
+    pub refactors: u64,
 }
 
 /// Tunables for the simplex method.
@@ -141,6 +144,7 @@ struct Work {
     iterations: u64,
     pivots_since_refactor: u64,
     degen_streak: u32,
+    refactors: u64,
 }
 
 /// A sparse-column LP instance with reusable solver workspace.
@@ -227,6 +231,7 @@ impl Simplex {
                 objective: f64::NAN,
                 values: vec![],
                 iterations: 0,
+                refactors: 0,
             };
         }
 
@@ -327,6 +332,7 @@ fn init_work(p: &Problem, w: &mut Work, lb: &[f64], ub: &[f64]) {
     w.iterations = 0;
     w.pivots_since_refactor = 0;
     w.degen_streak = 0;
+    w.refactors = 0;
 }
 
 /// Residual of the slack-basis start: `b - N x_N` for the current nonbasic
@@ -396,6 +402,7 @@ fn phase1(p: &Problem, w: &mut Work, opts: &SimplexOptions) -> Option<LpOutcome>
             objective: f64::NAN,
             values: vec![],
             iterations: w.iterations,
+            refactors: w.refactors,
         });
     }
     let infeas: f64 = (0..p.m)
@@ -408,6 +415,7 @@ fn phase1(p: &Problem, w: &mut Work, opts: &SimplexOptions) -> Option<LpOutcome>
             objective: f64::NAN,
             values: vec![],
             iterations: w.iterations,
+            refactors: w.refactors,
         });
     }
     // Freeze artificials at zero so phase 2 cannot reuse them; basic
@@ -728,6 +736,7 @@ fn refactor(p: &Problem, w: &mut Work) {
     w.binv = inv;
     recompute_xb(p, w);
     w.pivots_since_refactor = 0;
+    w.refactors += 1;
 }
 
 /// Recomputes basic values `x_B = B^{-1} (b - N x_N)`.
@@ -793,6 +802,7 @@ fn extract(p: &Problem, w: &Work, status: LpStatus) -> LpOutcome {
         objective,
         values,
         iterations: w.iterations,
+        refactors: w.refactors,
     }
 }
 

@@ -74,6 +74,16 @@ impl SolveStatus {
     pub fn has_solution(self) -> bool {
         matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
     }
+
+    /// Stable lower-case identifier (used in trace events and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveStatus::Optimal => "optimal",
+            SolveStatus::Feasible => "feasible",
+            SolveStatus::Infeasible => "infeasible",
+            SolveStatus::LimitReached => "limit-reached",
+        }
+    }
 }
 
 impl fmt::Display for SolveStatus {
@@ -105,18 +115,41 @@ pub struct SolveStats {
     pub simplex_iterations: u64,
     /// Number of LP relaxations solved (root + one per node).
     pub lp_solves: u64,
+    /// Incumbent updates: how many times a strictly better integral
+    /// solution was accepted during the search.
+    pub incumbents: u64,
+    /// Basis refactorizations performed across all LP solves (scheduled
+    /// [`REFACTOR_EVERY`](crate::Simplex) rebuilds plus watchdog-forced
+    /// ones).
+    pub refactors: u64,
+    /// LP relaxations abandoned by the degenerate-pivot stall watchdog
+    /// ([`LpStatus::Stalled`](crate::LpStatus)).
+    pub stalled_lps: u64,
+    /// Worker panics caught and recovered by the parallel search (and the
+    /// scheduler's speculative racers).
+    pub panics_recovered: u64,
     /// Wall-clock time spent in the solver.
     pub wall_time: Duration,
 }
 
 impl SolveStats {
     /// Accumulates another run's statistics into `self` (durations add).
+    ///
+    /// This is the *only* merge path for parallel workers and for the
+    /// scheduler's per-`II` accumulation, so every counter must be folded
+    /// here — the `absorb_merges_every_counter` test destructures the
+    /// struct exhaustively so that adding a field without merging it fails
+    /// to compile.
     pub fn absorb(&mut self, other: &SolveStats) {
         self.variables = self.variables.max(other.variables);
         self.constraints = self.constraints.max(other.constraints);
         self.bb_nodes += other.bb_nodes;
         self.simplex_iterations += other.simplex_iterations;
         self.lp_solves += other.lp_solves;
+        self.incumbents += other.incumbents;
+        self.refactors += other.refactors;
+        self.stalled_lps += other.stalled_lps;
+        self.panics_recovered += other.panics_recovered;
         self.wall_time += other.wall_time;
     }
 }
@@ -165,5 +198,79 @@ impl SolveOutcome {
     /// Panics if no solution is available.
     pub fn int_value(&self, v: crate::VarId) -> i64 {
         self.value(v).round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `absorb` is the single merge path for parallel-worker and per-`II`
+    /// statistics. The destructuring below is exhaustive on purpose: a new
+    /// counter added to [`SolveStats`] without a merge rule (and without a
+    /// line here) stops compiling instead of silently dropping data.
+    #[test]
+    fn absorb_merges_every_counter() {
+        let mut a = SolveStats {
+            variables: 10,
+            constraints: 20,
+            bb_nodes: 3,
+            simplex_iterations: 100,
+            lp_solves: 4,
+            incumbents: 1,
+            refactors: 2,
+            stalled_lps: 1,
+            panics_recovered: 0,
+            wall_time: Duration::from_millis(5),
+        };
+        let b = SolveStats {
+            variables: 7,
+            constraints: 30,
+            bb_nodes: 5,
+            simplex_iterations: 40,
+            lp_solves: 6,
+            incumbents: 2,
+            refactors: 3,
+            stalled_lps: 0,
+            panics_recovered: 4,
+            wall_time: Duration::from_millis(7),
+        };
+        a.absorb(&b);
+        let SolveStats {
+            variables,
+            constraints,
+            bb_nodes,
+            simplex_iterations,
+            lp_solves,
+            incumbents,
+            refactors,
+            stalled_lps,
+            panics_recovered,
+            wall_time,
+        } = a;
+        // Model sizes keep the larger formulation; everything else sums.
+        assert_eq!(variables, 10);
+        assert_eq!(constraints, 30);
+        assert_eq!(bb_nodes, 8);
+        assert_eq!(simplex_iterations, 140);
+        assert_eq!(lp_solves, 10);
+        assert_eq!(incumbents, 3);
+        assert_eq!(refactors, 5);
+        assert_eq!(stalled_lps, 1);
+        assert_eq!(panics_recovered, 4);
+        assert_eq!(wall_time, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn absorb_identity_on_default() {
+        let mut a = SolveStats::default();
+        let b = SolveStats {
+            variables: 3,
+            bb_nodes: 9,
+            incumbents: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a, b);
     }
 }

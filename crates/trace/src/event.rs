@@ -1,0 +1,346 @@
+//! The structured event vocabulary of the solve pipeline.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A pipeline phase, used for span-like begin/end pairs whose wall-clock
+/// totals the [`SolveReport`](crate::SolveReport) breaks out per phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Building the ILP formulation for one tentative `II`.
+    Formulation,
+    /// One branch-and-bound solve (root relaxation through search).
+    Search,
+    /// The root LP relaxation inside a solve.
+    RootLp,
+    /// Decoding and re-validating a schedule from a solver solution.
+    Extraction,
+    /// The stage-scheduler ILP rung of the fallback ladder.
+    StageIlp,
+    /// The IMS heuristic rung of the fallback ladder.
+    Ims,
+}
+
+impl Phase {
+    /// All phases, in report order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Formulation,
+        Phase::Search,
+        Phase::RootLp,
+        Phase::Extraction,
+        Phase::StageIlp,
+        Phase::Ims,
+    ];
+
+    /// Stable lower-case name (used in JSONL and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Formulation => "formulation",
+            Phase::Search => "search",
+            Phase::RootLp => "root-lp",
+            Phase::Extraction => "extraction",
+            Phase::StageIlp => "stage-ilp",
+            Phase::Ims => "ims",
+        }
+    }
+}
+
+/// Classification of one LP relaxation's outcome, as seen by the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpClass {
+    /// Solved to optimality.
+    Optimal,
+    /// Proven infeasible.
+    Infeasible,
+    /// Unbounded relaxation.
+    Unbounded,
+    /// Iteration/deadline/cancellation limit.
+    Limit,
+    /// Abandoned by the degenerate-pivot watchdog.
+    Stalled,
+}
+
+impl LpClass {
+    /// Stable lower-case name (used in JSONL and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            LpClass::Optimal => "optimal",
+            LpClass::Infeasible => "infeasible",
+            LpClass::Unbounded => "unbounded",
+            LpClass::Limit => "limit",
+            LpClass::Stalled => "stalled",
+        }
+    }
+}
+
+/// How a branch-and-bound node's expansion ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeOutcome {
+    /// The relaxation could not beat the incumbent (or external cutoff).
+    PrunedBound,
+    /// The relaxation was infeasible; the subtree is dead.
+    Infeasible,
+    /// The relaxation was integral (a candidate solution).
+    Integral,
+    /// Two children were enqueued.
+    Branched,
+    /// A limit, stall, or cancellation ended the expansion.
+    Limit,
+    /// The expansion panicked and the worker recovered.
+    Panicked,
+}
+
+impl NodeOutcome {
+    /// Stable lower-case name (used in JSONL and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeOutcome::PrunedBound => "pruned",
+            NodeOutcome::Infeasible => "infeasible",
+            NodeOutcome::Integral => "integral",
+            NodeOutcome::Branched => "branched",
+            NodeOutcome::Limit => "limit",
+            NodeOutcome::Panicked => "panicked",
+        }
+    }
+}
+
+/// One structured trace event. Worker `0` is the serial engine (or the
+/// calling thread); parallel workers report their own ids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A branch-and-bound solve started.
+    SolveBegin {
+        /// Variables in the model.
+        variables: u64,
+        /// Constraint rows in the model.
+        constraints: u64,
+        /// Worker threads used by the search.
+        threads: u32,
+    },
+    /// A branch-and-bound solve finished.
+    SolveEnd {
+        /// Final status, as a stable lower-case string.
+        status: &'static str,
+    },
+    /// A phase span opened.
+    PhaseBegin {
+        /// The phase.
+        phase: Phase,
+    },
+    /// A phase span closed.
+    PhaseEnd {
+        /// The phase.
+        phase: Phase,
+    },
+    /// The scheduler is attempting a tentative initiation interval.
+    IiAttempt {
+        /// The tentative `II`.
+        ii: u32,
+    },
+    /// The fallback ladder moved to a new rung.
+    Rung {
+        /// The rung's stable name (`"exact"`, `"stage-ilp"`, `"ims"`).
+        rung: &'static str,
+    },
+    /// One LP relaxation was solved.
+    LpSolved {
+        /// Worker that ran the solve.
+        worker: u32,
+        /// Outcome classification.
+        class: LpClass,
+        /// Simplex iterations (pivots and bound flips).
+        iterations: u64,
+        /// Basis refactorizations performed during the solve.
+        refactors: u64,
+    },
+    /// A branch-and-bound node (beyond the root) began expanding.
+    NodeOpen {
+        /// Worker expanding the node.
+        worker: u32,
+        /// Depth below the root (root children are depth 1).
+        depth: u32,
+    },
+    /// A node's expansion ended; every [`TraceEvent::NodeOpen`] from a
+    /// worker is matched by exactly one close from the same worker.
+    NodeClose {
+        /// Worker that expanded the node.
+        worker: u32,
+        /// How the expansion ended.
+        outcome: NodeOutcome,
+    },
+    /// A new incumbent (best integral solution so far) was accepted.
+    Incumbent {
+        /// Worker that found it.
+        worker: u32,
+        /// Objective value in the model's sense.
+        objective: f64,
+    },
+    /// A worker recovered from a panic during node expansion.
+    PanicRecovered {
+        /// The recovering worker.
+        worker: u32,
+    },
+}
+
+/// An event together with its offset from the trace epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Monotonic offset from the [`Trace`](crate::Trace) epoch.
+    pub at: Duration,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceEvent {
+    /// Stable event-kind name (the `"ev"` field of the JSONL encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SolveBegin { .. } => "solve_begin",
+            TraceEvent::SolveEnd { .. } => "solve_end",
+            TraceEvent::PhaseBegin { .. } => "phase_begin",
+            TraceEvent::PhaseEnd { .. } => "phase_end",
+            TraceEvent::IiAttempt { .. } => "ii_attempt",
+            TraceEvent::Rung { .. } => "rung",
+            TraceEvent::LpSolved { .. } => "lp_solved",
+            TraceEvent::NodeOpen { .. } => "node_open",
+            TraceEvent::NodeClose { .. } => "node_close",
+            TraceEvent::Incumbent { .. } => "incumbent",
+            TraceEvent::PanicRecovered { .. } => "panic_recovered",
+        }
+    }
+
+    /// Encodes the event as one JSON object (no trailing newline). All
+    /// string payloads are static identifiers, so no escaping is needed;
+    /// floats use Rust's shortest round-trip formatting.
+    pub fn to_json(&self, at: Duration) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t_us\":{},\"ev\":\"{}\"",
+            crate::as_micros(at),
+            self.kind()
+        );
+        match self {
+            TraceEvent::SolveBegin {
+                variables,
+                constraints,
+                threads,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"variables\":{variables},\"constraints\":{constraints},\"threads\":{threads}"
+                );
+            }
+            TraceEvent::SolveEnd { status } => {
+                let _ = write!(s, ",\"status\":\"{status}\"");
+            }
+            TraceEvent::PhaseBegin { phase } | TraceEvent::PhaseEnd { phase } => {
+                let _ = write!(s, ",\"phase\":\"{}\"", phase.name());
+            }
+            TraceEvent::IiAttempt { ii } => {
+                let _ = write!(s, ",\"ii\":{ii}");
+            }
+            TraceEvent::Rung { rung } => {
+                let _ = write!(s, ",\"rung\":\"{rung}\"");
+            }
+            TraceEvent::LpSolved {
+                worker,
+                class,
+                iterations,
+                refactors,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"worker\":{worker},\"class\":\"{}\",\"iterations\":{iterations},\
+                     \"refactors\":{refactors}",
+                    class.name()
+                );
+            }
+            TraceEvent::NodeOpen { worker, depth } => {
+                let _ = write!(s, ",\"worker\":{worker},\"depth\":{depth}");
+            }
+            TraceEvent::NodeClose { worker, outcome } => {
+                let _ = write!(s, ",\"worker\":{worker},\"outcome\":\"{}\"", outcome.name());
+            }
+            TraceEvent::Incumbent { worker, objective } => {
+                let _ = write!(s, ",\"worker\":{worker},\"objective\":{objective}");
+            }
+            TraceEvent::PanicRecovered { worker } => {
+                let _ = write!(s, ",\"worker\":{worker}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_encoding_is_one_flat_object() {
+        let ev = TraceEvent::LpSolved {
+            worker: 3,
+            class: LpClass::Optimal,
+            iterations: 42,
+            refactors: 1,
+        };
+        let json = ev.to_json(Duration::from_micros(1500));
+        assert_eq!(
+            json,
+            "{\"t_us\":1500,\"ev\":\"lp_solved\",\"worker\":3,\"class\":\"optimal\",\
+             \"iterations\":42,\"refactors\":1}"
+        );
+    }
+
+    #[test]
+    fn every_event_kind_is_distinct() {
+        let kinds = [
+            TraceEvent::SolveBegin {
+                variables: 0,
+                constraints: 0,
+                threads: 1,
+            }
+            .kind(),
+            TraceEvent::SolveEnd { status: "optimal" }.kind(),
+            TraceEvent::PhaseBegin {
+                phase: Phase::Search,
+            }
+            .kind(),
+            TraceEvent::PhaseEnd {
+                phase: Phase::Search,
+            }
+            .kind(),
+            TraceEvent::IiAttempt { ii: 1 }.kind(),
+            TraceEvent::Rung { rung: "exact" }.kind(),
+            TraceEvent::LpSolved {
+                worker: 0,
+                class: LpClass::Optimal,
+                iterations: 0,
+                refactors: 0,
+            }
+            .kind(),
+            TraceEvent::NodeOpen {
+                worker: 0,
+                depth: 1,
+            }
+            .kind(),
+            TraceEvent::NodeClose {
+                worker: 0,
+                outcome: NodeOutcome::Branched,
+            }
+            .kind(),
+            TraceEvent::Incumbent {
+                worker: 0,
+                objective: 1.0,
+            }
+            .kind(),
+            TraceEvent::PanicRecovered { worker: 0 }.kind(),
+        ];
+        let mut unique: Vec<&str> = kinds.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

@@ -1,0 +1,364 @@
+//! Aggregation of an event stream into a per-solve report.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::event::{LpClass, NodeOutcome, Phase, TimedEvent, TraceEvent};
+
+/// Wall-clock summary of one phase across all of its spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock across completed spans.
+    pub total: Duration,
+}
+
+/// Order statistics over a set of `u64` observations (e.g. simplex
+/// iterations per LP solve, node depth per expansion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Median observation (0 when empty).
+    pub p50: u64,
+    /// 90th-percentile observation (0 when empty).
+    pub p90: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a sample (sorts a copy; empty samples give all zeros).
+    pub fn from_values(values: &[u64]) -> HistSummary {
+        if values.is_empty() {
+            return HistSummary::default();
+        }
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        let pick = |q: f64| v[((v.len() - 1) as f64 * q).round() as usize];
+        HistSummary {
+            count: v.len() as u64,
+            min: v[0],
+            p50: pick(0.5),
+            p90: pick(0.9),
+            max: *v.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregated view of one solve's (or one loop's) event stream, produced by
+/// [`MemorySink::report`](crate::MemorySink::report).
+///
+/// The counter fields mirror the solver's `SolveStats` — the trace-vs-stats
+/// property tests assert they agree exactly — while the phase table and
+/// histograms carry information the flat counters cannot (where the time
+/// went, how skewed the per-LP effort was).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveReport {
+    /// Completed spans per phase, in [`Phase::ALL`] order (phases with no
+    /// spans are omitted).
+    pub phases: Vec<(Phase, PhaseSummary)>,
+    /// Branch-and-bound nodes opened (excludes root relaxations).
+    pub nodes_opened: u64,
+    /// Node closes observed; equals `nodes_opened` in a well-formed stream.
+    pub nodes_closed: u64,
+    /// Closes by outcome, in [`NodeOutcome`] order: pruned, infeasible,
+    /// integral, branched, limit, panicked.
+    pub node_outcomes: [u64; 6],
+    /// Incumbent updates accepted.
+    pub incumbents: u64,
+    /// LP relaxations solved (root + one per node).
+    pub lp_solves: u64,
+    /// Total simplex iterations across LP solves.
+    pub simplex_iterations: u64,
+    /// Total basis refactorizations across LP solves.
+    pub refactors: u64,
+    /// LPs abandoned by the stall watchdog.
+    pub stalled_lps: u64,
+    /// Worker panics recovered.
+    pub panics_recovered: u64,
+    /// Iterations-per-LP order statistics.
+    pub lp_iterations: HistSummary,
+    /// Node-depth order statistics.
+    pub node_depth: HistSummary,
+    /// Tentative `II` values attempted, in order.
+    pub ii_attempts: Vec<u32>,
+    /// Fallback-ladder rungs entered, in order.
+    pub rungs: Vec<&'static str>,
+    /// Timestamp of the last event (wall-clock span of the trace).
+    pub wall: Duration,
+}
+
+fn outcome_slot(outcome: NodeOutcome) -> usize {
+    match outcome {
+        NodeOutcome::PrunedBound => 0,
+        NodeOutcome::Infeasible => 1,
+        NodeOutcome::Integral => 2,
+        NodeOutcome::Branched => 3,
+        NodeOutcome::Limit => 4,
+        NodeOutcome::Panicked => 5,
+    }
+}
+
+const OUTCOME_NAMES: [&str; 6] = [
+    "pruned",
+    "infeasible",
+    "integral",
+    "branched",
+    "limit",
+    "panicked",
+];
+
+impl SolveReport {
+    /// Aggregates an event stream. Unbalanced phase spans (a begin with no
+    /// end, e.g. from a cancelled solve) are dropped rather than guessed.
+    pub fn from_events(events: &[TimedEvent]) -> SolveReport {
+        let mut report = SolveReport::default();
+        // One stack of open-span timestamps per phase: spans of the same
+        // phase close innermost-first, and distinct phases nest freely.
+        let mut open: Vec<(Phase, Vec<Duration>)> =
+            Phase::ALL.iter().map(|&p| (p, Vec::new())).collect();
+        let mut totals: Vec<(Phase, PhaseSummary)> = Phase::ALL
+            .iter()
+            .map(|&p| (p, PhaseSummary::default()))
+            .collect();
+        let mut lp_iters: Vec<u64> = Vec::new();
+        let mut depths: Vec<u64> = Vec::new();
+        for te in events {
+            report.wall = report.wall.max(te.at);
+            match &te.event {
+                TraceEvent::PhaseBegin { phase } => {
+                    let slot = open.iter_mut().find(|(p, _)| p == phase).expect("known");
+                    slot.1.push(te.at);
+                }
+                TraceEvent::PhaseEnd { phase } => {
+                    let slot = open.iter_mut().find(|(p, _)| p == phase).expect("known");
+                    if let Some(begin) = slot.1.pop() {
+                        let total = totals.iter_mut().find(|(p, _)| p == phase).expect("known");
+                        total.1.count += 1;
+                        total.1.total += te.at.saturating_sub(begin);
+                    }
+                }
+                TraceEvent::LpSolved {
+                    class,
+                    iterations,
+                    refactors,
+                    ..
+                } => {
+                    report.lp_solves += 1;
+                    report.simplex_iterations += iterations;
+                    report.refactors += refactors;
+                    if *class == LpClass::Stalled {
+                        report.stalled_lps += 1;
+                    }
+                    lp_iters.push(*iterations);
+                }
+                TraceEvent::NodeOpen { depth, .. } => {
+                    report.nodes_opened += 1;
+                    depths.push(u64::from(*depth));
+                }
+                TraceEvent::NodeClose { outcome, .. } => {
+                    report.nodes_closed += 1;
+                    report.node_outcomes[outcome_slot(*outcome)] += 1;
+                }
+                TraceEvent::Incumbent { .. } => report.incumbents += 1,
+                TraceEvent::PanicRecovered { .. } => report.panics_recovered += 1,
+                TraceEvent::IiAttempt { ii } => report.ii_attempts.push(*ii),
+                TraceEvent::Rung { rung } => report.rungs.push(rung),
+                TraceEvent::SolveBegin { .. } | TraceEvent::SolveEnd { .. } => {}
+            }
+        }
+        report.phases = totals.into_iter().filter(|(_, s)| s.count > 0).collect();
+        report.lp_iterations = HistSummary::from_values(&lp_iters);
+        report.node_depth = HistSummary::from_values(&depths);
+        report
+    }
+
+    /// The summary for `phase`, if any span of it completed.
+    pub fn phase(&self, phase: Phase) -> Option<&PhaseSummary> {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, s)| s)
+    }
+
+    /// Whether every node open has a matching close (per the aggregate
+    /// counts; per-worker matching is checked by the property tests).
+    pub fn balanced(&self) -> bool {
+        self.nodes_opened == self.nodes_closed
+    }
+
+    /// Renders the human-readable report the CLI prints under `--report`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "per-phase wall clock:");
+        let _ = writeln!(s, "  {:<12} {:>7} {:>12}", "phase", "spans", "total");
+        for (phase, sum) in &self.phases {
+            let _ = writeln!(
+                s,
+                "  {:<12} {:>7} {:>11.3}ms",
+                phase.name(),
+                sum.count,
+                sum.total.as_secs_f64() * 1e3
+            );
+        }
+        let _ = writeln!(s, "branch-and-bound:");
+        let _ = writeln!(
+            s,
+            "  nodes {} (closes {})",
+            self.nodes_opened, self.nodes_closed
+        );
+        let by_outcome: Vec<String> = OUTCOME_NAMES
+            .iter()
+            .zip(self.node_outcomes)
+            .filter(|(_, n)| *n > 0)
+            .map(|(name, n)| format!("{name} {n}"))
+            .collect();
+        if !by_outcome.is_empty() {
+            let _ = writeln!(s, "  by outcome: {}", by_outcome.join(", "));
+        }
+        let _ = writeln!(s, "  incumbent updates {}", self.incumbents);
+        let d = &self.node_depth;
+        if d.count > 0 {
+            let _ = writeln!(
+                s,
+                "  depth min/p50/p90/max: {}/{}/{}/{}",
+                d.min, d.p50, d.p90, d.max
+            );
+        }
+        let _ = writeln!(s, "lp relaxations:");
+        let _ = writeln!(
+            s,
+            "  solves {}, simplex iterations {}, refactorizations {}, stalled {}",
+            self.lp_solves, self.simplex_iterations, self.refactors, self.stalled_lps
+        );
+        let h = &self.lp_iterations;
+        if h.count > 0 {
+            let _ = writeln!(
+                s,
+                "  iterations/LP min/p50/p90/max: {}/{}/{}/{}",
+                h.min, h.p50, h.p90, h.max
+            );
+        }
+        if !self.ii_attempts.is_empty() {
+            let attempts: Vec<String> = self.ii_attempts.iter().map(u32::to_string).collect();
+            let _ = writeln!(s, "ii attempts: {}", attempts.join(" -> "));
+        }
+        if !self.rungs.is_empty() {
+            let _ = writeln!(s, "fallback rungs: {}", self.rungs.join(" -> "));
+        }
+        if self.panics_recovered > 0 {
+            let _ = writeln!(s, "worker panics recovered: {}", self.panics_recovered);
+        }
+        let _ = writeln!(s, "trace span: {:.3}ms", self.wall.as_secs_f64() * 1e3);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_us: u64, event: TraceEvent) -> TimedEvent {
+        TimedEvent {
+            at: Duration::from_micros(at_us),
+            event,
+        }
+    }
+
+    #[test]
+    fn aggregates_counters_and_phases() {
+        let events = vec![
+            ev(
+                0,
+                TraceEvent::PhaseBegin {
+                    phase: Phase::Search,
+                },
+            ),
+            ev(
+                1,
+                TraceEvent::LpSolved {
+                    worker: 0,
+                    class: LpClass::Optimal,
+                    iterations: 10,
+                    refactors: 1,
+                },
+            ),
+            ev(
+                2,
+                TraceEvent::NodeOpen {
+                    worker: 0,
+                    depth: 1,
+                },
+            ),
+            ev(
+                3,
+                TraceEvent::LpSolved {
+                    worker: 0,
+                    class: LpClass::Optimal,
+                    iterations: 4,
+                    refactors: 0,
+                },
+            ),
+            ev(
+                4,
+                TraceEvent::Incumbent {
+                    worker: 0,
+                    objective: 3.0,
+                },
+            ),
+            ev(
+                5,
+                TraceEvent::NodeClose {
+                    worker: 0,
+                    outcome: NodeOutcome::Integral,
+                },
+            ),
+            ev(
+                9,
+                TraceEvent::PhaseEnd {
+                    phase: Phase::Search,
+                },
+            ),
+        ];
+        let r = SolveReport::from_events(&events);
+        assert_eq!(r.lp_solves, 2);
+        assert_eq!(r.simplex_iterations, 14);
+        assert_eq!(r.refactors, 1);
+        assert_eq!(r.nodes_opened, 1);
+        assert!(r.balanced());
+        assert_eq!(r.incumbents, 1);
+        assert_eq!(r.node_outcomes[outcome_slot(NodeOutcome::Integral)], 1);
+        let search = r.phase(Phase::Search).expect("search span completed");
+        assert_eq!(search.count, 1);
+        assert_eq!(search.total, Duration::from_micros(9));
+        assert_eq!(r.lp_iterations.min, 4);
+        assert_eq!(r.lp_iterations.max, 10);
+        assert_eq!(r.wall, Duration::from_micros(9));
+        // The render is exercised for panics/omissions, not exact layout.
+        let text = r.render();
+        assert!(text.contains("nodes 1"));
+        assert!(text.contains("simplex iterations 14"));
+    }
+
+    #[test]
+    fn unbalanced_span_is_dropped() {
+        let events = vec![ev(0, TraceEvent::PhaseBegin { phase: Phase::Ims })];
+        let r = SolveReport::from_events(&events);
+        assert!(r.phase(Phase::Ims).is_none());
+    }
+
+    #[test]
+    fn hist_summary_percentiles() {
+        let h = HistSummary::from_values(&[5, 1, 9, 3, 7, 2, 8, 4, 6, 10]);
+        assert_eq!(h.count, 10);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.p50, 6); // index round(9 * 0.5) = 5 (0-based, sorted)
+        assert_eq!(h.p90, 9);
+        assert_eq!(h.max, 10);
+        assert_eq!(HistSummary::from_values(&[]), HistSummary::default());
+    }
+}

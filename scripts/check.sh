@@ -20,4 +20,18 @@ CARGO_PROFILE_RELEASE_DEBUG_ASSERTIONS=true \
 CARGO_PROFILE_RELEASE_OVERFLOW_CHECKS=true \
     cargo test --workspace -q --release
 
+echo "==> golden-corpus solver counters"
+# Deterministic serial counters (II, B&B nodes, LP solves, simplex
+# iterations) pinned in tests/golden/corpus.tsv. On intentional solver
+# changes: OPTIMOD_BLESS=1 cargo test --test golden_corpus, commit the diff.
+cargo test -q --test golden_corpus
+
+echo "==> null-sink trace overhead (fig2 micro-run)"
+# The observability layer must stay free when enabled with a no-op sink:
+# a fig2-style corpus slice (24 loops, ~80 s total), disabled trace vs
+# NullSink, fails the build when the traced run is >5% slower. Shrinking
+# the slice below the default makes scheduler noise dominate the ratio —
+# tune with OPTIMOD_OVERHEAD_MAX / OPTIMOD_BENCH_LOOPS only if you must.
+cargo run --release -q -p optimod-bench --bin trace_overhead
+
 echo "All checks passed."

@@ -11,3 +11,4 @@ pub use optimod;
 pub use optimod_ddg;
 pub use optimod_ilp;
 pub use optimod_machine;
+pub use optimod_trace;
