@@ -1,0 +1,99 @@
+//! Certification acceptance scenario: every golden kernel, scheduled under
+//! both dependence formulations, must come back with a schedule the
+//! exact-arithmetic certifier accepts end to end — the constraint system in
+//! integer arithmetic (with Ineq. 4 and Ineq. 20 cross-checked against the
+//! ground truth on every edge), the claimed objective against a
+//! ground-truth recomputation, and the independently recomputed MinII.
+//!
+//! The scheduler already certifies internally before emitting a schedule;
+//! this binary re-runs the certifier *from the outside* on the returned
+//! result, so a regression that silently disabled the internal check would
+//! still fail here.
+
+use std::time::Duration;
+
+use optimod::{certify, Claim, DepStyle, LoopStatus, Objective, OptimalScheduler, SchedulerConfig};
+use optimod_ddg::{kernels, Loop};
+use optimod_machine::{example_3fu, Machine};
+
+/// The golden kernel set of `tests/golden_corpus.rs`.
+fn golden_loops(machine: &Machine) -> Vec<Loop> {
+    vec![
+        kernels::figure1(machine),
+        kernels::saxpy(machine),
+        kernels::dot_product(machine),
+        kernels::lfk5_tridiag(machine),
+        kernels::lfk6_recurrence(machine),
+        kernels::lfk11_first_sum(machine),
+        kernels::lfk12_first_diff(machine),
+        kernels::fir4(machine),
+        kernels::horner(machine),
+        kernels::divide_recurrence(machine),
+        kernels::stream_copy(machine),
+    ]
+}
+
+fn style_name(style: DepStyle) -> &'static str {
+    match style {
+        DepStyle::Traditional => "traditional",
+        DepStyle::Structured => "structured",
+    }
+}
+
+fn main() {
+    let machine = example_3fu();
+    let loops = golden_loops(&machine);
+    println!(
+        "{:<22} {:<12} {:>4} {:>6} {:>6} {:>6} {:>9}",
+        "kernel", "formulation", "II", "MinII", "edges", "slots", "objective"
+    );
+    let mut certified = 0usize;
+    for style in [DepStyle::Traditional, DepStyle::Structured] {
+        let mut cfg = SchedulerConfig::new(style, Objective::MinMaxLive)
+            .with_time_limit(Duration::from_secs(120));
+        cfg.limits.threads = 1;
+        let sched = OptimalScheduler::new(cfg);
+        for l in &loops {
+            let r = sched.schedule(l, &machine);
+            assert_eq!(
+                r.status,
+                LoopStatus::Optimal,
+                "golden kernel {} must solve to optimality under {}",
+                l.name(),
+                style_name(style)
+            );
+            let s = r.schedule.as_ref().expect("optimal result has a schedule");
+            let claim = Claim {
+                graph: l,
+                machine: &machine,
+                ii: s.ii(),
+                times: s.times(),
+                claimed_optimal: true,
+                claimed_objective: r.objective_value,
+                exact_objective: Some(s.max_live(l) as i64),
+                claimed_bound: None,
+            };
+            let cert = certify(&claim).unwrap_or_else(|e| {
+                panic!(
+                    "certificate refused for {} / {}: {e}",
+                    l.name(),
+                    style_name(style)
+                )
+            });
+            println!(
+                "{:<22} {:<12} {:>4} {:>6} {:>6} {:>6} {:>9}",
+                l.name(),
+                style_name(style),
+                cert.ii,
+                cert.min_ii,
+                cert.edges_checked,
+                cert.resource_rows_checked,
+                cert.objective
+                    .map_or_else(|| "-".to_string(), |o| o.to_string()),
+            );
+            certified += 1;
+        }
+    }
+    assert_eq!(certified, 2 * loops.len());
+    println!("{certified}/{certified} schedules certified (both formulations, exact arithmetic)");
+}

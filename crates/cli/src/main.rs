@@ -18,13 +18,19 @@
 //!   --lp                  dump the ILP in CPLEX LP format instead of solving
 //!   --trace <path>        write the structured solve trace as JSON lines
 //!   --report              print the per-phase timing / solver-counter report
+//!   --certify             re-run the exact-arithmetic certifier on the
+//!                         result from outside the scheduler and print the
+//!                         certificate (refusal exits 6)
+//!   --chaos <seed>        derive a deterministic fault-injection plan from
+//!                         the seed and arm the solver with it (replays a
+//!                         chaos-sweep cell)
 //! ```
 //!
 //! The loop-file grammar is documented in the `parse` module (one `op` /
 //! `flow` / `dep` directive per line plus a `machine` selection).
 //!
 //! Exit codes: 0 success, 2 usage error, 3 parse/validation error,
-//! 4 scheduling failure, 5 I/O error.
+//! 4 scheduling failure, 5 I/O error, 6 certification failure.
 
 mod parse;
 
@@ -34,18 +40,21 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use optimod::{
-    build_model, codegen, compute_mii, DepStyle, FallbackConfig, FormulationConfig, Objective,
-    OptimalScheduler, Provenance, SchedulerConfig,
+    build_model, certify, codegen, compute_mii, Claim, DepStyle, FallbackConfig, FormulationConfig,
+    LoopStatus, Objective, OptimalScheduler, Provenance, SchedulerConfig,
 };
+use optimod_ilp::FaultPlan;
 use optimod_trace::{JsonlSink, MemorySink, TeeSink, Trace, TraceSink};
 
 /// A failure with its exit code, so scripts can tell a bad loop file (3)
-/// from a loop the solver could not schedule (4).
+/// from a loop the solver could not schedule (4) from a schedule the
+/// certifier refused (6).
 enum Failure {
     Usage(String),
     Parse(String),
     Scheduling(String),
     Io(String),
+    Certification(String),
 }
 
 impl Failure {
@@ -55,12 +64,17 @@ impl Failure {
             Failure::Parse(_) => 3,
             Failure::Scheduling(_) => 4,
             Failure::Io(_) => 5,
+            Failure::Certification(_) => 6,
         })
     }
 
     fn message(&self) -> &str {
         match self {
-            Failure::Usage(m) | Failure::Parse(m) | Failure::Scheduling(m) | Failure::Io(m) => m,
+            Failure::Usage(m)
+            | Failure::Parse(m)
+            | Failure::Scheduling(m)
+            | Failure::Io(m)
+            | Failure::Certification(m) => m,
         }
     }
 }
@@ -78,6 +92,8 @@ struct Options {
     lp: bool,
     trace: Option<String>,
     report: bool,
+    certify: bool,
+    chaos: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -95,6 +111,8 @@ fn parse_args() -> Result<Options, String> {
         lp: false,
         trace: None,
         report: false,
+        certify: false,
+        chaos: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -136,6 +154,11 @@ fn parse_args() -> Result<Options, String> {
             "--lp" => opts.lp = true,
             "--trace" => opts.trace = Some(args.next().ok_or("--trace needs a path")?),
             "--report" => opts.report = true,
+            "--certify" => opts.certify = true,
+            "--chaos" => {
+                let v = args.next().ok_or("--chaos needs a seed")?;
+                opts.chaos = Some(v.parse().map_err(|_| "--chaos must be an integer seed")?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if opts.file.is_empty() && !other.starts_with('-') => {
                 opts.file = other.to_string();
@@ -151,8 +174,9 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
 [--style structured|traditional] [--budget-ms N] [--registers N] [--threads N] \
-[--speculate] [--fallback] [--expand] [--lp] [--trace PATH] [--report]\n\
-exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O";
+[--speculate] [--fallback] [--expand] [--lp] [--trace PATH] [--report] \
+[--certify] [--chaos SEED]\n\
+exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O, 6 certification";
 
 fn main() -> ExitCode {
     match run() {
@@ -207,6 +231,11 @@ fn run() -> Result<(), Failure> {
     if opts.fallback {
         cfg.fallback = FallbackConfig::enabled();
     }
+    if let Some(seed) = opts.chaos {
+        let plan = FaultPlan::from_seed(seed);
+        println!("chaos: {}", plan.describe());
+        cfg.limits.fault = plan;
+    }
 
     // Observability: --report buffers events in memory for the end-of-run
     // summary; --trace streams them to disk as JSON lines; both together
@@ -230,7 +259,8 @@ fn run() -> Result<(), Failure> {
         cfg.limits.trace = Trace::new(sink);
     }
 
-    let result = OptimalScheduler::new(cfg).schedule(&l, &machine);
+    let sched = OptimalScheduler::new(cfg);
+    let result = sched.schedule(&l, &machine);
 
     if let Some(j) = &jsonl {
         j.flush()
@@ -292,6 +322,46 @@ fn run() -> Result<(), Failure> {
             p.unroll, p.stages
         );
         print!("{}", p.to_text(&l));
+    }
+
+    if opts.certify {
+        // External audit: the scheduler already certified internally before
+        // emitting the schedule; this rebuilds the same claim from the
+        // printed result and re-runs the certifier from outside, so a
+        // regression that disabled the internal check would still be caught
+        // here. Objective claims only apply to exact-rung results — ladder
+        // schedules (stage ILP / IMS) claim feasibility only.
+        let exact_rung = result.provenance == Some(Provenance::Exact);
+        let claim = Claim {
+            graph: &l,
+            machine: &machine,
+            ii: schedule.ii(),
+            times: schedule.times(),
+            claimed_optimal: exact_rung && result.status == LoopStatus::Optimal,
+            claimed_objective: if exact_rung {
+                result.objective_value
+            } else {
+                None
+            },
+            exact_objective: if exact_rung {
+                sched.exact_objective(&l, schedule)
+            } else {
+                None
+            },
+            claimed_bound: None,
+        };
+        let cert = certify(&claim)
+            .map_err(|e| Failure::Certification(format!("certificate refused: {e}")))?;
+        println!(
+            "\ncertificate: II {} >= MinII {}; {} dependence edges checked under both \
+             formulations; {} resource-row slots checked{}",
+            cert.ii,
+            cert.min_ii,
+            cert.edges_checked,
+            cert.resource_rows_checked,
+            cert.objective
+                .map_or_else(String::new, |o| format!("; objective {o} exact")),
+        );
     }
     Ok(())
 }

@@ -12,9 +12,10 @@ use std::fmt;
 
 use optimod_ddg::LoopError;
 use optimod_ilp::SolveError;
+use optimod_verify::CertError;
 
 /// An abnormal condition in the scheduling pipeline.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScheduleError {
     /// The input dependence graph failed [`optimod_ddg::Loop::validate`].
     InvalidLoop(LoopError),
@@ -35,6 +36,11 @@ pub enum ScheduleError {
         /// [`Schedule::validate`](crate::Schedule::validate).
         detail: String,
     },
+    /// The exact-arithmetic certifier refused the extracted schedule or
+    /// the solver's claims about it (constraint violation, objective or
+    /// bound inconsistency, II below the recomputed MinII). The typed
+    /// cause names the offending edge, row, or resource.
+    Certification(CertError),
     /// The loop's recurrence-constrained MII exceeds
     /// [`MAX_SCHEDULABLE_II`](crate::scheduler::MAX_SCHEDULABLE_II): the
     /// row binaries of the ILP grow linearly with `II`, so such a loop
@@ -57,6 +63,7 @@ impl fmt::Display for ScheduleError {
             ScheduleError::InvalidSchedule { detail } => {
                 write!(f, "extracted schedule is invalid: {detail}")
             }
+            ScheduleError::Certification(e) => write!(f, "certification failed: {e}"),
             ScheduleError::MiiOverflow { mii } => write!(
                 f,
                 "recurrence-constrained MII {mii} exceeds the schedulable ceiling {}",
@@ -71,6 +78,7 @@ impl Error for ScheduleError {
         match self {
             ScheduleError::InvalidLoop(e) => Some(e),
             ScheduleError::Solver(e) => Some(e),
+            ScheduleError::Certification(e) => Some(e),
             _ => None,
         }
     }
@@ -85,5 +93,11 @@ impl From<LoopError> for ScheduleError {
 impl From<SolveError> for ScheduleError {
     fn from(e: SolveError) -> Self {
         ScheduleError::Solver(e)
+    }
+}
+
+impl From<CertError> for ScheduleError {
+    fn from(e: CertError) -> Self {
+        ScheduleError::Certification(e)
     }
 }

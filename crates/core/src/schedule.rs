@@ -97,45 +97,25 @@ impl Schedule {
 
     /// Checks every scheduling dependence of `l`; returns the first
     /// violated edge description.
+    ///
+    /// Delegates to the exact-arithmetic certifier ([`optimod_verify`]),
+    /// so the constraint logic lives in one audited place; the edge check
+    /// there additionally cross-checks both ILP formulations against the
+    /// ground truth.
     pub fn check_dependences(&self, l: &Loop) -> Option<String> {
-        let ii = self.ii as i64;
-        for e in l.edges() {
-            let sep =
-                self.times[e.to.index()] + ii * e.distance as i64 - self.times[e.from.index()];
-            if sep < e.latency {
-                return Some(format!(
-                    "edge {}->{} (l={}, w={}): separation {sep}",
-                    e.from, e.to, e.latency, e.distance
-                ));
-            }
-        }
-        None
+        optimod_verify::check_dependences(l, self.ii, &self.times)
+            .err()
+            .map(|e| e.to_string())
     }
 
     /// Checks the modulo reservation table against `machine`; returns a
     /// description of the first over-subscribed `(resource, row)` slot.
+    ///
+    /// Delegates to the exact-arithmetic certifier ([`optimod_verify`]).
     pub fn check_resources(&self, l: &Loop, machine: &Machine) -> Option<String> {
-        let ii = self.ii as i64;
-        let mut usage = vec![vec![0u32; self.ii as usize]; machine.num_resources()];
-        for (i, op) in l.ops().iter().enumerate() {
-            let t = self.times[i];
-            for &(r, c) in machine.usages(op.class) {
-                let row = (t + c as i64).rem_euclid(ii) as usize;
-                usage[r.index()][row] += 1;
-            }
-        }
-        for r in machine.resources() {
-            for (row, &used) in usage[r.index()].iter().enumerate() {
-                if used > machine.resource_count(r) {
-                    return Some(format!(
-                        "resource {} over-subscribed in row {row}: {used} > {}",
-                        machine.resource_name(r),
-                        machine.resource_count(r)
-                    ));
-                }
-            }
-        }
-        None
+        optimod_verify::check_resources(l, machine, self.ii, &self.times)
+            .err()
+            .map(|e| e.to_string())
     }
 
     /// Full validity check (dependences + resources).

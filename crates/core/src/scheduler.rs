@@ -9,7 +9,10 @@
 use std::time::{Duration, Instant};
 
 use optimod_ddg::Loop;
-use optimod_ilp::{panic_message, SolveError, SolveLimits, SolveOutcome, SolveStats, SolveStatus};
+use optimod_ilp::{
+    panic_message, FaultAction, FaultSite, SolveError, SolveLimits, SolveOutcome, SolveStats,
+    SolveStatus,
+};
 use optimod_machine::Machine;
 use optimod_trace::{Phase, TraceEvent};
 
@@ -415,7 +418,34 @@ impl OptimalScheduler {
         obj: Option<f64>,
         start: Instant,
     ) -> LoopResult {
-        debug_assert_eq!(schedule.validate(l, machine), None);
+        // Ladder schedules get the same exact-arithmetic certification as
+        // exact ones (constraints only: the heuristics claim no optimality
+        // and no objective). A refused schedule is withheld, not emitted.
+        let trace = &self.config.limits.trace;
+        let claim = optimod_verify::Claim {
+            graph: l,
+            machine,
+            ii: schedule.ii(),
+            times: schedule.times(),
+            claimed_optimal: false,
+            claimed_objective: None,
+            exact_objective: None,
+            claimed_bound: None,
+        };
+        if let Err(cert) = optimod_verify::certify(&claim) {
+            let ii = schedule.ii();
+            trace.emit(|| TraceEvent::Certified { ii, ok: false });
+            base.status = LoopStatus::Failed;
+            base.ii = None;
+            base.schedule = None;
+            base.objective_value = None;
+            base.provenance = None;
+            base.error = Some(ScheduleError::Certification(cert));
+            base.stats.wall_time = start.elapsed();
+            return base;
+        }
+        let ii = schedule.ii();
+        trace.emit(|| TraceEvent::Certified { ii, ok: true });
         base.status = LoopStatus::FeasibleOnly;
         base.ii = Some(schedule.ii());
         base.objective_value = if self.config.objective == Objective::FirstFeasible {
@@ -634,15 +664,95 @@ impl OptimalScheduler {
         let trace = &self.config.limits.trace;
         let schedule = {
             let _span = trace.span(Phase::Extraction);
-            let schedule = match built.try_extract_schedule(out) {
-                Ok(s) => s,
-                Err(e) => return fail(e, stats),
-            };
-            if let Some(detail) = schedule.validate(l, machine) {
-                return fail(ScheduleError::InvalidSchedule { detail }, stats);
+            // Deterministic fault injection at schedule extraction. The
+            // fire itself runs under `catch_unwind` so an injected panic
+            // surfaces as the same typed failure a genuine extraction bug
+            // would, never an unwind into the caller.
+            let fired = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.config.limits.fault.fire(FaultSite::Extraction)
+            }));
+            match fired {
+                Ok(None) => {}
+                Ok(Some(action)) => {
+                    trace.emit(|| TraceEvent::FaultInjected {
+                        worker: 0,
+                        site: FaultSite::Extraction.name(),
+                        action: action.name(),
+                    });
+                    match action {
+                        FaultAction::Stall => {
+                            return fail(
+                                ScheduleError::MalformedSolution {
+                                    detail: "injected fault: stalled extraction".to_string(),
+                                },
+                                stats,
+                            )
+                        }
+                        FaultAction::SpuriousTimeout => {
+                            return LoopResult {
+                                status: LoopStatus::TimedOut,
+                                mii,
+                                ii: None,
+                                schedule: None,
+                                objective_value: None,
+                                stats,
+                                provenance: None,
+                                error: sticky_error,
+                            }
+                        }
+                        // A tripped panic never reaches this arm (it is
+                        // raised inside `fire`); a perturbation is consumed
+                        // by the solver's incumbent path, not here.
+                        FaultAction::Panic | FaultAction::PerturbIncumbent => {}
+                    }
+                }
+                Err(payload) => {
+                    return fail(
+                        ScheduleError::Solver(SolveError::WorkerPanic(panic_message(
+                            payload.as_ref(),
+                        ))),
+                        stats,
+                    )
+                }
             }
-            schedule
+            let extracted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                built.try_extract_schedule(out)
+            }));
+            match extracted {
+                Ok(Ok(s)) => s,
+                Ok(Err(e)) => return fail(e, stats),
+                Err(payload) => {
+                    return fail(
+                        ScheduleError::Solver(SolveError::WorkerPanic(panic_message(
+                            payload.as_ref(),
+                        ))),
+                        stats,
+                    )
+                }
+            }
         };
+        // Exact-arithmetic certification of the schedule and every claim
+        // the solver made about it. A refused certificate withholds the
+        // schedule: a wrong answer is a failure, not a result.
+        let claimed_optimal = out.status == SolveStatus::Optimal;
+        let claimed_objective = (!first_only).then(|| round_integral(out.objective));
+        let claim = optimod_verify::Claim {
+            graph: l,
+            machine,
+            ii,
+            times: schedule.times(),
+            claimed_optimal,
+            claimed_objective,
+            exact_objective: self.exact_objective(l, &schedule),
+            claimed_bound: (!first_only && out.best_bound.is_finite()).then_some(out.best_bound),
+        };
+        match optimod_verify::certify(&claim) {
+            Ok(_) => trace.emit(|| TraceEvent::Certified { ii, ok: true }),
+            Err(cert) => {
+                trace.emit(|| TraceEvent::Certified { ii, ok: false });
+                return fail(ScheduleError::Certification(cert), stats);
+            }
+        }
         LoopResult {
             status: if out.status == SolveStatus::Optimal {
                 LoopStatus::Optimal
@@ -656,6 +766,32 @@ impl OptimalScheduler {
             stats,
             provenance: Some(Provenance::Exact),
             error: sticky_error,
+        }
+    }
+
+    /// Ground-truth integer value of the configured secondary objective on
+    /// a concrete schedule — the independent side of a certifier
+    /// [`Claim`](optimod_verify::Claim), measured directly on the schedule
+    /// (lifetimes, MRT rows), never read back from the ILP. `None` when no
+    /// objective is configured. Public so external auditors (the CLI's
+    /// `--certify`, the chaos harness) can rebuild the same claim the
+    /// scheduler certifies internally.
+    pub fn exact_objective(&self, l: &Loop, schedule: &Schedule) -> Option<i64> {
+        match self.config.objective {
+            Objective::FirstFeasible => None,
+            Objective::MinMaxLive => Some(schedule.max_live(l) as i64),
+            Objective::MinBuffers => Some(schedule.buffers(l) as i64),
+            Objective::MinCumLifetime => {
+                let total = schedule.cumulative_lifetime(l);
+                Some(match self.config.dep_style {
+                    DepStyle::Structured => total,
+                    // The traditional form measures time(last use) −
+                    // time(def): one reserved cycle per register less than
+                    // the lifetime (see `install_lifetime_traditional`).
+                    DepStyle::Traditional => total - l.vregs().len() as i64,
+                })
+            }
+            Objective::MinSchedLength => schedule.times().iter().max().copied(),
         }
     }
 

@@ -1,0 +1,244 @@
+//! Mutation properties of the exact-arithmetic certifier: valid schedules
+//! always certify, and every class of corruption — truncated times, a zero
+//! II, a violated dependence, an over-subscribed resource row, a fabricated
+//! or fractional objective, a bound the objective beats — is refused with
+//! the *matching* typed [`CertError`] variant, never a panic and never a
+//! pass.
+
+use optimod::heuristic::{ims_schedule, ImsConfig};
+use optimod::{certify, CertError, Claim, Schedule};
+use optimod_ddg::{generate_loop, kernels, GeneratorConfig, Loop};
+use optimod_machine::{cydra_like, example_3fu, vliw_4issue, Machine};
+use proptest::prelude::*;
+
+fn machine_for(idx: u8) -> Machine {
+    match idx % 3 {
+        0 => example_3fu(),
+        1 => cydra_like(),
+        _ => vliw_4issue(),
+    }
+}
+
+/// A random loop with a valid IMS schedule — the certifier's happy path.
+fn random_scheduled() -> impl Strategy<Value = (Machine, Loop, Schedule)> {
+    (0u64..2_000, 0u8..3).prop_map(|(seed, midx)| {
+        let machine = machine_for(midx);
+        let cfg = GeneratorConfig {
+            max_ops: 16,
+            ..Default::default()
+        };
+        let l = generate_loop(&cfg, &machine, seed);
+        let s = ims_schedule(&l, &machine, &ImsConfig::default())
+            .expect("IMS schedules every generated loop")
+            .schedule;
+        (machine, l, s)
+    })
+}
+
+/// Constraints-only claim: no optimality, no objective, no bound.
+fn feasibility_claim<'a>(
+    machine: &'a Machine,
+    l: &'a Loop,
+    ii: u32,
+    times: &'a [i64],
+) -> Claim<'a> {
+    Claim {
+        graph: l,
+        machine,
+        ii,
+        times,
+        claimed_optimal: false,
+        claimed_objective: None,
+        exact_objective: None,
+        claimed_bound: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every valid schedule certifies, and the certificate's quantities
+    /// match the loop (edge count) and the claim (II).
+    #[test]
+    fn valid_schedules_certify((machine, l, s) in random_scheduled()) {
+        let cert = certify(&feasibility_claim(&machine, &l, s.ii(), s.times()))
+            .expect("valid schedule must certify");
+        prop_assert_eq!(cert.ii, s.ii());
+        prop_assert_eq!(cert.edges_checked, l.edges().len());
+        prop_assert!(cert.min_ii <= s.ii());
+        prop_assert_eq!(cert.objective, None);
+    }
+
+    /// Certification is invariant under shifting every issue time by the
+    /// same multiple of II (the steady-state kernel does not move).
+    #[test]
+    fn certification_is_shift_invariant((machine, l, s) in random_scheduled(), k in 1i64..4) {
+        let shift = k * s.ii() as i64;
+        let times: Vec<i64> = s.times().iter().map(|t| t + shift).collect();
+        prop_assert!(certify(&feasibility_claim(&machine, &l, s.ii(), &times)).is_ok());
+    }
+
+    /// A schedule with the wrong number of issue times is refused as a
+    /// length mismatch before anything else is looked at.
+    #[test]
+    fn truncated_times_rejected((machine, l, s) in random_scheduled()) {
+        let mut times = s.times().to_vec();
+        times.pop();
+        let err = certify(&feasibility_claim(&machine, &l, s.ii(), &times))
+            .expect_err("truncated schedule must be refused");
+        prop_assert_eq!(
+            err,
+            CertError::LengthMismatch { ops: l.num_ops(), times: l.num_ops() - 1 }
+        );
+    }
+
+    /// A zero initiation interval is refused outright.
+    #[test]
+    fn zero_ii_rejected((machine, l, s) in random_scheduled()) {
+        let err = certify(&feasibility_claim(&machine, &l, 0, s.times()))
+            .expect_err("II = 0 must be refused");
+        prop_assert_eq!(err, CertError::ZeroIi);
+    }
+
+    /// Forcing one edge's separation below its latency is always caught as
+    /// a dependence violation (never a formulation disagreement — both
+    /// inequalities must reject it with the ground truth).
+    #[test]
+    fn dependence_mutation_detected((machine, l, s) in random_scheduled(), pick in 0usize..1_000_000) {
+        let edges: Vec<usize> = (0..l.edges().len())
+            .filter(|&i| l.edges()[i].latency >= 1)
+            .collect();
+        if edges.is_empty() {
+            return Ok(()); // nothing to violate on this loop
+        }
+        let e = &l.edges()[edges[pick % edges.len()]];
+        let mut times = s.times().to_vec();
+        // separation = t_to + w*II - t_from = latency - 1 < latency.
+        times[e.to.index()] =
+            times[e.from.index()] - e.distance as i64 * s.ii() as i64 + e.latency - 1;
+        let err = certify(&feasibility_claim(&machine, &l, s.ii(), &times))
+            .expect_err("violated dependence must be refused");
+        prop_assert!(
+            matches!(err, CertError::Dependence { separation, latency, .. } if separation < latency),
+            "expected a dependence refusal, got {err:?}"
+        );
+    }
+
+    /// A fractional claimed objective is refused as non-integral even when
+    /// the schedule itself is valid (this is what catches an incumbent
+    /// perturbed by the fault injector).
+    #[test]
+    fn fractional_objective_rejected((machine, l, s) in random_scheduled()) {
+        let exact = s.max_live(&l) as i64;
+        let mut claim = feasibility_claim(&machine, &l, s.ii(), s.times());
+        claim.claimed_objective = Some(exact as f64 + 0.5);
+        claim.exact_objective = Some(exact);
+        let err = certify(&claim).expect_err("fractional objective must be refused");
+        prop_assert!(
+            matches!(err, CertError::ObjectiveNotIntegral { .. }),
+            "expected a non-integral refusal, got {err:?}"
+        );
+    }
+
+    /// A claimed objective *below* the exact recomputation is impossible
+    /// for a minimization and must be refused; for an optimal claim any
+    /// inequality at all is refused.
+    #[test]
+    fn objective_mismatch_rejected((machine, l, s) in random_scheduled(), optimal in proptest::bool::ANY) {
+        let exact = s.max_live(&l) as i64;
+        let mut claim = feasibility_claim(&machine, &l, s.ii(), s.times());
+        claim.claimed_optimal = optimal;
+        claim.claimed_objective = Some((exact - 1) as f64);
+        claim.exact_objective = Some(exact);
+        let err = certify(&claim).expect_err("understated objective must be refused");
+        prop_assert_eq!(
+            err,
+            CertError::ObjectiveMismatch { claimed: exact - 1, exact, optimal }
+        );
+    }
+
+    /// An overstated objective is fine for a feasible claim (auxiliary ILP
+    /// variables only ever overestimate) but refused for an optimal one.
+    #[test]
+    fn overstated_objective_only_valid_when_feasible((machine, l, s) in random_scheduled()) {
+        let exact = s.max_live(&l) as i64;
+        let mut claim = feasibility_claim(&machine, &l, s.ii(), s.times());
+        claim.claimed_objective = Some((exact + 1) as f64);
+        claim.exact_objective = Some(exact);
+        prop_assert!(certify(&claim).is_ok());
+        claim.claimed_optimal = true;
+        let err = certify(&claim).expect_err("optimal claim requires equality");
+        prop_assert_eq!(
+            err,
+            CertError::ObjectiveMismatch { claimed: exact + 1, exact, optimal: true }
+        );
+    }
+
+    /// An objective beating its own claimed dual bound is refused.
+    #[test]
+    fn objective_beating_bound_rejected((machine, l, s) in random_scheduled()) {
+        let exact = s.max_live(&l) as i64;
+        let mut claim = feasibility_claim(&machine, &l, s.ii(), s.times());
+        claim.claimed_objective = Some(exact as f64);
+        claim.exact_objective = Some(exact);
+        claim.claimed_bound = Some(exact as f64 + 1.0);
+        let err = certify(&claim).expect_err("objective below the proven bound is impossible");
+        prop_assert!(
+            matches!(err, CertError::BoundViolated { .. }),
+            "expected a bound refusal, got {err:?}"
+        );
+    }
+}
+
+/// Piling operations into rows beyond the machine's capacity (with all
+/// dependences still satisfied) is caught as a resource refusal naming an
+/// over-subscribed slot.
+#[test]
+fn resource_overflow_detected() {
+    let machine = example_3fu();
+    let l = kernels::figure1(&machine);
+    // All five ops in even cycles -> all in row 0 of II=2, over the 3 FUs;
+    // consecutive gaps of 2 cycles satisfy every latency.
+    let times = vec![0, 2, 4, 6, 8];
+    let err = certify(&feasibility_claim(&machine, &l, 2, &times))
+        .expect_err("five ops in one row of a 3-FU machine must be refused");
+    match err {
+        CertError::Resource {
+            row,
+            used,
+            available,
+            ..
+        } => {
+            assert_eq!(row, 0);
+            assert!(used > available);
+        }
+        other => panic!("expected a resource refusal, got {other:?}"),
+    }
+}
+
+/// An optimality claim at an II below the independently recomputed MinII is
+/// structurally impossible to reach with a *valid* schedule (a too-small II
+/// always breaks a dependence cycle or overflows a resource row first), so
+/// the certifier reports the concrete constraint violation, not the bound.
+#[test]
+fn sub_mii_schedule_names_a_concrete_violation() {
+    let machine = example_3fu();
+    let l = kernels::lfk6_recurrence(&machine);
+    let s = ims_schedule(&l, &machine, &ImsConfig::default())
+        .expect("lfk6 schedules")
+        .schedule;
+    let mii = optimod::compute_mii(&l, &machine).value();
+    assert!(mii > 1, "lfk6 is recurrence-bound");
+    let mut claim = feasibility_claim(&machine, &l, mii - 1, s.times());
+    claim.claimed_optimal = true;
+    let err = certify(&claim).expect_err("sub-MinII claim must be refused");
+    assert!(
+        matches!(
+            err,
+            CertError::Dependence { .. }
+                | CertError::Resource { .. }
+                | CertError::IiBelowMinIi { .. }
+        ),
+        "got {err:?}"
+    );
+}

@@ -25,12 +25,13 @@ use std::time::{Duration, Instant};
 
 use optimod_trace::{LpClass, NodeOutcome, Phase, Trace, TraceEvent};
 
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::model::{Model, Sense, VarId};
 use crate::parallel;
-use crate::simplex::{LpStatus, Simplex, SimplexOptions};
-use crate::solution::{SolveError, SolveOutcome, SolveStats, SolveStatus};
+use crate::simplex::{LpOutcome, LpStatus, Simplex, SimplexOptions};
+use crate::solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 use crate::stop::StopFlag;
-use crate::INT_TOL;
+use crate::tol::{INT_ROUND_TOL, INT_TOL, PRUNE_TOL};
 
 /// Maps an LP status to its trace classification.
 pub(crate) fn lp_class(status: LpStatus) -> LpClass {
@@ -111,7 +112,7 @@ pub(crate) fn down_child_first(rule: BranchRule, bx: f64, floor: f64) -> bool {
 /// objective is integral over integer solutions.
 #[inline]
 pub(crate) fn tighten_integral_bound(bound: f64) -> f64 {
-    (bound - 1e-6).ceil()
+    (bound - INT_ROUND_TOL).ceil()
 }
 
 /// Resource limits for one branch-and-bound solve.
@@ -153,6 +154,11 @@ pub struct SolveLimits {
     /// per-`II` solves land on one timeline. The default handle is disabled
     /// and costs one pointer check per event site.
     pub trace: Trace,
+    /// Deterministic fault injection for chaos testing. Cloning
+    /// `SolveLimits` shares the plan's hit counters (like `stop` and
+    /// `trace`), so "the Nth hit" counts across the whole pipeline. The
+    /// default plan is disabled and costs one pointer check per site.
+    pub fault: FaultPlan,
 }
 
 impl Default for SolveLimits {
@@ -167,6 +173,7 @@ impl Default for SolveLimits {
             threads: 0,
             stop: StopFlag::new(),
             trace: Trace::disabled(),
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -245,21 +252,64 @@ impl Solver {
     }
 
     /// Solves `model` to integral optimality (or until a limit fires).
+    ///
+    /// Never unwinds: a panic anywhere in the search (an injected fault, a
+    /// genuine bug) is caught here as a last resort and reported as
+    /// [`SolveError::WorkerPanic`] on a [`SolveStatus::LimitReached`]
+    /// outcome. (The serial per-LP and parallel per-node recovery paths
+    /// usually catch panics earlier with better bookkeeping.)
     pub fn solve(&self, model: &Model) -> SolveOutcome {
         let start = Instant::now();
-        let minimize = model.obj_sense == Sense::Minimize;
         // Individual LP solves must not overshoot the whole-solve budget,
-        // and must observe the caller's cancellation flag.
+        // and must observe the caller's cancellation flag and fault plan.
         let mut opts = self.simplex_options.clone();
         if let Some(budget_end) = start.checked_add(self.limits.time_limit) {
             opts.deadline = Some(opts.deadline.map_or(budget_end, |d| d.min(budget_end)));
         }
         opts.stop = self.limits.stop.clone();
+        opts.fault = self.limits.fault.clone();
 
-        if self.limits.resolve_threads() > 1 {
-            return parallel::solve(model, &self.limits, &opts, start);
-        }
+        let fired_before = self.limits.fault.fired_count();
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if self.limits.resolve_threads() > 1 {
+                parallel::solve(model, &self.limits, &opts, start)
+            } else {
+                self.solve_serial(model, start, opts.clone())
+            }
+        }));
+        let mut outcome = match solved {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                self.limits
+                    .trace
+                    .emit(|| TraceEvent::PanicRecovered { worker: 0 });
+                self.limits.trace.emit(|| TraceEvent::SolveEnd {
+                    status: SolveStatus::LimitReached.name(),
+                });
+                SolveOutcome {
+                    status: SolveStatus::LimitReached,
+                    objective: f64::NAN,
+                    values: vec![],
+                    best_bound: f64::NAN,
+                    stats: SolveStats {
+                        variables: model.num_vars() as u64,
+                        constraints: model.num_constraints() as u64,
+                        panics_recovered: 1,
+                        wall_time: start.elapsed(),
+                        ..Default::default()
+                    },
+                    error: Some(SolveError::WorkerPanic(panic_message(payload.as_ref()))),
+                }
+            }
+        };
+        outcome.stats.faults_injected +=
+            self.limits.fault.fired_count().saturating_sub(fired_before);
+        outcome
+    }
 
+    /// The deterministic serial DFS engine.
+    fn solve_serial(&self, model: &Model, start: Instant, opts: SimplexOptions) -> SolveOutcome {
+        let minimize = model.obj_sense == Sense::Minimize;
         self.limits.trace.emit(|| TraceEvent::SolveBegin {
             variables: model.num_vars() as u64,
             constraints: model.num_constraints() as u64,
@@ -401,6 +451,30 @@ impl Search<'_> {
         if self.out_of_budget() {
             return Explored::Stop;
         }
+        // Deterministic fault injection at node expansion. The check sits
+        // before the NodeOpen emit so an injected panic (raised inside
+        // `fire`) leaves the trace's open/close pairing balanced.
+        if let Some(action) = self.limits.fault.fire(FaultSite::NodeExpand) {
+            self.limits.trace.emit(|| TraceEvent::FaultInjected {
+                worker: 0,
+                site: FaultSite::NodeExpand.name(),
+                action: action.name(),
+            });
+            match action {
+                FaultAction::Stall => {
+                    self.limit_hit = true;
+                    self.error = Some(SolveError::NumericallyUnstable {
+                        iterations: self.stats.simplex_iterations,
+                    });
+                    return Explored::Stop;
+                }
+                FaultAction::SpuriousTimeout => {
+                    self.limit_hit = true;
+                    return Explored::Stop;
+                }
+                FaultAction::Panic | FaultAction::PerturbIncumbent => {}
+            }
+        }
         // Cloning releases the borrow on `self.limits` so spans can coexist
         // with `&mut self` field access below; clones share the sink.
         let trace = self.limits.trace.clone();
@@ -415,13 +489,29 @@ impl Search<'_> {
             self.stats.bb_nodes += 1;
             trace.emit(|| TraceEvent::NodeOpen { worker: 0, depth });
         }
-        let lp = {
+        // Recover panics from inside the LP solve (injected faults, numeric
+        // bugs) as a typed error with the node closed, mirroring the
+        // parallel workers' per-node recovery.
+        let lp: LpOutcome = {
             let _root_span = if depth == 0 {
                 Some(trace.span(Phase::RootLp))
             } else {
                 None
             };
-            self.simplex.solve(lb, ub, &self.opts)
+            let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.simplex.solve(lb, ub, &self.opts)
+            }));
+            match solved {
+                Ok(lp) => lp,
+                Err(payload) => {
+                    self.stats.panics_recovered += 1;
+                    self.limit_hit = true;
+                    self.error = Some(SolveError::WorkerPanic(panic_message(payload.as_ref())));
+                    close(NodeOutcome::Panicked);
+                    trace.emit(|| TraceEvent::PanicRecovered { worker: 0 });
+                    return Explored::Stop;
+                }
+            }
         };
         self.stats.lp_solves += 1;
         self.stats.simplex_iterations += lp.iterations;
@@ -476,7 +566,7 @@ impl Search<'_> {
             .as_ref()
             .map_or(f64::INFINITY, |(inc, _)| *inc)
             .min(self.cutoff_min);
-        if bound >= threshold - 1e-9 {
+        if bound >= threshold - PRUNE_TOL {
             close(NodeOutcome::PrunedBound);
             return Explored::Done; // pruned by incumbent or external cutoff
         }
@@ -484,9 +574,16 @@ impl Search<'_> {
         let Some((bv, bx)) = choose_branch(self.limits.branch_rule, &self.int_vars, &lp.values)
         else {
             // Integral solution.
-            let obj = self.to_min(lp.objective);
-            if obj < threshold - 1e-9 {
+            let mut obj = self.to_min(lp.objective);
+            if obj < threshold - PRUNE_TOL {
                 self.stats.incumbents += 1;
+                if self.limits.fault.take_incumbent_perturbation() {
+                    // Injected corruption: the claimed objective no longer
+                    // matches the stored values. The exact-arithmetic
+                    // certifier downstream must catch the mismatch if this
+                    // incumbent survives to the final outcome.
+                    obj += 0.5;
+                }
                 let model_obj = self.min_to_model(obj);
                 trace.emit(|| TraceEvent::Incumbent {
                     worker: 0,

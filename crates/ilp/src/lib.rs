@@ -33,14 +33,17 @@
 
 mod branch_bound;
 mod export;
+pub mod fault;
 mod model;
 mod parallel;
 mod simplex;
 mod solution;
 mod stop;
+pub mod tol;
 
 pub use branch_bound::{BranchRule, SolveLimits, Solver};
 pub use export::lp_format;
+pub use fault::{FaultAction, FaultPlan, FaultSite, Injection};
 pub use model::{ConstraintId, LinExpr, Model, RowSense, Sense, VarId};
 pub use simplex::{LpOutcome, LpStatus, Simplex, SimplexOptions};
 pub use solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
@@ -51,10 +54,7 @@ pub use stop::StopFlag;
 pub use optimod_trace as trace;
 pub use optimod_trace::{Trace, TraceSink};
 
-/// Absolute tolerance used to decide primal feasibility of a value with
-/// respect to a bound.
-pub const FEAS_TOL: f64 = 1e-7;
-/// Tolerance on reduced costs when testing dual feasibility (optimality).
-pub const OPT_TOL: f64 = 1e-7;
-/// A value within this distance of an integer is considered integral.
-pub const INT_TOL: f64 = 1e-5;
+// The tolerance constants historically lived at the crate root; they now
+// live (documented, with rationale) in [`tol`] and are re-exported here for
+// compatibility.
+pub use tol::{FEAS_TOL, INT_TOL, OPT_TOL};

@@ -42,10 +42,12 @@ use optimod_trace::{NodeOutcome, Phase, TraceEvent};
 use crate::branch_bound::{
     choose_branch, down_child_first, lp_class, tighten_integral_bound, SolveLimits,
 };
+use crate::fault::{FaultAction, FaultSite};
 use crate::model::{Model, Sense, VarId};
 use crate::simplex::{LpStatus, Simplex, SimplexOptions};
 use crate::solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 use crate::stop::StopFlag;
+use crate::tol::PRUNE_TOL;
 
 /// One open node: a single bound tightening plus the chain to the root.
 struct PathStep {
@@ -124,7 +126,7 @@ impl Shared<'_> {
     fn offer_incumbent(&self, obj_min: f64, values: Vec<f64>) -> bool {
         let mut guard = self.incumbent.lock().expect("incumbent lock poisoned");
         let current = guard.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
-        if obj_min < current.min(self.cutoff_min) - 1e-9 {
+        if obj_min < current.min(self.cutoff_min) - PRUNE_TOL {
             self.incumbent_bits
                 .store(obj_min.to_bits(), Ordering::Release);
             *guard = Some((obj_min, values));
@@ -168,6 +170,25 @@ fn pop_work(shared: &Shared, wid: usize) -> Option<Arc<PathStep>> {
 }
 
 fn worker(shared: &Shared, opts: &SimplexOptions, wid: usize) {
+    // Deterministic fault injection at worker startup. A stall or spurious
+    // timeout wedges this worker before it processes anything; the limit
+    // broadcast stops the search cleanly instead of letting a drained pool
+    // masquerade as a proof of infeasibility. A panic unwinds from inside
+    // `fire` and is recovered by the spawn wrapper.
+    if let Some(action) = shared.limits.fault.fire(FaultSite::WorkerStart) {
+        shared.limits.trace.emit(|| TraceEvent::FaultInjected {
+            worker: wid as u32,
+            site: FaultSite::WorkerStart.name(),
+            action: action.name(),
+        });
+        match action {
+            FaultAction::Stall | FaultAction::SpuriousTimeout => {
+                shared.hit_limit();
+                return;
+            }
+            FaultAction::Panic | FaultAction::PerturbIncumbent => {}
+        }
+    }
     let mut simplex = Simplex::new(shared.model);
     let mut lb = vec![0.0; shared.root_lb.len()];
     let mut ub = vec![0.0; shared.root_ub.len()];
@@ -258,6 +279,34 @@ fn expand_node(
         });
     };
 
+    // Deterministic fault injection at node expansion. Placed after NodeOpen
+    // so an injected panic (raised inside `fire`) is matched by the worker's
+    // `NodeClose(Panicked)`; stall and spurious-timeout actions close the
+    // node themselves before wedging the search.
+    if let Some(action) = shared.limits.fault.fire(FaultSite::NodeExpand) {
+        trace.emit(|| TraceEvent::FaultInjected {
+            worker: wid as u32,
+            site: FaultSite::NodeExpand.name(),
+            action: action.name(),
+        });
+        match action {
+            FaultAction::Stall => {
+                shared.record_error(SolveError::NumericallyUnstable {
+                    iterations: shared.simplex_iterations.load(Ordering::Relaxed),
+                });
+                shared.hit_limit();
+                close(NodeOutcome::Limit);
+                return;
+            }
+            FaultAction::SpuriousTimeout => {
+                shared.hit_limit();
+                close(NodeOutcome::Limit);
+                return;
+            }
+            FaultAction::Panic | FaultAction::PerturbIncumbent => {}
+        }
+    }
+
     // Replay the path's tightenings onto the root bounds.
     lb.copy_from_slice(shared.root_lb);
     ub.copy_from_slice(shared.root_ub);
@@ -319,7 +368,7 @@ fn expand_node(
     if shared.integral_objective {
         bound = tighten_integral_bound(bound);
     }
-    if bound >= shared.threshold() - 1e-9 {
+    if bound >= shared.threshold() - PRUNE_TOL {
         close(NodeOutcome::PrunedBound);
         return; // pruned by incumbent or external cutoff
     }
@@ -327,7 +376,14 @@ fn expand_node(
     let rule = shared.limits.branch_rule;
     let Some((bv, bx)) = choose_branch(rule, shared.int_vars, &lp.values) else {
         // Integral solution.
-        let obj = shared.to_min(lp.objective);
+        let mut obj = shared.to_min(lp.objective);
+        if shared.limits.fault.take_incumbent_perturbation() {
+            // Corrupt only the *claimed* objective, never the assignment:
+            // the exact-arithmetic certifier downstream must catch the
+            // mismatch, and a corrupted assignment would instead fail much
+            // earlier inside the solver's own integrality checks.
+            obj += 0.5;
+        }
         let obj_model = if shared.minimize { obj } else { -obj };
         if shared.offer_incumbent(obj, lp.values) {
             shared.incumbents.fetch_add(1, Ordering::Relaxed);
@@ -494,7 +550,7 @@ pub(crate) fn solve(
     if model.objective_is_integral() {
         root_bound = tighten_integral_bound(root_bound);
     }
-    if root_bound >= cutoff_min - 1e-9 {
+    if root_bound >= cutoff_min - PRUNE_TOL {
         // Nothing can beat the external cutoff (same Infeasible contract as
         // the serial search).
         return finish(SolveStatus::Infeasible, stats, root_bound, None);
@@ -589,7 +645,24 @@ pub(crate) fn solve(
         for wid in 0..threads {
             let shared = &shared;
             let opts = opts.clone();
-            scope.spawn(move || worker(shared, &opts, wid));
+            scope.spawn(move || {
+                // A panic that escapes the worker loop itself (e.g. an
+                // injected worker-startup fault, or a bug outside the
+                // per-node recovery) must not propagate through the scope
+                // and abort the solve: record it and wind the search down.
+                let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker(shared, &opts, wid)
+                }));
+                if let Err(payload) = unwound {
+                    shared.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .limits
+                        .trace
+                        .emit(|| TraceEvent::PanicRecovered { worker: wid as u32 });
+                    shared.record_error(SolveError::WorkerPanic(panic_message(payload.as_ref())));
+                    shared.hit_limit();
+                }
+            });
         }
     });
 

@@ -23,12 +23,18 @@
 //! inside the [`Simplex`] value and reuses it across [`Simplex::solve`]
 //! calls — no per-node allocation of the constraint matrix.
 
+use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::model::{Model, RowSense, Sense};
 use crate::stop::StopFlag;
-use crate::{FEAS_TOL, OPT_TOL};
+use crate::tol::{
+    ARTIFICIAL_PIVOT_TOL, DEGEN_STEP_TOL, ELIM_SKIP_TOL, FEAS_TOL, OPT_TOL, PHASE1_INFEAS_TOL,
+    PIVOT_TOL, RATIO_TIE_TOL, RESIDUAL_TOL, SINGULAR_TOL,
+};
 
-/// Pivot magnitudes below this are not eligible pivots.
-const PIVOT_TOL: f64 = 1e-9;
+// Every f64 comparison tolerance lives in [`crate::tol`]; the constants
+// below are iteration *counts* for the anti-cycling watchdog, not
+// tolerances, so they stay with the machinery they drive.
+
 /// Number of consecutive degenerate pivots before switching to Bland's rule.
 const DEGEN_LIMIT: u32 = 60;
 /// Refactorize the basis inverse after this many pivots.
@@ -93,6 +99,9 @@ pub struct SimplexOptions {
     /// the parallel branch-and-bound and the scheduler's speculative `II`
     /// race both rely on it.
     pub stop: StopFlag,
+    /// Deterministic fault injection ([`FaultSite::SimplexPivot`] fires one
+    /// hit per pivot-loop iteration). Disabled by default.
+    pub fault: FaultPlan,
 }
 
 impl Default for SimplexOptions {
@@ -101,6 +110,7 @@ impl Default for SimplexOptions {
             max_iterations: 200_000,
             deadline: None,
             stop: StopFlag::new(),
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -409,7 +419,7 @@ fn phase1(p: &Problem, w: &mut Work, opts: &SimplexOptions) -> Option<LpOutcome>
         .filter(|&i| w.basis[i] as usize >= p.n)
         .map(|i| w.xb[i].max(0.0))
         .sum();
-    if infeas > 1e-6 {
+    if infeas > PHASE1_INFEAS_TOL {
         return Some(LpOutcome {
             status: LpStatus::Infeasible,
             objective: f64::NAN,
@@ -447,7 +457,7 @@ fn pivot_out_artificials(p: &Problem, w: &mut Work) {
             for &(i, a) in &p.cols[j] {
                 t += w.binv[row * m + i as usize] * a;
             }
-            if t.abs() > 1e-7 && best.is_none_or(|(_, bt)| t.abs() > bt.abs()) {
+            if t.abs() > ARTIFICIAL_PIVOT_TOL && best.is_none_or(|(_, bt)| t.abs() > bt.abs()) {
                 best = Some((j, t));
             }
         }
@@ -503,6 +513,16 @@ fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: &SimplexOptions) -> L
                 if std::time::Instant::now() >= deadline {
                     return LpStatus::IterLimit;
                 }
+            }
+        }
+        // Deterministic fault injection: one hit per pivot iteration. A
+        // stall takes the watchdog's abandon path; a spurious timeout takes
+        // the deadline path; a panic unwinds from inside `fire` itself.
+        if let Some(action) = opts.fault.fire(FaultSite::SimplexPivot) {
+            match action {
+                FaultAction::Stall => return LpStatus::Stalled,
+                FaultAction::SpuriousTimeout => return LpStatus::IterLimit,
+                FaultAction::Panic | FaultAction::PerturbIncumbent => {}
             }
         }
         if w.pivots_since_refactor >= REFACTOR_EVERY {
@@ -591,8 +611,9 @@ fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: &SimplexOptions) -> L
                 continue;
             }
             let t = ((w.xb[k] - limit) / wk).max(0.0);
-            if t < t_best - 1e-12
-                || (t < t_best + 1e-12 && leave.is_some_and(|(lk, _)| w.v[k].abs() > w.v[lk].abs()))
+            if t < t_best - RATIO_TIE_TOL
+                || (t < t_best + RATIO_TIE_TOL
+                    && leave.is_some_and(|(lk, _)| w.v[k].abs() > w.v[lk].abs()))
             {
                 t_best = t;
                 leave = Some((k, at_up));
@@ -603,7 +624,11 @@ fn optimize(p: &Problem, w: &mut Work, cost: &[f64], opts: &SimplexOptions) -> L
             return LpStatus::Unbounded;
         }
         w.iterations += 1;
-        w.degen_streak = if t_best < 1e-9 { w.degen_streak + 1 } else { 0 };
+        w.degen_streak = if t_best < DEGEN_STEP_TOL {
+            w.degen_streak + 1
+        } else {
+            0
+        };
         // Watchdog escalation: Bland's rule engaged at DEGEN_LIMIT (see
         // `bland` above); a persisting streak next forces a refactorization
         // (a drifted inverse can fake degeneracy), and finally abandons the
@@ -659,7 +684,7 @@ fn apply_pivot(p: &Problem, w: &mut Work, row: usize, j: usize, v: &[f64], enter
     let (pivot_row, after) = rest.split_at_mut(m);
     for (k, chunk) in before.chunks_exact_mut(m).enumerate() {
         let f = v[k];
-        if f.abs() > 1e-13 {
+        if f.abs() > ELIM_SKIP_TOL {
             for (x, pr) in chunk.iter_mut().zip(pivot_row.iter()) {
                 *x -= f * pr;
             }
@@ -667,7 +692,7 @@ fn apply_pivot(p: &Problem, w: &mut Work, row: usize, j: usize, v: &[f64], enter
     }
     for (k, chunk) in after.chunks_exact_mut(m).enumerate() {
         let f = v[row + 1 + k];
-        if f.abs() > 1e-13 {
+        if f.abs() > ELIM_SKIP_TOL {
             for (x, pr) in chunk.iter_mut().zip(pivot_row.iter()) {
                 *x -= f * pr;
             }
@@ -703,7 +728,7 @@ fn refactor(p: &Problem, w: &mut Work) {
                 piv = r;
             }
         }
-        if bmat[piv * m + col].abs() < 1e-12 {
+        if bmat[piv * m + col].abs() < SINGULAR_TOL {
             // Singular basis should not happen; bail out leaving the old
             // inverse in place (residual check will catch trouble).
             return;
@@ -773,7 +798,7 @@ fn residual_ok(p: &Problem, w: &mut Work) -> bool {
             for_col(p, w, j, |i, a| r[i] -= a * x);
         }
     }
-    r.iter().all(|x| x.abs() <= 1e-6)
+    r.iter().all(|x| x.abs() <= RESIDUAL_TOL)
 }
 
 fn extract(p: &Problem, w: &Work, status: LpStatus) -> LpOutcome {

@@ -128,6 +128,9 @@ pub struct SolveStats {
     /// Worker panics caught and recovered by the parallel search (and the
     /// scheduler's speculative racers).
     pub panics_recovered: u64,
+    /// Injections of the solve's [`FaultPlan`](crate::FaultPlan) that
+    /// tripped during this solve (0 when no plan is armed).
+    pub faults_injected: u64,
     /// Wall-clock time spent in the solver.
     pub wall_time: Duration,
 }
@@ -150,6 +153,7 @@ impl SolveStats {
         self.refactors += other.refactors;
         self.stalled_lps += other.stalled_lps;
         self.panics_recovered += other.panics_recovered;
+        self.faults_injected += other.faults_injected;
         self.wall_time += other.wall_time;
     }
 }
@@ -221,6 +225,7 @@ mod tests {
             refactors: 2,
             stalled_lps: 1,
             panics_recovered: 0,
+            faults_injected: 1,
             wall_time: Duration::from_millis(5),
         };
         let b = SolveStats {
@@ -233,6 +238,7 @@ mod tests {
             refactors: 3,
             stalled_lps: 0,
             panics_recovered: 4,
+            faults_injected: 2,
             wall_time: Duration::from_millis(7),
         };
         a.absorb(&b);
@@ -246,6 +252,7 @@ mod tests {
             refactors,
             stalled_lps,
             panics_recovered,
+            faults_injected,
             wall_time,
         } = a;
         // Model sizes keep the larger formulation; everything else sums.
@@ -258,6 +265,7 @@ mod tests {
         assert_eq!(refactors, 5);
         assert_eq!(stalled_lps, 1);
         assert_eq!(panics_recovered, 4);
+        assert_eq!(faults_injected, 3);
         assert_eq!(wall_time, Duration::from_millis(12));
     }
 

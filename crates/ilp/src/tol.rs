@@ -1,0 +1,110 @@
+//! Every floating-point tolerance the solver compares against, in one place.
+//!
+//! The simplex method, the branch-and-bound search, and the schedule
+//! extraction all run in `f64`; each comparison against "zero" or "integral"
+//! needs an explicit tolerance, and a tolerance chosen for one site is rarely
+//! right for another (a pivot magnitude and a constraint residual live on
+//! different scales). Scattering the literals through the code made auditing
+//! them impossible — this module centralizes them with the rationale for each
+//! value, and `optimod-verify` exists precisely because none of these
+//! tolerances is a proof: emitted schedules are re-checked in exact integer
+//! arithmetic downstream.
+//!
+//! Scale assumptions: modulo-scheduling models have coefficients that are
+//! small integers (±1 for the 0-1-structured rows, up to `II`·`row` ≈ 1e3 for
+//! the traditional rows) and right-hand sides of similar size, so absolute
+//! tolerances are appropriate; nothing here is scaled by problem norms.
+
+/// Absolute tolerance used to decide primal feasibility of a value with
+/// respect to a bound. Loose enough to absorb the error of a few thousand
+/// pivots on small-integer data, tight enough that a genuinely violated
+/// scheduling constraint (slack ≥ 1 away) can never pass.
+pub const FEAS_TOL: f64 = 1e-7;
+
+/// Tolerance on reduced costs when testing dual feasibility (optimality).
+/// Matches [`FEAS_TOL`]: both sides of the duality check should give up at
+/// the same precision or phase transitions oscillate.
+pub const OPT_TOL: f64 = 1e-7;
+
+/// A value within this distance of an integer is considered integral.
+/// Deliberately much looser than [`FEAS_TOL`]: branching on a variable that
+/// is integral to 1e-6 creates a child identical to its parent and loops
+/// the search.
+pub const INT_TOL: f64 = 1e-5;
+
+/// Pivot magnitudes below this are not eligible pivots. Dividing by a
+/// smaller pivot amplifies existing error by > 1e9, which visibly corrupts
+/// the dense basis inverse on the very next elimination.
+pub const PIVOT_TOL: f64 = 1e-9;
+
+/// Tie window for the ratio test: two blocking ratios within this distance
+/// are "equal", and the tie breaks toward the larger pivot magnitude for
+/// stability. Much smaller than [`PIVOT_TOL`] because ratios are quotients
+/// of already-validated pivots.
+pub const RATIO_TIE_TOL: f64 = 1e-12;
+
+/// A ratio-test step below this counts as a degenerate pivot for the
+/// anti-cycling watchdog (Bland's rule / forced refactorization / stall
+/// abort). Same scale as [`PIVOT_TOL`]: a step that small moves no basic
+/// value meaningfully.
+pub const DEGEN_STEP_TOL: f64 = 1e-9;
+
+/// Row-elimination multipliers below this are skipped when updating the
+/// basis inverse after a pivot. Pure dead-work elimination: a multiplier of
+/// 1e-13 times any entry of a well-conditioned inverse is below the noise
+/// floor already present.
+pub const ELIM_SKIP_TOL: f64 = 1e-13;
+
+/// A Gauss-Jordan pivot below this during refactorization means the basis
+/// matrix is numerically singular; the refactorization bails out and leaves
+/// the previous inverse in place for the residual check to judge.
+pub const SINGULAR_TOL: f64 = 1e-12;
+
+/// Maximum `|Ax - b|` residual accepted at claimed optimality. Looser than
+/// [`FEAS_TOL`] because it bounds the *accumulated* error of a full solve,
+/// not one comparison; a failure forces a refactorization and a re-solve.
+pub const RESIDUAL_TOL: f64 = 1e-6;
+
+/// Remaining phase-1 artificial mass above this proves infeasibility.
+/// Matches [`RESIDUAL_TOL`]: both measure total constraint violation.
+pub const PHASE1_INFEAS_TOL: f64 = 1e-6;
+
+/// Minimum transformed-column magnitude for pivoting an artificial variable
+/// out of the basis after phase 1. Looser than [`PIVOT_TOL`] on purpose: a
+/// marginal pivot here only swaps a zero-valued artificial for a structural
+/// column, and declining it is always safe (the artificial stays fixed at
+/// zero).
+pub const ARTIFICIAL_PIVOT_TOL: f64 = 1e-7;
+
+/// Bound-pruning slack in the branch-and-bound search: a node whose
+/// relaxation bound is within this of the incumbent cannot improve on it
+/// (objectives of interest are integral, so the true gap is either 0 or
+/// ≥ 1). Also the margin by which a new incumbent must beat the old one.
+pub const PRUNE_TOL: f64 = 1e-9;
+
+/// Window for snapping an almost-integral `f64` to the nearest integer when
+/// rounding relaxation bounds or extracting integer solution values.
+/// Matches [`INT_TOL`] in spirit but is tighter because the snapped value
+/// feeds exact integer arithmetic afterwards.
+pub const INT_ROUND_TOL: f64 = 1e-6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The documented orderings between tolerances are load-bearing
+    /// (pruning vs integrality, pivot eligibility vs tie-breaking); pin
+    /// them so a future retune cannot silently invert one.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // pinning constants is the point
+    fn tolerance_scales_are_ordered() {
+        assert!(RATIO_TIE_TOL < PIVOT_TOL);
+        assert!(ELIM_SKIP_TOL < SINGULAR_TOL);
+        assert!(PIVOT_TOL <= DEGEN_STEP_TOL);
+        assert!(FEAS_TOL < RESIDUAL_TOL);
+        assert_eq!(RESIDUAL_TOL, PHASE1_INFEAS_TOL);
+        assert!(FEAS_TOL < INT_TOL);
+        assert!(INT_ROUND_TOL < INT_TOL);
+        assert!(PRUNE_TOL < INT_ROUND_TOL);
+    }
+}

@@ -180,6 +180,28 @@ pub enum TraceEvent {
         /// The recovering worker.
         worker: u32,
     },
+    /// A planned fault fired at one of the solver's injection sites (only
+    /// sites with a trace in scope report; pivot-loop fires surface through
+    /// the fault plan's own log instead).
+    FaultInjected {
+        /// Worker at which the fault fired (0 for the serial engine and
+        /// the scheduler's extraction site).
+        worker: u32,
+        /// Stable site name (`"simplex-pivot"`, `"node-expand"`,
+        /// `"worker-start"`, `"extraction"`).
+        site: &'static str,
+        /// Stable action name (`"panic"`, `"stall"`, `"spurious-timeout"`,
+        /// `"perturb-incumbent"`).
+        action: &'static str,
+    },
+    /// The exact-arithmetic certifier ran on an extracted schedule.
+    Certified {
+        /// The schedule's initiation interval.
+        ii: u32,
+        /// Whether the certificate held (`false`: a typed `CertError` was
+        /// reported through the result instead).
+        ok: bool,
+    },
 }
 
 /// An event together with its offset from the trace epoch.
@@ -206,6 +228,8 @@ impl TraceEvent {
             TraceEvent::NodeClose { .. } => "node_close",
             TraceEvent::Incumbent { .. } => "incumbent",
             TraceEvent::PanicRecovered { .. } => "panic_recovered",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::Certified { .. } => "certified",
         }
     }
 
@@ -267,6 +291,19 @@ impl TraceEvent {
             }
             TraceEvent::PanicRecovered { worker } => {
                 let _ = write!(s, ",\"worker\":{worker}");
+            }
+            TraceEvent::FaultInjected {
+                worker,
+                site,
+                action,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"worker\":{worker},\"site\":\"{site}\",\"action\":\"{action}\""
+                );
+            }
+            TraceEvent::Certified { ii, ok } => {
+                let _ = write!(s, ",\"ii\":{ii},\"ok\":{ok}");
             }
         }
         s.push('}');
@@ -337,6 +374,13 @@ mod tests {
             }
             .kind(),
             TraceEvent::PanicRecovered { worker: 0 }.kind(),
+            TraceEvent::FaultInjected {
+                worker: 0,
+                site: "node-expand",
+                action: "stall",
+            }
+            .kind(),
+            TraceEvent::Certified { ii: 2, ok: true }.kind(),
         ];
         let mut unique: Vec<&str> = kinds.to_vec();
         unique.sort_unstable();

@@ -80,6 +80,13 @@ pub struct SolveReport {
     pub stalled_lps: u64,
     /// Worker panics recovered.
     pub panics_recovered: u64,
+    /// Planned faults that fired at trace-visible injection sites (pivot
+    /// loop fires are invisible here; the fault plan's log has them all).
+    pub faults_injected: u64,
+    /// Certifier runs that held.
+    pub certified_ok: u64,
+    /// Certifier runs that found a violation.
+    pub certified_failed: u64,
     /// Iterations-per-LP order statistics.
     pub lp_iterations: HistSummary,
     /// Node-depth order statistics.
@@ -166,6 +173,14 @@ impl SolveReport {
                 }
                 TraceEvent::Incumbent { .. } => report.incumbents += 1,
                 TraceEvent::PanicRecovered { .. } => report.panics_recovered += 1,
+                TraceEvent::FaultInjected { .. } => report.faults_injected += 1,
+                TraceEvent::Certified { ok, .. } => {
+                    if *ok {
+                        report.certified_ok += 1;
+                    } else {
+                        report.certified_failed += 1;
+                    }
+                }
                 TraceEvent::IiAttempt { ii } => report.ii_attempts.push(*ii),
                 TraceEvent::Rung { rung } => report.rungs.push(rung),
                 TraceEvent::SolveBegin { .. } | TraceEvent::SolveEnd { .. } => {}
@@ -252,6 +267,16 @@ impl SolveReport {
         }
         if self.panics_recovered > 0 {
             let _ = writeln!(s, "worker panics recovered: {}", self.panics_recovered);
+        }
+        if self.faults_injected > 0 {
+            let _ = writeln!(s, "injected faults fired: {}", self.faults_injected);
+        }
+        if self.certified_ok + self.certified_failed > 0 {
+            let _ = writeln!(
+                s,
+                "certificates: {} ok, {} failed",
+                self.certified_ok, self.certified_failed
+            );
         }
         let _ = writeln!(s, "trace span: {:.3}ms", self.wall.as_secs_f64() * 1e3);
         s

@@ -1,0 +1,761 @@
+//! Exact-arithmetic certification of modulo schedules.
+//!
+//! The solving pipeline works in `f64`: the simplex pivots on floating-point
+//! tableaus, branch-and-bound compares bounds against tolerances, and the
+//! extracted schedule is recovered by rounding. This crate is the
+//! independent auditor on the other side of that boundary — it re-checks
+//! every claim in **exact integer arithmetic**, sharing no code with the
+//! formulations or the solver:
+//!
+//! * **assignment** (the paper's Eq. 1) — every operation occupies exactly
+//!   one MRT row, which for a concrete `times` vector reduces to the
+//!   row/stage decomposition `time = k·II + row` being well-formed;
+//! * **dependences** — every scheduling edge is evaluated three ways: the
+//!   ground truth `t_to + w·II − t_from ≥ l`, the traditional
+//!   Inequality (4), and all `II` rows of the 0-1-structured
+//!   Inequality (20); the three verdicts are cross-checked against each
+//!   other so a bug in either formulation's transcription surfaces as
+//!   [`CertError::FormulationDisagreement`] rather than a silently wrong
+//!   certificate;
+//! * **resources** (Ineq. 5) — the modulo reservation table is rebuilt from
+//!   the reservation patterns and every `(resource, row)` slot is compared
+//!   against the machine's capacity;
+//! * **optimality** — for results claimed optimal, the initiation interval
+//!   must be at least an independently recomputed exact MinII, the claimed
+//!   objective must be integral and equal the exact objective recomputed
+//!   from the schedule, and it must meet the solver's claimed dual bound.
+//!
+//! Every violation is a typed [`CertError`] naming the offending edge, row,
+//! or resource, so a failed certificate is a diagnostic, not a boolean.
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use optimod_ddg::Loop;
+use optimod_machine::Machine;
+
+/// Tolerance for "this claimed `f64` objective is the integer it rounds
+/// to". All supported objectives (MaxLive, buffers, lifetimes, makespan)
+/// are integral, and solver outputs are rounded before they get here, so
+/// anything farther from an integer than simplex noise is a corrupted
+/// claim, not a numeric artifact.
+pub const OBJ_INT_TOL: f64 = 1e-6;
+
+/// A violated certificate condition, naming the offending entity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertError {
+    /// The schedule has a different number of issue times than the loop
+    /// has operations.
+    LengthMismatch {
+        /// Operations in the loop.
+        ops: usize,
+        /// Issue times in the schedule.
+        times: usize,
+    },
+    /// The claimed initiation interval is zero.
+    ZeroIi,
+    /// A scheduling dependence is violated.
+    Dependence {
+        /// Index of the edge in [`Loop::edges`].
+        edge: usize,
+        /// Producer operation (dense index).
+        from: usize,
+        /// Consumer operation (dense index).
+        to: usize,
+        /// Edge latency `l`.
+        latency: i64,
+        /// Edge iteration distance `w`.
+        distance: u32,
+        /// Achieved separation `t_to + w·II − t_from` (`< latency`).
+        separation: i64,
+    },
+    /// The ground truth, Inequality (4), and Inequality (20) disagree on
+    /// one edge — a transcription bug in a formulation (or this checker),
+    /// never a property of the schedule.
+    FormulationDisagreement {
+        /// Index of the edge in [`Loop::edges`].
+        edge: usize,
+        /// Verdict of the ground-truth separation check.
+        ground_truth: bool,
+        /// Verdict of the traditional Inequality (4).
+        traditional: bool,
+        /// Verdict of the structured Inequality (20) (all `II` rows).
+        structured: bool,
+    },
+    /// A `(resource, row)` slot of the modulo reservation table is
+    /// over-subscribed.
+    Resource {
+        /// Resource name.
+        resource: String,
+        /// MRT row.
+        row: u32,
+        /// Usage slots landing in the row.
+        used: u32,
+        /// Instances the machine provides.
+        available: u32,
+    },
+    /// A result claimed optimal has an initiation interval below the
+    /// independently recomputed exact MinII — impossible, so either the
+    /// claim or the MII computation is wrong.
+    IiBelowMinIi {
+        /// Claimed initiation interval.
+        ii: u32,
+        /// Exact MinII recomputed from the dependence graph and machine.
+        min_ii: u32,
+    },
+    /// The claimed objective value is not integral, though every supported
+    /// objective is.
+    ObjectiveNotIntegral {
+        /// The claimed value.
+        claimed: f64,
+    },
+    /// The claimed objective value is inconsistent with the exact objective
+    /// recomputed from the schedule: unequal for an optimal claim, or below
+    /// it (impossible for a minimization) for a feasible one.
+    ObjectiveMismatch {
+        /// Claimed objective (rounded to integer).
+        claimed: i64,
+        /// Exact objective recomputed from the schedule.
+        exact: i64,
+        /// Whether the result was claimed optimal (requiring equality).
+        optimal: bool,
+    },
+    /// The claimed objective does not meet the claimed dual bound: an
+    /// optimal claim whose objective differs from its bound, or any claim
+    /// whose objective beats the proven bound.
+    BoundViolated {
+        /// Claimed objective.
+        objective: f64,
+        /// Claimed dual bound.
+        bound: f64,
+    },
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::LengthMismatch { ops, times } => write!(
+                f,
+                "schedule has {times} issue times for a loop of {ops} operations"
+            ),
+            CertError::ZeroIi => write!(f, "initiation interval is zero"),
+            CertError::Dependence {
+                edge,
+                from,
+                to,
+                latency,
+                distance,
+                separation,
+            } => write!(
+                f,
+                "edge {edge} (op{from} -> op{to}, l={latency}, w={distance}) violated: \
+                 separation {separation}"
+            ),
+            CertError::FormulationDisagreement {
+                edge,
+                ground_truth,
+                traditional,
+                structured,
+            } => write!(
+                f,
+                "edge {edge}: formulations disagree (ground truth {ground_truth}, \
+                 Ineq.4 {traditional}, Ineq.20 {structured})"
+            ),
+            CertError::Resource {
+                resource,
+                row,
+                used,
+                available,
+            } => write!(
+                f,
+                "resource {resource} over-subscribed in MRT row {row}: {used} > {available}"
+            ),
+            CertError::IiBelowMinIi { ii, min_ii } => write!(
+                f,
+                "II {ii} claimed optimal is below the exact MinII {min_ii}"
+            ),
+            CertError::ObjectiveNotIntegral { claimed } => {
+                write!(f, "claimed objective {claimed} is not integral")
+            }
+            CertError::ObjectiveMismatch {
+                claimed,
+                exact,
+                optimal,
+            } => write!(
+                f,
+                "claimed objective {claimed} {} exact objective {exact} recomputed \
+                 from the schedule",
+                if *optimal {
+                    "differs from"
+                } else {
+                    "is below the"
+                }
+            ),
+            CertError::BoundViolated { objective, bound } => write!(
+                f,
+                "claimed objective {objective} violates the claimed bound {bound}"
+            ),
+        }
+    }
+}
+
+impl Error for CertError {}
+
+/// A solver claim to certify: the schedule plus everything the solver
+/// asserted about it.
+///
+/// `claimed_objective`, `exact_objective`, and `claimed_bound` are optional
+/// so callers without a secondary objective (or without ground-truth
+/// machinery) can certify the constraint system alone. The exact objective
+/// is supplied by the caller — it is a direct ground-truth measurement on
+/// the schedule (lifetimes, MRT row sums), already independent of the
+/// solver, and keeping it out of this crate avoids a second transcription
+/// of the lifetime semantics that the certificate would then have to trust.
+#[derive(Debug, Clone)]
+pub struct Claim<'a> {
+    /// The dependence graph the schedule is for.
+    pub graph: &'a Loop,
+    /// The machine the schedule is for.
+    pub machine: &'a Machine,
+    /// Claimed initiation interval.
+    pub ii: u32,
+    /// Issue cycle of every operation, in operation order.
+    pub times: &'a [i64],
+    /// Whether the solver claimed the secondary objective proven optimal.
+    pub claimed_optimal: bool,
+    /// The objective value the solver reported, if any.
+    pub claimed_objective: Option<f64>,
+    /// The exact objective recomputed from the schedule in integer
+    /// arithmetic (by the caller's ground-truth measurements), if any.
+    pub exact_objective: Option<i64>,
+    /// The dual bound the solver reported, if any.
+    pub claimed_bound: Option<f64>,
+}
+
+/// A successful certification: what was checked and the exact quantities
+/// established along the way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Certified initiation interval.
+    pub ii: u32,
+    /// Exact MinII recomputed independently from the graph and machine.
+    pub min_ii: u32,
+    /// Scheduling edges checked (each against both formulations).
+    pub edges_checked: usize,
+    /// `(resource, row)` MRT slots checked.
+    pub resource_rows_checked: usize,
+    /// The certified integral objective, when one was claimed.
+    pub objective: Option<i64>,
+    /// Whether optimality was part of the certificate.
+    pub optimal: bool,
+}
+
+/// Evaluates the ground truth of one edge: returns the separation
+/// `t_to + w·II − t_from` (satisfied iff `>= latency`).
+fn separation(ii: i64, t_from: i64, t_to: i64, distance: i64) -> i64 {
+    t_to + distance * ii - t_from
+}
+
+/// Evaluates the traditional Inequality (4) at a concrete point, with times
+/// decomposed into euclidean row/stage parts exactly as the formulation's
+/// binaries encode them:
+///
+/// ```text
+/// (row_to − row_from) + (k_to − k_from)·II  >=  l − w·II
+/// ```
+fn traditional_holds(ii: i64, t_from: i64, t_to: i64, latency: i64, distance: i64) -> bool {
+    let lhs = (t_to.rem_euclid(ii) - t_from.rem_euclid(ii))
+        + (t_to.div_euclid(ii) - t_from.div_euclid(ii)) * ii;
+    lhs >= latency - distance * ii
+}
+
+/// Evaluates all `II` rows of the 0-1-structured Inequality (20) at a
+/// concrete point. With one-hot rows, `Σ_{z=r}^{II−1} a_from[z]` is the
+/// indicator `row_from >= r` and `Σ_{z=0}^{x mod II} a_to[z]` the indicator
+/// `row_to <= (r+l−1) mod II`:
+///
+/// ```text
+/// [row_from >= r] + [row_to <= (r+l−1) mod II] + k_from − k_to
+///      <=  w − ⌊(r+l−1)/II⌋ + 1
+/// ```
+fn structured_holds(ii: i64, t_from: i64, t_to: i64, latency: i64, distance: i64) -> bool {
+    let (row_from, k_from) = (t_from.rem_euclid(ii), t_from.div_euclid(ii));
+    let (row_to, k_to) = (t_to.rem_euclid(ii), t_to.div_euclid(ii));
+    (0..ii).all(|r| {
+        let x = r + latency - 1;
+        let forbidden_row = x.rem_euclid(ii);
+        let stage_carry = x.div_euclid(ii);
+        let lhs = i64::from(row_from >= r) + i64::from(row_to <= forbidden_row) + k_from - k_to;
+        lhs <= distance - stage_carry + 1
+    })
+}
+
+/// Checks every scheduling dependence of `graph` in exact arithmetic,
+/// cross-checking the ground truth against both formulations.
+///
+/// The caller must have established `ii > 0` and
+/// `times.len() == graph.num_ops()` (as [`certify`] does); both are
+/// asserted in debug builds.
+pub fn check_dependences(graph: &Loop, ii: u32, times: &[i64]) -> Result<(), CertError> {
+    debug_assert!(ii > 0);
+    debug_assert_eq!(times.len(), graph.num_ops());
+    let ii = ii as i64;
+    for (ei, e) in graph.edges().iter().enumerate() {
+        let t_from = times[e.from.index()];
+        let t_to = times[e.to.index()];
+        let w = e.distance as i64;
+        let sep = separation(ii, t_from, t_to, w);
+        let truth = sep >= e.latency;
+        let trad = traditional_holds(ii, t_from, t_to, e.latency, w);
+        let strct = structured_holds(ii, t_from, t_to, e.latency, w);
+        if trad != truth || strct != truth {
+            return Err(CertError::FormulationDisagreement {
+                edge: ei,
+                ground_truth: truth,
+                traditional: trad,
+                structured: strct,
+            });
+        }
+        if !truth {
+            return Err(CertError::Dependence {
+                edge: ei,
+                from: e.from.index(),
+                to: e.to.index(),
+                latency: e.latency,
+                distance: e.distance,
+                separation: sep,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds the modulo reservation table from the reservation patterns and
+/// checks every `(resource, row)` slot against the machine's capacity
+/// (Ineq. 5). Returns the number of slots checked.
+pub fn check_resources(
+    graph: &Loop,
+    machine: &Machine,
+    ii: u32,
+    times: &[i64],
+) -> Result<usize, CertError> {
+    debug_assert!(ii > 0);
+    debug_assert_eq!(times.len(), graph.num_ops());
+    let ii_i = ii as i64;
+    let mut usage = vec![vec![0u32; ii as usize]; machine.num_resources()];
+    for (i, op) in graph.ops().iter().enumerate() {
+        for &(r, c) in machine.usages(op.class) {
+            let row = (times[i] + c as i64).rem_euclid(ii_i) as usize;
+            usage[r.index()][row] += 1;
+        }
+    }
+    for r in machine.resources() {
+        let available = machine.resource_count(r);
+        for (row, &used) in usage[r.index()].iter().enumerate() {
+            if used > available {
+                return Err(CertError::Resource {
+                    resource: machine.resource_name(r).to_string(),
+                    row: row as u32,
+                    used,
+                    available,
+                });
+            }
+        }
+    }
+    Ok(machine.num_resources() * ii as usize)
+}
+
+/// Independently recomputes the exact MinII = max(ResMII, RecMII, 1).
+///
+/// This deliberately re-derives both bounds from first principles rather
+/// than calling the scheduler's MII module: a certificate that trusted the
+/// code under audit would certify nothing.
+pub fn min_ii(graph: &Loop, machine: &Machine) -> u32 {
+    res_mii(graph, machine).max(rec_mii(graph)).max(1)
+}
+
+/// Resource-constrained MII: per resource, total usage slots demanded per
+/// iteration over instances available, rounded up.
+pub fn res_mii(graph: &Loop, machine: &Machine) -> u32 {
+    let mut demand = vec![0u64; machine.num_resources()];
+    for op in graph.ops() {
+        for &(r, _) in machine.usages(op.class) {
+            demand[r.index()] += 1;
+        }
+    }
+    machine
+        .resources()
+        .map(|r| demand[r.index()].div_ceil(machine.resource_count(r) as u64) as u32)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Recurrence-constrained MII: the smallest `II` admitting no dependence
+/// cycle of positive total `latency − II·distance`, by binary search with a
+/// Bellman-Ford positive-cycle test (all in `i64`).
+pub fn rec_mii(graph: &Loop) -> u32 {
+    let mut hi: i64 = graph
+        .edges()
+        .iter()
+        .map(|e| e.latency.max(0))
+        .sum::<i64>()
+        .max(1);
+    if !has_positive_cycle(graph, hi) && !has_positive_cycle(graph, 0) {
+        return 0;
+    }
+    let mut lo: i64 = 0;
+    while has_positive_cycle(graph, hi) {
+        // Defensive widening: cannot trigger on a validated loop (every
+        // cycle has distance >= 1, so `hi` >= its latency sum suffices),
+        // but an unvalidated graph with a zero-distance cycle must not
+        // wedge the certifier in an infinite search.
+        if hi > (1 << 55) {
+            return u32::MAX;
+        }
+        lo = hi + 1;
+        hi *= 2;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if has_positive_cycle(graph, mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    u32::try_from(lo).unwrap_or(u32::MAX)
+}
+
+/// Longest-path Bellman-Ford: is there a cycle of positive total weight
+/// under `weight(e) = latency − II·distance`?
+fn has_positive_cycle(graph: &Loop, ii: i64) -> bool {
+    let n = graph.num_ops();
+    let mut dist = vec![0i64; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for e in graph.edges() {
+            let w = e.latency - ii * e.distance as i64;
+            let cand = dist[e.from.index()].saturating_add(w);
+            if cand > dist[e.to.index()] {
+                dist[e.to.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    graph.edges().iter().any(|e| {
+        let w = e.latency - ii * e.distance as i64;
+        dist[e.from.index()].saturating_add(w) > dist[e.to.index()]
+    })
+}
+
+/// Certifies a solver claim end to end. Returns the [`Certificate`] on
+/// success or the first violated condition as a typed [`CertError`].
+pub fn certify(claim: &Claim) -> Result<Certificate, CertError> {
+    if claim.ii == 0 {
+        return Err(CertError::ZeroIi);
+    }
+    if claim.times.len() != claim.graph.num_ops() {
+        return Err(CertError::LengthMismatch {
+            ops: claim.graph.num_ops(),
+            times: claim.times.len(),
+        });
+    }
+    check_dependences(claim.graph, claim.ii, claim.times)?;
+    let resource_rows_checked = check_resources(claim.graph, claim.machine, claim.ii, claim.times)?;
+    let min_ii = min_ii(claim.graph, claim.machine);
+    if claim.claimed_optimal && claim.ii < min_ii {
+        return Err(CertError::IiBelowMinIi {
+            ii: claim.ii,
+            min_ii,
+        });
+    }
+
+    let mut objective = None;
+    if let Some(claimed) = claim.claimed_objective {
+        if !claimed.is_finite() || (claimed - claimed.round()).abs() > OBJ_INT_TOL {
+            return Err(CertError::ObjectiveNotIntegral { claimed });
+        }
+        let c = claimed.round() as i64;
+        if let Some(exact) = claim.exact_objective {
+            // Minimization invariant: auxiliary variables (kills, lifetime
+            // and makespan bounds) can only overestimate the ground truth,
+            // so `claimed >= exact` always, with equality exactly when the
+            // auxiliaries are pressed tight — which optimality guarantees.
+            let bad = if claim.claimed_optimal {
+                c != exact
+            } else {
+                c < exact
+            };
+            if bad {
+                return Err(CertError::ObjectiveMismatch {
+                    claimed: c,
+                    exact,
+                    optimal: claim.claimed_optimal,
+                });
+            }
+        }
+        if let Some(bound) = claim.claimed_bound {
+            // Optimality asserts objective == bound; a mere incumbent may
+            // sit above the proven bound but never below it.
+            let bad = if claim.claimed_optimal {
+                (claimed - bound).abs() > OBJ_INT_TOL
+            } else {
+                claimed < bound - OBJ_INT_TOL
+            };
+            if bad {
+                return Err(CertError::BoundViolated {
+                    objective: claimed,
+                    bound,
+                });
+            }
+        }
+        objective = Some(c);
+    }
+
+    Ok(Certificate {
+        ii: claim.ii,
+        min_ii,
+        edges_checked: claim.graph.edges().len(),
+        resource_rows_checked,
+        objective,
+        optimal: claim.claimed_optimal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimod_ddg::kernels;
+    use optimod_machine::example_3fu;
+
+    fn figure1() -> (Loop, Machine) {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        (l, m)
+    }
+
+    fn base_claim<'a>(l: &'a Loop, m: &'a Machine, times: &'a [i64]) -> Claim<'a> {
+        Claim {
+            graph: l,
+            machine: m,
+            ii: 2,
+            times,
+            claimed_optimal: false,
+            claimed_objective: None,
+            exact_objective: None,
+            claimed_bound: None,
+        }
+    }
+
+    #[test]
+    fn figure1_schedule_certifies() {
+        let (l, m) = figure1();
+        let times = [0, 1, 2, 5, 6];
+        let cert = certify(&base_claim(&l, &m, &times)).expect("valid schedule");
+        assert_eq!(cert.ii, 2);
+        assert_eq!(cert.min_ii, 2);
+        assert_eq!(cert.edges_checked, l.edges().len());
+        assert!(cert.resource_rows_checked > 0);
+    }
+
+    #[test]
+    fn dependence_violation_names_the_edge() {
+        let (l, m) = figure1();
+        // mult at 0 breaks load->mult latency 1 when load is also at 0.
+        let times = [0, 0, 2, 5, 6];
+        let err = certify(&base_claim(&l, &m, &times)).unwrap_err();
+        match err {
+            CertError::Dependence {
+                from, to, latency, ..
+            } => {
+                assert_eq!((from, to), (0, 1));
+                assert_eq!(latency, 1);
+            }
+            other => panic!("expected Dependence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resource_violation_names_slot_and_counts() {
+        let (l, m) = figure1();
+        // All five ops in row 0 of II=2 exceeds the 3 FUs.
+        let times = [0, 2, 4, 6, 8];
+        let err = certify(&base_claim(&l, &m, &times)).unwrap_err();
+        match err {
+            CertError::Resource {
+                row,
+                used,
+                available,
+                ..
+            } => {
+                assert_eq!(row, 0);
+                assert_eq!(used, 5);
+                assert_eq!(available, 3);
+            }
+            other => panic!("expected Resource, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_and_ii_defects_are_typed() {
+        let (l, m) = figure1();
+        let short = [0, 1, 2];
+        assert!(matches!(
+            certify(&base_claim(&l, &m, &short)).unwrap_err(),
+            CertError::LengthMismatch { ops: 5, times: 3 }
+        ));
+        let times = [0, 1, 2, 5, 6];
+        let mut claim = base_claim(&l, &m, &times);
+        claim.ii = 0;
+        assert!(matches!(certify(&claim).unwrap_err(), CertError::ZeroIi));
+    }
+
+    #[test]
+    fn optimal_claim_below_min_ii_rejected() {
+        let (l, m) = figure1();
+        // II=1 with spread-out times: dependences hold (every edge has
+        // enough separation in absolute time) but ResMII is 2.
+        let times = [0, 1, 2, 5, 6];
+        let mut claim = base_claim(&l, &m, &times);
+        claim.ii = 1;
+        claim.claimed_optimal = true;
+        // II=1 also over-subscribes the single MRT row, so loosen the test
+        // to accept either typed refusal — both certify the claim as wrong.
+        let err = certify(&claim).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CertError::IiBelowMinIi { ii: 1, min_ii: 2 } | CertError::Resource { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn objective_consistency_checks() {
+        let (l, m) = figure1();
+        let times = [0, 1, 2, 5, 6];
+        // Perturbed (non-integral) claim.
+        let mut claim = base_claim(&l, &m, &times);
+        claim.claimed_objective = Some(7.5);
+        claim.exact_objective = Some(7);
+        assert!(matches!(
+            certify(&claim).unwrap_err(),
+            CertError::ObjectiveNotIntegral { .. }
+        ));
+        // Optimal claim disagreeing with the exact recomputation.
+        claim.claimed_objective = Some(8.0);
+        claim.claimed_optimal = true;
+        assert!(matches!(
+            certify(&claim).unwrap_err(),
+            CertError::ObjectiveMismatch {
+                claimed: 8,
+                exact: 7,
+                optimal: true
+            }
+        ));
+        // Feasible claim may overestimate but never undercut the exact
+        // objective.
+        claim.claimed_optimal = false;
+        assert!(certify(&claim).is_ok());
+        claim.claimed_objective = Some(6.0);
+        assert!(matches!(
+            certify(&claim).unwrap_err(),
+            CertError::ObjectiveMismatch { optimal: false, .. }
+        ));
+        // Matching claim certifies and reports the integral objective.
+        claim.claimed_objective = Some(7.0);
+        claim.claimed_optimal = true;
+        let cert = certify(&claim).unwrap();
+        assert_eq!(cert.objective, Some(7));
+        assert!(cert.optimal);
+    }
+
+    #[test]
+    fn bound_consistency_checks() {
+        let (l, m) = figure1();
+        let times = [0, 1, 2, 5, 6];
+        let mut claim = base_claim(&l, &m, &times);
+        claim.claimed_objective = Some(7.0);
+        claim.exact_objective = Some(7);
+        claim.claimed_bound = Some(6.0);
+        // Optimal requires objective == bound.
+        claim.claimed_optimal = true;
+        assert!(matches!(
+            certify(&claim).unwrap_err(),
+            CertError::BoundViolated { .. }
+        ));
+        // Feasible may sit above the bound...
+        claim.claimed_optimal = false;
+        assert!(certify(&claim).is_ok());
+        // ...but never below it.
+        claim.claimed_bound = Some(8.0);
+        assert!(matches!(
+            certify(&claim).unwrap_err(),
+            CertError::BoundViolated { .. }
+        ));
+    }
+
+    /// Port of the formulation crate's exhaustive grid: the exact-arithmetic
+    /// transcriptions of Ineq. (4) and Ineq. (20) must both agree with the
+    /// ground truth separation check on every point.
+    #[test]
+    fn formulation_transcriptions_match_ground_truth() {
+        for ii in 1..=4i64 {
+            for latency in -2..=5i64 {
+                for distance in -2..=2i64 {
+                    for t_from in -4..(3 * ii) {
+                        for t_to in -4..(3 * ii) {
+                            let truth = separation(ii, t_from, t_to, distance) >= latency;
+                            assert_eq!(
+                                traditional_holds(ii, t_from, t_to, latency, distance),
+                                truth,
+                                "Ineq.4 ii={ii} l={latency} w={distance} {t_from}->{t_to}"
+                            );
+                            assert_eq!(
+                                structured_holds(ii, t_from, t_to, latency, distance),
+                                truth,
+                                "Ineq.20 ii={ii} l={latency} w={distance} {t_from}->{t_to}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_ii_matches_known_kernels() {
+        let m = example_3fu();
+        assert_eq!(min_ii(&kernels::figure1(&m), &m), 2);
+        // lfk5: recurrence bound 5 dominates.
+        assert_eq!(min_ii(&kernels::lfk5_tridiag(&m), &m), 5);
+        assert_eq!(rec_mii(&kernels::lfk5_tridiag(&m)), 5);
+        assert_eq!(rec_mii(&kernels::figure1(&m)), 0);
+    }
+
+    #[test]
+    fn errors_render_offending_entities() {
+        let err = CertError::Resource {
+            resource: "fu".into(),
+            row: 3,
+            used: 4,
+            available: 3,
+        };
+        assert!(err.to_string().contains("row 3"));
+        let err = CertError::Dependence {
+            edge: 2,
+            from: 0,
+            to: 1,
+            latency: 4,
+            distance: 1,
+            separation: 3,
+        };
+        assert!(err.to_string().contains("op0 -> op1"));
+    }
+}

@@ -26,6 +26,18 @@ echo "==> golden-corpus solver counters"
 # changes: OPTIMOD_BLESS=1 cargo test --test golden_corpus, commit the diff.
 cargo test -q --test golden_corpus
 
+echo "==> exact-arithmetic certification of the golden corpus"
+# Every golden kernel under both formulations must come back with a
+# schedule the external certifier accepts (constraints cross-checked
+# against the ground truth, II >= recomputed MinII, exact objective).
+cargo run --release -q -p optimod-bench --bin certify_corpus
+
+echo "==> fixed-seed chaos sweep (fault injection)"
+# 64 seeded fault plans x 3 kernels: every run must end in a certified
+# schedule or a clean typed degradation — zero escaped panics, balanced
+# trace streams. Failures name their seed: optimod --chaos SEED <loop>.
+cargo run --release -q -p optimod-bench --bin chaos_sweep
+
 echo "==> null-sink trace overhead (fig2 micro-run)"
 # The observability layer must stay free when enabled with a no-op sink:
 # a fig2-style corpus slice (24 loops, ~80 s total), disabled trace vs
