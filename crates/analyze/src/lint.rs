@@ -1,0 +1,253 @@
+//! The lint registry: stable codes, severities, and machine-readable
+//! findings.
+
+use std::fmt;
+
+/// Severity of a [`Finding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: structure worth knowing about, nothing wrong.
+    Info,
+    /// Suspicious structure that costs schedule quality or solve time.
+    Warning,
+    /// The problem cannot be scheduled as stated.
+    Error,
+}
+
+impl Severity {
+    /// Stable lower-case name (used in JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stable identity of every lint the analyzer can raise.
+///
+/// Codes `OM0xx` come from the DDG-level pass, `OM1xx` from the ILP
+/// presolve. Codes are append-only: a published code never changes meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `OM000` — the loop fails [`optimod_ddg::Loop::validate`].
+    InvalidLoop,
+    /// `OM001` — a dependence edge is implied by a longest path of
+    /// equal-or-stronger latency and equal-or-smaller distance.
+    RedundantEdge,
+    /// `OM002` — an operation computes a value no other operation consumes.
+    DeadValue,
+    /// `OM003` — an operation with no incident dependence edges at all; it
+    /// still occupies issue slots and resources every iteration.
+    UnreachableOp,
+    /// `OM004` — one strongly connected component of the dependence graph,
+    /// with its private RecMII contribution.
+    SccRecMii,
+    /// `OM005` — a resource whose per-iteration demand makes it the binding
+    /// ResMII constraint; its MRT rows run hot at small `II`.
+    HotResource,
+    /// `OM006` — the loop's MII exceeds the scheduler's practical ceiling.
+    MiiOverflow,
+    /// `OM101` — presolve tightened the bounds of a stage variable `k_i`
+    /// (or fixed it) from the ASAP/ALAP longest-path window.
+    StageBoundTightened,
+    /// `OM102` — presolve fixed an MRT binary `a_{i,row}` from the
+    /// operation's cyclic time window.
+    BinaryFixed,
+    /// `OM103` — presolve removed a row whose activity bounds prove it can
+    /// never be violated.
+    RedundantRow,
+    /// `OM104` — a conflict clique among MRT binaries: at most (or exactly)
+    /// one of the named binaries can be 1.
+    ConflictClique,
+}
+
+impl LintCode {
+    /// The stable `OMxxx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::InvalidLoop => "OM000",
+            LintCode::RedundantEdge => "OM001",
+            LintCode::DeadValue => "OM002",
+            LintCode::UnreachableOp => "OM003",
+            LintCode::SccRecMii => "OM004",
+            LintCode::HotResource => "OM005",
+            LintCode::MiiOverflow => "OM006",
+            LintCode::StageBoundTightened => "OM101",
+            LintCode::BinaryFixed => "OM102",
+            LintCode::RedundantRow => "OM103",
+            LintCode::ConflictClique => "OM104",
+        }
+    }
+
+    /// The severity findings with this code carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::InvalidLoop | LintCode::MiiOverflow => Severity::Error,
+            LintCode::RedundantEdge
+            | LintCode::DeadValue
+            | LintCode::UnreachableOp
+            | LintCode::HotResource => Severity::Warning,
+            LintCode::SccRecMii
+            | LintCode::StageBoundTightened
+            | LintCode::BinaryFixed
+            | LintCode::RedundantRow
+            | LintCode::ConflictClique => Severity::Info,
+        }
+    }
+
+    /// One-line description of what the code means, independent of any
+    /// particular finding.
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintCode::InvalidLoop => "loop fails structural validation",
+            LintCode::RedundantEdge => "dependence edge implied by a stronger path",
+            LintCode::DeadValue => "operation result is never consumed",
+            LintCode::UnreachableOp => "operation has no dependence edges at all",
+            LintCode::SccRecMii => "strongly connected component RecMII attribution",
+            LintCode::HotResource => "binding resource pressure at MII",
+            LintCode::MiiOverflow => "MII exceeds the schedulable ceiling",
+            LintCode::StageBoundTightened => "stage variable bounds tightened by presolve",
+            LintCode::BinaryFixed => "MRT binary fixed by presolve",
+            LintCode::RedundantRow => "row eliminated as redundant by presolve",
+            LintCode::ConflictClique => "conflict clique among MRT binaries",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One analyzer finding: a lint code applied to a concrete subject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Severity (normally [`LintCode::severity`], kept per-finding so a
+    /// registry consumer can re-grade).
+    pub severity: Severity,
+    /// What the finding is about (an op, edge, vreg, row, or resource name).
+    pub subject: String,
+    /// Human-readable explanation with the concrete numbers.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding with the code's default severity.
+    pub fn new(code: LintCode, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        Finding {
+            code,
+            severity: code.severity(),
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Encodes the finding as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"subject\":\"{}\",\"message\":\"{}\"}}",
+            self.code.code(),
+            self.severity.name(),
+            json_escape(&self.subject),
+            json_escape(&self.message),
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.code.code(),
+            self.severity.name(),
+            self.subject,
+            self.message
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The highest severity among `findings`, if any.
+pub fn max_severity(findings: &[Finding]) -> Option<Severity> {
+    findings.iter().map(|f| f.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            LintCode::InvalidLoop,
+            LintCode::RedundantEdge,
+            LintCode::DeadValue,
+            LintCode::UnreachableOp,
+            LintCode::SccRecMii,
+            LintCode::HotResource,
+            LintCode::MiiOverflow,
+            LintCode::StageBoundTightened,
+            LintCode::BinaryFixed,
+            LintCode::RedundantRow,
+            LintCode::ConflictClique,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+        assert_eq!(LintCode::RedundantEdge.code(), "OM001");
+        assert_eq!(LintCode::ConflictClique.code(), "OM104");
+    }
+
+    #[test]
+    fn finding_json_is_flat_and_escaped() {
+        let f = Finding::new(LintCode::RedundantEdge, "edge \"a\"->b", "implied\npath");
+        assert_eq!(
+            f.to_json(),
+            "{\"code\":\"OM001\",\"severity\":\"warning\",\
+             \"subject\":\"edge \\\"a\\\"->b\",\"message\":\"implied\\npath\"}"
+        );
+    }
+
+    #[test]
+    fn severity_ordering_supports_max() {
+        let fs = vec![
+            Finding::new(LintCode::SccRecMii, "s", "m"),
+            Finding::new(LintCode::MiiOverflow, "s", "m"),
+            Finding::new(LintCode::RedundantEdge, "s", "m"),
+        ];
+        assert_eq!(max_severity(&fs), Some(Severity::Error));
+        assert_eq!(max_severity(&[]), None);
+    }
+}

@@ -2,6 +2,12 @@
 //!
 //! ```text
 //! optimod <loop-file> [options]
+//! optimod lint <loop-file> [--json] [--style ...] [--objective ...]
+//!
+//! The `lint` subcommand runs the static analyzer only: DDG lints
+//! (redundant edges, dead code, SCC RecMII attribution, resource
+//! pressure) plus the ILP presolve findings on the model built at the
+//! MII, without solving. `--json` prints machine-readable findings.
 //!
 //! options:
 //!   --objective <noobj|minreg|minbuff|minlife|minlen>   (default minreg)
@@ -24,13 +30,17 @@
 //!   --chaos <seed>        derive a deterministic fault-injection plan from
 //!                         the seed and arm the solver with it (replays a
 //!                         chaos-sweep cell)
+//!   --analyze             print the analyzer's findings before scheduling
+//!   --no-presolve         disable the analyzer's certified presolve
+//!   --json                with `lint`: JSON findings instead of text
 //! ```
 //!
 //! The loop-file grammar is documented in the `parse` module (one `op` /
 //! `flow` / `dep` directive per line plus a `machine` selection).
 //!
 //! Exit codes: 0 success, 2 usage error, 3 parse/validation error,
-//! 4 scheduling failure, 5 I/O error, 6 certification failure.
+//! 4 scheduling failure, 5 I/O error, 6 certification failure,
+//! 7 error-severity analyzer finding.
 
 mod parse;
 
@@ -41,9 +51,13 @@ use std::time::Duration;
 
 use optimod::{
     build_model, certify, codegen, compute_mii, Claim, DepStyle, FallbackConfig, FormulationConfig,
-    LoopStatus, Objective, OptimalScheduler, Provenance, SchedulerConfig,
+    LoopStatus, Objective, OptimalScheduler, PresolveOptions, Provenance, SchedulerConfig,
+    MAX_SCHEDULABLE_II,
 };
+use optimod_analyze::{lint_loop, max_severity, DdgLintConfig, Finding, Severity};
+use optimod_ddg::Loop;
 use optimod_ilp::FaultPlan;
+use optimod_machine::Machine;
 use optimod_trace::{JsonlSink, MemorySink, TeeSink, Trace, TraceSink};
 
 /// A failure with its exit code, so scripts can tell a bad loop file (3)
@@ -55,6 +69,7 @@ enum Failure {
     Scheduling(String),
     Io(String),
     Certification(String),
+    Analysis(String),
 }
 
 impl Failure {
@@ -65,6 +80,7 @@ impl Failure {
             Failure::Scheduling(_) => 4,
             Failure::Io(_) => 5,
             Failure::Certification(_) => 6,
+            Failure::Analysis(_) => 7,
         })
     }
 
@@ -74,7 +90,8 @@ impl Failure {
             | Failure::Parse(m)
             | Failure::Scheduling(m)
             | Failure::Io(m)
-            | Failure::Certification(m) => m,
+            | Failure::Certification(m)
+            | Failure::Analysis(m) => m,
         }
     }
 }
@@ -94,6 +111,10 @@ struct Options {
     report: bool,
     certify: bool,
     chaos: Option<u64>,
+    lint: bool,
+    json: bool,
+    analyze: bool,
+    presolve: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -113,9 +134,16 @@ fn parse_args() -> Result<Options, String> {
         report: false,
         certify: false,
         chaos: None,
+        lint: false,
+        json: false,
+        analyze: false,
+        presolve: true,
     };
+    let mut first = true;
     while let Some(a) = args.next() {
+        let was_first = std::mem::take(&mut first);
         match a.as_str() {
+            "lint" if was_first => opts.lint = true,
             "--objective" => {
                 let v = args.next().ok_or("--objective needs a value")?;
                 opts.objective = match v.as_str() {
@@ -159,6 +187,9 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--chaos needs a seed")?;
                 opts.chaos = Some(v.parse().map_err(|_| "--chaos must be an integer seed")?);
             }
+            "--analyze" => opts.analyze = true,
+            "--no-presolve" => opts.presolve = false,
+            "--json" => opts.json = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if opts.file.is_empty() && !other.starts_with('-') => {
                 opts.file = other.to_string();
@@ -175,8 +206,60 @@ fn parse_args() -> Result<Options, String> {
 const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
 [--style structured|traditional] [--budget-ms N] [--registers N] [--threads N] \
 [--speculate] [--fallback] [--expand] [--lp] [--trace PATH] [--report] \
-[--certify] [--chaos SEED]\n\
-exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O, 6 certification";
+[--certify] [--chaos SEED] [--analyze] [--no-presolve]\n\
+       optimod lint <loop-file> [--json] [--style S] [--objective O]\n\
+exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O, 6 certification, \
+7 error-severity finding";
+
+/// Runs both analyzer levels: the DDG lints, then — when the loop is
+/// valid and its MII is formulatable — the ILP presolve findings on a
+/// clone of the model built at the MII (the lint path never mutates
+/// anything the scheduler will later solve).
+fn analyze_findings(l: &Loop, machine: &Machine, opts: &Options) -> Vec<Finding> {
+    let mut findings = lint_loop(l, machine, &DdgLintConfig::default());
+    if max_severity(&findings) == Some(Severity::Error) {
+        return findings; // invalid loop or MII overflow: no model to presolve
+    }
+    let mii = compute_mii(l, machine);
+    if mii.value() > MAX_SCHEDULABLE_II {
+        return findings;
+    }
+    let cfg = FormulationConfig {
+        dep_style: opts.style,
+        objective: opts.objective,
+        sched_len_slack: 20,
+        max_live_limit: opts.registers,
+    };
+    if let Some(built) = build_model(l, machine, mii.value(), &cfg) {
+        let mut model = built.model.clone();
+        let popts = PresolveOptions {
+            collect_findings: true,
+            ..PresolveOptions::default()
+        };
+        let summary = optimod_analyze::presolve(&mut model, l, &built.analyzer_context(), &popts);
+        findings.extend(summary.findings);
+    }
+    findings
+}
+
+fn print_findings(findings: &[Finding], json: bool) {
+    if json {
+        println!("[");
+        for (i, f) in findings.iter().enumerate() {
+            let sep = if i + 1 < findings.len() { "," } else { "" };
+            println!("  {}{sep}", f.to_json());
+        }
+        println!("]");
+        return;
+    }
+    if findings.is_empty() {
+        println!("no findings");
+        return;
+    }
+    for f in findings {
+        println!("{f}");
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -194,6 +277,24 @@ fn run() -> Result<(), Failure> {
         .map_err(|e| Failure::Io(format!("cannot read {}: {e}", opts.file)))?;
     let parsed = parse::parse(&text).map_err(Failure::Parse)?;
     let (l, machine) = (parsed.l, parsed.machine);
+
+    if opts.lint || opts.analyze {
+        let findings = analyze_findings(&l, &machine, &opts);
+        print_findings(&findings, opts.json);
+        let errors = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count();
+        if errors > 0 {
+            return Err(Failure::Analysis(format!(
+                "{errors} error-severity finding(s)"
+            )));
+        }
+        if opts.lint {
+            return Ok(());
+        }
+        println!();
+    }
 
     let mii = compute_mii(&l, &machine);
     println!(
@@ -226,6 +327,7 @@ fn run() -> Result<(), Failure> {
 
     let mut cfg = SchedulerConfig::new(opts.style, opts.objective).with_time_limit(opts.budget);
     cfg.register_limit = opts.registers;
+    cfg.presolve = opts.presolve;
     cfg.limits.threads = opts.threads;
     cfg.speculate_ii = opts.speculate;
     if opts.fallback {

@@ -122,6 +122,17 @@ pub struct BuiltModel {
 }
 
 impl BuiltModel {
+    /// The analyzer's view of this model: the variable-to-operation mapping
+    /// [`optimod_analyze::presolve`] needs alongside the raw [`Model`].
+    pub fn analyzer_context(&self) -> optimod_analyze::IlpContext<'_> {
+        optimod_analyze::IlpContext {
+            ii: self.ii,
+            num_stages: self.num_stages,
+            a: &self.a,
+            k: &self.k,
+        }
+    }
+
     /// Recovers the concrete schedule from a solved model.
     ///
     /// # Panics

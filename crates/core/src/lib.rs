@@ -54,6 +54,7 @@ pub use codegen::{expand, unroll_factor, Inst, PipelinedLoop};
 pub use error::ScheduleError;
 pub use formulation::{build_model, BuiltModel, DepStyle, FormulationConfig, Objective};
 pub use mii::{compute_mii, Mii};
+pub use optimod_analyze::{IlpContext, PresolveOptions, PresolveSummary, PresolveTotals};
 pub use optimod_verify::{certify, CertError, Certificate, Claim};
 pub use rotating::{allocate, RotatingAllocation};
 pub use schedule::{Lifetime, Schedule};

@@ -8,6 +8,7 @@
 
 use std::time::{Duration, Instant};
 
+use optimod_analyze::{IlpContext, PresolveOptions, PresolveTotals};
 use optimod_ddg::Loop;
 use optimod_ilp::{
     panic_message, FaultAction, FaultSite, SolveError, SolveLimits, SolveOutcome, SolveStats,
@@ -138,6 +139,17 @@ pub struct SchedulerConfig {
     pub speculate_ii: bool,
     /// Degradation ladder configuration (see [`FallbackConfig`]).
     pub fallback: FallbackConfig,
+    /// Run the static analyzer's presolve over each built model before
+    /// search ([`optimod_analyze::presolve`]): stage-bound tightening,
+    /// binary fixing, and redundant-row elimination. Every reduction is
+    /// implied by constraints already in the model, so the certified II and
+    /// objective are unchanged; the certifier still checks every presolved
+    /// solve. On by default.
+    pub presolve: bool,
+    /// Which presolve reductions run (ignored unless [`Self::presolve`] is
+    /// set). Defaults to all of them; the presolve-impact bench toggles
+    /// individual reductions to attribute their effect.
+    pub presolve_options: PresolveOptions,
 }
 
 impl Default for SchedulerConfig {
@@ -151,6 +163,8 @@ impl Default for SchedulerConfig {
             register_limit: None,
             speculate_ii: false,
             fallback: FallbackConfig::default(),
+            presolve: true,
+            presolve_options: PresolveOptions::default(),
         }
     }
 }
@@ -228,6 +242,10 @@ pub struct LoopResult {
     /// Which ladder rung produced the schedule (`None` when unscheduled).
     /// Always [`Provenance::Exact`] when the fallback ladder is disabled.
     pub provenance: Option<Provenance>,
+    /// What the analyzer's presolve did across every tentative `II`
+    /// (all-zero when [`SchedulerConfig::presolve`] is off or no model was
+    /// built).
+    pub presolve: PresolveTotals,
     /// Abnormal condition encountered along the way, if any. Present even
     /// on scheduled results when a rung failed abnormally before a later
     /// rung (or the incumbent) recovered.
@@ -300,6 +318,7 @@ impl OptimalScheduler {
                     ..Default::default()
                 },
                 provenance: None,
+                presolve: PresolveTotals::default(),
                 error: Some(ScheduleError::InvalidLoop(e)),
             };
         }
@@ -320,6 +339,7 @@ impl OptimalScheduler {
                     ..Default::default()
                 },
                 provenance: None,
+                presolve: PresolveTotals::default(),
                 error: Some(ScheduleError::MiiOverflow { mii: mii.value() }),
             };
         }
@@ -470,6 +490,7 @@ impl OptimalScheduler {
         time_budget: Duration,
     ) -> LoopResult {
         let mut stats = SolveStats::default();
+        let mut presolve_totals = PresolveTotals::default();
         let trace = self.config.limits.trace.clone();
         trace.emit(|| TraceEvent::Rung { rung: "exact" });
         // First abnormal-but-survivable condition seen (a racer panic, a
@@ -483,7 +504,10 @@ impl OptimalScheduler {
         };
         let first_only = self.config.objective == Objective::FirstFeasible;
 
-        let give_up = |status: LoopStatus, mut stats: SolveStats, error: Option<ScheduleError>| {
+        let give_up = |status: LoopStatus,
+                       mut stats: SolveStats,
+                       presolve: PresolveTotals,
+                       error: Option<ScheduleError>| {
             stats.wall_time = start.elapsed();
             LoopResult {
                 status,
@@ -493,6 +517,7 @@ impl OptimalScheduler {
                 objective_value: None,
                 stats,
                 provenance: None,
+                presolve,
                 error,
             }
         };
@@ -505,17 +530,20 @@ impl OptimalScheduler {
                 || stats.bb_nodes >= self.config.limits.node_limit
                 || self.config.limits.stop.is_stopped()
             {
-                return give_up(LoopStatus::TimedOut, stats, sticky_error);
+                return give_up(LoopStatus::TimedOut, stats, presolve_totals, sticky_error);
             }
             trace.emit(|| TraceEvent::IiAttempt { ii });
             let built = {
                 let _span = trace.span(Phase::Formulation);
                 build_model(l, machine, ii, &cfg)
             };
-            let Some(built) = built else {
+            let Some(mut built) = built else {
                 ii += 1;
                 continue; // below RecMII (possible only via direct calls)
             };
+            if self.config.presolve {
+                self.presolve_model(l, &mut built, &mut presolve_totals);
+            }
             // Saturating: `elapsed` keeps advancing between the budget
             // check above and here, so a plain subtraction could underflow
             // under a racing clock.
@@ -531,7 +559,10 @@ impl OptimalScheduler {
             let mut speculative = None;
             let search_span = trace.span(Phase::Search);
             let out = if self.config.speculate_ii && threads > 1 && ii < end_ii {
-                if let Some(built_next) = build_model(l, machine, ii + 1, &cfg) {
+                if let Some(mut built_next) = build_model(l, machine, ii + 1, &cfg) {
+                    if self.config.presolve {
+                        self.presolve_model(l, &mut built_next, &mut presolve_totals);
+                    }
                     let half = (threads / 2).max(1) as u32;
                     let stop_next = self.config.limits.stop.child();
                     let limits_main = SolveLimits {
@@ -591,6 +622,7 @@ impl OptimalScheduler {
                         ii,
                         mii,
                         stats,
+                        presolve_totals,
                         start,
                         sticky_error,
                     );
@@ -610,6 +642,7 @@ impl OptimalScheduler {
                                     ii + 1,
                                     mii,
                                     stats,
+                                    presolve_totals,
                                     start,
                                     sticky_error,
                                 );
@@ -619,18 +652,23 @@ impl OptimalScheduler {
                                 continue;
                             }
                             SolveStatus::LimitReached => {
-                                return give_up(LoopStatus::TimedOut, stats, sticky_error)
+                                return give_up(
+                                    LoopStatus::TimedOut,
+                                    stats,
+                                    presolve_totals,
+                                    sticky_error,
+                                )
                             }
                         }
                     }
                     ii += 1;
                 }
                 SolveStatus::LimitReached => {
-                    return give_up(LoopStatus::TimedOut, stats, sticky_error)
+                    return give_up(LoopStatus::TimedOut, stats, presolve_totals, sticky_error)
                 }
             }
         }
-        give_up(LoopStatus::Infeasible, stats, sticky_error)
+        give_up(LoopStatus::Infeasible, stats, presolve_totals, sticky_error)
     }
 
     /// Packages a successful solve into a [`LoopResult`]. A solution that
@@ -646,6 +684,7 @@ impl OptimalScheduler {
         ii: u32,
         mii: Mii,
         mut stats: SolveStats,
+        presolve: PresolveTotals,
         start: Instant,
         sticky_error: Option<ScheduleError>,
     ) -> LoopResult {
@@ -659,6 +698,7 @@ impl OptimalScheduler {
             objective_value: None,
             stats,
             provenance: None,
+            presolve,
             error: Some(error),
         };
         let trace = &self.config.limits.trace;
@@ -697,6 +737,7 @@ impl OptimalScheduler {
                                 objective_value: None,
                                 stats,
                                 provenance: None,
+                                presolve,
                                 error: sticky_error,
                             }
                         }
@@ -765,8 +806,46 @@ impl OptimalScheduler {
             objective_value: (!first_only).then(|| round_integral(out.objective)),
             stats,
             provenance: Some(Provenance::Exact),
+            presolve,
             error: sticky_error,
         }
+    }
+
+    /// Runs the analyzer's presolve over one built model, folding the
+    /// summary into `totals` and emitting a trace event under its own phase
+    /// span.
+    fn presolve_model(
+        &self,
+        l: &Loop,
+        built: &mut crate::formulation::BuiltModel,
+        totals: &mut PresolveTotals,
+    ) {
+        let trace = &self.config.limits.trace;
+        let _span = trace.span(Phase::Presolve);
+        let summary = optimod_analyze::presolve(
+            &mut built.model,
+            l,
+            &IlpContext {
+                ii: built.ii,
+                num_stages: built.num_stages,
+                a: &built.a,
+                k: &built.k,
+            },
+            &self.config.presolve_options,
+        );
+        totals.absorb(&summary);
+        let (rows_eliminated, binaries_fixed, bounds_tightened, infeasible) = (
+            summary.rows_eliminated,
+            summary.binaries_fixed,
+            summary.bounds_tightened,
+            summary.infeasible,
+        );
+        trace.emit(|| TraceEvent::Presolve {
+            rows_eliminated,
+            binaries_fixed,
+            bounds_tightened,
+            infeasible,
+        });
     }
 
     /// Ground-truth integer value of the configured secondary objective on
@@ -807,9 +886,13 @@ impl OptimalScheduler {
             sched_len_slack: self.config.sched_len_slack,
             max_live_limit: self.config.register_limit,
         };
-        let Some(built) = build_model(l, machine, ii, &cfg) else {
+        let Some(mut built) = build_model(l, machine, ii, &cfg) else {
             return Some(false); // below RecMII: no schedule of any length
         };
+        if self.config.presolve {
+            let mut totals = PresolveTotals::default();
+            self.presolve_model(l, &mut built, &mut totals);
+        }
         let limits = SolveLimits {
             first_solution_only: true,
             ..self.config.limits.clone()

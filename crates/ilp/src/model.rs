@@ -274,8 +274,24 @@ pub(crate) struct RowDef {
     pub coeffs: Vec<(VarId, f64)>,
     pub sense: RowSense,
     pub rhs: f64,
-    #[allow(dead_code)] // used by diagnostics / Display
     pub name: String,
+}
+
+/// Read-only view of one constraint row, as stored in a [`Model`].
+///
+/// Obtained from [`Model::row`] / [`Model::rows`]; the coefficient slice is
+/// compacted (duplicates merged, zero coefficients dropped) and sorted by
+/// variable index.
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    /// Compacted `(variable, coefficient)` pairs, sorted by variable index.
+    pub coeffs: &'a [(VarId, f64)],
+    /// Relation of the row to its right-hand side.
+    pub sense: RowSense,
+    /// Right-hand side (expression constants already folded in).
+    pub rhs: f64,
+    /// Name given to the row at creation.
+    pub name: &'a str,
 }
 
 /// A mixed-integer linear program under construction.
@@ -459,6 +475,47 @@ impl Model {
         name: impl Into<String>,
     ) -> ConstraintId {
         self.add_row(expr, RowSense::Eq, rhs, name)
+    }
+
+    /// Read-only view of the constraint row at dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_constraints()`.
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        let r = &self.rows[i];
+        RowView {
+            coeffs: &r.coeffs,
+            sense: r.sense,
+            rhs: r.rhs,
+            name: &r.name,
+        }
+    }
+
+    /// Iterates over read-only views of all constraint rows, in creation
+    /// order.
+    pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> {
+        self.rows.iter().map(|r| RowView {
+            coeffs: &r.coeffs,
+            sense: r.sense,
+            rhs: r.rhs,
+            name: &r.name,
+        })
+    }
+
+    /// Retains only the constraint rows whose dense index satisfies `keep`,
+    /// preserving the relative order of the survivors.
+    ///
+    /// Intended for presolve-style row elimination. Any [`ConstraintId`]
+    /// handed out before this call is invalidated (row indices are dense and
+    /// re-compacted); variables and their ids are untouched.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let mut i = 0usize;
+        self.rows.retain(|_| {
+            let k = keep(i);
+            i += 1;
+            k
+        });
     }
 
     /// Checks a candidate assignment against all rows, bounds, and

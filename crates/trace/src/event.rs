@@ -9,6 +9,8 @@ use std::time::Duration;
 pub enum Phase {
     /// Building the ILP formulation for one tentative `II`.
     Formulation,
+    /// The static analyzer's presolve pass over one built model.
+    Presolve,
     /// One branch-and-bound solve (root relaxation through search).
     Search,
     /// The root LP relaxation inside a solve.
@@ -23,8 +25,9 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in report order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Formulation,
+        Phase::Presolve,
         Phase::Search,
         Phase::RootLp,
         Phase::Extraction,
@@ -36,6 +39,7 @@ impl Phase {
     pub fn name(self) -> &'static str {
         match self {
             Phase::Formulation => "formulation",
+            Phase::Presolve => "presolve",
             Phase::Search => "search",
             Phase::RootLp => "root-lp",
             Phase::Extraction => "extraction",
@@ -194,6 +198,17 @@ pub enum TraceEvent {
         /// `"perturb-incumbent"`).
         action: &'static str,
     },
+    /// The static analyzer presolved a built model before search.
+    Presolve {
+        /// Constraint rows removed as redundant.
+        rows_eliminated: u64,
+        /// MRT binaries fixed to 0 or 1.
+        binaries_fixed: u64,
+        /// Stage variables whose bounds were strictly tightened.
+        bounds_tightened: u64,
+        /// Whether presolve proved the model infeasible.
+        infeasible: bool,
+    },
     /// The exact-arithmetic certifier ran on an extracted schedule.
     Certified {
         /// The schedule's initiation interval.
@@ -229,6 +244,7 @@ impl TraceEvent {
             TraceEvent::Incumbent { .. } => "incumbent",
             TraceEvent::PanicRecovered { .. } => "panic_recovered",
             TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::Presolve { .. } => "presolve",
             TraceEvent::Certified { .. } => "certified",
         }
     }
@@ -300,6 +316,18 @@ impl TraceEvent {
                 let _ = write!(
                     s,
                     ",\"worker\":{worker},\"site\":\"{site}\",\"action\":\"{action}\""
+                );
+            }
+            TraceEvent::Presolve {
+                rows_eliminated,
+                binaries_fixed,
+                bounds_tightened,
+                infeasible,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"rows_eliminated\":{rows_eliminated},\"binaries_fixed\":{binaries_fixed},\
+                     \"bounds_tightened\":{bounds_tightened},\"infeasible\":{infeasible}"
                 );
             }
             TraceEvent::Certified { ii, ok } => {
@@ -378,6 +406,13 @@ mod tests {
                 worker: 0,
                 site: "node-expand",
                 action: "stall",
+            }
+            .kind(),
+            TraceEvent::Presolve {
+                rows_eliminated: 0,
+                binaries_fixed: 0,
+                bounds_tightened: 0,
+                infeasible: false,
             }
             .kind(),
             TraceEvent::Certified { ii: 2, ok: true }.kind(),

@@ -37,6 +37,7 @@
 //! assert_eq!(report.phase(Phase::Search).unwrap().count, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod event;

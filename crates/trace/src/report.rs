@@ -87,6 +87,14 @@ pub struct SolveReport {
     pub certified_ok: u64,
     /// Certifier runs that found a violation.
     pub certified_failed: u64,
+    /// Presolve passes run.
+    pub presolve_runs: u64,
+    /// Rows removed as redundant across presolve passes.
+    pub presolve_rows_eliminated: u64,
+    /// MRT binaries fixed across presolve passes.
+    pub presolve_binaries_fixed: u64,
+    /// Stage-variable bound tightenings across presolve passes.
+    pub presolve_bounds_tightened: u64,
     /// Iterations-per-LP order statistics.
     pub lp_iterations: HistSummary,
     /// Node-depth order statistics.
@@ -181,6 +189,17 @@ impl SolveReport {
                         report.certified_failed += 1;
                     }
                 }
+                TraceEvent::Presolve {
+                    rows_eliminated,
+                    binaries_fixed,
+                    bounds_tightened,
+                    ..
+                } => {
+                    report.presolve_runs += 1;
+                    report.presolve_rows_eliminated += rows_eliminated;
+                    report.presolve_binaries_fixed += binaries_fixed;
+                    report.presolve_bounds_tightened += bounds_tightened;
+                }
                 TraceEvent::IiAttempt { ii } => report.ii_attempts.push(*ii),
                 TraceEvent::Rung { rung } => report.rungs.push(rung),
                 TraceEvent::SolveBegin { .. } | TraceEvent::SolveEnd { .. } => {}
@@ -256,6 +275,16 @@ impl SolveReport {
                 s,
                 "  iterations/LP min/p50/p90/max: {}/{}/{}/{}",
                 h.min, h.p50, h.p90, h.max
+            );
+        }
+        if self.presolve_runs > 0 {
+            let _ = writeln!(
+                s,
+                "presolve: {} passes, rows eliminated {}, binaries fixed {}, bounds tightened {}",
+                self.presolve_runs,
+                self.presolve_rows_eliminated,
+                self.presolve_binaries_fixed,
+                self.presolve_bounds_tightened
             );
         }
         if !self.ii_attempts.is_empty() {

@@ -28,6 +28,7 @@
 //! Every violation is a typed [`CertError`] naming the offending edge, row,
 //! or resource, so a failed certificate is a diagnostic, not a boolean.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::error::Error;

@@ -26,6 +26,12 @@ echo "==> golden-corpus solver counters"
 # changes: OPTIMOD_BLESS=1 cargo test --test golden_corpus, commit the diff.
 cargo test -q --test golden_corpus
 
+echo "==> analyzer presolve impact (golden corpus)"
+# Presolve must be sound (identical certified II and objective with and
+# without it) and must reduce the total golden-corpus branch-and-bound
+# nodes or simplex iterations; fails the build otherwise.
+cargo run --release -q -p optimod-bench --bin presolve_impact
+
 echo "==> exact-arithmetic certification of the golden corpus"
 # Every golden kernel under both formulations must come back with a
 # schedule the external certifier accepts (constraints cross-checked

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub use optimod;
+pub use optimod_analyze;
 pub use optimod_ddg;
 pub use optimod_ilp;
 pub use optimod_machine;

@@ -9,6 +9,13 @@
 //! deterministic), and compare them against a checked-in fixture at
 //! `tests/golden/corpus.tsv`.
 //!
+//! Each row carries two families of counters: the baseline columns are
+//! measured with the analyzer's presolve *disabled* (so they remain
+//! comparable with the pre-analyzer history of this fixture), and the
+//! `pre_*` columns re-solve the same kernel with presolve *enabled* —
+//! rows eliminated, binaries fixed, and the post-presolve node/iteration
+//! counts. Both modes must certify the same II.
+//!
 //! A counter drift is not automatically a bug — a better branching rule or
 //! a tightened formulation legitimately moves these numbers — but it must
 //! always be *noticed*. To accept new numbers, regenerate the fixture:
@@ -60,6 +67,8 @@ fn style_name(style: DepStyle) -> &'static str {
 }
 
 /// One fixture row: the counters we pin per (kernel, formulation).
+/// Baseline counters (`bb_nodes`..`simplex_iterations`) are measured with
+/// presolve off; the `pre_*` counters re-solve with presolve on.
 #[derive(Debug, PartialEq, Eq, Clone)]
 struct Row {
     kernel: String,
@@ -68,18 +77,26 @@ struct Row {
     bb_nodes: u64,
     lp_solves: u64,
     simplex_iterations: u64,
+    pre_rows: u64,
+    pre_fixed: u64,
+    pre_nodes: u64,
+    pre_iters: u64,
 }
 
 impl Row {
     fn to_tsv(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.kernel,
             self.style,
             self.ii,
             self.bb_nodes,
             self.lp_solves,
-            self.simplex_iterations
+            self.simplex_iterations,
+            self.pre_rows,
+            self.pre_fixed,
+            self.pre_nodes,
+            self.pre_iters
         )
     }
 
@@ -98,6 +115,10 @@ impl Row {
             bb_nodes: f.next()?.parse().ok()?,
             lp_solves: f.next()?.parse().ok()?,
             simplex_iterations: f.next()?.parse().ok()?,
+            pre_rows: f.next()?.parse().ok()?,
+            pre_fixed: f.next()?.parse().ok()?,
+            pre_nodes: f.next()?.parse().ok()?,
+            pre_iters: f.next()?.parse().ok()?,
         };
         match f.next() {
             None => Some(row),
@@ -109,20 +130,22 @@ impl Row {
 /// A deterministic serial scheduler: one thread, MinReg objective, and a
 /// budget generous enough that no golden kernel ever hits a limit (a limit
 /// firing would make the node counts timing-dependent).
-fn golden_scheduler(style: DepStyle, trace: Trace) -> OptimalScheduler {
+fn golden_scheduler(style: DepStyle, trace: Trace, presolve: bool) -> OptimalScheduler {
     let mut cfg = SchedulerConfig::new(style, Objective::MinMaxLive)
         .with_time_limit(Duration::from_secs(120));
     cfg.limits.threads = 1;
     cfg.limits.trace = trace;
+    cfg.presolve = presolve;
     OptimalScheduler::new(cfg)
 }
 
 fn measure_rows(machine: &Machine, loops: &[Loop]) -> Vec<Row> {
     let mut rows = Vec::new();
     for style in STYLES {
-        let sched = golden_scheduler(style, Trace::disabled());
+        let baseline = golden_scheduler(style, Trace::disabled(), false);
+        let presolved = golden_scheduler(style, Trace::disabled(), true);
         for l in loops {
-            let r = sched.schedule(l, machine);
+            let r = baseline.schedule(l, machine);
             assert_eq!(
                 r.status,
                 LoopStatus::Optimal,
@@ -132,6 +155,31 @@ fn measure_rows(machine: &Machine, loops: &[Loop]) -> Vec<Row> {
                 r.status
             );
             let s = r.schedule.as_ref().expect("optimal result has a schedule");
+
+            let p = presolved.schedule(l, machine);
+            assert_eq!(
+                p.status,
+                LoopStatus::Optimal,
+                "golden kernel {} must stay optimal under {} with presolve (got {:?})",
+                l.name(),
+                style_name(style),
+                p.status
+            );
+            assert_eq!(
+                p.schedule.as_ref().map(|s| s.ii()),
+                Some(s.ii()),
+                "{} / {}: presolve changed the certified II",
+                l.name(),
+                style_name(style)
+            );
+            assert_eq!(
+                p.objective_value,
+                r.objective_value,
+                "{} / {}: presolve changed the certified objective",
+                l.name(),
+                style_name(style)
+            );
+
             rows.push(Row {
                 kernel: l.name().to_string(),
                 style: style_name(style),
@@ -139,6 +187,10 @@ fn measure_rows(machine: &Machine, loops: &[Loop]) -> Vec<Row> {
                 bb_nodes: r.stats.bb_nodes,
                 lp_solves: r.stats.lp_solves,
                 simplex_iterations: r.stats.simplex_iterations,
+                pre_rows: p.presolve.rows_eliminated,
+                pre_fixed: p.presolve.binaries_fixed,
+                pre_nodes: p.stats.bb_nodes,
+                pre_iters: p.stats.simplex_iterations,
             });
         }
     }
@@ -148,8 +200,10 @@ fn measure_rows(machine: &Machine, loops: &[Loop]) -> Vec<Row> {
 fn render_fixture(rows: &[Row]) -> String {
     let mut out = String::from(
         "# Golden solver counters: kernel, formulation, achieved II, B&B nodes,\n\
-         # LP solves, simplex iterations. Serial (threads=1) MinReg solves on\n\
-         # example_3fu. Regenerate with: OPTIMOD_BLESS=1 cargo test --test golden_corpus\n",
+         # LP solves, simplex iterations (presolve off), then presolve-on columns:\n\
+         # rows eliminated, binaries fixed, post-presolve B&B nodes and simplex\n\
+         # iterations. Serial (threads=1) MinReg solves on example_3fu.\n\
+         # Regenerate with: OPTIMOD_BLESS=1 cargo test --test golden_corpus\n",
     );
     for row in rows {
         out.push_str(&row.to_tsv());
@@ -253,6 +307,35 @@ fn structured_formulation_dominates_on_nodes() {
     }
 }
 
+/// The analyzer's acceptance invariant, pinned: on every golden kernel the
+/// presolved solve needs no more branch-and-bound nodes than the
+/// unpresolved one, and over the whole corpus presolve strictly reduces
+/// total search effort (nodes or simplex iterations).
+#[test]
+fn presolve_never_inflates_search() {
+    let machine = example_3fu();
+    let loops = golden_loops(&machine);
+    let rows = measure_rows(&machine, &loops);
+    for r in &rows {
+        assert!(
+            r.pre_nodes <= r.bb_nodes,
+            "{} / {}: presolve inflated the node count ({} > {})",
+            r.kernel,
+            r.style,
+            r.pre_nodes,
+            r.bb_nodes
+        );
+    }
+    let total = |f: fn(&Row) -> u64| rows.iter().map(f).sum::<u64>();
+    let (nodes, pre_nodes) = (total(|r| r.bb_nodes), total(|r| r.pre_nodes));
+    let (iters, pre_iters) = (total(|r| r.simplex_iterations), total(|r| r.pre_iters));
+    assert!(
+        pre_nodes < nodes || pre_iters < iters,
+        "presolve reduced neither total nodes ({nodes} -> {pre_nodes}) nor total simplex \
+         iterations ({iters} -> {pre_iters})"
+    );
+}
+
 /// A `Write` target the test can read back after the solver is done with
 /// the sink (the sink is behind an `Arc`, so `into_inner` is unavailable).
 #[derive(Clone, Default)]
@@ -303,7 +386,7 @@ fn jsonl_stream_aggregates_match_solve_stats() {
             let buf = SharedBuf::default();
             let jsonl = Arc::new(JsonlSink::new(buf.clone()));
             let sink: Arc<dyn TraceSink> = Arc::new(TeeSink(memory.clone(), jsonl.clone()));
-            let r = golden_scheduler(style, Trace::new(sink)).schedule(&l, &machine);
+            let r = golden_scheduler(style, Trace::new(sink), true).schedule(&l, &machine);
             jsonl.flush().expect("flush in-memory buffer");
 
             let ctx = format!("{} / {}", l.name(), style_name(style));
