@@ -24,6 +24,9 @@
 //!   --lp                  dump the ILP in CPLEX LP format instead of solving
 //!   --trace <path>        write the structured solve trace as JSON lines
 //!   --report              print the per-phase timing / solver-counter report
+//!   --report-json         print the same report as one machine-readable
+//!                         JSON object (phase timings, counters, LP
+//!                         warm-start hit rates per phase)
 //!   --certify             re-run the exact-arithmetic certifier on the
 //!                         result from outside the scheduler and print the
 //!                         certificate (refusal exits 6)
@@ -109,6 +112,7 @@ struct Options {
     lp: bool,
     trace: Option<String>,
     report: bool,
+    report_json: bool,
     certify: bool,
     chaos: Option<u64>,
     lint: bool,
@@ -132,6 +136,7 @@ fn parse_args() -> Result<Options, String> {
         lp: false,
         trace: None,
         report: false,
+        report_json: false,
         certify: false,
         chaos: None,
         lint: false,
@@ -182,6 +187,7 @@ fn parse_args() -> Result<Options, String> {
             "--lp" => opts.lp = true,
             "--trace" => opts.trace = Some(args.next().ok_or("--trace needs a path")?),
             "--report" => opts.report = true,
+            "--report-json" => opts.report_json = true,
             "--certify" => opts.certify = true,
             "--chaos" => {
                 let v = args.next().ok_or("--chaos needs a seed")?;
@@ -205,7 +211,7 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
 [--style structured|traditional] [--budget-ms N] [--registers N] [--threads N] \
-[--speculate] [--fallback] [--expand] [--lp] [--trace PATH] [--report] \
+[--speculate] [--fallback] [--expand] [--lp] [--trace PATH] [--report] [--report-json] \
 [--certify] [--chaos SEED] [--analyze] [--no-presolve]\n\
        optimod lint <loop-file> [--json] [--style S] [--objective O]\n\
 exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O, 6 certification, \
@@ -342,7 +348,7 @@ fn run() -> Result<(), Failure> {
     // Observability: --report buffers events in memory for the end-of-run
     // summary; --trace streams them to disk as JSON lines; both together
     // tee one stream into both sinks.
-    let memory = opts.report.then(|| Arc::new(MemorySink::default()));
+    let memory = (opts.report || opts.report_json).then(|| Arc::new(MemorySink::default()));
     let jsonl = match &opts.trace {
         Some(path) => {
             let file = std::fs::File::create(path)
@@ -369,8 +375,14 @@ fn run() -> Result<(), Failure> {
             .map_err(|e| Failure::Io(format!("cannot flush trace: {e}")))?;
     }
     if let Some(m) = &memory {
-        println!("\n--- solve report ---");
-        print!("{}", m.report().render());
+        let report = m.report();
+        if opts.report {
+            println!("\n--- solve report ---");
+            print!("{}", report.render());
+        }
+        if opts.report_json {
+            println!("{}", report.to_json());
+        }
     }
     if let Some(e) = &result.error {
         eprintln!("warning: {e}");

@@ -21,6 +21,7 @@
 //!   of others'), sharing the incumbent through an atomic. Node counts may
 //!   vary between runs — statuses and optimal objectives do not.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use optimod_trace::{LpClass, NodeOutcome, Phase, Trace, TraceEvent};
@@ -28,7 +29,7 @@ use optimod_trace::{LpClass, NodeOutcome, Phase, Trace, TraceEvent};
 use crate::fault::{FaultAction, FaultPlan, FaultSite};
 use crate::model::{Model, Sense, VarId};
 use crate::parallel;
-use crate::simplex::{LpOutcome, LpStatus, Simplex, SimplexOptions};
+use crate::simplex::{Basis, LpOutcome, LpStatus, Simplex, SimplexOptions, WarmStart};
 use crate::solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 use crate::stop::StopFlag;
 use crate::tol::{INT_ROUND_TOL, INT_TOL, PRUNE_TOL};
@@ -376,9 +377,21 @@ enum Explored {
 /// recursive apply/explore/restore sequence — same node order, same node
 /// count — without consuming call stack on deep searches.
 enum Frame {
-    Node { depth: u32 },
-    SetLb { j: usize, v: f64 },
-    SetUb { j: usize, v: f64 },
+    /// `warm` carries the parent's optimal basis for a warm-started
+    /// re-solve; `Arc` so both children (and the parallel engine's stolen
+    /// nodes) share one snapshot.
+    Node {
+        depth: u32,
+        warm: Option<Arc<Basis>>,
+    },
+    SetLb {
+        j: usize,
+        v: f64,
+    },
+    SetUb {
+        j: usize,
+        v: f64,
+    },
 }
 
 impl Search<'_> {
@@ -417,13 +430,16 @@ impl Search<'_> {
     /// root LP itself was infeasible — a child's infeasibility just prunes
     /// that subtree, as in the recursive formulation).
     fn run(&mut self, lb: &mut [f64], ub: &mut [f64]) -> Explored {
-        let mut stack: Vec<Frame> = vec![Frame::Node { depth: 0 }];
+        let mut stack: Vec<Frame> = vec![Frame::Node {
+            depth: 0,
+            warm: None,
+        }];
         let mut root_result = Explored::Done;
         while let Some(frame) = stack.pop() {
             match frame {
                 Frame::SetLb { j, v } => lb[j] = v,
                 Frame::SetUb { j, v } => ub[j] = v,
-                Frame::Node { depth } => match self.expand(lb, ub, depth, &mut stack) {
+                Frame::Node { depth, warm } => match self.expand(lb, ub, depth, warm, &mut stack) {
                     Explored::Stop => return Explored::Stop,
                     r => {
                         if depth == 0 {
@@ -446,6 +462,7 @@ impl Search<'_> {
         lb: &mut [f64],
         ub: &mut [f64],
         depth: u32,
+        warm: Option<Arc<Basis>>,
         stack: &mut Vec<Frame>,
     ) -> Explored {
         if self.out_of_budget() {
@@ -499,7 +516,7 @@ impl Search<'_> {
                 None
             };
             let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.simplex.solve(lb, ub, &self.opts)
+                self.simplex.solve_warm(lb, ub, &self.opts, warm.as_deref())
             }));
             match solved {
                 Ok(lp) => lp,
@@ -516,11 +533,21 @@ impl Search<'_> {
         self.stats.lp_solves += 1;
         self.stats.simplex_iterations += lp.iterations;
         self.stats.refactors += lp.refactors;
+        self.stats.eta_pivots += lp.eta_pivots;
+        self.stats.ftran_time += Duration::from_nanos(lp.ftran_nanos);
+        self.stats.btran_time += Duration::from_nanos(lp.btran_nanos);
+        match lp.warm {
+            WarmStart::Taken => self.stats.warm_starts += 1,
+            WarmStart::Abandoned => self.stats.warm_abandoned += 1,
+            WarmStart::Cold => {}
+        }
         trace.emit(|| TraceEvent::LpSolved {
             worker: 0,
             class: lp_class(lp.status),
             iterations: lp.iterations,
             refactors: lp.refactors,
+            etas: lp.eta_pivots,
+            warm: lp.warm.name(),
         });
         match lp.status {
             LpStatus::Infeasible => {
@@ -632,11 +659,20 @@ impl Search<'_> {
         };
         let (first_apply, first_restore) = child(down_first);
         let (second_apply, second_restore) = child(!down_first);
+        // This node's optimal basis warm-starts both children (one bound
+        // change away, so the parent basis stays dual feasible for them).
+        let snapshot = self.simplex.basis_snapshot().map(Arc::new);
         stack.push(second_restore);
-        stack.push(Frame::Node { depth: depth + 1 });
+        stack.push(Frame::Node {
+            depth: depth + 1,
+            warm: snapshot.clone(),
+        });
         stack.push(second_apply);
         stack.push(first_restore);
-        stack.push(Frame::Node { depth: depth + 1 });
+        stack.push(Frame::Node {
+            depth: depth + 1,
+            warm: snapshot,
+        });
         stack.push(first_apply);
         close(NodeOutcome::Branched);
         Explored::Done

@@ -33,6 +33,7 @@
 
 mod branch_bound;
 mod export;
+mod factor;
 pub mod fault;
 mod model;
 mod parallel;
@@ -45,7 +46,7 @@ pub use branch_bound::{BranchRule, SolveLimits, Solver};
 pub use export::lp_format;
 pub use fault::{FaultAction, FaultPlan, FaultSite, Injection};
 pub use model::{ConstraintId, LinExpr, Model, RowSense, RowView, Sense, VarId};
-pub use simplex::{LpOutcome, LpStatus, Simplex, SimplexOptions};
+pub use simplex::{Basis, LpOutcome, LpStatus, Simplex, SimplexEngine, SimplexOptions, WarmStart};
 pub use solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 pub use stop::StopFlag;
 

@@ -373,6 +373,11 @@ impl Model {
         self.vars.iter().filter(|v| v.integer).count()
     }
 
+    /// Iterates over every variable id, in creation order.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
     /// Lower bound of `var`.
     pub fn lb(&self, var: VarId) -> f64 {
         self.vars[var.index()].lb

@@ -44,7 +44,7 @@ use crate::branch_bound::{
 };
 use crate::fault::{FaultAction, FaultSite};
 use crate::model::{Model, Sense, VarId};
-use crate::simplex::{LpStatus, Simplex, SimplexOptions};
+use crate::simplex::{Basis, LpStatus, Simplex, SimplexOptions, WarmStart};
 use crate::solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 use crate::stop::StopFlag;
 use crate::tol::PRUNE_TOL;
@@ -57,6 +57,11 @@ struct PathStep {
     is_lb: bool,
     value: f64,
     parent: Option<Arc<PathStep>>,
+    /// The parent node's optimal basis, for a warm-started re-solve.
+    /// Shared (`Arc`) between siblings and cheap to hand across
+    /// work-stealing workers — the snapshot holds no factorization state,
+    /// so the stealing worker refactorizes into its own private workspace.
+    warm: Option<Arc<Basis>>,
 }
 
 /// State shared by all workers of one solve.
@@ -84,6 +89,11 @@ struct Shared<'a> {
     simplex_iterations: AtomicU64,
     incumbents: AtomicU64,
     refactors: AtomicU64,
+    eta_pivots: AtomicU64,
+    warm_starts: AtomicU64,
+    warm_abandoned: AtomicU64,
+    ftran_nanos: AtomicU64,
+    btran_nanos: AtomicU64,
     stalled_lps: AtomicU64,
     panics_recovered: AtomicU64,
     limit_hit: AtomicBool,
@@ -320,17 +330,37 @@ fn expand_node(
         step = s.parent.as_ref();
     }
 
-    let lp = simplex.solve(lb, ub, opts);
+    let lp = simplex.solve_warm(lb, ub, opts, node.warm.as_deref());
     shared.lp_solves.fetch_add(1, Ordering::Relaxed);
     shared
         .simplex_iterations
         .fetch_add(lp.iterations, Ordering::Relaxed);
     shared.refactors.fetch_add(lp.refactors, Ordering::Relaxed);
+    shared
+        .eta_pivots
+        .fetch_add(lp.eta_pivots, Ordering::Relaxed);
+    shared
+        .ftran_nanos
+        .fetch_add(lp.ftran_nanos, Ordering::Relaxed);
+    shared
+        .btran_nanos
+        .fetch_add(lp.btran_nanos, Ordering::Relaxed);
+    match lp.warm {
+        WarmStart::Taken => {
+            shared.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        WarmStart::Abandoned => {
+            shared.warm_abandoned.fetch_add(1, Ordering::Relaxed);
+        }
+        WarmStart::Cold => {}
+    }
     trace.emit(|| TraceEvent::LpSolved {
         worker: wid as u32,
         class: lp_class(lp.status),
         iterations: lp.iterations,
         refactors: lp.refactors,
+        etas: lp.eta_pivots,
+        warm: lp.warm.name(),
     });
     match lp.status {
         LpStatus::Infeasible => {
@@ -414,17 +444,20 @@ fn expand_node(
         close(NodeOutcome::Limit);
         return;
     }
+    let snapshot = simplex.basis_snapshot().map(Arc::new);
     let down = Arc::new(PathStep {
         j,
         is_lb: false,
         value: floor,
         parent: Some(Arc::clone(node)),
+        warm: snapshot.clone(),
     });
     let up = Arc::new(PathStep {
         j,
         is_lb: true,
         value: floor + 1.0,
         parent: Some(Arc::clone(node)),
+        warm: snapshot,
     });
     let (first, second) = if down_child_first(rule, bx, floor) {
         (down, up)
@@ -516,11 +549,16 @@ pub(crate) fn solve(
     stats.lp_solves += 1;
     stats.simplex_iterations += lp.iterations;
     stats.refactors += lp.refactors;
+    stats.eta_pivots += lp.eta_pivots;
+    stats.ftran_time += std::time::Duration::from_nanos(lp.ftran_nanos);
+    stats.btran_time += std::time::Duration::from_nanos(lp.btran_nanos);
     trace.emit(|| TraceEvent::LpSolved {
         worker: 0,
         class: lp_class(lp.status),
         iterations: lp.iterations,
         refactors: lp.refactors,
+        etas: lp.eta_pivots,
+        warm: lp.warm.name(),
     });
     match lp.status {
         LpStatus::Infeasible => {
@@ -582,6 +620,7 @@ pub(crate) fn solve(
             error: None,
         };
     };
+    let root_snapshot = root_simplex.basis_snapshot().map(Arc::new);
     drop(root_simplex);
 
     let shared = Shared {
@@ -603,6 +642,11 @@ pub(crate) fn solve(
         simplex_iterations: AtomicU64::new(0),
         incumbents: AtomicU64::new(0),
         refactors: AtomicU64::new(0),
+        eta_pivots: AtomicU64::new(0),
+        warm_starts: AtomicU64::new(0),
+        warm_abandoned: AtomicU64::new(0),
+        ftran_nanos: AtomicU64::new(0),
+        btran_nanos: AtomicU64::new(0),
         stalled_lps: AtomicU64::new(0),
         panics_recovered: AtomicU64::new(0),
         limit_hit: AtomicBool::new(false),
@@ -624,12 +668,14 @@ pub(crate) fn solve(
             is_lb: false,
             value: floor,
             parent: None,
+            warm: root_snapshot.clone(),
         });
         let up = Arc::new(PathStep {
             j,
             is_lb: true,
             value: floor + 1.0,
             parent: None,
+            warm: root_snapshot,
         });
         let (first, second) = if down_child_first(limits.branch_rule, bx, floor) {
             (down, up)
@@ -671,6 +717,11 @@ pub(crate) fn solve(
     stats.simplex_iterations += shared.simplex_iterations.load(Ordering::Relaxed);
     stats.incumbents += shared.incumbents.load(Ordering::Relaxed);
     stats.refactors += shared.refactors.load(Ordering::Relaxed);
+    stats.eta_pivots += shared.eta_pivots.load(Ordering::Relaxed);
+    stats.warm_starts += shared.warm_starts.load(Ordering::Relaxed);
+    stats.warm_abandoned += shared.warm_abandoned.load(Ordering::Relaxed);
+    stats.ftran_time += std::time::Duration::from_nanos(shared.ftran_nanos.load(Ordering::Relaxed));
+    stats.btran_time += std::time::Duration::from_nanos(shared.btran_nanos.load(Ordering::Relaxed));
     stats.stalled_lps += shared.stalled_lps.load(Ordering::Relaxed);
     stats.panics_recovered += shared.panics_recovered.load(Ordering::Relaxed);
     stats.wall_time = start.elapsed();

@@ -118,10 +118,25 @@ pub struct SolveStats {
     /// Incumbent updates: how many times a strictly better integral
     /// solution was accepted during the search.
     pub incumbents: u64,
-    /// Basis refactorizations performed across all LP solves (scheduled
-    /// [`REFACTOR_EVERY`](crate::Simplex) rebuilds plus watchdog-forced
-    /// ones).
+    /// Basis refactorizations performed across all LP solves (the scheduled
+    /// cadence set by [`SimplexOptions::refactor_every`](crate::SimplexOptions),
+    /// watchdog-forced rebuilds, and warm-start basis installations).
     pub refactors: u64,
+    /// Product-form eta updates absorbed by the sparse basis engine across
+    /// all LP solves (0 when the dense engine ran).
+    pub eta_pivots: u64,
+    /// LP re-solves that successfully restarted from a parent node's basis
+    /// snapshot instead of a crash basis.
+    pub warm_starts: u64,
+    /// Warm-start attempts abandoned (singular snapshot basis or dual-pivot
+    /// cap) and retried cold.
+    pub warm_abandoned: u64,
+    /// Time spent in FTRAN solves (transformed columns and right-hand
+    /// sides) across all LP solves.
+    pub ftran_time: Duration,
+    /// Time spent in BTRAN solves (pricing and dual rows) across all LP
+    /// solves.
+    pub btran_time: Duration,
     /// LP relaxations abandoned by the degenerate-pivot stall watchdog
     /// ([`LpStatus::Stalled`](crate::LpStatus)).
     pub stalled_lps: u64,
@@ -151,6 +166,11 @@ impl SolveStats {
         self.lp_solves += other.lp_solves;
         self.incumbents += other.incumbents;
         self.refactors += other.refactors;
+        self.eta_pivots += other.eta_pivots;
+        self.warm_starts += other.warm_starts;
+        self.warm_abandoned += other.warm_abandoned;
+        self.ftran_time += other.ftran_time;
+        self.btran_time += other.btran_time;
         self.stalled_lps += other.stalled_lps;
         self.panics_recovered += other.panics_recovered;
         self.faults_injected += other.faults_injected;
@@ -223,6 +243,11 @@ mod tests {
             lp_solves: 4,
             incumbents: 1,
             refactors: 2,
+            eta_pivots: 50,
+            warm_starts: 2,
+            warm_abandoned: 1,
+            ftran_time: Duration::from_millis(2),
+            btran_time: Duration::from_millis(3),
             stalled_lps: 1,
             panics_recovered: 0,
             faults_injected: 1,
@@ -236,6 +261,11 @@ mod tests {
             lp_solves: 6,
             incumbents: 2,
             refactors: 3,
+            eta_pivots: 25,
+            warm_starts: 4,
+            warm_abandoned: 0,
+            ftran_time: Duration::from_millis(1),
+            btran_time: Duration::from_millis(4),
             stalled_lps: 0,
             panics_recovered: 4,
             faults_injected: 2,
@@ -250,6 +280,11 @@ mod tests {
             lp_solves,
             incumbents,
             refactors,
+            eta_pivots,
+            warm_starts,
+            warm_abandoned,
+            ftran_time,
+            btran_time,
             stalled_lps,
             panics_recovered,
             faults_injected,
@@ -263,6 +298,11 @@ mod tests {
         assert_eq!(lp_solves, 10);
         assert_eq!(incumbents, 3);
         assert_eq!(refactors, 5);
+        assert_eq!(eta_pivots, 75);
+        assert_eq!(warm_starts, 6);
+        assert_eq!(warm_abandoned, 1);
+        assert_eq!(ftran_time, Duration::from_millis(3));
+        assert_eq!(btran_time, Duration::from_millis(7));
         assert_eq!(stalled_lps, 1);
         assert_eq!(panics_recovered, 4);
         assert_eq!(faults_injected, 3);

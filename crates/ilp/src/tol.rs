@@ -60,6 +60,19 @@ pub const ELIM_SKIP_TOL: f64 = 1e-13;
 /// the previous inverse in place for the residual check to judge.
 pub const SINGULAR_TOL: f64 = 1e-12;
 
+/// Relative threshold for partial pivoting inside the sparse LU
+/// factorization: an entry is an eligible Markowitz pivot only if its
+/// magnitude is at least this fraction of the largest entry in its column
+/// of the active submatrix. The classic 0.1 trades a bounded growth factor
+/// (≤ 10 per elimination step) for the freedom to pick sparser pivots.
+pub const LU_PIVOT_REL: f64 = 0.1;
+
+/// Entries produced by sparse elimination below this magnitude are dropped
+/// from the active submatrix. Same scale as [`ELIM_SKIP_TOL`]: on
+/// small-integer scheduling data an entry this size is exact-cancellation
+/// residue, and keeping it would only manufacture fill-in.
+pub const LU_DROP_TOL: f64 = 1e-13;
+
 /// Maximum `|Ax - b|` residual accepted at claimed optimality. Looser than
 /// [`FEAS_TOL`] because it bounds the *accumulated* error of a full solve,
 /// not one comparison; a failure forces a refactorization and a re-solve.
@@ -100,6 +113,9 @@ mod tests {
     fn tolerance_scales_are_ordered() {
         assert!(RATIO_TIE_TOL < PIVOT_TOL);
         assert!(ELIM_SKIP_TOL < SINGULAR_TOL);
+        assert!(LU_DROP_TOL <= ELIM_SKIP_TOL);
+        assert!(LU_DROP_TOL < SINGULAR_TOL);
+        assert!(SINGULAR_TOL < LU_PIVOT_REL);
         assert!(PIVOT_TOL <= DEGEN_STEP_TOL);
         assert!(FEAS_TOL < RESIDUAL_TOL);
         assert_eq!(RESIDUAL_TOL, PHASE1_INFEAS_TOL);

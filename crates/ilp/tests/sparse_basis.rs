@@ -1,0 +1,231 @@
+//! Stress tests for the sparse basis engine on degenerate, rank-deficient,
+//! and stall-prone inputs: singular-basis recovery during refactorization,
+//! eta-file growth bounds, and warm-start fallback behaviour.
+//!
+//! Everything here drives the public [`Simplex`] API; the LU kernel's own
+//! unit tests (pivot selection, singular rejection, eta algebra) live next
+//! to the implementation in `src/factor.rs`.
+
+use optimod_ilp::{
+    LpOutcome, LpStatus, Model, Sense, Simplex, SimplexEngine, SimplexOptions, WarmStart,
+};
+
+fn sparse_opts() -> SimplexOptions {
+    SimplexOptions {
+        engine: SimplexEngine::Sparse,
+        ..Default::default()
+    }
+}
+
+/// Solves `model` at its native bounds with the given options.
+fn solve(model: &Model, bounds: &[(f64, f64)], opts: &SimplexOptions) -> LpOutcome {
+    let lb: Vec<f64> = bounds.iter().map(|b| b.0).collect();
+    let ub: Vec<f64> = bounds.iter().map(|b| b.1).collect();
+    Simplex::new(model).solve(&lb, &ub, opts)
+}
+
+/// A transportation-style LP whose equality system is rank deficient: the
+/// supply rows and demand rows each sum to the same total, so one row is
+/// implied by the others and a redundant duplicate is stacked on top. A
+/// degenerate phase 1 must park the surplus artificials at zero (or pivot
+/// them out) without declaring the basis singular.
+fn rank_deficient_transport() -> (Model, Vec<(f64, f64)>) {
+    let mut m = Model::new();
+    let inf = f64::INFINITY;
+    let mut x = Vec::new();
+    for i in 0..2 {
+        for j in 0..3 {
+            x.push(m.num_var(0.0, inf, format!("x{i}{j}")));
+        }
+    }
+    let cost = [4.0, 6.0, 9.0, 5.0, 3.0, 8.0];
+    m.set_objective(Sense::Minimize, x.iter().zip(cost).map(|(&v, c)| (v, c)));
+    m.add_eq([(x[0], 1.0), (x[1], 1.0), (x[2], 1.0)], 10.0, "supply0");
+    m.add_eq([(x[3], 1.0), (x[4], 1.0), (x[5], 1.0)], 8.0, "supply1");
+    m.add_eq([(x[0], 1.0), (x[3], 1.0)], 6.0, "demand0");
+    m.add_eq([(x[1], 1.0), (x[4], 1.0)], 7.0, "demand1");
+    // Implied by the four rows above (total supply = total demand).
+    m.add_eq([(x[2], 1.0), (x[5], 1.0)], 5.0, "demand2");
+    // Exact duplicate of supply0: outright rank deficiency.
+    m.add_eq([(x[0], 1.0), (x[1], 1.0), (x[2], 1.0)], 10.0, "supply0-dup");
+    (m, vec![(0.0, inf); 6])
+}
+
+/// A highly degenerate LP: many redundant facets all passing through the
+/// optimal vertex, which historically provokes long runs of zero-progress
+/// pivots (the classic stall shape).
+fn stall_prone(n: usize) -> (Model, Vec<(f64, f64)>) {
+    let mut m = Model::new();
+    let inf = f64::INFINITY;
+    let x: Vec<_> = (0..n)
+        .map(|j| m.num_var(0.0, inf, format!("x{j}")))
+        .collect();
+    m.set_objective(Sense::Maximize, x.iter().map(|&v| (v, 1.0)));
+    // One binding budget row ...
+    m.add_le(x.iter().map(|&v| (v, 1.0)), 1.0, "budget");
+    // ... plus n exact duplicates, every one tight at the same optimal
+    // face, so each pivot along that face is degenerate in n + 1 rows.
+    for k in 0..n {
+        m.add_le(x.iter().map(|&v| (v, 1.0)), 1.0, format!("copy{k}"));
+    }
+    (m, vec![(0.0, inf); n])
+}
+
+#[test]
+fn rank_deficient_equalities_solve_on_both_engines() {
+    let (m, bounds) = rank_deficient_transport();
+    let dense = solve(
+        &m,
+        &bounds,
+        &SimplexOptions {
+            engine: SimplexEngine::Dense,
+            ..Default::default()
+        },
+    );
+    let sparse = solve(&m, &bounds, &sparse_opts());
+    assert_eq!(dense.status, LpStatus::Optimal);
+    assert_eq!(sparse.status, LpStatus::Optimal);
+    assert!(
+        (dense.objective - sparse.objective).abs() < 1e-6,
+        "dense {} vs sparse {}",
+        dense.objective,
+        sparse.objective
+    );
+}
+
+#[test]
+fn refactor_every_pivot_survives_rank_deficiency() {
+    // Refactorizing from scratch after every pivot exercises the LU path on
+    // every intermediate basis of a rank-deficient system; any singular
+    // intermediate basis must be recovered (kept factor + forced cadence),
+    // not propagated into a wrong answer.
+    let (m, bounds) = rank_deficient_transport();
+    let stock = solve(&m, &bounds, &sparse_opts());
+    let paranoid = solve(
+        &m,
+        &bounds,
+        &SimplexOptions {
+            refactor_every: 1,
+            ..sparse_opts()
+        },
+    );
+    assert_eq!(paranoid.status, LpStatus::Optimal);
+    assert!((paranoid.objective - stock.objective).abs() < 1e-6);
+    assert!(
+        paranoid.refactors > stock.refactors,
+        "per-pivot cadence should refactor more ({} vs {})",
+        paranoid.refactors,
+        stock.refactors
+    );
+}
+
+#[test]
+fn eta_file_growth_is_bounded_by_nnz_limit() {
+    // A tiny eta nonzero budget must cap the product file: the engine
+    // trades etas for refactorizations instead of letting the file grow
+    // with the pivot count, and the answer cannot move.
+    let (m, bounds) = stall_prone(24);
+    let stock = solve(&m, &bounds, &sparse_opts());
+    let capped = solve(
+        &m,
+        &bounds,
+        &SimplexOptions {
+            eta_nnz_limit: 8,
+            ..sparse_opts()
+        },
+    );
+    assert_eq!(stock.status, LpStatus::Optimal);
+    assert_eq!(capped.status, LpStatus::Optimal);
+    assert!((stock.objective - capped.objective).abs() < 1e-6);
+    assert!(
+        capped.refactors >= stock.refactors,
+        "a tight eta budget cannot refactor less ({} vs {})",
+        capped.refactors,
+        stock.refactors
+    );
+}
+
+#[test]
+fn stall_prone_kernel_terminates_under_tight_watchdog() {
+    // Aggressive watchdog thresholds (forced refactor after 4 degenerate
+    // pivots) on a degeneracy-heavy LP: the solve must still terminate at
+    // the optimum rather than stalling or cycling.
+    let (m, bounds) = stall_prone(32);
+    let out = solve(
+        &m,
+        &bounds,
+        &SimplexOptions {
+            degen_limit: 4,
+            stall_refactor: 16,
+            ..sparse_opts()
+        },
+    );
+    assert_eq!(out.status, LpStatus::Optimal);
+    assert!((out.objective - 1.0).abs() < 1e-6, "{}", out.objective);
+}
+
+#[test]
+fn warm_pivot_cap_zero_abandons_to_cold() {
+    // With a zero dual-pivot budget, any child that actually needs dual
+    // pivots must abandon the warm start and still produce the right
+    // answer from a cold basis, reporting the abandonment honestly.
+    let mut m = Model::new();
+    let inf = f64::INFINITY;
+    let x = m.num_var(0.0, inf, "x");
+    let y = m.num_var(0.0, inf, "y");
+    m.set_objective(Sense::Maximize, [(x, 3.0), (y, 5.0)]);
+    m.add_le([(x, 1.0), (y, 2.0)], 14.0, "c1");
+    m.add_le([(x, 3.0), (y, -1.0)], 0.0, "c2");
+    m.add_le([(x, 1.0), (y, -1.0)], 2.0, "c3");
+
+    let opts = SimplexOptions {
+        warm_pivot_cap: 0,
+        ..sparse_opts()
+    };
+    let mut sx = Simplex::new(&m);
+    let parent = sx.solve(&[0.0, 0.0], &[inf, inf], &opts);
+    assert_eq!(parent.status, LpStatus::Optimal);
+    let snap = sx.basis_snapshot().expect("optimal parent basis");
+
+    // Tighten x like a branch would; the parent vertex goes infeasible.
+    let child = sx.solve_warm(&[0.0, 0.0], &[1.0, inf], &opts, Some(&snap));
+    assert_eq!(child.status, LpStatus::Optimal);
+    assert_eq!(
+        child.warm,
+        WarmStart::Abandoned,
+        "zero pivot budget must abandon, not fail"
+    );
+
+    let cold = solve(&m, &[(0.0, 1.0), (0.0, inf)], &sparse_opts());
+    assert!((child.objective - cold.objective).abs() < 1e-6);
+}
+
+#[test]
+fn warm_start_with_fixed_variable_child() {
+    // Branch-and-bound fixes variables outright (lb == ub); the warm dual
+    // restart must handle the snapshot basis under a collapsed box.
+    let mut m = Model::new();
+    let x = m.num_var(0.0, 4.0, "x");
+    let y = m.num_var(0.0, 4.0, "y");
+    let z = m.num_var(0.0, 4.0, "z");
+    m.set_objective(Sense::Maximize, [(x, 2.0), (y, 3.0), (z, 1.0)]);
+    m.add_le([(x, 1.0), (y, 1.0), (z, 1.0)], 6.0, "sum");
+    m.add_le([(x, 2.0), (y, 1.0)], 7.0, "mix");
+
+    let opts = sparse_opts();
+    let mut sx = Simplex::new(&m);
+    let parent = sx.solve(&[0.0; 3], &[4.0; 3], &opts);
+    assert_eq!(parent.status, LpStatus::Optimal);
+    let snap = sx.basis_snapshot().expect("optimal parent basis");
+
+    let warm = sx.solve_warm(&[0.0, 2.0, 0.0], &[4.0, 2.0, 4.0], &opts, Some(&snap));
+    let cold = solve(&m, &[(0.0, 4.0), (2.0, 2.0), (0.0, 4.0)], &opts);
+    assert_eq!(warm.status, cold.status);
+    assert!(
+        (warm.objective - cold.objective).abs() < 1e-6,
+        "warm {} vs cold {}",
+        warm.objective,
+        cold.objective
+    );
+    assert_ne!(warm.warm, WarmStart::Cold, "snapshot was offered and valid");
+}

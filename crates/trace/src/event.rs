@@ -156,6 +156,13 @@ pub enum TraceEvent {
         iterations: u64,
         /// Basis refactorizations performed during the solve.
         refactors: u64,
+        /// Product-form eta updates absorbed by the sparse basis engine
+        /// (0 under the dense engine).
+        etas: u64,
+        /// Warm-start provenance: `"cold"`, `"warm"` (restarted from a
+        /// parent basis), or `"abandoned"` (restart attempted, fell back
+        /// to cold).
+        warm: &'static str,
     },
     /// A branch-and-bound node (beyond the root) began expanding.
     NodeOpen {
@@ -288,11 +295,13 @@ impl TraceEvent {
                 class,
                 iterations,
                 refactors,
+                etas,
+                warm,
             } => {
                 let _ = write!(
                     s,
                     ",\"worker\":{worker},\"class\":\"{}\",\"iterations\":{iterations},\
-                     \"refactors\":{refactors}",
+                     \"refactors\":{refactors},\"etas\":{etas},\"warm\":\"{warm}\"",
                     class.name()
                 );
             }
@@ -350,12 +359,14 @@ mod tests {
             class: LpClass::Optimal,
             iterations: 42,
             refactors: 1,
+            etas: 40,
+            warm: "warm",
         };
         let json = ev.to_json(Duration::from_micros(1500));
         assert_eq!(
             json,
             "{\"t_us\":1500,\"ev\":\"lp_solved\",\"worker\":3,\"class\":\"optimal\",\
-             \"iterations\":42,\"refactors\":1}"
+             \"iterations\":42,\"refactors\":1,\"etas\":40,\"warm\":\"warm\"}"
         );
     }
 
@@ -384,6 +395,8 @@ mod tests {
                 class: LpClass::Optimal,
                 iterations: 0,
                 refactors: 0,
+                etas: 0,
+                warm: "cold",
             }
             .kind(),
             TraceEvent::NodeOpen {

@@ -49,6 +49,43 @@ impl HistSummary {
     }
 }
 
+/// Warm-start provenance counts over a group of LP solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmSummary {
+    /// Solves from the crash (slack) basis.
+    pub cold: u64,
+    /// Solves restarted from a parent basis snapshot.
+    pub taken: u64,
+    /// Restart attempts abandoned for a cold start.
+    pub abandoned: u64,
+}
+
+impl WarmSummary {
+    /// Total LP solves observed.
+    pub fn total(&self) -> u64 {
+        self.cold + self.taken + self.abandoned
+    }
+
+    /// Fraction of solves that successfully reused a parent basis
+    /// (0 when no solves were observed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.taken as f64 / total as f64
+        }
+    }
+
+    fn record(&mut self, warm: &str) {
+        match warm {
+            "warm" => self.taken += 1,
+            "abandoned" => self.abandoned += 1,
+            _ => self.cold += 1,
+        }
+    }
+}
+
 /// Aggregated view of one solve's (or one loop's) event stream, produced by
 /// [`MemorySink::report`](crate::MemorySink::report).
 ///
@@ -76,6 +113,16 @@ pub struct SolveReport {
     pub simplex_iterations: u64,
     /// Total basis refactorizations across LP solves.
     pub refactors: u64,
+    /// Total product-form eta updates across LP solves (0 when every solve
+    /// ran the dense engine).
+    pub eta_pivots: u64,
+    /// Warm-start provenance over all LP solves.
+    pub warm: WarmSummary,
+    /// Warm-start provenance attributed to the innermost open phase span at
+    /// the time of each LP solve, in [`Phase::ALL`] order (phases that saw
+    /// no LP solves are omitted; solves outside any span count only in
+    /// [`SolveReport::warm`]).
+    pub warm_by_phase: Vec<(Phase, WarmSummary)>,
     /// LPs abandoned by the stall watchdog.
     pub stalled_lps: u64,
     /// Worker panics recovered.
@@ -142,12 +189,20 @@ impl SolveReport {
             .collect();
         let mut lp_iters: Vec<u64> = Vec::new();
         let mut depths: Vec<u64> = Vec::new();
+        // Innermost-open-phase stack (in begin order), used to attribute
+        // each LP solve's warm-start provenance to a phase.
+        let mut phase_stack: Vec<Phase> = Vec::new();
+        let mut warm_by_phase: Vec<(Phase, WarmSummary)> = Phase::ALL
+            .iter()
+            .map(|&p| (p, WarmSummary::default()))
+            .collect();
         for te in events {
             report.wall = report.wall.max(te.at);
             match &te.event {
                 TraceEvent::PhaseBegin { phase } => {
                     let slot = open.iter_mut().find(|(p, _)| p == phase).expect("known");
                     slot.1.push(te.at);
+                    phase_stack.push(*phase);
                 }
                 TraceEvent::PhaseEnd { phase } => {
                     let slot = open.iter_mut().find(|(p, _)| p == phase).expect("known");
@@ -156,16 +211,30 @@ impl SolveReport {
                         total.1.count += 1;
                         total.1.total += te.at.saturating_sub(begin);
                     }
+                    if let Some(pos) = phase_stack.iter().rposition(|p| p == phase) {
+                        phase_stack.remove(pos);
+                    }
                 }
                 TraceEvent::LpSolved {
                     class,
                     iterations,
                     refactors,
+                    etas,
+                    warm,
                     ..
                 } => {
                     report.lp_solves += 1;
                     report.simplex_iterations += iterations;
                     report.refactors += refactors;
+                    report.eta_pivots += etas;
+                    report.warm.record(warm);
+                    if let Some(inner) = phase_stack.last() {
+                        let slot = warm_by_phase
+                            .iter_mut()
+                            .find(|(p, _)| p == inner)
+                            .expect("known");
+                        slot.1.record(warm);
+                    }
                     if *class == LpClass::Stalled {
                         report.stalled_lps += 1;
                     }
@@ -206,6 +275,10 @@ impl SolveReport {
             }
         }
         report.phases = totals.into_iter().filter(|(_, s)| s.count > 0).collect();
+        report.warm_by_phase = warm_by_phase
+            .into_iter()
+            .filter(|(_, w)| w.total() > 0)
+            .collect();
         report.lp_iterations = HistSummary::from_values(&lp_iters);
         report.node_depth = HistSummary::from_values(&depths);
         report
@@ -223,6 +296,74 @@ impl SolveReport {
     /// counts; per-worker matching is checked by the property tests).
     pub fn balanced(&self) -> bool {
         self.nodes_opened == self.nodes_closed
+    }
+
+    /// Encodes the report as one JSON object (the CLI's `--report-json`
+    /// output) so downstream tooling — the planned scheduling daemon in
+    /// particular — can consume per-phase timings and LP warm-start
+    /// provenance without scraping the human-readable render.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        let _ = write!(s, "\"phases\":[");
+        for (i, (phase, sum)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"phase\":\"{}\",\"spans\":{},\"total_us\":{}}}",
+                phase.name(),
+                sum.count,
+                crate::as_micros(sum.total)
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"nodes_opened\":{},\"nodes_closed\":{},\"incumbents\":{},\"lp_solves\":{},\
+             \"simplex_iterations\":{},\"refactors\":{},\"eta_pivots\":{},\"stalled_lps\":{},\
+             \"panics_recovered\":{},\"faults_injected\":{}",
+            self.nodes_opened,
+            self.nodes_closed,
+            self.incumbents,
+            self.lp_solves,
+            self.simplex_iterations,
+            self.refactors,
+            self.eta_pivots,
+            self.stalled_lps,
+            self.panics_recovered,
+            self.faults_injected,
+        );
+        let warm_obj = |w: &WarmSummary| {
+            format!(
+                "{{\"taken\":{},\"abandoned\":{},\"cold\":{},\"hit_rate\":{:.4}}}",
+                w.taken,
+                w.abandoned,
+                w.cold,
+                w.hit_rate()
+            )
+        };
+        let _ = write!(s, ",\"warm\":{}", warm_obj(&self.warm));
+        let _ = write!(s, ",\"warm_by_phase\":[");
+        for (i, (phase, w)) in self.warm_by_phase.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"phase\":\"{}\",", phase.name());
+            let obj = warm_obj(w);
+            s.push_str(obj.trim_start_matches('{'));
+        }
+        let _ = write!(
+            s,
+            "],\"ii_attempts\":[{}],\"wall_us\":{}}}",
+            self.ii_attempts
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            crate::as_micros(self.wall)
+        );
+        s
     }
 
     /// Renders the human-readable report the CLI prints under `--report`.
@@ -269,6 +410,30 @@ impl SolveReport {
             "  solves {}, simplex iterations {}, refactorizations {}, stalled {}",
             self.lp_solves, self.simplex_iterations, self.refactors, self.stalled_lps
         );
+        if self.eta_pivots > 0 {
+            let _ = writeln!(s, "  eta updates {}", self.eta_pivots);
+        }
+        if self.warm.taken + self.warm.abandoned > 0 {
+            let _ = writeln!(
+                s,
+                "  warm starts: {} taken, {} abandoned, {} cold (hit rate {:.1}%)",
+                self.warm.taken,
+                self.warm.abandoned,
+                self.warm.cold,
+                self.warm.hit_rate() * 100.0
+            );
+            for (phase, w) in &self.warm_by_phase {
+                let _ = writeln!(
+                    s,
+                    "    {:<12} {} taken / {} abandoned / {} cold ({:.1}%)",
+                    phase.name(),
+                    w.taken,
+                    w.abandoned,
+                    w.cold,
+                    w.hit_rate() * 100.0
+                );
+            }
+        }
         let h = &self.lp_iterations;
         if h.count > 0 {
             let _ = writeln!(
@@ -339,6 +504,8 @@ mod tests {
                     class: LpClass::Optimal,
                     iterations: 10,
                     refactors: 1,
+                    etas: 9,
+                    warm: "cold",
                 },
             ),
             ev(
@@ -355,6 +522,8 @@ mod tests {
                     class: LpClass::Optimal,
                     iterations: 4,
                     refactors: 0,
+                    etas: 3,
+                    warm: "warm",
                 },
             ),
             ev(
@@ -382,6 +551,22 @@ mod tests {
         assert_eq!(r.lp_solves, 2);
         assert_eq!(r.simplex_iterations, 14);
         assert_eq!(r.refactors, 1);
+        assert_eq!(r.eta_pivots, 12);
+        assert_eq!(r.warm.taken, 1);
+        assert_eq!(r.warm.cold, 1);
+        assert_eq!(r.warm.abandoned, 0);
+        // Both LP solves happened inside the Search span.
+        assert_eq!(
+            r.warm_by_phase,
+            vec![(
+                Phase::Search,
+                WarmSummary {
+                    cold: 1,
+                    taken: 1,
+                    abandoned: 0
+                }
+            )]
+        );
         assert_eq!(r.nodes_opened, 1);
         assert!(r.balanced());
         assert_eq!(r.incumbents, 1);
@@ -396,6 +581,12 @@ mod tests {
         let text = r.render();
         assert!(text.contains("nodes 1"));
         assert!(text.contains("simplex iterations 14"));
+        assert!(text.contains("warm starts: 1 taken"));
+        // The JSON form carries the warm-start provenance machine-readably.
+        let json = r.to_json();
+        assert!(json.contains("\"warm\":{\"taken\":1,\"abandoned\":0,\"cold\":1"));
+        assert!(json.contains("\"warm_by_phase\":[{\"phase\":\"search\",\"taken\":1"));
+        assert!(json.contains("\"eta_pivots\":12"));
     }
 
     #[test]

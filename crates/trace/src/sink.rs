@@ -164,6 +164,8 @@ mod tests {
                 class: LpClass::Optimal,
                 iterations: 7,
                 refactors: 0,
+                etas: 0,
+                warm: "cold",
             },
         );
         assert_eq!(a.events().len(), 1);

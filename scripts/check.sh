@@ -44,6 +44,20 @@ echo "==> fixed-seed chaos sweep (fault injection)"
 # trace streams. Failures name their seed: optimod --chaos SEED <loop>.
 cargo run --release -q -p optimod-bench --bin chaos_sweep
 
+echo "==> dense-vs-sparse engine A/B differential (end to end)"
+# Scheduling a golden-corpus slice under OPTIMOD_SIMPLEX=dense and
+# =sparse must certify identical IIs and objectives; the LP/IP-level
+# proptest lives in crates/ilp/tests/ab_engines.rs and runs with the
+# workspace suite above.
+cargo test -q --test ab_engines_end_to_end
+
+echo "==> per-node LP re-solve benchmark (sparse + warm-start gate)"
+# Simulated branch-and-bound children on generated loops (N >= 40):
+# geometric-mean dense-cold -> sparse-warm re-solve speedup must stay
+# above the pinned non-regression ratio (default 2x). Writes
+# BENCH_simplex.json.
+cargo run --release -q -p optimod-bench --bin bench_simplex
+
 echo "==> null-sink trace overhead (fig2 micro-run)"
 # The observability layer must stay free when enabled with a no-op sink:
 # a fig2-style corpus slice (24 loops, ~80 s total), disabled trace vs

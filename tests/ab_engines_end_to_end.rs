@@ -1,0 +1,88 @@
+//! End-to-end differential check of the simplex engines: scheduling the
+//! golden kernels under `OPTIMOD_SIMPLEX=dense` and `=sparse` must produce
+//! the *identical certified result* — same II, same certified objective —
+//! for both formulations, with every schedule re-certified from outside
+//! the scheduler by the exact-arithmetic certifier.
+//!
+//! This is the whole-pipeline counterpart of the LP/IP-level proptest in
+//! `crates/ilp/tests/ab_engines.rs`. It lives in its own test binary (one
+//! `#[test]`, run in one thread) because the engine selector is read from
+//! the process environment and must not race other tests.
+
+use std::time::Duration;
+
+use optimod_suite::optimod::{
+    certify, Claim, DepStyle, LoopStatus, Objective, OptimalScheduler, SchedulerConfig,
+};
+use optimod_suite::optimod_ddg::{kernels, Loop};
+use optimod_suite::optimod_machine::{example_3fu, Machine};
+
+/// A representative slice of the golden corpus: acyclic, single- and
+/// multi-recurrence kernels (the full set is pinned by `golden_corpus`;
+/// this test trades coverage for running the whole thing twice per style).
+fn ab_loops(machine: &Machine) -> Vec<Loop> {
+    vec![
+        kernels::figure1(machine),
+        kernels::saxpy(machine),
+        kernels::lfk6_recurrence(machine),
+        kernels::fir4(machine),
+        kernels::divide_recurrence(machine),
+    ]
+}
+
+/// One engine leg: certified (II, objective) per (kernel, style).
+fn measure(engine: &str, machine: &Machine, loops: &[Loop]) -> Vec<(String, u32, Option<f64>)> {
+    std::env::set_var("OPTIMOD_SIMPLEX", engine);
+    let mut rows = Vec::new();
+    for style in [DepStyle::Traditional, DepStyle::Structured] {
+        let mut cfg = SchedulerConfig::new(style, Objective::MinMaxLive)
+            .with_time_limit(Duration::from_secs(120));
+        cfg.limits.threads = 1;
+        let sched = OptimalScheduler::new(cfg);
+        for l in loops {
+            let r = sched.schedule(l, machine);
+            assert_eq!(
+                r.status,
+                LoopStatus::Optimal,
+                "{} under {engine} engine must be optimal (got {:?})",
+                l.name(),
+                r.status
+            );
+            let s = r.schedule.as_ref().expect("optimal result has a schedule");
+            let claim = Claim {
+                graph: l,
+                machine,
+                ii: s.ii(),
+                times: s.times(),
+                claimed_optimal: true,
+                claimed_objective: r.objective_value,
+                exact_objective: Some(s.max_live(l) as i64),
+                claimed_bound: None,
+            };
+            certify(&claim).unwrap_or_else(|e| {
+                panic!("certificate refused for {} under {engine}: {e}", l.name())
+            });
+            rows.push((format!("{}/{style:?}", l.name()), s.ii(), r.objective_value));
+        }
+    }
+    rows
+}
+
+#[test]
+fn engines_certify_identical_schedules_end_to_end() {
+    let machine = example_3fu();
+    let loops = ab_loops(&machine);
+    let dense = measure("dense", &machine, &loops);
+    let sparse = measure("sparse", &machine, &loops);
+    std::env::remove_var("OPTIMOD_SIMPLEX");
+    assert_eq!(dense.len(), sparse.len());
+    for (d, s) in dense.iter().zip(&sparse) {
+        assert_eq!(d.0, s.0);
+        assert_eq!(d.1, s.1, "{}: dense II {} != sparse II {}", d.0, d.1, s.1);
+        assert_eq!(
+            d.2, s.2,
+            "{}: certified objective diverged between engines",
+            d.0
+        );
+    }
+}
