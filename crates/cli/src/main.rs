@@ -3,6 +3,12 @@
 //! ```text
 //! optimod <loop-file> [options]
 //! optimod lint <loop-file> [--json] [--style ...] [--objective ...]
+//! optimod client <loop-file> --socket PATH [options]
+//! optimod client --socket PATH --ping | --shutdown
+//!
+//! The `client` subcommand sends the loop to a running `optimodd` daemon
+//! over its Unix socket instead of solving in-process; see the daemon
+//! options below.
 //!
 //! The `lint` subcommand runs the static analyzer only: DDG lints
 //! (redundant edges, dead code, SCC RecMII attribution, resource
@@ -36,6 +42,15 @@
 //!   --analyze             print the analyzer's findings before scheduling
 //!   --no-presolve         disable the analyzer's certified presolve
 //!   --json                with `lint`: JSON findings instead of text
+//!
+//! client options:
+//!   --socket <path>       daemon Unix socket (required)
+//!   --deadline-ms <n>     per-request deadline (0 = daemon default)
+//!   --no-cache            bypass the daemon's certified-schedule cache
+//!   --retries <n>         idempotent retries after the first attempt
+//!                         (default 4; capped exponential backoff + jitter)
+//!   --ping                liveness probe instead of a solve
+//!   --shutdown            ask the daemon to drain and exit
 //! ```
 //!
 //! The loop-file grammar is documented in the `parse` module (one `op` /
@@ -43,9 +58,7 @@
 //!
 //! Exit codes: 0 success, 2 usage error, 3 parse/validation error,
 //! 4 scheduling failure, 5 I/O error, 6 certification failure,
-//! 7 error-severity analyzer finding.
-
-mod parse;
+//! 7 error-severity analyzer finding, 8 daemon/transport failure.
 
 use std::io::BufWriter;
 use std::process::ExitCode;
@@ -58,7 +71,11 @@ use optimod::{
     MAX_SCHEDULABLE_II,
 };
 use optimod_analyze::{lint_loop, max_severity, DdgLintConfig, Finding, Severity};
-use optimod_ddg::Loop;
+use optimod_daemon::client as daemon_client;
+use optimod_daemon::{
+    ClientConfig as DaemonClientConfig, ClientError, ErrorCode, Request as DaemonRequest,
+};
+use optimod_ddg::{textfmt, Loop};
 use optimod_ilp::FaultPlan;
 use optimod_machine::Machine;
 use optimod_trace::{JsonlSink, MemorySink, TeeSink, Trace, TraceSink};
@@ -73,6 +90,7 @@ enum Failure {
     Io(String),
     Certification(String),
     Analysis(String),
+    Daemon(String),
 }
 
 impl Failure {
@@ -84,6 +102,7 @@ impl Failure {
             Failure::Io(_) => 5,
             Failure::Certification(_) => 6,
             Failure::Analysis(_) => 7,
+            Failure::Daemon(_) => 8,
         })
     }
 
@@ -94,7 +113,8 @@ impl Failure {
             | Failure::Scheduling(m)
             | Failure::Io(m)
             | Failure::Certification(m)
-            | Failure::Analysis(m) => m,
+            | Failure::Analysis(m)
+            | Failure::Daemon(m) => m,
         }
     }
 }
@@ -119,6 +139,13 @@ struct Options {
     json: bool,
     analyze: bool,
     presolve: bool,
+    client: bool,
+    socket: Option<String>,
+    deadline_ms: u64,
+    no_cache: bool,
+    retries: u32,
+    ping: bool,
+    shutdown: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -143,12 +170,32 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         analyze: false,
         presolve: true,
+        client: false,
+        socket: None,
+        deadline_ms: 0,
+        no_cache: false,
+        retries: 4,
+        ping: false,
+        shutdown: false,
     };
     let mut first = true;
     while let Some(a) = args.next() {
         let was_first = std::mem::take(&mut first);
         match a.as_str() {
             "lint" if was_first => opts.lint = true,
+            "client" if was_first => opts.client = true,
+            "--socket" => opts.socket = Some(args.next().ok_or("--socket needs a path")?),
+            "--deadline-ms" => {
+                let v = args.next().ok_or("--deadline-ms needs a value")?;
+                opts.deadline_ms = v.parse().map_err(|_| "--deadline-ms must be an integer")?;
+            }
+            "--no-cache" => opts.no_cache = true,
+            "--retries" => {
+                let v = args.next().ok_or("--retries needs a value")?;
+                opts.retries = v.parse().map_err(|_| "--retries must be an integer")?;
+            }
+            "--ping" => opts.ping = true,
+            "--shutdown" => opts.shutdown = true,
             "--objective" => {
                 let v = args.next().ok_or("--objective needs a value")?;
                 opts.objective = match v.as_str() {
@@ -203,7 +250,7 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
         }
     }
-    if opts.file.is_empty() {
+    if opts.file.is_empty() && !(opts.client && (opts.ping || opts.shutdown)) {
         return Err(USAGE.to_string());
     }
     Ok(opts)
@@ -214,8 +261,11 @@ const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuf
 [--speculate] [--fallback] [--expand] [--lp] [--trace PATH] [--report] [--report-json] \
 [--certify] [--chaos SEED] [--analyze] [--no-presolve]\n\
        optimod lint <loop-file> [--json] [--style S] [--objective O]\n\
+       optimod client <loop-file> --socket PATH [--objective O] [--style S] [--deadline-ms N] \
+[--registers N] [--threads N] [--fallback] [--no-cache] [--retries N] [--certify]\n\
+       optimod client --socket PATH --ping | --shutdown\n\
 exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O, 6 certification, \
-7 error-severity finding";
+7 error-severity finding, 8 daemon/transport";
 
 /// Runs both analyzer levels: the DDG lints, then — when the loop is
 /// valid and its MII is formulatable — the ILP presolve findings on a
@@ -277,11 +327,160 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), Failure> {
-    let opts = parse_args().map_err(Failure::Usage)?;
+/// The `client` subcommand: ship the loop file to a running `optimodd`
+/// over its Unix socket and print the reply. Retries ride an idempotent
+/// request id, so a retried solve is never run twice. `--certify` re-runs
+/// the exact-arithmetic certifier locally on the returned schedule — the
+/// client does not have to trust the daemon (or the daemon's cache).
+fn run_client(opts: &Options) -> Result<(), Failure> {
+    let socket = opts
+        .socket
+        .as_deref()
+        .ok_or_else(|| Failure::Usage(format!("client needs --socket\n{USAGE}")))?;
+
+    if opts.ping {
+        return match daemon_client::ping(std::path::Path::new(socket)) {
+            Ok(()) => {
+                println!("pong from {socket}");
+                Ok(())
+            }
+            Err(e) => Err(Failure::Daemon(format!("ping failed: {e}"))),
+        };
+    }
+    if opts.shutdown {
+        return match daemon_client::shutdown(std::path::Path::new(socket)) {
+            Ok(()) => {
+                println!("shutdown acknowledged by {socket}");
+                Ok(())
+            }
+            Err(e) => Err(Failure::Daemon(format!("shutdown failed: {e}"))),
+        };
+    }
+
     let text = std::fs::read_to_string(&opts.file)
         .map_err(|e| Failure::Io(format!("cannot read {}: {e}", opts.file)))?;
-    let parsed = parse::parse(&text).map_err(Failure::Parse)?;
+    // Parse locally first: a malformed file is exit 3 here, same as the
+    // offline path, without a round-trip to the daemon.
+    let parsed = textfmt::parse(&text).map_err(Failure::Parse)?;
+    let (l, machine) = (parsed.l, parsed.machine);
+
+    let mut request = DaemonRequest::new(text);
+    request.deadline_ms = opts.deadline_ms;
+    request.use_fallback = opts.fallback;
+    request.use_cache = !opts.no_cache;
+    request.objective = opts.objective;
+    request.dep_style = opts.style;
+    request.register_limit = opts.registers;
+    request.threads = opts.threads;
+
+    let mut ccfg = DaemonClientConfig::new(socket);
+    ccfg.retries = opts.retries;
+
+    let reply = daemon_client::solve(&ccfg, request).map_err(|e| match &e {
+        ClientError::Daemon(err) => {
+            let msg = format!("daemon refused: {e}");
+            match err.code {
+                ErrorCode::Parse | ErrorCode::InvalidLoop => Failure::Parse(msg),
+                ErrorCode::Timeout | ErrorCode::Infeasible | ErrorCode::Failed => {
+                    Failure::Scheduling(msg)
+                }
+                ErrorCode::Certification => Failure::Certification(msg),
+                ErrorCode::Overloaded | ErrorCode::ShuttingDown | ErrorCode::Internal => {
+                    Failure::Daemon(msg)
+                }
+            }
+        }
+        ClientError::Transport(_) => Failure::Daemon(format!("no reply from daemon: {e}")),
+    })?;
+
+    println!(
+        "daemon reply: II {} ({}{}), {} ops on '{}', {} b&b nodes, {} simplex iterations, {} us",
+        reply.ii,
+        reply.provenance,
+        if reply.cache_hit {
+            ", certified cache hit"
+        } else if reply.optimal {
+            ", optimal"
+        } else {
+            ", feasible"
+        },
+        reply.times.len(),
+        machine.name(),
+        reply.bb_nodes,
+        reply.simplex_iterations,
+        reply.wall_us,
+    );
+    if let Some(obj) = reply.objective {
+        println!("objective: {obj} (exact)");
+    }
+    if reply.times.len() != l.num_ops() {
+        return Err(Failure::Daemon(format!(
+            "daemon returned {} times for {} operations",
+            reply.times.len(),
+            l.num_ops()
+        )));
+    }
+    for (i, id) in l.op_ids().enumerate() {
+        let t = reply.times[i];
+        println!(
+            "  {:>8}  t={:<4} row={} stage={}",
+            l.op(id).name,
+            t,
+            t.rem_euclid(reply.ii as i64),
+            t.div_euclid(reply.ii as i64),
+        );
+    }
+
+    if opts.certify {
+        // Trust nothing: rebuild the claim from the reply and certify it
+        // locally against the locally parsed loop and machine.
+        let schedule = optimod::Schedule::new(reply.ii, reply.times.clone());
+        let exact = reply.provenance == Provenance::Exact;
+        let mut cfg = SchedulerConfig::new(opts.style, opts.objective);
+        cfg.register_limit = opts.registers;
+        let sched = OptimalScheduler::new(cfg);
+        let claim = Claim {
+            graph: &l,
+            machine: &machine,
+            ii: reply.ii,
+            times: &reply.times,
+            claimed_optimal: exact && reply.optimal,
+            claimed_objective: if exact {
+                reply.objective.map(|o| o as f64)
+            } else {
+                None
+            },
+            exact_objective: if exact {
+                sched.exact_objective(&l, &schedule)
+            } else {
+                None
+            },
+            claimed_bound: None,
+        };
+        let cert = certify(&claim)
+            .map_err(|e| Failure::Certification(format!("certificate refused: {e}")))?;
+        println!(
+            "certificate: II {} >= MinII {}; {} dependence edges checked; {} resource-row \
+             slots checked{}",
+            cert.ii,
+            cert.min_ii,
+            cert.edges_checked,
+            cert.resource_rows_checked,
+            cert.objective
+                .map_or_else(String::new, |o| format!("; objective {o} exact")),
+        );
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), Failure> {
+    let opts = parse_args().map_err(Failure::Usage)?;
+    if opts.client {
+        return run_client(&opts);
+    }
+    let text = std::fs::read_to_string(&opts.file)
+        .map_err(|e| Failure::Io(format!("cannot read {}: {e}", opts.file)))?;
+    let parsed = textfmt::parse(&text).map_err(Failure::Parse)?;
     let (l, machine) = (parsed.l, parsed.machine);
 
     if opts.lint || opts.analyze {

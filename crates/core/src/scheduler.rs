@@ -40,6 +40,26 @@ fn round_integral(v: f64) -> f64 {
     }
 }
 
+/// Saturating `total * share` for fallback-ladder budget slices.
+///
+/// `Duration::mul_f64` panics when the product overflows — and it can
+/// overflow even for `share <= 1.0`, because `Duration::MAX.as_secs_f64()`
+/// rounds *up* to 2^64 seconds, one past the largest representable
+/// duration. A caller handing the daemon (or the CLI) a near-`u64::MAX`
+/// budget with the ladder enabled would take that panic mid-schedule, so
+/// the share is computed through the fallible conversion and saturates to
+/// `total` instead. Non-finite shares degrade to zero.
+fn budget_share(total: Duration, share: f64) -> Duration {
+    let share = if share.is_finite() {
+        share.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    Duration::try_from_secs_f64(total.as_secs_f64() * share)
+        .map(|d| d.min(total))
+        .unwrap_or(total)
+}
+
 /// Budgeted degradation ladder: when the exact solver cannot schedule a
 /// loop within its slice of the budget, cheaper methods take over rather
 /// than reporting nothing (the coverage-first strategy of SAT-MapIt-style
@@ -350,7 +370,7 @@ impl OptimalScheduler {
 
         // Rung 1: the exact solver on its slice of the budget.
         let total = self.config.limits.time_limit;
-        let exact_budget = total.mul_f64(fb.exact_share.clamp(0.0, 1.0));
+        let exact_budget = budget_share(total, fb.exact_share);
         let exact = self.schedule_exact(l, machine, start, mii, exact_budget);
         if exact.status.scheduled() || exact.status == LoopStatus::Infeasible {
             // A schedule, or a *proof* that none exists in the II span —
@@ -390,7 +410,7 @@ impl OptimalScheduler {
         // for the configured objective, within the stage slice of whatever
         // budget remains.
         let total = self.config.limits.time_limit;
-        let stage_budget = total.mul_f64(self.config.fallback.stage_share.clamp(0.0, 1.0));
+        let stage_budget = budget_share(total, self.config.fallback.stage_share);
         let remaining = total.saturating_sub(start.elapsed());
         let limits = SolveLimits {
             time_limit: stage_budget.min(remaining).max(Duration::from_millis(1)),
@@ -522,7 +542,10 @@ impl OptimalScheduler {
             }
         };
 
-        let end_ii = mii.value() + self.config.max_ii_span;
+        // Saturating: `max_ii_span` is caller-controlled, and the sum only
+        // bounds the escalation loop — clamping it to `u32::MAX` merely
+        // means "escalate until another limit stops us".
+        let end_ii = mii.value().saturating_add(self.config.max_ii_span);
         let mut ii = mii.value();
         while ii <= end_ii {
             let elapsed = start.elapsed();
@@ -648,7 +671,14 @@ impl OptimalScheduler {
                                 );
                             }
                             SolveStatus::Infeasible => {
-                                ii += 2; // both candidates refuted
+                                // Both candidates refuted. Checked: with a
+                                // saturated `end_ii` the increment itself
+                                // could wrap; exhausting u32 means the span
+                                // is exhausted.
+                                match ii.checked_add(2) {
+                                    Some(next) => ii = next,
+                                    None => break,
+                                }
                                 continue;
                             }
                             SolveStatus::LimitReached => {
@@ -661,7 +691,10 @@ impl OptimalScheduler {
                             }
                         }
                     }
-                    ii += 1;
+                    match ii.checked_add(1) {
+                        Some(next) => ii = next,
+                        None => break,
+                    }
                 }
                 SolveStatus::LimitReached => {
                     return give_up(LoopStatus::TimedOut, stats, presolve_totals, sticky_error)

@@ -242,3 +242,45 @@ fn ladder_engages_when_exact_budget_is_zero() {
         None
     );
 }
+
+#[test]
+fn unbounded_budget_with_full_shares_does_not_overflow() {
+    // Regression: the fallback ladder used to slice the budget with
+    // `Duration::mul_f64`, which panics when the product overflows — and
+    // `Duration::MAX.as_secs_f64()` rounds *up* to 2^64 seconds, so even a
+    // share of 1.0 overflowed. An effectively unbounded deadline combined
+    // with the ladder must schedule, not abort.
+    let machine = example_3fu();
+    let l = optimod_ddg::kernels::figure1(&machine);
+    let mut cfg = SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+        .with_time_limit(Duration::MAX);
+    cfg.limits.threads = 1;
+    cfg.fallback = FallbackConfig {
+        enabled: true,
+        exact_share: 1.0,
+        stage_share: 1.0,
+    };
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        OptimalScheduler::new(cfg).schedule(&l, &machine)
+    }))
+    .expect("near-u64::MAX budget with full ladder shares panicked");
+    assert!(r.status.scheduled(), "{:?}", r.status);
+}
+
+#[test]
+fn saturated_ii_span_does_not_overflow() {
+    // `end_ii = mii + max_ii_span` must saturate, and the per-iteration
+    // escalation steps must not wrap past a saturated `end_ii`. The node
+    // budget keeps the walk short; the point is the arithmetic.
+    let machine = example_3fu();
+    let l = optimod_ddg::kernels::figure1(&machine);
+    let mut cfg = SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+        .with_time_limit(Duration::from_secs(5));
+    cfg.limits.threads = 1;
+    cfg.max_ii_span = u32::MAX;
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        OptimalScheduler::new(cfg).schedule(&l, &machine)
+    }))
+    .expect("saturated II span panicked");
+    assert!(r.status.scheduled(), "{:?}", r.status);
+}

@@ -1,0 +1,114 @@
+//! The `optimodd` binary: bind a socket, serve solve requests until a
+//! `Shutdown` frame arrives, then drain and exit.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use optimod_daemon::server::{Daemon, DaemonConfig};
+use optimod_ilp::FaultPlan;
+
+const USAGE: &str = "\
+usage: optimodd --socket PATH [options]\n\
+\n\
+options:\n\
+  --socket PATH          unix socket to listen on (required)\n\
+  --cache-dir PATH       enable the certified-schedule cache at PATH\n\
+  --workers N            solver worker threads (default 2)\n\
+  --queue-depth N        admission queue depth (default 64)\n\
+  --default-deadline-ms N  deadline for requests that carry none (default 30000)\n\
+  --drain-timeout-ms N   graceful-drain budget on shutdown (default 5000)\n\
+  --threads N            solver threads per job (default 1)\n\
+  --fault-seed N         inject a seeded daemon fault plan (testing)\n\
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("optimodd: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg: Option<DaemonConfig> = None;
+    let mut pending: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--socket" => match it.next() {
+                Some(path) => cfg = Some(DaemonConfig::new(path)),
+                None => return fail("--socket needs a path"),
+            },
+            opt @ ("--cache-dir"
+            | "--workers"
+            | "--queue-depth"
+            | "--default-deadline-ms"
+            | "--drain-timeout-ms"
+            | "--threads"
+            | "--fault-seed") => match it.next() {
+                Some(v) => pending.push((opt.to_string(), v.clone())),
+                None => return fail(&format!("{opt} needs a value")),
+            },
+            other => return fail(&format!("unknown option '{other}'")),
+        }
+    }
+    let Some(mut cfg) = cfg else {
+        return fail("--socket is required");
+    };
+    for (opt, v) in pending {
+        let num = || v.parse::<u64>();
+        match opt.as_str() {
+            "--cache-dir" => cfg.cache_dir = Some(v.clone().into()),
+            "--workers" => match num() {
+                Ok(n) if n > 0 => cfg.workers = n as usize,
+                _ => return fail("--workers needs a positive integer"),
+            },
+            "--queue-depth" => match num() {
+                Ok(n) if n > 0 => cfg.queue_depth = n as usize,
+                _ => return fail("--queue-depth needs a positive integer"),
+            },
+            "--default-deadline-ms" => match num() {
+                Ok(n) if n > 0 => cfg.default_deadline = Duration::from_millis(n),
+                _ => return fail("--default-deadline-ms needs a positive integer"),
+            },
+            "--drain-timeout-ms" => match num() {
+                Ok(n) => cfg.drain_timeout = Duration::from_millis(n),
+                _ => return fail("--drain-timeout-ms needs an integer"),
+            },
+            "--threads" => match num() {
+                Ok(n) if n > 0 && n <= u32::MAX as u64 => cfg.solver_threads = n as u32,
+                _ => return fail("--threads needs a positive integer"),
+            },
+            "--fault-seed" => match num() {
+                Ok(seed) => cfg.fault = FaultPlan::daemon_from_seed(seed),
+                _ => return fail("--fault-seed needs an integer"),
+            },
+            _ => unreachable!("filtered above"),
+        }
+    }
+
+    let socket = cfg.socket_path.clone();
+    let handle = match Daemon::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("optimodd: failed to start on {}: {e}", socket.display());
+            return ExitCode::from(5);
+        }
+    };
+    eprintln!("optimodd: listening on {}", socket.display());
+    handle.wait_shutdown_requested();
+    eprintln!("optimodd: shutdown requested, draining");
+    match handle.shutdown() {
+        Ok(()) => {
+            eprintln!("optimodd: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("optimodd: drain failed: {e}");
+            ExitCode::from(5)
+        }
+    }
+}

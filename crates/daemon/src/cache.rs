@@ -1,0 +1,347 @@
+//! Crash-safe content-addressed store of certified schedules.
+//!
+//! Layout: one file per key, `<dir>/<hex key>.omc`, containing
+//!
+//! ```text
+//! magic "OMC1" | version u8 | key (32 bytes) | payload_len u32 LE | payload | sha256(payload)
+//! ```
+//!
+//! Durability protocol:
+//!
+//! * **Writes are atomic.** The record is written to a temp file *in the
+//!   same directory* (rename across filesystems is not atomic), `fsync`ed,
+//!   then `rename`d over the final name. A crash mid-write leaves a stale
+//!   temp file, never a torn record under the real name.
+//! * **Reads are paranoid.** Magic, version, key echo, and the SHA-256 of
+//!   the payload are all verified; any mismatch quarantines the file (moved
+//!   into `quarantine/`, preserved for postmortem) and reports a miss, so
+//!   the scheduler re-solves instead of serving bad bytes.
+//!
+//! The store holds *schedules*, not certificates: the daemon re-certifies
+//! every cache hit against the freshly parsed request before serving it, so
+//! even a record that passes the checksum cannot smuggle an uncertified
+//! schedule to a client.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::{hex, Sha256};
+use crate::wire::{Dec, Enc, WireError};
+
+const MAGIC: [u8; 4] = *b"OMC1";
+const VERSION: u8 = 1;
+
+/// The cached value: everything needed to reconstruct a `Scheduled` reply
+/// (modulo per-request statistics, which are meaningless for a hit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedSchedule {
+    /// Initiation interval.
+    pub ii: u32,
+    /// Exact secondary-objective value, if one was certified.
+    pub objective: Option<i64>,
+    /// Issue cycle per operation, in *canonical* op order (the sorted order
+    /// of [`crate::hash::canonical_perm`]). Declaration order is not stable
+    /// across the textual reorderings the key deliberately erases, so the
+    /// server remaps on store and on load.
+    pub times: Vec<i64>,
+}
+
+/// Counters for observability and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful loads.
+    pub hits: u64,
+    /// Absent keys.
+    pub misses: u64,
+    /// Records persisted.
+    pub stores: u64,
+    /// Corrupt records moved aside.
+    pub quarantined: u64,
+}
+
+/// A content-addressed, crash-safe schedule store rooted at a directory.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<CacheStore> {
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("quarantine"))?;
+        Ok(CacheStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &[u8; 32]) -> PathBuf {
+        self.dir.join(format!("{}.omc", hex(key)))
+    }
+
+    /// Loads the record for `key`. Any structural defect — bad magic,
+    /// version skew, key mismatch, checksum failure, short file — moves the
+    /// record into quarantine and returns `None`.
+    pub fn load(&self, key: &[u8; 32]) -> Option<CachedSchedule> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_record(&bytes, key) {
+            Ok(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            Err(_) => {
+                self.quarantine(key);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Atomically persists the record for `key`: temp file in the same
+    /// directory, fsync, rename.
+    pub fn store(&self, key: &[u8; 32], value: &CachedSchedule) -> io::Result<()> {
+        let tmp = self.write_temp(key, value)?;
+        fs::rename(&tmp, self.entry_path(key))?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// First half of [`CacheStore::store`]: writes and fsyncs the temp file
+    /// but does *not* rename it into place. Exposed so fault injection can
+    /// simulate a crash between write and rename; the stale temp file must
+    /// never be visible to [`CacheStore::load`].
+    pub fn write_temp(&self, key: &[u8; 32], value: &CachedSchedule) -> io::Result<PathBuf> {
+        let record = encode_record(key, value);
+        let tmp = self
+            .dir
+            .join(format!(".{}.tmp.{}", hex(key), std::process::id()));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&record)?;
+        f.sync_all()?;
+        Ok(tmp)
+    }
+
+    /// Moves the record for `key` (if any) into `quarantine/`, preserving
+    /// the bytes for postmortem. Used both for checksum failures and for
+    /// records that pass the checksum but fail exact re-certification.
+    pub fn quarantine(&self, key: &[u8; 32]) {
+        let path = self.entry_path(key);
+        let dest = self
+            .dir
+            .join("quarantine")
+            .join(format!("{}.omc", hex(key)));
+        if fs::rename(&path, &dest).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Rename can race another quarantiner; removing is still safe —
+            // the key must stop resolving either way.
+            let _ = fs::remove_file(&path);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn encode_payload(value: &CachedSchedule) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u32(value.ii);
+    match value.objective {
+        None => e.u8(0),
+        Some(v) => {
+            e.u8(1);
+            e.i64(v);
+        }
+    }
+    e.u32(value.times.len() as u32);
+    for &t in &value.times {
+        e.i64(t);
+    }
+    e.0
+}
+
+fn decode_payload(payload: &[u8]) -> Result<CachedSchedule, WireError> {
+    let mut d = Dec(payload);
+    let ii = d.u32()?;
+    if ii == 0 {
+        return Err(WireError::Malformed("zero II"));
+    }
+    let objective = match d.u8()? {
+        0 => None,
+        1 => Some(d.i64()?),
+        v => {
+            return Err(WireError::BadTag {
+                what: "objective option",
+                value: v as u64,
+            })
+        }
+    };
+    let n = d.u32()? as usize;
+    if n > payload.len() {
+        return Err(WireError::Malformed("times length"));
+    }
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        times.push(d.i64()?);
+    }
+    d.finish()?;
+    Ok(CachedSchedule {
+        ii,
+        objective,
+        times,
+    })
+}
+
+fn encode_record(key: &[u8; 32], value: &CachedSchedule) -> Vec<u8> {
+    let payload = encode_payload(value);
+    let mut out = Vec::with_capacity(4 + 1 + 32 + 4 + payload.len() + 32);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(key);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&Sha256::digest(&payload));
+    out
+}
+
+fn decode_record(bytes: &[u8], key: &[u8; 32]) -> Result<CachedSchedule, ()> {
+    if bytes.len() < 4 + 1 + 32 + 4 + 32 || bytes[..4] != MAGIC || bytes[4] != VERSION {
+        return Err(());
+    }
+    if &bytes[5..37] != key {
+        return Err(());
+    }
+    let len = u32::from_le_bytes(bytes[37..41].try_into().unwrap()) as usize;
+    let payload_end = 41usize.checked_add(len).ok_or(())?;
+    if bytes.len() != payload_end + 32 {
+        return Err(());
+    }
+    let payload = &bytes[41..payload_end];
+    let digest = Sha256::digest(payload);
+    if digest[..] != bytes[payload_end..] {
+        return Err(());
+    }
+    decode_payload(payload).map_err(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> CacheStore {
+        let dir = std::env::temp_dir().join(format!(
+            "omc-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        CacheStore::open(dir).unwrap()
+    }
+
+    fn sample() -> CachedSchedule {
+        CachedSchedule {
+            ii: 3,
+            objective: Some(7),
+            times: vec![0, 2, 5, -1],
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let s = temp_store("roundtrip");
+        let key = [7u8; 32];
+        s.store(&key, &sample()).unwrap();
+        assert_eq!(s.load(&key), Some(sample()));
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().stores, 1);
+    }
+
+    #[test]
+    fn absent_key_is_a_miss() {
+        let s = temp_store("miss");
+        assert_eq!(s.load(&[1u8; 32]), None);
+        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn unrenamed_temp_file_is_invisible() {
+        // A crash between write and rename leaves only the temp file; the
+        // key must read as a miss, not as a torn record.
+        let s = temp_store("torn");
+        let key = [9u8; 32];
+        s.write_temp(&key, &sample()).unwrap();
+        assert_eq!(s.load(&key), None);
+        assert_eq!(s.stats().quarantined, 0, "nothing to quarantine");
+    }
+
+    #[test]
+    fn bit_flip_quarantines_and_misses() {
+        let s = temp_store("flip");
+        let key = [3u8; 32];
+        s.store(&key, &sample()).unwrap();
+        let path = s.entry_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(s.load(&key), None, "corrupt record must miss");
+        assert_eq!(s.stats().quarantined, 1);
+        assert!(!path.exists(), "corrupt record left in place");
+        assert!(
+            s.dir()
+                .join("quarantine")
+                .join(format!("{}.omc", hex(&key)))
+                .exists(),
+            "corrupt record not preserved"
+        );
+        // Re-store over the quarantined key works.
+        s.store(&key, &sample()).unwrap();
+        assert_eq!(s.load(&key), Some(sample()));
+    }
+
+    #[test]
+    fn key_echo_mismatch_is_corruption() {
+        let s = temp_store("echo");
+        let a = [1u8; 32];
+        let b = [2u8; 32];
+        s.store(&a, &sample()).unwrap();
+        // Simulate a misplaced record: copy a's bytes under b's name.
+        fs::copy(s.entry_path(&a), s.entry_path(&b)).unwrap();
+        assert_eq!(s.load(&b), None);
+        assert_eq!(s.stats().quarantined, 1);
+    }
+}

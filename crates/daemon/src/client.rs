@@ -1,0 +1,226 @@
+//! Client for `optimodd`: one request per connection, with capped
+//! exponential backoff, jitter, and idempotent retries.
+//!
+//! Retry policy: transport failures (connect refused, torn/corrupt frames,
+//! timeouts) and replies the daemon marks `retryable` are retried up to the
+//! configured cap; deterministic failures (parse errors, proven
+//! infeasibility) are returned immediately. The same non-zero `request_id`
+//! is used across every attempt, so the daemon's idempotency registry
+//! guarantees a retried request is never solved twice concurrently and a
+//! retry of a delivered result replays it instead of re-solving.
+
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::wire::{
+    read_frame, write_frame, ErrorReply, FrameKind, Reply, Request, Scheduled, WireError,
+};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Daemon socket.
+    pub socket: PathBuf,
+    /// Retries after the first attempt (so `retries + 1` attempts total).
+    pub retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the backoff jitter (deterministic for tests).
+    pub jitter_seed: u64,
+}
+
+impl ClientConfig {
+    /// Defaults for a daemon at `socket`.
+    pub fn new(socket: impl Into<PathBuf>) -> ClientConfig {
+        ClientConfig {
+            socket: socket.into(),
+            retries: 4,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Why a solve ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The daemon replied with a typed error (non-retryable, or retries
+    /// exhausted).
+    Daemon(ErrorReply),
+    /// The transport kept failing until retries were exhausted.
+    Transport(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Daemon(e) => write!(
+                f,
+                "daemon error [{}{}]: {}",
+                e.code,
+                if e.retryable { ", retryable" } else { "" },
+                e.message
+            ),
+            ClientError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A process-unique nonzero id for idempotent retries.
+pub fn fresh_request_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut state = nanos ^ ((std::process::id() as u64) << 32);
+    splitmix64(&mut state).max(1)
+}
+
+fn one_attempt(socket: &Path, request: &Request) -> Result<Reply, WireError> {
+    let mut stream = UnixStream::connect(socket).map_err(WireError::Io)?;
+    // Read timeout: the request deadline plus slack for queueing and
+    // framing; a daemon default deadline is unknown here, so allow a
+    // generous floor.
+    let deadline = if request.deadline_ms == 0 {
+        Duration::from_secs(120)
+    } else {
+        Duration::from_millis(request.deadline_ms) + Duration::from_secs(60)
+    };
+    let _ = stream.set_read_timeout(Some(deadline));
+    write_frame(&mut stream, FrameKind::Request, &request.encode())?;
+    match read_frame(&mut stream)? {
+        Some((FrameKind::Reply, payload)) => Reply::decode(&payload),
+        Some((kind, _)) => Err(WireError::BadTag {
+            what: "reply frame kind",
+            value: match kind {
+                FrameKind::Request => 1,
+                FrameKind::Reply => 2,
+                FrameKind::Ping => 3,
+                FrameKind::Pong => 4,
+                FrameKind::Shutdown => 5,
+            },
+        }),
+        None => Err(WireError::Truncated),
+    }
+}
+
+/// Solves `request` with retries. A zero `request_id` is replaced by a
+/// fresh one before the first attempt so every retry is idempotent.
+pub fn solve(cfg: &ClientConfig, mut request: Request) -> Result<Scheduled, ClientError> {
+    if request.request_id == 0 {
+        request.request_id = fresh_request_id();
+    }
+    let mut jitter = cfg.jitter_seed ^ request.request_id;
+    let mut last_transport: Option<WireError> = None;
+    let mut last_daemon: Option<ErrorReply> = None;
+    for attempt in 0..=cfg.retries {
+        if attempt > 0 {
+            let exp = cfg
+                .backoff_base
+                .saturating_mul(1u32 << (attempt - 1).min(16));
+            let capped = exp.min(cfg.backoff_cap);
+            let jitter_ms = if cfg.backoff_base.as_millis() > 0 {
+                splitmix64(&mut jitter) % (cfg.backoff_base.as_millis() as u64 + 1)
+            } else {
+                0
+            };
+            std::thread::sleep(capped + Duration::from_millis(jitter_ms));
+        }
+        match one_attempt(&cfg.socket, &request) {
+            Ok(Reply::Scheduled(s)) => return Ok(s),
+            Ok(Reply::Error(e)) => {
+                if !e.retryable {
+                    return Err(ClientError::Daemon(e));
+                }
+                last_daemon = Some(e);
+                last_transport = None;
+            }
+            Err(e) => {
+                last_transport = Some(e);
+            }
+        }
+    }
+    match (last_transport, last_daemon) {
+        (Some(t), _) => Err(ClientError::Transport(t)),
+        (None, Some(d)) => Err(ClientError::Daemon(d)),
+        (None, None) => unreachable!("at least one attempt ran"),
+    }
+}
+
+/// Pings the daemon; returns the round-tripped payload check.
+pub fn ping(socket: &Path) -> Result<(), WireError> {
+    let mut stream = UnixStream::connect(socket).map_err(WireError::Io)?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    write_frame(&mut stream, FrameKind::Ping, b"optimod-ping")?;
+    match read_frame(&mut stream)? {
+        Some((FrameKind::Pong, payload)) if payload == b"optimod-ping" => Ok(()),
+        Some((FrameKind::Pong, _)) => Err(WireError::Malformed("pong echo")),
+        Some((kind, _)) => Err(WireError::BadTag {
+            what: "pong frame kind",
+            value: match kind {
+                FrameKind::Request => 1,
+                FrameKind::Reply => 2,
+                FrameKind::Ping => 3,
+                FrameKind::Pong => 4,
+                FrameKind::Shutdown => 5,
+            },
+        }),
+        None => Err(WireError::Truncated),
+    }
+}
+
+/// Asks the daemon to drain and exit; resolves once the shutdown is
+/// acknowledged.
+pub fn shutdown(socket: &Path) -> Result<(), WireError> {
+    let mut stream = UnixStream::connect(socket).map_err(WireError::Io)?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    write_frame(&mut stream, FrameKind::Shutdown, b"")?;
+    match read_frame(&mut stream)? {
+        Some((FrameKind::Pong, _)) => Ok(()),
+        Some(_) => Err(WireError::Malformed("shutdown ack")),
+        None => Err(WireError::Truncated),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_nonzero_and_distinct() {
+        let a = fresh_request_id();
+        let b = fresh_request_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        // Nanosecond clock + splitmix: collisions would need identical
+        // nanos within one process.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn connect_refused_is_a_transport_error() {
+        let cfg = ClientConfig {
+            retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..ClientConfig::new("/nonexistent/optimodd.sock")
+        };
+        match solve(&cfg, Request::new("machine example-3fu\nop a load\n")) {
+            Err(ClientError::Transport(WireError::Io(_))) => {}
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Content addressing for certified schedules: a hand-rolled SHA-256 and a
+//! canonical solve key.
+//!
+//! The cache key must be *semantic*: two requests that describe the same
+//! scheduling problem must hash identically even if the textual loop file
+//! lists operations or dependences in a different order. [`canonical_key`]
+//! therefore canonicalizes the graph first — operations are sorted by
+//! `(name, class)` (names are unique within a loop by construction, so the
+//! order is total), edge endpoints are remapped through that permutation,
+//! and edges and register uses are themselves sorted — before feeding the
+//! hasher.
+//!
+//! What is *excluded* from the key matters as much as what is included:
+//! time budgets, thread counts, and fallback-ladder shares do not change
+//! the value of an exact optimum, and only exact `Optimal` results are ever
+//! cached, so they stay out. Anything that changes the feasible set or the
+//! objective (machine model, dependence style, objective, register limit)
+//! is in.
+
+use optimod_ddg::{DepKind, Loop};
+use optimod_machine::{Machine, OpClass};
+
+/// Dense tag of an op class: its position in [`OpClass::ALL`].
+fn class_tag(c: OpClass) -> u8 {
+    OpClass::ALL
+        .iter()
+        .position(|&x| x == c)
+        .expect("ALL is exhaustive") as u8
+}
+
+/// SHA-256, FIPS 180-4. Hand-rolled because the build environment is
+/// offline; tested against the standard vectors below.
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher with the FIPS initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            // Either the input was fully absorbed into the partial block,
+            // or the block just got compressed; falling through with a
+            // still-partial buffer would clobber it below.
+            if rest.is_empty() {
+                return;
+            }
+            debug_assert_eq!(self.buf_len, 0);
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    /// Finishes and returns the digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// Renders a digest as lowercase hex (cache file names).
+pub fn hex(digest: &[u8; 32]) -> String {
+    let mut s = String::with_capacity(64);
+    for b in digest {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// The solver-configuration slice of the cache key: everything that changes
+/// the feasible set or the objective, and nothing that merely changes how
+/// hard the solver tries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyConfig {
+    /// Dependence-constraint style tag (see [`crate::wire`]).
+    pub dep_style: u8,
+    /// Secondary-objective tag (see [`crate::wire`]).
+    pub objective: u8,
+    /// Hard MaxLive cap, if any.
+    pub register_limit: Option<u32>,
+}
+
+/// Format version of the canonical serialization; bump when the layout
+/// below changes so stale caches miss instead of mis-hit.
+const KEY_VERSION: u8 = 1;
+
+fn put_str(h: &mut Sha256, s: &str) {
+    h.update(&(s.len() as u32).to_le_bytes());
+    h.update(s.as_bytes());
+}
+
+/// The canonical permutation of a loop's operations: `perm[i]` is the
+/// canonical rank of declaration-order op `i`, where ops are ranked by
+/// `(name, class)`. Names are unique (enforced by the builder and the text
+/// format), so the sort key is total and any declaration order maps to the
+/// same canonical form. Cached schedules store times in canonical order;
+/// the server remaps through this permutation on store and on load.
+pub fn canonical_perm(l: &Loop) -> Vec<u32> {
+    let n = l.num_ops();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let (oa, ob) = (
+            l.op(optimod_ddg::OpId::from_index(a)),
+            l.op(optimod_ddg::OpId::from_index(b)),
+        );
+        (oa.name.as_str(), class_tag(oa.class)).cmp(&(ob.name.as_str(), class_tag(ob.class)))
+    });
+    let mut perm = vec![0u32; n];
+    for (rank, &old) in order.iter().enumerate() {
+        perm[old] = rank as u32;
+    }
+    perm
+}
+
+/// Hashes the canonicalized `(loop, machine, config)` triple.
+pub fn canonical_key(l: &Loop, machine: &Machine, cfg: &KeyConfig) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"OMDKEY");
+    h.update(&[KEY_VERSION]);
+
+    // --- Loop, canonicalized (see `canonical_perm` for the ordering
+    // contract).
+    let n = l.num_ops();
+    let perm = canonical_perm(l);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| perm[i]);
+    h.update(&(n as u32).to_le_bytes());
+    for &old in &order {
+        let op = l.op(optimod_ddg::OpId::from_index(old));
+        put_str(&mut h, &op.name);
+        h.update(&[class_tag(op.class)]);
+    }
+
+    let kind_tag = |k: DepKind| -> u8 {
+        match k {
+            DepKind::Flow => 0,
+            DepKind::Anti => 1,
+            DepKind::Memory => 2,
+            DepKind::Control => 3,
+        }
+    };
+    let mut edges: Vec<(u32, u32, u8, i64, u32)> = l
+        .edges()
+        .iter()
+        .map(|e| {
+            (
+                perm[e.from.index()],
+                perm[e.to.index()],
+                kind_tag(e.kind),
+                e.latency,
+                e.distance,
+            )
+        })
+        .collect();
+    edges.sort_unstable();
+    h.update(&(edges.len() as u32).to_le_bytes());
+    for (from, to, kind, lat, dist) in edges {
+        h.update(&from.to_le_bytes());
+        h.update(&to.to_le_bytes());
+        h.update(&[kind]);
+        h.update(&lat.to_le_bytes());
+        h.update(&dist.to_le_bytes());
+    }
+
+    let mut vregs: Vec<(u32, Vec<(u32, u32)>)> = l
+        .vregs()
+        .iter()
+        .map(|v| {
+            let mut uses: Vec<(u32, u32)> = v
+                .uses
+                .iter()
+                .map(|u| (perm[u.op.index()], u.distance))
+                .collect();
+            uses.sort_unstable();
+            (perm[v.def.index()], uses)
+        })
+        .collect();
+    vregs.sort_unstable();
+    h.update(&(vregs.len() as u32).to_le_bytes());
+    for (def, uses) in vregs {
+        h.update(&def.to_le_bytes());
+        h.update(&(uses.len() as u32).to_le_bytes());
+        for (op, dist) in uses {
+            h.update(&op.to_le_bytes());
+            h.update(&dist.to_le_bytes());
+        }
+    }
+
+    // --- Machine: structural identity, not just the name, so a renamed or
+    // retuned model cannot alias a cached result.
+    put_str(&mut h, machine.name());
+    h.update(&(machine.num_resources() as u32).to_le_bytes());
+    for r in machine.resources() {
+        put_str(&mut h, machine.resource_name(r));
+        h.update(&machine.resource_count(r).to_le_bytes());
+    }
+    for class in OpClass::ALL {
+        h.update(&[class_tag(class)]);
+        h.update(&machine.latency(class).to_le_bytes());
+        let mut usages: Vec<(u32, u32)> = machine
+            .usages(class)
+            .iter()
+            .map(|&(r, c)| (r.index() as u32, c))
+            .collect();
+        usages.sort_unstable();
+        h.update(&(usages.len() as u32).to_le_bytes());
+        for (r, c) in usages {
+            h.update(&r.to_le_bytes());
+            h.update(&c.to_le_bytes());
+        }
+    }
+
+    // --- Config.
+    h.update(&[cfg.dep_style, cfg.objective]);
+    match cfg.register_limit {
+        None => h.update(&[0]),
+        Some(lim) => {
+            h.update(&[1]);
+            h.update(&lim.to_le_bytes());
+        }
+    }
+
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimod_ddg::textfmt;
+
+    #[test]
+    fn sha256_standard_vectors() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut h = Sha256::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    const CFG: KeyConfig = KeyConfig {
+        dep_style: 1,
+        objective: 1,
+        register_limit: None,
+    };
+
+    #[test]
+    fn key_ignores_declaration_order() {
+        let a = textfmt::parse(
+            "machine example-3fu\nop x load\nop y fmul\nop z store\n\
+             flow x y 0\nflow y z 0\ndep z x 0 1 memory\n",
+        )
+        .unwrap();
+        let b = textfmt::parse(
+            "machine example-3fu\nop z store\nop y fmul\nop x load\n\
+             dep z x 0 1 memory\nflow y z 0\nflow x y 0\n",
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_key(&a.l, &a.machine, &CFG),
+            canonical_key(&b.l, &b.machine, &CFG)
+        );
+    }
+
+    #[test]
+    fn key_distinguishes_semantics() {
+        let base =
+            textfmt::parse("machine example-3fu\nop x load\nop y fadd\nflow x y 0\n").unwrap();
+        let lat =
+            textfmt::parse("machine example-3fu\nop x load\nop y fadd\nflow x y 1\n").unwrap();
+        let cls =
+            textfmt::parse("machine example-3fu\nop x load\nop y fmul\nflow x y 0\n").unwrap();
+        let mach =
+            textfmt::parse("machine cydra-like\nop x load\nop y fadd\nflow x y 0\n").unwrap();
+        let k = canonical_key(&base.l, &base.machine, &CFG);
+        assert_ne!(k, canonical_key(&lat.l, &lat.machine, &CFG));
+        assert_ne!(k, canonical_key(&cls.l, &cls.machine, &CFG));
+        assert_ne!(k, canonical_key(&mach.l, &mach.machine, &CFG));
+        assert_ne!(
+            k,
+            canonical_key(
+                &base.l,
+                &base.machine,
+                &KeyConfig {
+                    objective: 2,
+                    ..CFG
+                }
+            )
+        );
+        assert_ne!(
+            k,
+            canonical_key(
+                &base.l,
+                &base.machine,
+                &KeyConfig {
+                    register_limit: Some(8),
+                    ..CFG
+                }
+            )
+        );
+    }
+}

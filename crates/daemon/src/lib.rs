@@ -1,0 +1,37 @@
+//! `optimodd`: the optimal modulo scheduler as a fault-tolerant service.
+//!
+//! The daemon wraps [`optimod`]'s scheduler behind a Unix-socket wire
+//! protocol and adds the operational layer a long-lived service needs:
+//!
+//! * [`wire`] — hand-rolled length-prefixed frames with checksums; every
+//!   decode failure is a typed [`wire::WireError`], never a panic.
+//! * [`server`] — admission control with a bounded queue and explicit
+//!   load shedding, per-request deadlines propagated into the solver,
+//!   idempotent request ids, worker-panic containment, and graceful drain.
+//! * [`cache`] — a crash-safe content-addressed store of certified
+//!   schedules (atomic writes, checksummed records, corrupt-entry
+//!   quarantine).
+//! * [`hash`] — SHA-256 content addressing over a *canonicalized*
+//!   `(loop, machine, config)` triple, so textual reorderings of the same
+//!   problem share a cache entry.
+//! * [`client`] — retries with capped exponential backoff and jitter,
+//!   riding the idempotency registry so a retry never double-solves.
+//!
+//! The correctness invariant threaded through all of it: **no schedule is
+//! ever served from the cache without first passing the exact-arithmetic
+//! certifier against the freshly parsed request.** A cache record can be
+//! torn, bit-flipped, or maliciously self-consistent; the worst it can do
+//! is cost one quarantine and a re-solve.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, CacheStore, CachedSchedule};
+pub use client::{solve, ClientConfig, ClientError};
+pub use server::{Daemon, DaemonConfig, DaemonHandle};
+pub use wire::{ErrorCode, ErrorReply, Reply, Request, Scheduled, WireError};

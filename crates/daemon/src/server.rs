@@ -1,0 +1,896 @@
+//! The `optimodd` daemon: accept loop, admission control, worker pool, and
+//! the certified-schedule cache.
+//!
+//! Robustness contract (enforced by the `chaos_daemon` sweep):
+//!
+//! * Every request gets exactly one reply: a schedule or a typed
+//!   [`ErrorReply`] with an honest `retryable` flag. Load shedding is an
+//!   explicit [`ErrorCode::Overloaded`] reply, never a silent drop.
+//! * Per-request deadlines are honored mid-solve: the remaining budget
+//!   becomes the solver's `time_limit` and the daemon's root [`StopFlag`]
+//!   can cut every in-flight solve off during drain.
+//! * Idempotent request ids never double-solve: concurrent duplicates wait
+//!   on the in-flight solve; completed terminal replies are replayed.
+//!   Retryable failures are deliberately *not* replayed — a retry must
+//!   re-execute, not re-fetch the failure.
+//! * Cache hits are re-certified against the freshly parsed request before
+//!   being served; a record that decodes but does not certify is
+//!   quarantined and the request falls through to a fresh solve.
+//! * Worker panics (including injected ones) become
+//!   [`ErrorCode::Internal`] replies; no panic crosses a thread boundary
+//!   uncaught.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use optimod::{
+    FallbackConfig, LoopStatus, OptimalScheduler, Provenance, Schedule, SchedulerConfig,
+};
+use optimod_ddg::textfmt;
+use optimod_ilp::{FaultAction, FaultPlan, FaultSite, StopFlag};
+use optimod_verify::{certify, Claim};
+
+use crate::cache::{CacheStats, CacheStore, CachedSchedule};
+use crate::hash::{canonical_key, canonical_perm, KeyConfig};
+use crate::wire::{
+    dep_style_tag, objective_tag, read_frame, ErrorCode, ErrorReply, FrameKind, Reply, Request,
+    Scheduled, WireError,
+};
+
+/// How many terminal replies the idempotency registry remembers.
+const DONE_CAP: usize = 1024;
+
+/// Per-connection socket read timeout; bounds how long an idle connection
+/// can delay a drain.
+const CONN_READ_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix socket to listen on (must not already exist).
+    pub socket_path: PathBuf,
+    /// Certified-schedule cache root; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Admission-control queue depth; requests beyond it are shed with an
+    /// explicit `Overloaded` reply.
+    pub queue_depth: usize,
+    /// Deadline applied when a request carries none.
+    pub default_deadline: Duration,
+    /// How long a graceful shutdown lets in-flight solves finish before
+    /// stopping them via the root [`StopFlag`].
+    pub drain_timeout: Duration,
+    /// Solver threads per job when the request does not specify.
+    pub solver_threads: u32,
+    /// Fault-injection plan (daemon and solver sites); defaults to inert.
+    pub fault: FaultPlan,
+}
+
+impl DaemonConfig {
+    /// Defaults for a daemon at `socket_path`.
+    pub fn new(socket_path: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            socket_path: socket_path.into(),
+            cache_dir: None,
+            workers: 2,
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+            solver_threads: 1,
+            fault: FaultPlan::default(),
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    deadline: Duration,
+    responder: mpsc::Sender<Reply>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+    in_flight: usize,
+}
+
+struct Waiter {
+    slot: Mutex<Option<Reply>>,
+    cv: Condvar,
+}
+
+enum ReqState {
+    InFlight(Arc<Waiter>),
+    Done(Reply),
+}
+
+#[derive(Default)]
+struct Registry {
+    map: HashMap<u64, ReqState>,
+    done_order: VecDeque<u64>,
+}
+
+#[derive(Default)]
+struct ConnTracker {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+struct Shared {
+    cfg: DaemonConfig,
+    cache: Option<CacheStore>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    registry: Mutex<Registry>,
+    root_stop: StopFlag,
+    shutdown: AtomicBool,
+    shutdown_mx: Mutex<bool>,
+    shutdown_cv: Condvar,
+    conns: ConnTracker,
+}
+
+/// Constructor namespace for the daemon.
+pub struct Daemon;
+
+/// A running daemon; dropping it (or calling [`DaemonHandle::shutdown`])
+/// drains and stops it.
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the socket, spawns the worker pool and accept loop, and
+    /// returns a handle.
+    pub fn start(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
+        let cache = match &cfg.cache_dir {
+            Some(dir) => Some(CacheStore::open(dir)?),
+            None => None,
+        };
+        let listener = UnixListener::bind(&cfg.socket_path)?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+                in_flight: 0,
+            }),
+            queue_cv: Condvar::new(),
+            registry: Mutex::new(Registry::default()),
+            root_stop: StopFlag::new(),
+            shutdown: AtomicBool::new(false),
+            shutdown_mx: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            conns: ConnTracker::default(),
+            cfg,
+        });
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("optimodd-worker-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let s = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("optimodd-accept".to_string())
+                .spawn(move || accept_loop(&s, listener))
+                .expect("spawn accept loop")
+        };
+        Ok(DaemonHandle {
+            shared,
+            accept_thread: Some(accept),
+            workers: worker_handles,
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// The socket the daemon listens on.
+    pub fn socket_path(&self) -> &Path {
+        &self.shared.cfg.socket_path
+    }
+
+    /// Cache counters, when a cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// How many injected faults have fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.shared.cfg.fault.fired_count()
+    }
+
+    /// Whether a shutdown has been requested (via wire or locally).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a shutdown is requested (e.g. by a wire `Shutdown`
+    /// frame). Used by the `optimodd` binary's main thread.
+    pub fn wait_shutdown_requested(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_mx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, shed the queue with
+    /// `ShuttingDown` replies, let in-flight solves finish within the drain
+    /// timeout, then stop them cooperatively and join every thread.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shutdown_in_place();
+        Ok(())
+    }
+
+    fn shutdown_in_place(&mut self) {
+        initiate_shutdown(&self.shared);
+
+        // Give in-flight solves the drain budget, then cut them off.
+        let deadline = Instant::now() + self.shared.cfg.drain_timeout;
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while q.in_flight > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .queue_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+        self.shared.root_stop.stop();
+        self.shared.queue_cv.notify_all();
+
+        // Unblock the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.shared.cfg.socket_path);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+
+        // Connection handlers exit on their own (read timeouts, replies
+        // already delivered); bound the wait so shutdown terminates.
+        let conn_deadline = Instant::now() + CONN_READ_TIMEOUT + Duration::from_secs(2);
+        let mut count = self
+            .shared
+            .conns
+            .count
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while *count > 0 {
+            let now = Instant::now();
+            if now >= conn_deadline {
+                break;
+            }
+            let (guard, _) = self
+                .shared
+                .conns
+                .cv
+                .wait_timeout(count, conn_deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            count = guard;
+        }
+        drop(count);
+
+        let _ = std::fs::remove_file(&self.shared.cfg.socket_path);
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+/// Flips the daemon into shutdown mode: closes admission and sheds every
+/// queued (not yet started) job with a `ShuttingDown` reply.
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let shed: Vec<Job> = {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.open = false;
+        q.jobs.drain(..).collect()
+    };
+    shared.queue_cv.notify_all();
+    for job in shed {
+        let reply = Reply::Error(ErrorReply {
+            request_id: job.request.request_id,
+            code: ErrorCode::ShuttingDown,
+            retryable: true,
+            message: "daemon is draining; request was shed before starting".to_string(),
+        });
+        finish_request(shared, job.request.request_id, &reply);
+        let _ = job.responder.send(reply);
+    }
+    let mut requested = shared.shutdown_mx.lock().unwrap_or_else(|e| e.into_inner());
+    *requested = true;
+    shared.shutdown_cv.notify_all();
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: UnixListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut c = shared.conns.count.lock().unwrap_or_else(|e| e.into_inner());
+            *c += 1;
+        }
+        let s = Arc::clone(shared);
+        let spawned = thread::Builder::new()
+            .name("optimodd-conn".to_string())
+            .spawn(move || {
+                // An injected WireFrame panic must kill at most this
+                // connection, never the daemon.
+                let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(&s, stream)));
+                let mut c = s.conns.count.lock().unwrap_or_else(|e| e.into_inner());
+                *c -= 1;
+                s.conns.cv.notify_all();
+            });
+        if spawned.is_err() {
+            let mut c = shared.conns.count.lock().unwrap_or_else(|e| e.into_inner());
+            *c -= 1;
+            shared.conns.cv.notify_all();
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream) {
+    let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll tick: drop the connection if draining,
+                // otherwise keep listening.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        match frame {
+            (FrameKind::Ping, payload) => {
+                if write_reply_frame(shared, &mut stream, FrameKind::Pong, &payload).is_err() {
+                    return;
+                }
+            }
+            (FrameKind::Shutdown, _) => {
+                initiate_shutdown(shared);
+                let _ = write_reply_frame(shared, &mut stream, FrameKind::Pong, b"");
+                return;
+            }
+            (FrameKind::Request, payload) => {
+                let reply = match Request::decode(&payload) {
+                    Ok(req) => dispatch_request(shared, req),
+                    Err(e) => Reply::Error(ErrorReply {
+                        request_id: 0,
+                        code: ErrorCode::Parse,
+                        retryable: false,
+                        message: format!("request decode: {e}"),
+                    }),
+                };
+                if write_reply_frame(shared, &mut stream, FrameKind::Reply, &reply.encode())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            (FrameKind::Reply, _) | (FrameKind::Pong, _) => return, // nonsensical from a client
+        }
+    }
+}
+
+/// Writes a frame, letting the `WireFrame` fault site tear, drop, or
+/// corrupt it (the client's checksum/framing layer must catch all three).
+fn write_reply_frame(
+    shared: &Shared,
+    stream: &mut UnixStream,
+    kind: FrameKind,
+    payload: &[u8],
+) -> io::Result<()> {
+    use std::io::Write;
+    let frame = crate::wire::encode_frame(kind, payload);
+    match shared.cfg.fault.fire(FaultSite::WireFrame) {
+        None => {
+            stream.write_all(&frame)?;
+            stream.flush()
+        }
+        Some(FaultAction::Stall) => {
+            // Torn frame: half the bytes, then a hard close.
+            let half = frame.len() / 2;
+            stream.write_all(&frame[..half])?;
+            stream.flush()?;
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            Err(io::Error::other("injected torn frame"))
+        }
+        Some(FaultAction::SpuriousTimeout) => {
+            // Dropped reply: close without writing anything.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            Err(io::Error::other("injected dropped reply"))
+        }
+        Some(FaultAction::PerturbIncumbent) => {
+            // Flip a payload byte *after* the checksum was computed so the
+            // client sees a checksum mismatch, not silent corruption.
+            let mut corrupt = frame;
+            if payload.len() > 1 {
+                let at = 9 + payload.len() / 2;
+                corrupt[at] ^= 0x20;
+            }
+            stream.write_all(&corrupt)?;
+            stream.flush()
+        }
+        // `FaultAction::Panic` is raised inside `fire` and caught by the
+        // connection thread's `catch_unwind`.
+        Some(FaultAction::Panic) => unreachable!("fire raises Panic"),
+    }
+}
+
+/// Admission control + idempotency, then hands the job to the worker pool
+/// and waits for its reply.
+fn dispatch_request(shared: &Arc<Shared>, request: Request) -> Reply {
+    let request_id = request.request_id;
+
+    // Idempotency: replay terminal replies, piggyback on in-flight solves.
+    if request_id != 0 {
+        let waiter = {
+            let mut reg = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+            match reg.map.get(&request_id) {
+                Some(ReqState::Done(reply)) => return reply.clone(),
+                Some(ReqState::InFlight(w)) => Some(Arc::clone(w)),
+                None => {
+                    reg.map.insert(
+                        request_id,
+                        ReqState::InFlight(Arc::new(Waiter {
+                            slot: Mutex::new(None),
+                            cv: Condvar::new(),
+                        })),
+                    );
+                    None
+                }
+            }
+        };
+        if let Some(w) = waiter {
+            return wait_for_duplicate(shared, &w, &request);
+        }
+    }
+
+    let deadline = if request.deadline_ms == 0 {
+        shared.cfg.default_deadline
+    } else {
+        Duration::from_millis(request.deadline_ms)
+    };
+
+    // Admission.
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if !q.open {
+            let reply = Reply::Error(ErrorReply {
+                request_id,
+                code: ErrorCode::ShuttingDown,
+                retryable: true,
+                message: "daemon is draining".to_string(),
+            });
+            drop(q);
+            finish_request(shared, request_id, &reply);
+            return reply;
+        }
+        if q.jobs.len() >= shared.cfg.queue_depth {
+            let reply = Reply::Error(ErrorReply {
+                request_id,
+                code: ErrorCode::Overloaded,
+                retryable: true,
+                message: format!("admission queue full (depth {})", shared.cfg.queue_depth),
+            });
+            drop(q);
+            finish_request(shared, request_id, &reply);
+            return reply;
+        }
+        q.jobs.push_back(Job {
+            request,
+            enqueued: Instant::now(),
+            deadline,
+            responder: tx,
+        });
+    }
+    shared.queue_cv.notify_one();
+
+    // The worker always sends exactly one reply (worker panics included);
+    // the generous timeout is a belt-and-braces bound, not the contract.
+    let wait = deadline + shared.cfg.drain_timeout + Duration::from_secs(30);
+    match rx.recv_timeout(wait) {
+        Ok(reply) => reply,
+        Err(_) => Reply::Error(ErrorReply {
+            request_id,
+            code: ErrorCode::Internal,
+            retryable: true,
+            message: "worker reply channel stalled".to_string(),
+        }),
+    }
+}
+
+/// A duplicate of an in-flight request waits for the original's reply.
+fn wait_for_duplicate(shared: &Shared, waiter: &Waiter, request: &Request) -> Reply {
+    let deadline = if request.deadline_ms == 0 {
+        shared.cfg.default_deadline
+    } else {
+        Duration::from_millis(request.deadline_ms)
+    };
+    let bound = Instant::now() + deadline + shared.cfg.drain_timeout + Duration::from_secs(30);
+    let mut slot = waiter.slot.lock().unwrap_or_else(|e| e.into_inner());
+    while slot.is_none() {
+        let now = Instant::now();
+        if now >= bound {
+            return Reply::Error(ErrorReply {
+                request_id: request.request_id,
+                code: ErrorCode::Internal,
+                retryable: true,
+                message: "in-flight duplicate wait stalled".to_string(),
+            });
+        }
+        let (guard, _) = waiter
+            .cv
+            .wait_timeout(slot, bound - now)
+            .unwrap_or_else(|e| e.into_inner());
+        slot = guard;
+    }
+    slot.clone().expect("loop exits only when filled")
+}
+
+/// Records the outcome of `request_id` and wakes duplicate waiters.
+///
+/// Terminal replies (schedules, non-retryable errors) are remembered so a
+/// retry replays them without re-solving; retryable failures clear the
+/// entry so a retry re-executes.
+fn finish_request(shared: &Shared, request_id: u64, reply: &Reply) {
+    if request_id == 0 {
+        return;
+    }
+    let terminal = match reply {
+        Reply::Scheduled(_) => true,
+        Reply::Error(e) => !e.retryable,
+    };
+    let mut reg = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+    let prior = if terminal {
+        reg.done_order.push_back(request_id);
+        if reg.done_order.len() > DONE_CAP {
+            if let Some(old) = reg.done_order.pop_front() {
+                reg.map.remove(&old);
+            }
+        }
+        reg.map.insert(request_id, ReqState::Done(reply.clone()))
+    } else {
+        reg.map.remove(&request_id)
+    };
+    drop(reg);
+    if let Some(ReqState::InFlight(w)) = prior {
+        let mut slot = w.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(reply.clone());
+        w.cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    q.in_flight += 1;
+                    break job;
+                }
+                if !q.open {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let request_id = job.request.request_id;
+        let reply =
+            catch_unwind(AssertUnwindSafe(|| process_job(shared, &job))).unwrap_or_else(|_| {
+                Reply::Error(ErrorReply {
+                    request_id,
+                    code: ErrorCode::Internal,
+                    retryable: true,
+                    message: "worker panicked mid-solve (fault injection or bug); safe to retry"
+                        .to_string(),
+                })
+            });
+        finish_request(shared, request_id, &reply);
+        let _ = job.responder.send(reply);
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.in_flight -= 1;
+        drop(q);
+        shared.queue_cv.notify_all();
+    }
+}
+
+fn error_reply(request_id: u64, code: ErrorCode, message: String) -> Reply {
+    Reply::Error(ErrorReply {
+        request_id,
+        code,
+        retryable: code.default_retryable(),
+        message,
+    })
+}
+
+/// The whole life of one admitted request: deadline check, parse, cache
+/// probe (with re-certification), solve, cache fill.
+fn process_job(shared: &Shared, job: &Job) -> Reply {
+    let started = Instant::now();
+    let request = &job.request;
+    let id = request.request_id;
+
+    match shared.cfg.fault.fire(FaultSite::JobWorker) {
+        None => {}
+        Some(FaultAction::Stall) => thread::sleep(Duration::from_millis(25)),
+        Some(FaultAction::SpuriousTimeout) | Some(FaultAction::PerturbIncumbent) => {
+            return error_reply(
+                id,
+                ErrorCode::Internal,
+                "injected worker fault; safe to retry".to_string(),
+            );
+        }
+        Some(FaultAction::Panic) => unreachable!("fire raises Panic"),
+    }
+
+    // Deadline already spent in the queue?
+    let queued = job.enqueued.elapsed();
+    let Some(remaining) = job.deadline.checked_sub(queued) else {
+        return error_reply(
+            id,
+            ErrorCode::Timeout,
+            format!(
+                "deadline of {:?} expired after {:?} in the admission queue",
+                job.deadline, queued
+            ),
+        );
+    };
+
+    let parsed = match textfmt::parse(&request.loop_text) {
+        Ok(p) => p,
+        Err(e) => return error_reply(id, ErrorCode::Parse, e),
+    };
+    let (l, machine) = (parsed.l, parsed.machine);
+
+    let mut cfg = SchedulerConfig::new(request.dep_style, request.objective);
+    cfg.limits.time_limit = remaining;
+    cfg.limits.threads = if request.threads == 0 {
+        shared.cfg.solver_threads.max(1)
+    } else {
+        request.threads
+    };
+    cfg.limits.stop = shared.root_stop.child();
+    cfg.limits.fault = shared.cfg.fault.clone();
+    cfg.register_limit = request.register_limit;
+    cfg.fallback = FallbackConfig {
+        enabled: request.use_fallback,
+        ..FallbackConfig::default()
+    };
+    let sched = OptimalScheduler::new(cfg);
+
+    let key = canonical_key(
+        &l,
+        &machine,
+        &KeyConfig {
+            dep_style: dep_style_tag(request.dep_style),
+            objective: objective_tag(request.objective),
+            register_limit: request.register_limit,
+        },
+    );
+    let perm = canonical_perm(&l);
+
+    // Cache probe: decode, remap to declaration order, re-certify. Nothing
+    // leaves the cache without passing the exact-arithmetic certifier
+    // against *this* request's graph and machine.
+    if request.use_cache {
+        if let Some(cache) = &shared.cache {
+            if let Some(cached) = cache.load(&key) {
+                if cached.times.len() == l.num_ops() {
+                    let times: Vec<i64> = (0..l.num_ops())
+                        .map(|i| cached.times[perm[i] as usize])
+                        .collect();
+                    let schedule = Schedule::new(cached.ii, times.clone());
+                    let claim = Claim {
+                        graph: &l,
+                        machine: &machine,
+                        ii: cached.ii,
+                        times: &times,
+                        claimed_optimal: true,
+                        claimed_objective: cached.objective.map(|o| o as f64),
+                        exact_objective: sched.exact_objective(&l, &schedule),
+                        claimed_bound: None,
+                    };
+                    if certify(&claim).is_ok() {
+                        return Reply::Scheduled(Scheduled {
+                            request_id: id,
+                            cache_hit: true,
+                            optimal: true,
+                            provenance: Provenance::Exact,
+                            ii: cached.ii,
+                            objective: cached.objective,
+                            times,
+                            bb_nodes: 0,
+                            simplex_iterations: 0,
+                            wall_us: started.elapsed().as_micros() as u64,
+                        });
+                    }
+                }
+                // Decoded but would not certify (wrong length, stale
+                // semantics, injected corruption): poison — quarantine and
+                // fall through to a fresh solve.
+                cache.quarantine(&key);
+            }
+        }
+    }
+
+    let result = sched.schedule(&l, &machine);
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    match result.status {
+        LoopStatus::Optimal | LoopStatus::FeasibleOnly => {
+            let schedule = match &result.schedule {
+                Some(s) => s,
+                None => {
+                    return error_reply(
+                        id,
+                        ErrorCode::Failed,
+                        "scheduled status without a schedule (solver bug)".to_string(),
+                    )
+                }
+            };
+            let provenance = result.provenance.unwrap_or(Provenance::Exact);
+            let exact = provenance == Provenance::Exact;
+            let objective = if exact {
+                sched.exact_objective(&l, schedule)
+            } else {
+                None
+            };
+            let optimal = exact && result.status == LoopStatus::Optimal;
+            if optimal {
+                if let (true, Some(cache)) = (request.use_cache, &shared.cache) {
+                    store_with_faults(shared, cache, &key, &perm, schedule, objective);
+                }
+            }
+            Reply::Scheduled(Scheduled {
+                request_id: id,
+                cache_hit: false,
+                optimal,
+                provenance,
+                ii: schedule.ii(),
+                objective,
+                times: schedule.times().to_vec(),
+                bb_nodes: result.stats.bb_nodes,
+                simplex_iterations: result.stats.simplex_iterations,
+                wall_us: started.elapsed().as_micros() as u64,
+            })
+        }
+        LoopStatus::TimedOut => Reply::Error(ErrorReply {
+            request_id: id,
+            code: ErrorCode::Timeout,
+            // A drain-induced stop is worth retrying elsewhere; a genuinely
+            // exhausted budget is not.
+            retryable: draining,
+            message: if draining {
+                "solve stopped by daemon drain".to_string()
+            } else {
+                format!("deadline of {:?} exhausted mid-solve", job.deadline)
+            },
+        }),
+        LoopStatus::Infeasible => error_reply(
+            id,
+            ErrorCode::Infeasible,
+            "proven infeasible over the II span".to_string(),
+        ),
+        LoopStatus::Invalid => error_reply(
+            id,
+            ErrorCode::InvalidLoop,
+            result
+                .error
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "invalid loop".to_string()),
+        ),
+        LoopStatus::Failed => error_reply(
+            id,
+            ErrorCode::Failed,
+            result
+                .error
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "solver failed".to_string()),
+        ),
+    }
+}
+
+/// Cache fill with the `CacheWrite` fault site: a fired fault can simulate
+/// a crash between write and rename (stale temp file), skip the write, or
+/// store a subtly wrong schedule — which the load-path re-certification
+/// must then catch and quarantine.
+fn store_with_faults(
+    shared: &Shared,
+    cache: &CacheStore,
+    key: &[u8; 32],
+    perm: &[u32],
+    schedule: &Schedule,
+    objective: Option<i64>,
+) {
+    let times = schedule.times();
+    let mut canonical = vec![0i64; times.len()];
+    for (i, &t) in times.iter().enumerate() {
+        canonical[perm[i] as usize] = t;
+    }
+    let mut value = CachedSchedule {
+        ii: schedule.ii(),
+        objective,
+        times: canonical,
+    };
+    match shared.cfg.fault.fire(FaultSite::CacheWrite) {
+        None => {
+            let _ = cache.store(key, &value);
+        }
+        Some(FaultAction::Stall) => {
+            // Crash between write and rename: only the temp file lands.
+            let _ = cache.write_temp(key, &value);
+        }
+        Some(FaultAction::SpuriousTimeout) => {} // write skipped entirely
+        Some(FaultAction::PerturbIncumbent) => {
+            // Checksummed-but-wrong record: self-consistent bytes carrying
+            // a schedule that will fail re-certification on load.
+            if let Some(t) = value.times.first_mut() {
+                *t += 1;
+            }
+            let _ = cache.store(key, &value);
+        }
+        Some(FaultAction::Panic) => unreachable!("fire raises Panic"),
+    }
+}

@@ -1,0 +1,777 @@
+//! The length-prefixed wire protocol between `optimod client` and
+//! `optimodd`.
+//!
+//! A frame is:
+//!
+//! ```text
+//! magic "OMD1" | kind u8 | len u32 LE | payload (len bytes) | fnv1a64(kind ‖ payload) u64 LE
+//! ```
+//!
+//! The checksum is not cryptographic — it exists to turn torn or corrupted
+//! frames into a typed [`WireError`] instead of a misparse. Every decode
+//! path returns `Result`; nothing in this module panics on untrusted bytes,
+//! and payloads above [`MAX_FRAME`] are rejected before allocation so a
+//! hostile length prefix cannot OOM the daemon.
+
+use std::io::{self, Read, Write};
+
+use optimod::{DepStyle, Objective, Provenance};
+
+/// Frame magic: protocol name + version.
+pub const MAGIC: [u8; 4] = *b"OMD1";
+
+/// Hard ceiling on payload size (16 MiB) — larger prefixes are rejected
+/// without allocating.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A solve request (client → daemon).
+    Request,
+    /// A solve reply (daemon → client).
+    Reply,
+    /// Liveness probe; payload echoed back in the [`FrameKind::Pong`].
+    Ping,
+    /// Probe answer.
+    Pong,
+    /// Ask the daemon to drain and exit; answered with a `Pong` once the
+    /// shutdown is underway.
+    Shutdown,
+}
+
+impl FrameKind {
+    fn tag(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Reply => 2,
+            FrameKind::Ping => 3,
+            FrameKind::Pong => 4,
+            FrameKind::Shutdown => 5,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<FrameKind> {
+        Some(match t {
+            1 => FrameKind::Request,
+            2 => FrameKind::Reply,
+            3 => FrameKind::Ping,
+            4 => FrameKind::Pong,
+            5 => FrameKind::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed decode/transport failure. Every variant is safe to retry against
+/// an idempotent request id: either the frame never arrived intact or it
+/// was never accepted.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended inside a frame.
+    Truncated,
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The length prefix exceeded [`MAX_FRAME`].
+    Oversized(u64),
+    /// The checksum did not match the received bytes.
+    BadChecksum {
+        /// Checksum computed over the received bytes.
+        computed: u64,
+        /// Checksum carried by the frame.
+        carried: u64,
+    },
+    /// An enum tag (frame kind, reply tag, status…) was out of range.
+    BadTag {
+        /// Which field was malformed.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A payload field did not decode (short payload, bad UTF-8…).
+    Malformed(&'static str),
+    /// The underlying socket failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "stream ended inside a frame"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds {MAX_FRAME}"),
+            WireError::BadChecksum { computed, carried } => write!(
+                f,
+                "frame checksum mismatch (computed {computed:016x}, carried {carried:016x})"
+            ),
+            WireError::BadTag { what, value } => write!(f, "bad {what} tag {value}"),
+            WireError::Malformed(what) => write!(f, "malformed {what}"),
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// FNV-1a 64-bit over `data` (seeded with the frame kind by the framing
+/// layer).
+pub fn fnv1a64(seed: u64, data: &[u8]) -> u64 {
+    let mut h = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes one frame.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 4 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.push(kind.tag());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(fnv1a64(0, &[kind.tag()]), payload);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Writes one frame to `w`.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    w.write_all(&encode_frame(kind, payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`. `Ok(None)` means the peer closed the stream
+/// cleanly *before* the first byte of a frame; an EOF anywhere later is
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(FrameKind, Vec<u8>)>, WireError> {
+    let mut magic = [0u8; 4];
+    match r.read(&mut magic)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut magic[n..])?,
+    }
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let kind = FrameKind::from_tag(head[0]).ok_or(WireError::BadTag {
+        what: "frame kind",
+        value: head[0] as u64,
+    })?;
+    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)?;
+    let carried = u64::from_le_bytes(sum);
+    let computed = fnv1a64(fnv1a64(0, &[head[0]]), &payload);
+    if carried != computed {
+        return Err(WireError::BadChecksum { computed, carried });
+    }
+    Ok(Some((kind, payload)))
+}
+
+// ---------------------------------------------------------------------------
+// Payload buffer primitives.
+
+#[derive(Default)]
+pub(crate) struct Enc(pub Vec<u8>);
+
+impl Enc {
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+pub(crate) struct Dec<'a>(pub &'a [u8]);
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.0.len() < n {
+            return Err(WireError::Malformed("payload too short"));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Malformed("string length"));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| WireError::Malformed("string utf-8"))
+    }
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags shared with the cache key.
+
+/// Stable tag for [`DepStyle`] (also hashed into the cache key).
+pub fn dep_style_tag(s: DepStyle) -> u8 {
+    match s {
+        DepStyle::Traditional => 0,
+        DepStyle::Structured => 1,
+    }
+}
+
+/// Inverse of [`dep_style_tag`].
+pub fn dep_style_from_tag(t: u8) -> Option<DepStyle> {
+    Some(match t {
+        0 => DepStyle::Traditional,
+        1 => DepStyle::Structured,
+        _ => return None,
+    })
+}
+
+/// Stable tag for [`Objective`] (also hashed into the cache key).
+pub fn objective_tag(o: Objective) -> u8 {
+    match o {
+        Objective::FirstFeasible => 0,
+        Objective::MinMaxLive => 1,
+        Objective::MinBuffers => 2,
+        Objective::MinCumLifetime => 3,
+        Objective::MinSchedLength => 4,
+    }
+}
+
+/// Inverse of [`objective_tag`].
+pub fn objective_from_tag(t: u8) -> Option<Objective> {
+    Some(match t {
+        0 => Objective::FirstFeasible,
+        1 => Objective::MinMaxLive,
+        2 => Objective::MinBuffers,
+        3 => Objective::MinCumLifetime,
+        4 => Objective::MinSchedLength,
+        _ => return None,
+    })
+}
+
+fn provenance_tag(p: Provenance) -> u8 {
+    match p {
+        Provenance::Exact => 0,
+        Provenance::StageIlp => 1,
+        Provenance::Ims => 2,
+    }
+}
+
+fn provenance_from_tag(t: u8) -> Option<Provenance> {
+    Some(match t {
+        0 => Provenance::Exact,
+        1 => Provenance::StageIlp,
+        2 => Provenance::Ims,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Request.
+
+/// A solve request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Idempotency token. Retries of the same logical request must carry
+    /// the same non-zero id so the daemon never double-solves; `0` opts out.
+    pub request_id: u64,
+    /// Wall-clock budget in milliseconds; `0` means the daemon default.
+    pub deadline_ms: u64,
+    /// Engage the fallback ladder when the exact rung runs out of budget.
+    pub use_fallback: bool,
+    /// Consult/populate the certified-schedule cache.
+    pub use_cache: bool,
+    /// Secondary objective.
+    pub objective: Objective,
+    /// Dependence-constraint style.
+    pub dep_style: DepStyle,
+    /// Hard MaxLive cap, if any.
+    pub register_limit: Option<u32>,
+    /// Solver threads; `0` means the daemon default.
+    pub threads: u32,
+    /// The loop description, in the [`optimod_ddg::textfmt`] grammar.
+    pub loop_text: String,
+}
+
+impl Request {
+    /// A request with daemon-default knobs for `loop_text`.
+    pub fn new(loop_text: impl Into<String>) -> Request {
+        Request {
+            request_id: 0,
+            deadline_ms: 0,
+            use_fallback: true,
+            use_cache: true,
+            objective: Objective::MinMaxLive,
+            dep_style: DepStyle::Structured,
+            register_limit: None,
+            threads: 0,
+            loop_text: loop_text.into(),
+        }
+    }
+
+    /// Serializes the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.u64(self.request_id);
+        e.u64(self.deadline_ms);
+        let mut flags = 0u8;
+        if self.use_fallback {
+            flags |= 1;
+        }
+        if self.use_cache {
+            flags |= 2;
+        }
+        e.u8(flags);
+        e.u8(objective_tag(self.objective));
+        e.u8(dep_style_tag(self.dep_style));
+        e.u32(self.register_limit.unwrap_or(u32::MAX));
+        e.u32(self.threads);
+        e.str(&self.loop_text);
+        e.0
+    }
+
+    /// Deserializes a request payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut d = Dec(payload);
+        let request_id = d.u64()?;
+        let deadline_ms = d.u64()?;
+        let flags = d.u8()?;
+        let objective = d.u8()?;
+        let objective = objective_from_tag(objective).ok_or(WireError::BadTag {
+            what: "objective",
+            value: objective as u64,
+        })?;
+        let style = d.u8()?;
+        let dep_style = dep_style_from_tag(style).ok_or(WireError::BadTag {
+            what: "dep style",
+            value: style as u64,
+        })?;
+        let register_limit = match d.u32()? {
+            u32::MAX => None,
+            v => Some(v),
+        };
+        let threads = d.u32()?;
+        let loop_text = d.str()?;
+        d.finish()?;
+        Ok(Request {
+            request_id,
+            deadline_ms,
+            use_fallback: flags & 1 != 0,
+            use_cache: flags & 2 != 0,
+            objective,
+            dep_style,
+            register_limit,
+            threads,
+            loop_text,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reply.
+
+/// Typed failure category carried by an [`ErrorReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The loop text did not parse.
+    Parse,
+    /// The loop parsed but failed semantic validation.
+    InvalidLoop,
+    /// The deadline expired before a schedule was found.
+    Timeout,
+    /// The scheduler proved the request infeasible over its `II` span.
+    Infeasible,
+    /// The solver failed abnormally (numerics, malformed solution…).
+    Failed,
+    /// Admission control shed the request: the queue is full.
+    Overloaded,
+    /// The daemon is draining and no longer accepts work.
+    ShuttingDown,
+    /// A worker crashed or an injected fault fired; safe to retry.
+    Internal,
+    /// A cached or computed schedule failed exact certification.
+    Certification,
+}
+
+impl ErrorCode {
+    /// Whether a client should retry this failure (possibly against a
+    /// different daemon instance). Deterministic failures — parse errors,
+    /// proven infeasibility, expired deadlines — are not retryable.
+    pub fn default_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::ShuttingDown | ErrorCode::Internal
+        )
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Parse => 0,
+            ErrorCode::InvalidLoop => 1,
+            ErrorCode::Timeout => 2,
+            ErrorCode::Infeasible => 3,
+            ErrorCode::Failed => 4,
+            ErrorCode::Overloaded => 5,
+            ErrorCode::ShuttingDown => 6,
+            ErrorCode::Internal => 7,
+            ErrorCode::Certification => 8,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<ErrorCode> {
+        Some(match t {
+            0 => ErrorCode::Parse,
+            1 => ErrorCode::InvalidLoop,
+            2 => ErrorCode::Timeout,
+            3 => ErrorCode::Infeasible,
+            4 => ErrorCode::Failed,
+            5 => ErrorCode::Overloaded,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Internal,
+            8 => ErrorCode::Certification,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::InvalidLoop => "invalid-loop",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Infeasible => "infeasible",
+            ErrorCode::Failed => "failed",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Certification => "certification",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A successful solve (or cache hit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Whether the schedule was served from the certified cache.
+    pub cache_hit: bool,
+    /// Whether the secondary objective was proven optimal.
+    pub optimal: bool,
+    /// Which ladder rung produced the schedule.
+    pub provenance: Provenance,
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Exact secondary-objective value, when one was certified/reported.
+    pub objective: Option<i64>,
+    /// Issue cycle per operation, in the loop's declaration order.
+    pub times: Vec<i64>,
+    /// Branch-and-bound nodes expanded (0 for cache hits).
+    pub bb_nodes: u64,
+    /// Simplex iterations (0 for cache hits).
+    pub simplex_iterations: u64,
+    /// Server-side wall time in microseconds.
+    pub wall_us: u64,
+}
+
+/// A typed failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Whether the daemon advises retrying.
+    pub retryable: bool,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// What a [`FrameKind::Reply`] payload decodes to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A schedule.
+    Scheduled(Scheduled),
+    /// A typed failure.
+    Error(ErrorReply),
+}
+
+impl Reply {
+    /// Echo of the request id.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Reply::Scheduled(s) => s.request_id,
+            Reply::Error(e) => e.request_id,
+        }
+    }
+
+    /// Serializes the reply payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        match self {
+            Reply::Scheduled(s) => {
+                e.u8(0);
+                e.u64(s.request_id);
+                let mut flags = 0u8;
+                if s.cache_hit {
+                    flags |= 1;
+                }
+                if s.optimal {
+                    flags |= 2;
+                }
+                e.u8(flags);
+                e.u8(provenance_tag(s.provenance));
+                e.u32(s.ii);
+                match s.objective {
+                    None => e.u8(0),
+                    Some(v) => {
+                        e.u8(1);
+                        e.i64(v);
+                    }
+                }
+                e.u32(s.times.len() as u32);
+                for &t in &s.times {
+                    e.i64(t);
+                }
+                e.u64(s.bb_nodes);
+                e.u64(s.simplex_iterations);
+                e.u64(s.wall_us);
+            }
+            Reply::Error(err) => {
+                e.u8(1);
+                e.u64(err.request_id);
+                e.u8(err.code.tag());
+                e.u8(err.retryable as u8);
+                e.str(&err.message);
+            }
+        }
+        e.0
+    }
+
+    /// Deserializes a reply payload.
+    pub fn decode(payload: &[u8]) -> Result<Reply, WireError> {
+        let mut d = Dec(payload);
+        let tag = d.u8()?;
+        let reply = match tag {
+            0 => {
+                let request_id = d.u64()?;
+                let flags = d.u8()?;
+                let prov = d.u8()?;
+                let provenance = provenance_from_tag(prov).ok_or(WireError::BadTag {
+                    what: "provenance",
+                    value: prov as u64,
+                })?;
+                let ii = d.u32()?;
+                if ii == 0 {
+                    return Err(WireError::Malformed("zero II"));
+                }
+                let objective = match d.u8()? {
+                    0 => None,
+                    1 => Some(d.i64()?),
+                    v => {
+                        return Err(WireError::BadTag {
+                            what: "objective option",
+                            value: v as u64,
+                        })
+                    }
+                };
+                let n = d.u32()? as usize;
+                if n > MAX_FRAME / 8 {
+                    return Err(WireError::Malformed("times length"));
+                }
+                let mut times = Vec::with_capacity(n);
+                for _ in 0..n {
+                    times.push(d.i64()?);
+                }
+                Reply::Scheduled(Scheduled {
+                    request_id,
+                    cache_hit: flags & 1 != 0,
+                    optimal: flags & 2 != 0,
+                    provenance,
+                    ii,
+                    objective,
+                    times,
+                    bb_nodes: d.u64()?,
+                    simplex_iterations: d.u64()?,
+                    wall_us: d.u64()?,
+                })
+            }
+            1 => {
+                let request_id = d.u64()?;
+                let code = d.u8()?;
+                let code = ErrorCode::from_tag(code).ok_or(WireError::BadTag {
+                    what: "error code",
+                    value: code as u64,
+                })?;
+                let retryable = d.u8()? != 0;
+                let message = d.str()?;
+                Reply::Error(ErrorReply {
+                    request_id,
+                    code,
+                    retryable,
+                    message,
+                })
+            }
+            v => {
+                return Err(WireError::BadTag {
+                    what: "reply",
+                    value: v as u64,
+                })
+            }
+        };
+        d.finish()?;
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request {
+            request_id: 42,
+            deadline_ms: 1500,
+            use_fallback: true,
+            use_cache: false,
+            objective: Objective::MinBuffers,
+            dep_style: DepStyle::Traditional,
+            register_limit: Some(12),
+            threads: 3,
+            loop_text: "machine example-3fu\nop a load\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let r = sample_request();
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let s = Reply::Scheduled(Scheduled {
+            request_id: 7,
+            cache_hit: true,
+            optimal: true,
+            provenance: Provenance::Exact,
+            ii: 4,
+            objective: Some(-3),
+            times: vec![0, 1, -2, 9],
+            bb_nodes: 11,
+            simplex_iterations: 222,
+            wall_us: 3333,
+        });
+        assert_eq!(Reply::decode(&s.encode()).unwrap(), s);
+        let e = Reply::Error(ErrorReply {
+            request_id: 9,
+            code: ErrorCode::Overloaded,
+            retryable: true,
+            message: "queue full (depth 64)".to_string(),
+        });
+        assert_eq!(Reply::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn frame_round_trips_through_a_stream() {
+        let payload = sample_request().encode();
+        let bytes = encode_frame(FrameKind::Request, &payload);
+        let mut cursor = &bytes[..];
+        let (kind, got) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(got, payload);
+        // Clean EOF after a whole frame.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_frame_is_truncated_not_a_panic() {
+        let bytes = encode_frame(FrameKind::Ping, b"abc");
+        for cut in 1..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            match read_frame(&mut cursor) {
+                Err(WireError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_is_detected() {
+        let bytes = encode_frame(FrameKind::Reply, b"payload-bytes");
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            let mut cursor = &corrupt[..];
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "flip at {i} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(FrameKind::Request.tag());
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = &bytes[..];
+        match read_frame(&mut cursor) {
+            Err(WireError::Oversized(n)) => assert_eq!(n, u32::MAX as u64),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}

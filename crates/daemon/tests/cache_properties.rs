@@ -1,0 +1,237 @@
+//! Property tests for the certified-schedule cache (ISSUE satellite 4).
+//!
+//! Two invariants:
+//! * **Hash stability** — the canonical cache key is a function of the
+//!   *semantic* `(loop, machine, config)` triple, not of the order in
+//!   which a loop file happens to declare its operations and dependences.
+//!   Randomly generated loops hashed under randomly shuffled declaration
+//!   orders must collide exactly, and the canonical permutation must map
+//!   per-op data from either order onto the same canonical vector.
+//! * **Corruption containment** — any byte flip anywhere in a stored
+//!   entry is detected on load: the entry is quarantined (never served),
+//!   the lookup degrades to a miss, and a subsequent re-store over the
+//!   same key works.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use optimod_daemon::hash::{canonical_key, canonical_perm, KeyConfig};
+use optimod_daemon::{CacheStore, CachedSchedule};
+use optimod_ddg::textfmt;
+
+const CFG: KeyConfig = KeyConfig {
+    dep_style: 1,
+    objective: 1,
+    register_limit: None,
+};
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = mix(seed);
+        items.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+}
+
+/// A randomly generated loop as textfmt directive lines, structured so the
+/// result always parses: ops `v0..vN` with classes drawn from the machine,
+/// a forward flow tree (each op reads an earlier one), an optional
+/// loop-carried back-edge, and an optional memory dependence.
+#[derive(Debug, Clone)]
+struct LoopSpec {
+    ops: Vec<String>,
+    edges: Vec<String>,
+}
+
+fn arb_loop() -> impl Strategy<Value = LoopSpec> {
+    (
+        3usize..=8,
+        0u64..=u64::MAX,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(n, mut seed, back_edge, mem_dep)| {
+            const CLASSES: [&str; 5] = ["load", "ialu", "fadd", "fmul", "store"];
+            let mut ops = Vec::new();
+            for i in 0..n {
+                seed = mix(seed);
+                ops.push(format!("op v{i} {}", CLASSES[(seed % 5) as usize]));
+            }
+            let mut edges = Vec::new();
+            for j in 1..n {
+                seed = mix(seed);
+                edges.push(format!("flow v{} v{j} 0", seed % j as u64));
+            }
+            if back_edge {
+                seed = mix(seed);
+                edges.push(format!("flow v{} v{} 1", n - 1, seed % n as u64));
+            }
+            if mem_dep {
+                seed = mix(seed);
+                let a = seed % n as u64;
+                seed = mix(seed);
+                let b = seed % n as u64;
+                if a != b {
+                    edges.push(format!("dep v{a} v{b} 1 1 memory"));
+                }
+            }
+            LoopSpec { ops, edges }
+        })
+}
+
+fn render(spec: &LoopSpec, shuffle_seed: Option<u64>) -> String {
+    let mut ops = spec.ops.clone();
+    let mut edges = spec.edges.clone();
+    if let Some(seed) = shuffle_seed {
+        shuffle(&mut ops, seed);
+        shuffle(&mut edges, mix(seed));
+    }
+    let mut text = String::from("machine example-3fu\n");
+    for line in ops.iter().chain(edges.iter()) {
+        text.push_str(line);
+        text.push('\n');
+    }
+    text
+}
+
+/// Per-op data keyed by name, laid out in declaration order then remapped
+/// through the canonical permutation.
+fn canonical_vector(file: &textfmt::LoopFile) -> Vec<u64> {
+    let perm = canonical_perm(&file.l);
+    let mut out = vec![0u64; file.l.num_ops()];
+    for i in 0..file.l.num_ops() {
+        let name = &file.l.op(optimod_ddg::OpId::from_index(i)).name;
+        let mut tag = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            tag = (tag ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        out[perm[i] as usize] = tag;
+    }
+    out
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "optimod-cachetest-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn key_is_stable_under_declaration_reordering(
+        spec in arb_loop(),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let a = textfmt::parse(&render(&spec, None)).expect("generated loop parses");
+        let b = textfmt::parse(&render(&spec, Some(seed))).expect("shuffled loop parses");
+        prop_assert_eq!(
+            canonical_key(&a.l, &a.machine, &CFG),
+            canonical_key(&b.l, &b.machine, &CFG),
+            "same semantic loop, different keys"
+        );
+        // The canonical permutation maps declaration-order data from
+        // either file onto the same canonical vector — the contract the
+        // server relies on when remapping schedule times on store/load.
+        prop_assert_eq!(canonical_vector(&a), canonical_vector(&b));
+    }
+
+    #[test]
+    fn key_distinguishes_distinct_loops(
+        spec in arb_loop(),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let a = textfmt::parse(&render(&spec, None)).expect("generated loop parses");
+        // Mutate one op's class to a different one: a semantic change.
+        let mut changed = spec.clone();
+        let i = (mix(seed) % changed.ops.len() as u64) as usize;
+        let line = changed.ops[i].clone();
+        let mut toks: Vec<&str> = line.split_whitespace().collect();
+        let new_class = if toks[2] == "fmul" { "fadd" } else { "fmul" };
+        toks[2] = new_class;
+        changed.ops[i] = toks.join(" ");
+        let b = textfmt::parse(&render(&changed, None)).expect("mutated loop parses");
+        prop_assert_ne!(
+            canonical_key(&a.l, &a.machine, &CFG),
+            canonical_key(&b.l, &b.machine, &CFG)
+        );
+    }
+
+    #[test]
+    fn any_byte_flip_quarantines_and_allows_restore(
+        ii in 1u32..50,
+        times in proptest::collection::vec(-1000i64..1000, 1..16),
+        objective in prop_oneof![Just(None), (-10_000i64..10_000).prop_map(Some)],
+        key_seed in 0u64..=u64::MAX,
+        flip_seed in 0u64..=u64::MAX,
+        bit in 0u8..8,
+    ) {
+        let dir = fresh_dir("flip");
+        let store = CacheStore::open(&dir).expect("open cache dir");
+        let mut key = [0u8; 32];
+        let mut s = key_seed;
+        for chunk in key.chunks_mut(8) {
+            s = mix(s);
+            chunk.copy_from_slice(&s.to_le_bytes());
+        }
+        let value = CachedSchedule { ii, objective, times };
+        store.store(&key, &value).expect("store");
+        prop_assert_eq!(store.load(&key), Some(value.clone()));
+
+        // Flip one bit anywhere in the record.
+        let path = dir.join(format!("{}.omc", optimod_daemon::hash::hex(&key)));
+        let mut bytes = std::fs::read(&path).expect("entry exists");
+        let pos = (mix(flip_seed) % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        // Corruption is detected: miss + quarantine, never a wrong value.
+        prop_assert_eq!(store.load(&key), None);
+        let stats = store.stats();
+        prop_assert!(stats.quarantined >= 1, "flip at byte {pos} not quarantined");
+        prop_assert!(!path.exists(), "corrupt entry left in place");
+
+        // The key is usable again: re-store and serve.
+        store.store(&key, &value).expect("re-store");
+        prop_assert_eq!(store.load(&key), Some(value));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn quarantined_entries_are_preserved_for_inspection() {
+    let dir = fresh_dir("inspect");
+    let store = CacheStore::open(&dir).expect("open cache dir");
+    let key = [7u8; 32];
+    let value = CachedSchedule {
+        ii: 3,
+        objective: Some(5),
+        times: vec![0, 1, 2],
+    };
+    store.store(&key, &value).expect("store");
+    let path = dir.join(format!("{}.omc", optimod_daemon::hash::hex(&key)));
+    let mut bytes = std::fs::read(&path).expect("entry exists");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    assert_eq!(store.load(&key), None);
+    // The damaged record survives under quarantine/ for post-mortems.
+    let quarantined = dir
+        .join("quarantine")
+        .join(format!("{}.omc", optimod_daemon::hash::hex(&key)));
+    assert!(quarantined.exists(), "quarantine copy missing");
+    let _ = std::fs::remove_dir_all(&dir);
+}

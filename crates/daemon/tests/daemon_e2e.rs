@@ -1,0 +1,379 @@
+//! End-to-end tests for the `optimodd` daemon: a real Unix socket, real
+//! worker threads, and the real solver — exercising the tentpole
+//! robustness guarantees from the service side:
+//!
+//! * a solve round-trip whose second request is served from the
+//!   certified-schedule cache, byte-identical to the first;
+//! * every reply served from the cache passes the exact-arithmetic
+//!   certifier (a deliberately poisoned cache entry is quarantined and
+//!   re-solved, never served);
+//! * admission control sheds load with a typed `Overloaded` reply;
+//! * duplicate request ids are solved once and replayed verbatim;
+//! * expired deadlines surface as typed `Timeout` errors;
+//! * shutdown rejects new work with `ShuttingDown` and drains cleanly,
+//!   both in-process and through the real binary.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use optimod::{certify, Claim, OptimalScheduler, Provenance, Schedule, SchedulerConfig};
+use optimod_daemon::client;
+use optimod_daemon::hash::{canonical_key, KeyConfig};
+use optimod_daemon::server::{Daemon, DaemonConfig, DaemonHandle};
+use optimod_daemon::{
+    CacheStore, CachedSchedule, ClientConfig, ClientError, ErrorCode, Request, Scheduled,
+};
+use optimod_ddg::textfmt;
+use optimod_ilp::{FaultAction, FaultPlan, FaultSite};
+
+/// The paper's Figure 1 kernel in wire text form.
+const FIGURE1: &str = "\
+machine example-3fu
+op ld-x load
+op mult fmul
+op add fadd
+op sub fadd
+op st-y store
+flow ld-x mult 0
+flow ld-x add 0
+flow mult sub 0
+flow add sub 0
+flow sub st-y 0
+";
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_path(tag: &str, ext: &str) -> PathBuf {
+    // Unix socket paths are length-limited (~108 bytes); keep them short.
+    std::env::temp_dir().join(format!(
+        "omd-{tag}-{}-{}.{ext}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn start_daemon(mut mutate: impl FnMut(&mut DaemonConfig)) -> DaemonHandle {
+    let mut cfg = DaemonConfig::new(fresh_path("sock", "sock"));
+    cfg.workers = 2;
+    mutate(&mut cfg);
+    Daemon::start(cfg).expect("daemon starts")
+}
+
+fn client_cfg(handle: &DaemonHandle) -> ClientConfig {
+    ClientConfig::new(handle.socket_path())
+}
+
+fn request(deadline_ms: u64) -> Request {
+    let mut r = Request::new(FIGURE1);
+    r.deadline_ms = deadline_ms;
+    r
+}
+
+/// Re-certifies a daemon reply locally, trusting nothing but the loop
+/// text: the reply must describe a valid (and, when claimed, optimal)
+/// schedule for the freshly parsed kernel.
+fn assert_certified(text: &str, reply: &Scheduled) {
+    let parsed = textfmt::parse(text).expect("kernel parses");
+    assert_eq!(reply.times.len(), parsed.l.num_ops(), "times length");
+    let schedule = Schedule::new(reply.ii, reply.times.clone());
+    let exact = reply.provenance == Provenance::Exact;
+    let req = Request::new(text);
+    let sched = OptimalScheduler::new(SchedulerConfig::new(req.dep_style, req.objective));
+    let claim = Claim {
+        graph: &parsed.l,
+        machine: &parsed.machine,
+        ii: reply.ii,
+        times: &reply.times,
+        claimed_optimal: exact && reply.optimal,
+        claimed_objective: if exact {
+            reply.objective.map(|o| o as f64)
+        } else {
+            None
+        },
+        exact_objective: if exact {
+            sched.exact_objective(&parsed.l, &schedule)
+        } else {
+            None
+        },
+        claimed_bound: None,
+    };
+    certify(&claim).expect("reply fails certification");
+}
+
+#[test]
+fn smoke_solve_twice_second_is_certified_cache_hit() {
+    let cache_dir = fresh_path("cache", "d");
+    let handle = start_daemon(|cfg| cfg.cache_dir = Some(cache_dir.clone()));
+    let cfg = client_cfg(&handle);
+
+    let first = client::solve(&cfg, request(10_000)).expect("cold solve");
+    assert!(!first.cache_hit, "first solve must be cold");
+    assert!(first.optimal, "figure1 solves to optimality");
+    assert_certified(FIGURE1, &first);
+
+    let second = client::solve(&cfg, request(10_000)).expect("warm solve");
+    assert!(second.cache_hit, "second solve must hit the cache");
+    assert_eq!(second.ii, first.ii);
+    assert_eq!(
+        second.times, first.times,
+        "cache hit must be byte-identical to the certified original"
+    );
+    assert_eq!(second.objective, first.objective);
+    assert_certified(FIGURE1, &second);
+
+    let stats = handle.cache_stats().expect("cache enabled");
+    assert_eq!(stats.stores, 1);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.quarantined, 0);
+
+    handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn poisoned_cache_entry_is_quarantined_not_served() {
+    let cache_dir = fresh_path("poison", "d");
+
+    // Round 1: a clean daemon populates the cache and reports the key
+    // coordinates (II and op count) we need to forge a poisoned entry.
+    let handle = start_daemon(|cfg| cfg.cache_dir = Some(cache_dir.clone()));
+    let first = client::solve(&client_cfg(&handle), request(10_000)).expect("cold solve");
+    handle.shutdown().expect("clean shutdown");
+
+    // Overwrite the entry with a checksum-valid record whose schedule is
+    // garbage: all-zero times violate every latency-1 dependence, and the
+    // claimed objective is absurd. The record *decodes* fine — only the
+    // exact-arithmetic certifier can tell it is poison.
+    let parsed = textfmt::parse(FIGURE1).expect("kernel parses");
+    let req = Request::new(FIGURE1);
+    let key = canonical_key(
+        &parsed.l,
+        &parsed.machine,
+        &KeyConfig {
+            dep_style: optimod_daemon::wire::dep_style_tag(req.dep_style),
+            objective: optimod_daemon::wire::objective_tag(req.objective),
+            register_limit: None,
+        },
+    );
+    {
+        let store = CacheStore::open(&cache_dir).expect("open cache");
+        assert!(store.load(&key).is_some(), "round 1 populated this key");
+        store
+            .store(
+                &key,
+                &CachedSchedule {
+                    ii: first.ii,
+                    objective: Some(0),
+                    times: vec![0; first.times.len()],
+                },
+            )
+            .expect("poison store");
+    }
+
+    // Round 2: a fresh daemon on the poisoned cache must refuse to serve
+    // the entry (certification fails), quarantine it, and re-solve.
+    let handle = start_daemon(|cfg| cfg.cache_dir = Some(cache_dir.clone()));
+    let cfg = client_cfg(&handle);
+    let reply = client::solve(&cfg, request(10_000)).expect("re-solve");
+    assert!(
+        !reply.cache_hit,
+        "poisoned entry must not be served as a cache hit"
+    );
+    assert_eq!(reply.times, first.times, "re-solve matches the original");
+    assert_certified(FIGURE1, &reply);
+    let stats = handle.cache_stats().expect("cache enabled");
+    assert_eq!(stats.quarantined, 1, "poisoned entry quarantined");
+
+    // The re-solve repopulated the cache; the next request hits clean.
+    let third = client::solve(&cfg, request(10_000)).expect("warm solve");
+    assert!(third.cache_hit);
+    assert_eq!(third.times, first.times);
+    assert_certified(FIGURE1, &third);
+
+    handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn overload_sheds_with_typed_replies_never_silent_drops() {
+    // One worker, queue depth 1, and a 25 ms stall on the first job: a
+    // concurrent burst must see typed `Overloaded` replies for whatever
+    // does not fit — never a dropped connection.
+    let handle = start_daemon(|cfg| {
+        cfg.workers = 1;
+        cfg.queue_depth = 1;
+        cfg.fault = FaultPlan::single(FaultSite::JobWorker, FaultAction::Stall, 1);
+    });
+    let socket = handle.socket_path().to_path_buf();
+
+    let blocker = {
+        let socket = socket.clone();
+        std::thread::spawn(move || client::solve(&ClientConfig::new(&socket), request(10_000)))
+    };
+    // Let the blocker reach the stalled worker before the burst.
+    std::thread::sleep(Duration::from_millis(10));
+
+    let burst: Vec<_> = (0..6)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let cfg = ClientConfig {
+                    retries: 0,
+                    ..ClientConfig::new(&socket)
+                };
+                client::solve(&cfg, request(10_000))
+            })
+        })
+        .collect();
+
+    let mut scheduled = 0usize;
+    let mut overloaded = 0usize;
+    for t in burst {
+        match t.join().expect("burst thread") {
+            Ok(reply) => {
+                assert_certified(FIGURE1, &reply);
+                scheduled += 1;
+            }
+            Err(ClientError::Daemon(e)) => {
+                assert_eq!(e.code, ErrorCode::Overloaded, "unexpected error: {e:?}");
+                assert!(e.retryable, "Overloaded must be retryable");
+                overloaded += 1;
+            }
+            Err(other) => panic!("transport failure under overload: {other}"),
+        }
+    }
+    assert!(
+        overloaded >= 1,
+        "burst of 6 against queue depth 1 must shed"
+    );
+    assert_eq!(scheduled + overloaded, 6, "every request got a typed reply");
+
+    let blocked = blocker
+        .join()
+        .expect("blocker thread")
+        .expect("blocker solve");
+    assert_certified(FIGURE1, &blocked);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn duplicate_request_ids_are_solved_once_and_replayed() {
+    let handle = start_daemon(|_| {});
+    let cfg = client_cfg(&handle);
+    let mut req = request(10_000);
+    req.request_id = 0xfeed_beef;
+
+    let first = client::solve(&cfg, req.clone()).expect("first");
+    let replay = client::solve(&cfg, req).expect("replay");
+    // The replay is the remembered reply, bit for bit — including the
+    // original wall-clock measurement, which a re-solve could never
+    // reproduce exactly.
+    assert_eq!(first, replay, "idempotent replay must be verbatim");
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn expired_deadline_is_a_typed_timeout() {
+    // A 1 ms deadline and a 25 ms worker stall: the deadline is provably
+    // spent before the solve starts, so the reply is a typed Timeout.
+    let handle = start_daemon(|cfg| {
+        cfg.fault = FaultPlan::single(FaultSite::JobWorker, FaultAction::Stall, 1);
+    });
+    let cfg = ClientConfig {
+        retries: 0,
+        ..client_cfg(&handle)
+    };
+    match client::solve(&cfg, request(1)) {
+        Err(ClientError::Daemon(e)) => {
+            assert_eq!(e.code, ErrorCode::Timeout);
+            assert!(!e.retryable, "a spent deadline does not retry");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn parse_errors_are_nonretryable() {
+    let handle = start_daemon(|_| {});
+    let cfg = client_cfg(&handle);
+    let mut req = Request::new("machine example-3fu\nop a load\nflow a b 0\n");
+    req.deadline_ms = 5_000;
+    match client::solve(&cfg, req) {
+        Err(ClientError::Daemon(e)) => {
+            assert_eq!(e.code, ErrorCode::Parse);
+            assert!(!e.retryable);
+            assert!(e.message.contains("b"), "diagnostic names the bad op");
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_rejects_new_requests_with_typed_reply() {
+    let handle = start_daemon(|_| {});
+    let socket = handle.socket_path().to_path_buf();
+
+    client::shutdown(&socket).expect("shutdown acknowledged");
+    assert!(handle.shutdown_requested());
+
+    let cfg = ClientConfig {
+        retries: 0,
+        ..ClientConfig::new(&socket)
+    };
+    match client::solve(&cfg, request(5_000)) {
+        Err(ClientError::Daemon(e)) => {
+            assert_eq!(e.code, ErrorCode::ShuttingDown);
+            assert!(e.retryable, "clients may retry against a replacement");
+        }
+        // The accept loop may already have wound down; a refused connect
+        // is an equally honest outcome.
+        Err(ClientError::Transport(_)) => {}
+        Ok(r) => panic!("accepted work after shutdown: {r:?}"),
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn real_binary_serves_and_drains_cleanly() {
+    let socket = fresh_path("bin", "sock");
+    let cache_dir = fresh_path("bincache", "d");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_optimodd"))
+        .args([
+            "--socket",
+            socket.to_str().expect("utf8 path"),
+            "--cache-dir",
+            cache_dir.to_str().expect("utf8 path"),
+            "--workers",
+            "1",
+        ])
+        .spawn()
+        .expect("spawn optimodd");
+
+    // Wait for the socket to come up.
+    let mut ready = false;
+    for _ in 0..500 {
+        if client::ping(&socket).is_ok() {
+            ready = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(ready, "daemon binary never became ready");
+
+    let cfg = ClientConfig::new(&socket);
+    let first = client::solve(&cfg, request(10_000)).expect("cold solve");
+    assert_certified(FIGURE1, &first);
+    let second = client::solve(&cfg, request(10_000)).expect("warm solve");
+    assert!(second.cache_hit, "binary serves from its cache");
+    assert_eq!(second.times, first.times);
+
+    client::shutdown(&socket).expect("shutdown acknowledged");
+    let status = child.wait().expect("child reaped");
+    assert!(status.success(), "optimodd exited {status:?}");
+    assert!(!socket.exists(), "socket removed on clean exit");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

@@ -25,6 +25,7 @@ mod corpus;
 pub mod generator;
 mod graph;
 pub mod kernels;
+pub mod textfmt;
 
 pub use corpus::{benchmark_corpus, CorpusSize, CORPUS_SEED};
 pub use generator::{generate_corpus, generate_loop, GeneratorConfig};

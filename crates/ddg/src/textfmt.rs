@@ -11,10 +11,15 @@
 //! ```
 //!
 //! Operation names must be declared before use and be unique.
+//!
+//! This format is the lingua franca of the toolchain: the `optimod` CLI
+//! schedules files written in it, and the `optimodd` daemon accepts it as
+//! the request body on the wire — so the grammar (and its line-numbered
+//! diagnostics) lives here in the IR crate, next to [`Loop`] itself.
 
 use std::collections::HashMap;
 
-use optimod_ddg::{DepKind, Loop, LoopBuilder};
+use crate::{DepKind, Loop, LoopBuilder};
 use optimod_machine::{cydra_like, example_3fu, risc_scalar, vliw_4issue, Machine, OpClass};
 
 /// A parsed loop file: the machine and the dependence graph.
@@ -36,7 +41,7 @@ pub struct LoopFile {
 pub fn parse(text: &str) -> Result<LoopFile, String> {
     let mut machine: Option<Machine> = None;
     let mut builder: Option<LoopBuilder> = None;
-    let mut ids: HashMap<String, optimod_ddg::OpId> = HashMap::new();
+    let mut ids: HashMap<String, crate::OpId> = HashMap::new();
     let mut pending: Vec<(usize, Vec<String>)> = Vec::new();
 
     for (lineno, raw) in text.lines().enumerate() {
@@ -127,10 +132,10 @@ fn err(lineno: usize, msg: &str) -> String {
 }
 
 fn lookup(
-    ids: &HashMap<String, optimod_ddg::OpId>,
+    ids: &HashMap<String, crate::OpId>,
     name: &str,
     lineno: usize,
-) -> Result<optimod_ddg::OpId, String> {
+) -> Result<crate::OpId, String> {
     ids.get(name)
         .copied()
         .ok_or_else(|| err(lineno, &format!("undeclared op '{name}'")))

@@ -22,7 +22,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A named location in the solver where faults can be injected.
+/// A named location in the solve pipeline where faults can be injected.
+///
+/// The first four sites live inside the solver; the last three are the
+/// daemon's (`optimod-daemon`): wire framing, cache persistence, and job
+/// execution. They share one plan so a single seed can describe a fault
+/// anywhere in the service stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultSite {
     /// Inside the simplex pivot loop (one hit per iteration).
@@ -35,15 +40,44 @@ pub enum FaultSite {
     /// Schedule extraction from an integral solution (one hit per
     /// extraction attempt).
     Extraction,
+    /// Daemon wire-frame write (one hit per reply frame). Actions map to
+    /// torn frames, dropped connections, and corrupted payload bytes.
+    WireFrame,
+    /// Daemon cache-record write (one hit per store attempt). Actions map
+    /// to a simulated kill mid-write (temp file left behind, no rename)
+    /// and to semantic corruption that only the certifier can catch.
+    CacheWrite,
+    /// Daemon job execution (one hit per job a worker picks up).
+    JobWorker,
 }
 
 impl FaultSite {
-    /// All sites, in a stable order (indexes the hit-counter array).
-    pub const ALL: [FaultSite; 4] = [
+    /// All sites, in a stable order (indexes the hit-counter array). The
+    /// solver sites come first so seed-derived solver plans
+    /// ([`FaultPlan::from_seed`]) are unchanged by the daemon extension.
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::SimplexPivot,
         FaultSite::NodeExpand,
         FaultSite::WorkerStart,
         FaultSite::Extraction,
+        FaultSite::WireFrame,
+        FaultSite::CacheWrite,
+        FaultSite::JobWorker,
+    ];
+
+    /// The solver-internal sites (the original chaos-sweep surface).
+    pub const SOLVER: [FaultSite; 4] = [
+        FaultSite::SimplexPivot,
+        FaultSite::NodeExpand,
+        FaultSite::WorkerStart,
+        FaultSite::Extraction,
+    ];
+
+    /// The daemon-level sites (`optimod-daemon`'s chaos surface).
+    pub const DAEMON: [FaultSite; 3] = [
+        FaultSite::WireFrame,
+        FaultSite::CacheWrite,
+        FaultSite::JobWorker,
     ];
 
     /// Stable lower-case name (used in plan descriptions and traces).
@@ -53,6 +87,9 @@ impl FaultSite {
             FaultSite::NodeExpand => "node-expand",
             FaultSite::WorkerStart => "worker-start",
             FaultSite::Extraction => "extraction",
+            FaultSite::WireFrame => "wire-frame",
+            FaultSite::CacheWrite => "cache-write",
+            FaultSite::JobWorker => "job-worker",
         }
     }
 
@@ -62,6 +99,9 @@ impl FaultSite {
             FaultSite::NodeExpand => 1,
             FaultSite::WorkerStart => 2,
             FaultSite::Extraction => 3,
+            FaultSite::WireFrame => 4,
+            FaultSite::CacheWrite => 5,
+            FaultSite::JobWorker => 6,
         }
     }
 }
@@ -112,7 +152,7 @@ pub struct Injection {
 struct Inner {
     seed: u64,
     injections: Vec<Injection>,
-    hits: [AtomicU64; 4],
+    hits: [AtomicU64; FaultSite::ALL.len()],
     fired: Mutex<Vec<Injection>>,
     /// Pending incumbent perturbations latched by a tripped
     /// [`FaultAction::PerturbIncumbent`].
@@ -136,6 +176,21 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A plausible 1-based trip count for `site`, drawn from `s`: pivot hits
+/// number in the thousands per solve, worker starts and daemon frames in
+/// the single digits.
+fn plausible_nth(s: &mut u64, site: FaultSite) -> u64 {
+    1 + match site {
+        FaultSite::SimplexPivot => splitmix64(s) % 2048,
+        FaultSite::NodeExpand => splitmix64(s) % 48,
+        FaultSite::WorkerStart => splitmix64(s) % 4,
+        FaultSite::Extraction => splitmix64(s) % 2,
+        FaultSite::WireFrame => splitmix64(s) % 4,
+        FaultSite::CacheWrite => splitmix64(s) % 2,
+        FaultSite::JobWorker => splitmix64(s) % 3,
+    }
+}
+
 impl FaultPlan {
     /// The disabled plan (same as `FaultPlan::default()`).
     pub fn none() -> FaultPlan {
@@ -148,30 +203,64 @@ impl FaultPlan {
         self.0.is_some()
     }
 
-    /// Derives one to three injections deterministically from `seed`.
+    /// Derives one to three solver-site injections deterministically from
+    /// `seed`.
     ///
     /// Site-specific `nth` ranges keep the trip points plausible: pivot
     /// hits number in the thousands per solve, worker starts in the
-    /// single digits.
+    /// single digits. Draws only from [`FaultSite::SOLVER`], so existing
+    /// chaos-sweep seeds replay the same plans they always did; the
+    /// daemon sites have their own derivation
+    /// ([`FaultPlan::daemon_from_seed`]).
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut s = seed ^ 0xC4A5_F001; // distinct stream per purpose
         let count = 1 + (splitmix64(&mut s) % 3) as usize;
         let mut injections = Vec::with_capacity(count);
         for _ in 0..count {
-            let site = FaultSite::ALL[(splitmix64(&mut s) % 4) as usize];
+            let site = FaultSite::SOLVER[(splitmix64(&mut s) % 4) as usize];
             let action = [
                 FaultAction::Panic,
                 FaultAction::Stall,
                 FaultAction::SpuriousTimeout,
                 FaultAction::PerturbIncumbent,
             ][(splitmix64(&mut s) % 4) as usize];
-            let nth = 1 + match site {
-                FaultSite::SimplexPivot => splitmix64(&mut s) % 2048,
-                FaultSite::NodeExpand => splitmix64(&mut s) % 48,
-                FaultSite::WorkerStart => splitmix64(&mut s) % 4,
-                FaultSite::Extraction => splitmix64(&mut s) % 2,
+            injections.push(Injection {
+                site,
+                action,
+                nth: plausible_nth(&mut s, site),
+            });
+        }
+        FaultPlan::with_injections(seed, injections)
+    }
+
+    /// Derives one to three injections across the *whole* service stack —
+    /// the daemon sites plus the solver sites, daemon-weighted — from
+    /// `seed`. This is the `chaos_daemon` sweep's plan source: every cell
+    /// trips at least one daemon-level fault site with high probability
+    /// while still mixing in mid-solve faults under live traffic.
+    pub fn daemon_from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed ^ 0xDAE0_50CE; // distinct stream from `from_seed`
+        let count = 1 + (splitmix64(&mut s) % 3) as usize;
+        let mut injections = Vec::with_capacity(count);
+        for i in 0..count {
+            // First injection always lands on a daemon site; later ones
+            // may fall anywhere in the stack.
+            let site = if i == 0 {
+                FaultSite::DAEMON[(splitmix64(&mut s) % 3) as usize]
+            } else {
+                FaultSite::ALL[(splitmix64(&mut s) % FaultSite::ALL.len() as u64) as usize]
             };
-            injections.push(Injection { site, action, nth });
+            let action = [
+                FaultAction::Panic,
+                FaultAction::Stall,
+                FaultAction::SpuriousTimeout,
+                FaultAction::PerturbIncumbent,
+            ][(splitmix64(&mut s) % 4) as usize];
+            injections.push(Injection {
+                site,
+                action,
+                nth: plausible_nth(&mut s, site),
+            });
         }
         FaultPlan::with_injections(seed, injections)
     }
@@ -182,12 +271,7 @@ impl FaultPlan {
         FaultPlan(Some(Arc::new(Inner {
             seed,
             injections,
-            hits: [
-                AtomicU64::new(0),
-                AtomicU64::new(0),
-                AtomicU64::new(0),
-                AtomicU64::new(0),
-            ],
+            hits: std::array::from_fn(|_| AtomicU64::new(0)),
             fired: Mutex::new(Vec::new()),
             perturb_pending: AtomicU64::new(0),
         })))
@@ -371,6 +455,46 @@ mod tests {
             FaultPlan::from_seed(1).injections(),
             FaultPlan::from_seed(2).injections()
         );
+    }
+
+    #[test]
+    fn solver_seed_plans_never_touch_daemon_sites() {
+        // `from_seed` predates the daemon sites; its plans must stay
+        // solver-only (and therefore bit-identical to the PR-4 sweep).
+        for seed in 0..200 {
+            for inj in FaultPlan::from_seed(seed).injections() {
+                assert!(
+                    FaultSite::SOLVER.contains(&inj.site),
+                    "seed {seed} drew daemon site {:?}",
+                    inj.site
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn daemon_seed_plans_lead_with_a_daemon_site() {
+        for seed in 0..200 {
+            let a = FaultPlan::daemon_from_seed(seed);
+            let b = FaultPlan::daemon_from_seed(seed);
+            assert_eq!(a.injections(), b.injections(), "seed {seed}");
+            let inj = a.injections();
+            assert!((1..=3).contains(&inj.len()));
+            assert!(
+                FaultSite::DAEMON.contains(&inj[0].site),
+                "seed {seed}: first injection {:?} is not daemon-level",
+                inj[0].site
+            );
+        }
+    }
+
+    #[test]
+    fn daemon_sites_count_hits_independently() {
+        let plan = FaultPlan::single(FaultSite::CacheWrite, FaultAction::Stall, 2);
+        assert_eq!(plan.fire(FaultSite::WireFrame), None);
+        assert_eq!(plan.fire(FaultSite::CacheWrite), None);
+        assert_eq!(plan.fire(FaultSite::JobWorker), None);
+        assert_eq!(plan.fire(FaultSite::CacheWrite), Some(FaultAction::Stall));
     }
 
     #[test]

@@ -44,6 +44,51 @@ echo "==> fixed-seed chaos sweep (fault injection)"
 # trace streams. Failures name their seed: optimod --chaos SEED <loop>.
 cargo run --release -q -p optimod-bench --bin chaos_sweep
 
+echo "==> daemon smoke (solve twice, second must be a certified cache hit)"
+# Start a real optimodd on a temp socket with a temp cache, schedule the
+# figure1 golden kernel twice through the CLI client with --certify: the
+# second reply must be served from the certified-schedule cache and be
+# byte-identical to the first (same times, same certificate).
+cargo build --release -q -p optimod-cli -p optimod-daemon
+OMD_SOCK="$(mktemp -u)/optimodd.sock"
+mkdir -p "$(dirname "$OMD_SOCK")"
+OMD_CACHE="$(mktemp -d)"
+./target/release/optimodd --socket "$OMD_SOCK" --cache-dir "$OMD_CACHE" &
+OMD_PID=$!
+cleanup_daemon() {
+    kill "$OMD_PID" 2>/dev/null || true
+    rm -rf "$OMD_CACHE" "$(dirname "$OMD_SOCK")"
+}
+trap cleanup_daemon EXIT
+for _ in $(seq 1 100); do [ -S "$OMD_SOCK" ] && break; sleep 0.05; done
+OMD_OUT1="$(./target/release/optimod client examples/figure1.loop \
+    --socket "$OMD_SOCK" --certify)"
+OMD_OUT2="$(./target/release/optimod client examples/figure1.loop \
+    --socket "$OMD_SOCK" --certify)"
+echo "$OMD_OUT2" | grep -q "certified cache hit" \
+    || { echo "daemon smoke: second solve was not a cache hit"; exit 1; }
+[ "$(echo "$OMD_OUT1" | grep -E '^\s+\S+\s+t=')" = \
+  "$(echo "$OMD_OUT2" | grep -E '^\s+\S+\s+t=')" ] \
+    || { echo "daemon smoke: cache hit differs from the cold solve"; exit 1; }
+./target/release/optimod client --socket "$OMD_SOCK" --shutdown
+wait "$OMD_PID"
+trap - EXIT
+cleanup_daemon
+
+echo "==> fixed-seed chaos sweep of the daemon stack (fault injection)"
+# 64 seeded service-level fault plans (torn wire frames, dropped replies,
+# corrupted cache writes, worker panics, mid-solve faults) x 3 kernels x
+# 2 rounds against real in-process daemons: every request must end in a
+# certified schedule or a typed error, zero aborts, zero uncertified
+# cache responses. Failures name their seed for replay.
+cargo run --release -q -p optimod-bench --bin chaos_daemon
+
+echo "==> daemon cache-hit latency gate"
+# Cold-solve vs cache-hit round-trip latency (p50/p99) per golden kernel
+# through a real daemon; writes BENCH_daemon.json and fails unless the
+# best cold/hit p50 speedup stays >= 100x (OPTIMOD_DAEMON_GATE tunes).
+cargo run --release -q -p optimod-bench --bin bench_daemon
+
 echo "==> dense-vs-sparse engine A/B differential (end to end)"
 # Scheduling a golden-corpus slice under OPTIMOD_SIMPLEX=dense and
 # =sparse must certify identical IIs and objectives; the LP/IP-level
