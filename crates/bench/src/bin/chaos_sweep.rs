@@ -15,13 +15,20 @@
 //!
 //! Seeds are fixed (0..64), so any failure replays from its printed seed
 //! alone: `optimod --chaos SEED <loop>`.
+//!
+//! Each seed runs twice per loop: once through the plain exact-plus-ladder
+//! path (solver-site fault pool), and once through the cross-backend
+//! portfolio (`--portfolio`; SAT-site-leading fault pool). Portfolio cells
+//! additionally assert that no injected fault ever manufactures a
+//! cross-backend disagreement — faults degrade a backend, they never make
+//! a *certified* contradiction.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
 use optimod::{
-    certify, Claim, DepStyle, FallbackConfig, LoopResult, Objective, OptimalScheduler, Provenance,
+    certify, Claim, DepStyle, FallbackConfig, LoopResult, Objective, OptimalScheduler,
     SchedulerConfig,
 };
 use optimod_bench::{CorpusRow, OutcomeKind};
@@ -45,16 +52,30 @@ fn chaos_loops(machine: &Machine) -> Vec<Loop> {
 /// One cell of the sweep matrix.
 struct Cell {
     seed: u64,
+    portfolio: bool,
     row: CorpusRow,
     faults_fired: u64,
     balanced: bool,
     certified: Option<bool>,
+    disagreed: bool,
 }
 
-fn run_cell(machine: &Machine, l: &Loop, seed: u64) -> Cell {
-    let plan = FaultPlan::from_seed(seed);
+fn run_cell(machine: &Machine, l: &Loop, seed: u64, portfolio: bool) -> Cell {
+    // Portfolio cells draw from the SAT-site-leading fault pool and run
+    // objective-free (the portfolio only covers NoObj); plain cells replay
+    // the historical solver-only pool under MinReg.
+    let plan = if portfolio {
+        FaultPlan::portfolio_from_seed(seed)
+    } else {
+        FaultPlan::from_seed(seed)
+    };
+    let objective = if portfolio {
+        Objective::FirstFeasible
+    } else {
+        Objective::MinMaxLive
+    };
     let sink = Arc::new(MemorySink::default());
-    let mut cfg = SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+    let mut cfg = SchedulerConfig::new(DepStyle::Structured, objective)
         .with_time_limit(Duration::from_millis(1500));
     // Odd seeds exercise the parallel engine (worker-start faults can only
     // fire there); even seeds pin the deterministic serial engine.
@@ -62,6 +83,7 @@ fn run_cell(machine: &Machine, l: &Loop, seed: u64) -> Cell {
     cfg.limits.trace = Trace::new(sink.clone());
     cfg.limits.fault = plan.clone();
     cfg.fallback = FallbackConfig::enabled();
+    cfg.portfolio = portfolio;
     let sched = OptimalScheduler::new(cfg);
 
     let row = match catch_unwind(AssertUnwindSafe(|| sched.schedule(l, machine))) {
@@ -83,12 +105,20 @@ fn run_cell(machine: &Machine, l: &Loop, seed: u64) -> Cell {
     };
     let (row, result) = row;
     let certified = result.as_ref().and_then(|r| recertify(machine, l, r));
+    let disagreed = result.as_ref().is_some_and(|r| {
+        matches!(
+            r.error,
+            Some(optimod::ScheduleError::BackendDisagreement { .. })
+        )
+    });
     Cell {
         seed,
+        portfolio,
         row,
         faults_fired: plan.fired_count(),
         balanced: sink.report().balanced(),
         certified,
+        disagreed,
     }
 }
 
@@ -97,15 +127,22 @@ fn run_cell(machine: &Machine, l: &Loop, seed: u64) -> Cell {
 /// only re-checked for exact-rung results — ladder rungs claim none.
 fn recertify(machine: &Machine, l: &Loop, r: &LoopResult) -> Option<bool> {
     let s = r.schedule.as_ref()?;
-    let exact_rung = r.provenance == Some(Provenance::Exact);
+    let exact_rung = r.provenance.is_some_and(|p| !p.degraded());
+    // Objective-free results (portfolio cells, including SAT wins) carry no
+    // objective claims; MinReg cells re-check the exact objective too.
+    let objective_free = r.objective_value.is_none();
     let claim = Claim {
         graph: l,
         machine,
         ii: s.ii(),
         times: s.times(),
         claimed_optimal: exact_rung && r.status == optimod::LoopStatus::Optimal,
-        claimed_objective: if exact_rung { r.objective_value } else { None },
-        exact_objective: exact_rung.then(|| s.max_live(l) as i64),
+        claimed_objective: if exact_rung && !objective_free {
+            r.objective_value
+        } else {
+            None
+        },
+        exact_objective: (exact_rung && !objective_free).then(|| s.max_live(l) as i64),
         claimed_bound: None,
     };
     Some(certify(&claim).is_ok())
@@ -125,7 +162,12 @@ fn main() {
     let cells: Vec<Cell> = optimod_par::par_map(0, &seeds, |_, &seed| {
         loops
             .iter()
-            .map(|l| run_cell(&machine, l, seed))
+            .flat_map(|l| {
+                [
+                    run_cell(&machine, l, seed, false),
+                    run_cell(&machine, l, seed, true),
+                ]
+            })
             .collect::<Vec<Cell>>()
     })
     .into_iter()
@@ -147,8 +189,10 @@ fn main() {
     let scheduled = cells.iter().filter(|c| c.row.kind.scheduled()).count();
     let certified_ok = cells.iter().filter(|c| c.certified == Some(true)).count();
 
+    let portfolio_cells = cells.iter().filter(|c| c.portfolio).count();
     println!(
-        "chaos sweep: {SEEDS} fault plans x {} loops = {total} runs",
+        "chaos sweep: {SEEDS} fault plans x {} loops x (plain + portfolio) = {total} runs \
+         ({portfolio_cells} portfolio)",
         loops.len()
     );
     println!("injected faults fired: {faults_fired}");
@@ -186,6 +230,11 @@ fn main() {
                 c.row.name
             );
         }
+        assert!(
+            !c.disagreed,
+            "seed {} / {}: an injected fault manufactured a cross-backend disagreement",
+            c.seed, c.row.name
+        );
     }
     assert_eq!(
         scheduled, certified_ok,

@@ -24,6 +24,11 @@
 //!                         (default: OPTIMOD_THREADS, else all cores;
 //!                         1 = deterministic serial search)
 //!   --speculate           race II and II+1 solves concurrently
+//!   --portfolio           race the CDCL SAT backend against the ILP at
+//!                         each tentative II (noobj only; first certified
+//!                         answer wins, certified contradictions between
+//!                         the backends fail the run with a minimized
+//!                         repro written to optimod-disagreement.loop)
 //!   --fallback            degrade to stage-ILP / IMS when the exact
 //!                         solver exhausts its budget slice
 //!   --expand              also print the MVE-expanded pipelined loop
@@ -127,6 +132,7 @@ struct Options {
     registers: Option<u32>,
     threads: u32,
     speculate: bool,
+    portfolio: bool,
     fallback: bool,
     expand: bool,
     lp: bool,
@@ -158,6 +164,7 @@ fn parse_args() -> Result<Options, String> {
         registers: None,
         threads: 0,
         speculate: false,
+        portfolio: false,
         fallback: false,
         expand: false,
         lp: false,
@@ -229,6 +236,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.threads = v.parse().map_err(|_| "--threads must be an integer")?;
             }
             "--speculate" => opts.speculate = true,
+            "--portfolio" => opts.portfolio = true,
             "--fallback" => opts.fallback = true,
             "--expand" => opts.expand = true,
             "--lp" => opts.lp = true,
@@ -258,7 +266,7 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
 [--style structured|traditional] [--budget-ms N] [--registers N] [--threads N] \
-[--speculate] [--fallback] [--expand] [--lp] [--trace PATH] [--report] [--report-json] \
+[--speculate] [--portfolio] [--fallback] [--expand] [--lp] [--trace PATH] [--report] [--report-json] \
 [--certify] [--chaos SEED] [--analyze] [--no-presolve]\n\
        optimod lint <loop-file> [--json] [--style S] [--objective O]\n\
        optimod client <loop-file> --socket PATH [--objective O] [--style S] [--deadline-ms N] \
@@ -435,7 +443,7 @@ fn run_client(opts: &Options) -> Result<(), Failure> {
         // Trust nothing: rebuild the claim from the reply and certify it
         // locally against the locally parsed loop and machine.
         let schedule = optimod::Schedule::new(reply.ii, reply.times.clone());
-        let exact = reply.provenance == Provenance::Exact;
+        let exact = !reply.provenance.degraded();
         let mut cfg = SchedulerConfig::new(opts.style, opts.objective);
         cfg.register_limit = opts.registers;
         let sched = OptimalScheduler::new(cfg);
@@ -535,11 +543,18 @@ fn run() -> Result<(), Failure> {
     cfg.presolve = opts.presolve;
     cfg.limits.threads = opts.threads;
     cfg.speculate_ii = opts.speculate;
+    cfg.portfolio = opts.portfolio;
     if opts.fallback {
         cfg.fallback = FallbackConfig::enabled();
     }
     if let Some(seed) = opts.chaos {
-        let plan = FaultPlan::from_seed(seed);
+        // Portfolio runs draw from the portfolio fault pool (which can hit
+        // the SAT backend's sites); plain runs replay the solver-only pool.
+        let plan = if opts.portfolio {
+            FaultPlan::portfolio_from_seed(seed)
+        } else {
+            FaultPlan::from_seed(seed)
+        };
         println!("chaos: {}", plan.describe());
         cfg.limits.fault = plan;
     }
@@ -583,6 +598,17 @@ fn run() -> Result<(), Failure> {
             println!("{}", report.to_json());
         }
     }
+    if let Some(optimod::ScheduleError::BackendDisagreement { ii, detail, repro }) = &result.error {
+        // The differential oracle fired: dump the minimized repro next to
+        // the user and fail with the certification exit code — one backend
+        // is provably wrong, so no schedule can be trusted.
+        let path = "optimod-disagreement.loop";
+        std::fs::write(path, repro)
+            .map_err(|e| Failure::Io(format!("cannot write {path}: {e}")))?;
+        return Err(Failure::Certification(format!(
+            "cross-backend disagreement at II {ii}: {detail}; minimized repro written to {path}"
+        )));
+    }
     if let Some(e) = &result.error {
         eprintln!("warning: {e}");
     }
@@ -599,13 +625,22 @@ fn run() -> Result<(), Failure> {
             }
         )));
     };
+    let sat_effort = if result.stats.sat_conflicts > 0 || result.stats.sat_decisions > 0 {
+        format!(
+            ", {} sat decisions, {} sat conflicts",
+            result.stats.sat_decisions, result.stats.sat_conflicts
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "\nII = {} ({:?} via {}; {} branch-and-bound nodes, {} simplex iterations)",
+        "\nII = {} ({:?} via {}; {} branch-and-bound nodes, {} simplex iterations{})",
         schedule.ii(),
         result.status,
         result.provenance.unwrap_or(Provenance::Exact),
         result.stats.bb_nodes,
-        result.stats.simplex_iterations
+        result.stats.simplex_iterations,
+        sat_effort
     );
     println!("\nschedule:");
     for id in l.op_ids() {
@@ -643,8 +678,9 @@ fn run() -> Result<(), Failure> {
         // printed result and re-runs the certifier from outside, so a
         // regression that disabled the internal check would still be caught
         // here. Objective claims only apply to exact-rung results — ladder
-        // schedules (stage ILP / IMS) claim feasibility only.
-        let exact_rung = result.provenance == Some(Provenance::Exact);
+        // schedules (stage ILP / IMS) claim feasibility only. A SAT
+        // portfolio win counts as exact (objective-free by construction).
+        let exact_rung = result.provenance.is_some_and(|p| !p.degraded());
         let claim = Claim {
             graph: &l,
             machine: &machine,

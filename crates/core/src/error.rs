@@ -41,6 +41,22 @@ pub enum ScheduleError {
     /// bound inconsistency, II below the recomputed MinII). The typed
     /// cause names the offending edge, row, or resource.
     Certification(CertError),
+    /// The portfolio's two backends returned contradictory *certified*
+    /// verdicts for the same tentative `II`: one side's schedule passed
+    /// exact-arithmetic certification while the other side proved the very
+    /// same instance infeasible. This is a hard bug in one of the backends
+    /// (or the CNF encoder between them) — never a legitimate outcome — so
+    /// the run fails loudly instead of picking a side.
+    BackendDisagreement {
+        /// The tentative `II` both backends decided.
+        ii: u32,
+        /// Which backend said what (human-readable).
+        detail: String,
+        /// A minimized reproduction of the disagreeing instance in the
+        /// textual loop format, ready to write to a `.loop` file and replay
+        /// with `optimod --portfolio`.
+        repro: String,
+    },
     /// The loop's recurrence-constrained MII exceeds
     /// [`MAX_SCHEDULABLE_II`](crate::scheduler::MAX_SCHEDULABLE_II): the
     /// row binaries of the ILP grow linearly with `II`, so such a loop
@@ -64,6 +80,11 @@ impl fmt::Display for ScheduleError {
                 write!(f, "extracted schedule is invalid: {detail}")
             }
             ScheduleError::Certification(e) => write!(f, "certification failed: {e}"),
+            ScheduleError::BackendDisagreement { ii, detail, .. } => write!(
+                f,
+                "cross-backend disagreement at II {ii}: {detail} \
+                 (a minimized repro accompanies this error)"
+            ),
             ScheduleError::MiiOverflow { mii } => write!(
                 f,
                 "recurrence-constrained MII {mii} exceeds the schedulable ceiling {}",

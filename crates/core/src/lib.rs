@@ -46,6 +46,7 @@ pub mod error;
 pub mod formulation;
 pub mod heuristic;
 pub mod mii;
+mod portfolio;
 pub mod rotating;
 pub mod schedule;
 pub mod scheduler;
@@ -55,6 +56,7 @@ pub use error::ScheduleError;
 pub use formulation::{build_model, BuiltModel, DepStyle, FormulationConfig, Objective};
 pub use mii::{compute_mii, Mii};
 pub use optimod_analyze::{IlpContext, PresolveOptions, PresolveSummary, PresolveTotals};
+pub use optimod_sat::EncodeOptions as SatEncodeOptions;
 pub use optimod_verify::{certify, CertError, Certificate, Claim};
 pub use rotating::{allocate, RotatingAllocation};
 pub use schedule::{Lifetime, Schedule};

@@ -1,0 +1,571 @@
+//! Cross-backend portfolio: the CDCL SAT core raced against the ILP, with
+//! a differential bug oracle between them.
+//!
+//! For a tentative `II` the portfolio asks two independently implemented
+//! decision procedures the same question — the branch-and-bound ILP over
+//! the 0-1-structured formulation, and `optimod-sat`'s CDCL solver over a
+//! CNF compiled from the very same model (honoring the presolve fixings as
+//! restricted slot domains). Arbitration rules:
+//!
+//! * a SAT schedule counts only after it passes the same exact-arithmetic
+//!   certification every ILP schedule passes — the SAT backend is
+//!   untrusted by design;
+//! * a SAT *infeasible* verdict alone never escalates `II`: escalation
+//!   requires the ILP's own infeasibility proof;
+//! * when both backends return definitive, contradictory verdicts for the
+//!   same `II` — one side's witness certified, the other side proving the
+//!   instance infeasible — the run fails with
+//!   [`ScheduleError::BackendDisagreement`], carrying a greedily minimized
+//!   reproduction in the textual loop format. A disagreement is a hard bug
+//!   in a backend or the encoder, never a legitimate outcome.
+//!
+//! With one worker thread the two backends run *serially* (SAT first) so
+//! portfolio results are deterministic and pinnable in the golden corpus;
+//! with more threads they race on [`optimod_par::race2`], the first
+//! certified answer cancelling the loser through its
+//! [`StopFlag`](optimod_ilp::StopFlag) — whose partial statistics are
+//! still merged through the audited [`SolveStats::absorb`] path.
+
+use std::time::Duration;
+
+use optimod_ddg::{DepKind, Loop, LoopBuilder};
+use optimod_ilp::{
+    panic_message, SolveError, SolveLimits, SolveOutcome, SolveStats, SolveStatus, StopFlag,
+};
+use optimod_machine::Machine;
+use optimod_sat::{encode, solve as sat_solve, SatLimits, SatOutcome, SatStats, SlotDomains};
+use optimod_trace::TraceEvent;
+
+use crate::error::ScheduleError;
+use crate::formulation::{build_model, BuiltModel, FormulationConfig, Objective};
+use crate::schedule::Schedule;
+use crate::scheduler::OptimalScheduler;
+
+/// What the SAT backend established about one tentative `II`.
+pub(crate) enum SatVerdict {
+    /// A satisfying assignment that decoded *and certified*.
+    Schedule(Schedule),
+    /// The CNF was proven unsatisfiable.
+    Infeasible,
+    /// Budget, cancellation, an injected fault, or an uncertifiable
+    /// witness: nothing trustworthy either way.
+    Unknown,
+}
+
+impl SatVerdict {
+    fn name(&self) -> &'static str {
+        match self {
+            SatVerdict::Schedule(_) => "feasible",
+            SatVerdict::Infeasible => "infeasible",
+            SatVerdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// How one portfolio attempt at a tentative `II` resolved.
+pub(crate) enum PortfolioOutcome {
+    /// The SAT backend won with a certified schedule.
+    Sat(Schedule),
+    /// The ILP outcome is authoritative (schedule, infeasibility proof, or
+    /// limit); the escalation loop proceeds exactly as without a portfolio.
+    /// Boxed: a `SolveOutcome` carries the full variable assignment and
+    /// would dominate the enum's footprint.
+    Ilp(Box<SolveOutcome>),
+    /// The differential oracle caught the backends contradicting each
+    /// other.
+    Disagreement(ScheduleError),
+}
+
+fn ilp_verdict_name(status: SolveStatus) -> &'static str {
+    match status {
+        SolveStatus::Optimal | SolveStatus::Feasible => "feasible",
+        SolveStatus::Infeasible => "infeasible",
+        SolveStatus::LimitReached => "unknown",
+    }
+}
+
+/// Folds a SAT run's counters into the scheduler's [`SolveStats`] shape so
+/// they travel through the audited `absorb` merge path like every other
+/// backend's effort.
+fn as_solve_stats(st: &SatStats) -> SolveStats {
+    SolveStats {
+        sat_decisions: st.decisions,
+        sat_propagations: st.propagations,
+        sat_conflicts: st.conflicts,
+        sat_restarts: st.restarts,
+        sat_learned: st.learned,
+        faults_injected: st.faults_injected,
+        ..Default::default()
+    }
+}
+
+/// Reads the per-op slot domains off a (presolved) built model: the stage
+/// variables' bounds and the MRT row binaries still free or forced. This
+/// is how analyzer fixings reach the CNF as unit-clause-level restrictions.
+pub(crate) fn slot_domains(built: &BuiltModel) -> SlotDomains {
+    let n = built.a.len();
+    let mut stage_bounds = Vec::with_capacity(n);
+    let mut row_allowed = Vec::with_capacity(n);
+    for op in 0..n {
+        let k = built.k[op];
+        stage_bounds.push((
+            built.model.lb(k).ceil() as i64,
+            built.model.ub(k).floor() as i64,
+        ));
+        let mut rows: Vec<bool> = built.a[op]
+            .iter()
+            .map(|&v| built.model.ub(v) > 0.5)
+            .collect();
+        if let Some(forced) = built.a[op].iter().position(|&v| built.model.lb(v) > 0.5) {
+            for (r, b) in rows.iter_mut().enumerate() {
+                *b = r == forced;
+            }
+        }
+        row_allowed.push(rows);
+    }
+    SlotDomains {
+        num_stages: built.num_stages,
+        stage_bounds,
+        row_allowed,
+    }
+}
+
+/// Rebuilds `l` keeping only the edges with `keep[i]` set. Flow edges come
+/// back as memory dependences of equal latency and distance — identical
+/// scheduling constraints without needing virtual registers, which the
+/// feasibility-only repro never inspects.
+fn rebuild(l: &Loop, machine: &Machine, keep: &[bool]) -> Option<Loop> {
+    let mut b = LoopBuilder::new("disagreement-repro");
+    let ids: Vec<_> = l
+        .ops()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| b.op(op.class, format!("o{i}")))
+        .collect();
+    for (i, e) in l.edges().iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let kind = match e.kind {
+            DepKind::Anti => DepKind::Anti,
+            DepKind::Control => DepKind::Control,
+            DepKind::Flow | DepKind::Memory => DepKind::Memory,
+        };
+        b.dep(
+            ids[e.from.index()],
+            ids[e.to.index()],
+            e.latency,
+            e.distance,
+            kind,
+        );
+    }
+    b.try_build(machine).ok()
+}
+
+/// Renders a loop as a replayable textual repro file.
+fn render_repro(l: &Loop, machine: &Machine, ii: u32, detail: &str) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# optimod cross-backend disagreement repro (minimized)");
+    let _ = writeln!(s, "# {detail}");
+    let _ = writeln!(s, "# disagreeing II: {ii}");
+    let _ = writeln!(s, "machine {}", machine.name());
+    for (i, op) in l.ops().iter().enumerate() {
+        let _ = writeln!(s, "op o{i} {}", op.class.mnemonic());
+    }
+    for e in l.edges() {
+        let kind = match e.kind {
+            DepKind::Anti => "anti",
+            DepKind::Control => "control",
+            DepKind::Flow | DepKind::Memory => "memory",
+        };
+        let _ = writeln!(
+            s,
+            "dep o{} o{} {} {} {kind}",
+            e.from.index(),
+            e.to.index(),
+            e.latency,
+            e.distance
+        );
+    }
+    s
+}
+
+/// Edge-count ceiling for the greedy minimizer: each candidate costs a
+/// bounded SAT + ILP re-solve, so enormous graphs ship unminimized rather
+/// than stalling the failure report.
+const MINIMIZE_EDGE_CAP: usize = 64;
+
+impl OptimalScheduler {
+    /// One portfolio attempt at `ii`: both backends under the shared
+    /// budget, with trace tagging and differential arbitration. SAT-side
+    /// statistics (and, on every early-return path, the ILP side's) are
+    /// folded into `stats`; on the [`PortfolioOutcome::Ilp`] path the
+    /// caller absorbs the ILP outcome's statistics itself, exactly as in
+    /// the non-portfolio flow.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of loop-local state
+    pub(crate) fn portfolio_attempt(
+        &self,
+        l: &Loop,
+        machine: &Machine,
+        built: &BuiltModel,
+        limits: SolveLimits,
+        ii: u32,
+        stats: &mut SolveStats,
+        sticky_error: &mut Option<ScheduleError>,
+    ) -> PortfolioOutcome {
+        let trace = self.config().limits.trace.clone();
+        let domains = slot_domains(built);
+        if limits.resolve_threads() <= 1 {
+            // Serial, deterministic mode: SAT decides first. A certified
+            // SAT schedule settles the cell without running the ILP at
+            // all; anything weaker defers to the ILP's verdict.
+            let sat_res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.sat_attempt(l, machine, ii, &domains, &limits, limits.stop.child())
+            }));
+            let (verdict, sat_stats, sat_err) = match sat_res {
+                Ok(t) => t,
+                Err(p) => {
+                    stats.panics_recovered += 1;
+                    sticky_error.get_or_insert(ScheduleError::Solver(SolveError::WorkerPanic(
+                        panic_message(p.as_ref()),
+                    )));
+                    (SatVerdict::Unknown, SatStats::default(), None)
+                }
+            };
+            stats.absorb(&as_solve_stats(&sat_stats));
+            if let Some(e) = sat_err {
+                sticky_error.get_or_insert(e);
+            }
+            let verdict_name = verdict.name();
+            trace.emit(|| TraceEvent::BackendResult {
+                backend: "sat",
+                ii,
+                verdict: verdict_name,
+            });
+            if let SatVerdict::Schedule(s) = verdict {
+                trace.emit(|| TraceEvent::PortfolioWin { backend: "sat", ii });
+                return PortfolioOutcome::Sat(s);
+            }
+            let out = built.model.solve_with(limits);
+            let status = out.status;
+            trace.emit(|| TraceEvent::BackendResult {
+                backend: "ilp",
+                ii,
+                verdict: ilp_verdict_name(status),
+            });
+            if matches!(verdict, SatVerdict::Infeasible) {
+                if let Some(err) = self.check_unsat_disagreement(l, machine, built, &out, ii) {
+                    stats.absorb(&out.stats);
+                    return PortfolioOutcome::Disagreement(err);
+                }
+            }
+            if out.status.has_solution() {
+                trace.emit(|| TraceEvent::PortfolioWin { backend: "ilp", ii });
+            }
+            return PortfolioOutcome::Ilp(Box::new(out));
+        }
+
+        // Parallel mode: race the backends, first useful answer cancels
+        // the loser. `race2` still joins the loser, so its (partial)
+        // statistics are never dropped.
+        let ilp_stop = limits.stop.child();
+        let sat_stop = limits.stop.child();
+        let ilp_limits = SolveLimits {
+            stop: ilp_stop.clone(),
+            ..limits.clone()
+        };
+        let sat_stop_worker = sat_stop.clone();
+        let outcome = optimod_par::race2(
+            || built.model.solve_with(ilp_limits),
+            || self.sat_attempt(l, machine, ii, &domains, &limits, sat_stop_worker),
+            |first| match first {
+                optimod_par::Either::A(out) => {
+                    // An ILP schedule or infeasibility proof settles the
+                    // cell; only a limit leaves the SAT side a chance to
+                    // rescue it.
+                    if out.status != SolveStatus::LimitReached {
+                        sat_stop.stop();
+                    }
+                }
+                optimod_par::Either::B((verdict, _, _)) => {
+                    if matches!(verdict, SatVerdict::Schedule(_)) {
+                        ilp_stop.stop();
+                    }
+                }
+            },
+        );
+        let (verdict, sat_stats, sat_err) = match outcome.b {
+            Ok(t) => t,
+            Err(msg) => {
+                stats.panics_recovered += 1;
+                sticky_error.get_or_insert(ScheduleError::Solver(SolveError::WorkerPanic(msg)));
+                (SatVerdict::Unknown, SatStats::default(), None)
+            }
+        };
+        stats.absorb(&as_solve_stats(&sat_stats));
+        if let Some(e) = sat_err {
+            sticky_error.get_or_insert(e);
+        }
+        let verdict_name = verdict.name();
+        trace.emit(|| TraceEvent::BackendResult {
+            backend: "sat",
+            ii,
+            verdict: verdict_name,
+        });
+        let ilp_out = match outcome.a {
+            Ok(out) => {
+                let status = out.status;
+                trace.emit(|| TraceEvent::BackendResult {
+                    backend: "ilp",
+                    ii,
+                    verdict: ilp_verdict_name(status),
+                });
+                Some(out)
+            }
+            Err(msg) => {
+                stats.panics_recovered += 1;
+                sticky_error.get_or_insert(ScheduleError::Solver(SolveError::WorkerPanic(msg)));
+                trace.emit(|| TraceEvent::BackendResult {
+                    backend: "ilp",
+                    ii,
+                    verdict: "unknown",
+                });
+                None
+            }
+        };
+        match verdict {
+            SatVerdict::Schedule(s) => {
+                if let Some(out) = &ilp_out {
+                    stats.absorb(&out.stats);
+                    if out.status == SolveStatus::Infeasible {
+                        let detail = "sat produced a certified schedule but the ilp proved \
+                                      the same II infeasible"
+                            .to_string();
+                        return PortfolioOutcome::Disagreement(
+                            self.disagreement(l, machine, ii, detail),
+                        );
+                    }
+                }
+                trace.emit(|| TraceEvent::PortfolioWin { backend: "sat", ii });
+                PortfolioOutcome::Sat(s)
+            }
+            SatVerdict::Infeasible | SatVerdict::Unknown => {
+                let Some(out) = ilp_out else {
+                    // The ILP worker died and SAT has no certified answer:
+                    // report a limit so the escalation loop gives up
+                    // cleanly with the recorded panic as the cause.
+                    return PortfolioOutcome::Ilp(Box::new(SolveOutcome {
+                        status: SolveStatus::LimitReached,
+                        objective: f64::NAN,
+                        values: Vec::new(),
+                        best_bound: f64::NAN,
+                        stats: SolveStats::default(),
+                        error: None,
+                    }));
+                };
+                if matches!(verdict, SatVerdict::Infeasible) {
+                    if let Some(err) = self.check_unsat_disagreement(l, machine, built, &out, ii) {
+                        stats.absorb(&out.stats);
+                        return PortfolioOutcome::Disagreement(err);
+                    }
+                }
+                if out.status.has_solution() {
+                    trace.emit(|| TraceEvent::PortfolioWin { backend: "ilp", ii });
+                }
+                PortfolioOutcome::Ilp(Box::new(out))
+            }
+        }
+    }
+
+    /// Runs the SAT backend once at `ii`: encode (under the configured
+    /// [`EncodeOptions`](optimod_sat::EncodeOptions)), solve, decode, and
+    /// certify. The verdict is [`SatVerdict::Schedule`] only for a
+    /// certified witness; an uncertifiable one degrades to
+    /// [`SatVerdict::Unknown`] with the refusal recorded as a SAT-side
+    /// failure — never a disagreement, so chaos-injected incumbent
+    /// perturbations surface as recovered degradations, not false alarms.
+    fn sat_attempt(
+        &self,
+        l: &Loop,
+        machine: &Machine,
+        ii: u32,
+        domains: &SlotDomains,
+        limits: &SolveLimits,
+        stop: StopFlag,
+    ) -> (SatVerdict, SatStats, Option<ScheduleError>) {
+        let sat_limits = SatLimits {
+            time_limit: limits.time_limit,
+            conflict_limit: limits.node_limit,
+            seed: 0x5A7 ^ u64::from(ii),
+            stop,
+            fault: limits.fault.clone(),
+        };
+        let enc = encode(l, machine, ii, domains, &self.config().sat_encode);
+        let (out, st) = sat_solve(&enc.cnf, &sat_limits);
+        match out {
+            SatOutcome::Sat(model) => {
+                let mut times = match enc.decode(&model) {
+                    Ok(t) => t,
+                    Err(detail) => {
+                        return (
+                            SatVerdict::Unknown,
+                            st,
+                            Some(ScheduleError::MalformedSolution {
+                                detail: format!("sat model: {detail}"),
+                            }),
+                        )
+                    }
+                };
+                // The SAT analogue of the ILP's incumbent corruption: a
+                // latched perturbation shifts one issue time, and the
+                // certifier below must catch it (or the shifted schedule
+                // happens to stay legal, which is equally acceptable).
+                if limits.fault.take_incumbent_perturbation() {
+                    if let Some(t) = times.first_mut() {
+                        *t += 1;
+                    }
+                }
+                let trace = &self.config().limits.trace;
+                let claim = optimod_verify::Claim::feasibility(l, machine, ii, &times, true);
+                match optimod_verify::certify(&claim) {
+                    Ok(_) => {
+                        trace.emit(|| TraceEvent::Certified { ii, ok: true });
+                        (SatVerdict::Schedule(Schedule::new(ii, times)), st, None)
+                    }
+                    Err(cert) => {
+                        trace.emit(|| TraceEvent::Certified { ii, ok: false });
+                        (
+                            SatVerdict::Unknown,
+                            st,
+                            Some(ScheduleError::MalformedSolution {
+                                detail: format!("sat witness refused by the certifier: {cert}"),
+                            }),
+                        )
+                    }
+                }
+            }
+            SatOutcome::Unsat => (SatVerdict::Infeasible, st, None),
+            SatOutcome::Unknown => (SatVerdict::Unknown, st, None),
+        }
+    }
+
+    /// The oracle's SAT-unsat arm: SAT proved `ii` infeasible; if the ILP
+    /// found a schedule *and* that schedule certifies, the backends are in
+    /// certified contradiction.
+    fn check_unsat_disagreement(
+        &self,
+        l: &Loop,
+        machine: &Machine,
+        built: &BuiltModel,
+        out: &SolveOutcome,
+        ii: u32,
+    ) -> Option<ScheduleError> {
+        if !out.status.has_solution() {
+            return None;
+        }
+        let schedule = built.try_extract_schedule(out).ok()?;
+        let claim = optimod_verify::Claim::feasibility(l, machine, ii, schedule.times(), false);
+        if optimod_verify::certify(&claim).is_err() {
+            // The ILP's witness does not even certify: an ILP-side defect
+            // the normal packaging path reports; no certified contradiction.
+            return None;
+        }
+        let detail =
+            "sat proved the II infeasible but the ilp schedule passed certification".to_string();
+        Some(self.disagreement(l, machine, ii, detail))
+    }
+
+    /// Builds the [`ScheduleError::BackendDisagreement`], minimizing the
+    /// instance first.
+    fn disagreement(&self, l: &Loop, machine: &Machine, ii: u32, detail: String) -> ScheduleError {
+        let repro = self.minimize_disagreement(l, machine, ii, &detail);
+        ScheduleError::BackendDisagreement { ii, detail, repro }
+    }
+
+    /// Greedy edge-dropping minimizer: drop each dependence in turn,
+    /// keeping the drop whenever the (bounded) re-check still shows a
+    /// certified contradiction at `ii`. The survivor renders as a
+    /// replayable `.loop` text.
+    fn minimize_disagreement(&self, l: &Loop, machine: &Machine, ii: u32, detail: &str) -> String {
+        let mut keep = vec![true; l.edges().len()];
+        if keep.len() <= MINIMIZE_EDGE_CAP {
+            for e in 0..keep.len() {
+                keep[e] = false;
+                let still_disagrees = rebuild(l, machine, &keep)
+                    .is_some_and(|cand| self.disagreement_persists(&cand, machine, ii));
+                if !still_disagrees {
+                    keep[e] = true;
+                }
+            }
+        }
+        match rebuild(l, machine, &keep) {
+            Some(minimized) => render_repro(&minimized, machine, ii, detail),
+            // The rebuilt form should always validate (the edges kept are a
+            // subset of a validated loop's); render the original as a
+            // fallback rather than failing the failure report.
+            None => render_repro(l, machine, ii, detail),
+        }
+    }
+
+    /// Bounded re-check of a candidate instance: do the two backends still
+    /// contradict each other with certified verdicts at `ii`?
+    fn disagreement_persists(&self, l: &Loop, machine: &Machine, ii: u32) -> bool {
+        let cfg = FormulationConfig {
+            dep_style: self.config().dep_style,
+            objective: Objective::FirstFeasible,
+            sched_len_slack: self.config().sched_len_slack,
+            max_live_limit: None,
+        };
+        let Some(mut built) = build_model(l, machine, ii, &cfg) else {
+            return false;
+        };
+        if self.config().presolve {
+            let mut totals = optimod_analyze::PresolveTotals::default();
+            self.presolve_model(l, &mut built, &mut totals);
+        }
+        let domains = slot_domains(&built);
+        let enc = encode(l, machine, ii, &domains, &self.config().sat_encode);
+        let sat_limits = SatLimits {
+            time_limit: Duration::from_secs(2),
+            conflict_limit: 50_000,
+            seed: 0x5A7 ^ u64::from(ii),
+            ..Default::default()
+        };
+        let (sat_out, _) = sat_solve(&enc.cnf, &sat_limits);
+        let ilp_limits = SolveLimits {
+            time_limit: Duration::from_secs(2),
+            node_limit: 20_000,
+            threads: 1,
+            first_solution_only: true,
+            ..Default::default()
+        };
+        let out = built.model.solve_with(ilp_limits);
+        match sat_out {
+            SatOutcome::Sat(model) => {
+                let Ok(times) = enc.decode(&model) else {
+                    return false;
+                };
+                out.status == SolveStatus::Infeasible
+                    && optimod_verify::certify(&optimod_verify::Claim::feasibility(
+                        l, machine, ii, &times, false,
+                    ))
+                    .is_ok()
+            }
+            SatOutcome::Unsat => {
+                out.status.has_solution()
+                    && built.try_extract_schedule(&out).is_ok_and(|s| {
+                        optimod_verify::certify(&optimod_verify::Claim::feasibility(
+                            l,
+                            machine,
+                            ii,
+                            s.times(),
+                            false,
+                        ))
+                        .is_ok()
+                    })
+            }
+            SatOutcome::Unknown => false,
+        }
+    }
+}

@@ -106,6 +106,11 @@ impl FallbackConfig {
 pub enum Provenance {
     /// Rung 1: the exact ILP over the full scheduling space.
     Exact,
+    /// The portfolio's CDCL SAT backend won the race with a certified
+    /// schedule. Exact for throughput (same `II` search, certified feasible
+    /// witness), but carries no secondary-objective claim — the portfolio
+    /// only runs for [`Objective::FirstFeasible`].
+    SatExact,
     /// Rung 2: IMS rows with ILP-optimal stage assignment.
     StageIlp,
     /// Rung 3: the IMS heuristic (with greedy stage improvement).
@@ -113,9 +118,11 @@ pub enum Provenance {
 }
 
 impl Provenance {
-    /// Whether the schedule came from a degraded (non-exact) rung.
+    /// Whether the schedule came from a degraded (non-exact) rung. A
+    /// SAT-portfolio win is *not* degraded: the witness is certified at the
+    /// same `II` the exact search would have settled on.
     pub fn degraded(self) -> bool {
-        self != Provenance::Exact
+        matches!(self, Provenance::StageIlp | Provenance::Ims)
     }
 }
 
@@ -123,6 +130,7 @@ impl std::fmt::Display for Provenance {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             Provenance::Exact => "exact",
+            Provenance::SatExact => "sat-exact",
             Provenance::StageIlp => "stage-ilp",
             Provenance::Ims => "ims",
         })
@@ -155,8 +163,24 @@ pub struct SchedulerConfig {
     /// the `II + 1` result is already in hand; when `II` succeeds the
     /// speculative racer is cancelled through its [`optimod_ilp::StopFlag`].
     /// Off by default: speculation burns extra CPU and makes per-loop node
-    /// counts nondeterministic, so experiments keep it disabled.
+    /// counts nondeterministic, so experiments keep it disabled. Ignored
+    /// when [`Self::portfolio`] is active — the portfolio already fills the
+    /// spare workers with the SAT backend.
     pub speculate_ii: bool,
+    /// Cross-backend portfolio: at each tentative `II`, ask the
+    /// `optimod-sat` CDCL backend and the ILP the same feasibility
+    /// question, first certified answer wins, and a differential oracle
+    /// fails the run on any certified contradiction (see
+    /// [`ScheduleError::BackendDisagreement`]). Only active for
+    /// [`Objective::FirstFeasible`] — SAT has no objective — other
+    /// objectives silently run ILP-only. With one worker thread the
+    /// backends run serially (SAT first, deterministic); with more they
+    /// race. Off by default.
+    pub portfolio: bool,
+    /// CNF encoder options for the portfolio's SAT backend. The default is
+    /// the faithful encoding; the sabotaged variants exist so tests can
+    /// prove the differential oracle actually fires.
+    pub sat_encode: optimod_sat::EncodeOptions,
     /// Degradation ladder configuration (see [`FallbackConfig`]).
     pub fallback: FallbackConfig,
     /// Run the static analyzer's presolve over each built model before
@@ -182,6 +206,8 @@ impl Default for SchedulerConfig {
             max_ii_span: 64,
             register_limit: None,
             speculate_ii: false,
+            portfolio: false,
+            sat_encode: optimod_sat::EncodeOptions::default(),
             fallback: FallbackConfig::default(),
             presolve: true,
             presolve_options: PresolveOptions::default(),
@@ -260,7 +286,9 @@ pub struct LoopResult {
     /// i.e. the final one, since sizes grow with `II`).
     pub stats: SolveStats,
     /// Which ladder rung produced the schedule (`None` when unscheduled).
-    /// Always [`Provenance::Exact`] when the fallback ladder is disabled.
+    /// [`Provenance::Exact`] when the fallback ladder is disabled, except
+    /// that a portfolio run reports [`Provenance::SatExact`] for the cells
+    /// the SAT backend won.
     pub provenance: Option<Provenance>,
     /// What the analyzer's presolve did across every tentative `II`
     /// (all-zero when [`SchedulerConfig::presolve`] is off or no model was
@@ -580,8 +608,41 @@ impl OptimalScheduler {
             // Speculation: solve `ii + 1` concurrently on half the workers.
             let threads = limits.resolve_threads();
             let mut speculative = None;
+            let portfolio = self.config.portfolio && first_only;
             let search_span = trace.span(Phase::Search);
-            let out = if self.config.speculate_ii && threads > 1 && ii < end_ii {
+            let out = if portfolio {
+                // Cross-backend portfolio: SAT and the ILP decide the same
+                // II, the differential oracle arbitrating. A SAT win or a
+                // disagreement returns from here; the ILP path falls
+                // through to the ordinary escalation logic below.
+                match self.portfolio_attempt(
+                    l,
+                    machine,
+                    &built,
+                    limits,
+                    ii,
+                    &mut stats,
+                    &mut sticky_error,
+                ) {
+                    crate::portfolio::PortfolioOutcome::Ilp(out) => *out,
+                    crate::portfolio::PortfolioOutcome::Sat(schedule) => {
+                        drop(search_span);
+                        return self.sat_scheduled(
+                            mii,
+                            ii,
+                            schedule,
+                            stats,
+                            presolve_totals,
+                            start,
+                            sticky_error,
+                        );
+                    }
+                    crate::portfolio::PortfolioOutcome::Disagreement(err) => {
+                        drop(search_span);
+                        return give_up(LoopStatus::Failed, stats, presolve_totals, Some(err));
+                    }
+                }
+            } else if self.config.speculate_ii && threads > 1 && ii < end_ii {
                 if let Some(mut built_next) = build_model(l, machine, ii + 1, &cfg) {
                     if self.config.presolve {
                         self.presolve_model(l, &mut built_next, &mut presolve_totals);
@@ -618,6 +679,7 @@ impl OptimalScheduler {
                             // The speculative racer died; its result was
                             // only ever advisory, so record the panic and
                             // continue with sequential escalation.
+                            stats.panics_recovered += 1;
                             sticky_error
                                 .get_or_insert(ScheduleError::Solver(SolveError::WorkerPanic(msg)));
                         }
@@ -844,10 +906,40 @@ impl OptimalScheduler {
         }
     }
 
+    /// Packages a certified SAT-portfolio schedule into a [`LoopResult`].
+    /// The witness was certified inside the portfolio (the SAT backend is
+    /// untrusted), so this only assembles the result: `Optimal` status —
+    /// the portfolio runs only without a secondary objective, where the
+    /// first feasible schedule at the first feasible `II` *is* the optimum.
+    #[allow(clippy::too_many_arguments)] // internal plumbing of loop-local state
+    fn sat_scheduled(
+        &self,
+        mii: Mii,
+        ii: u32,
+        schedule: Schedule,
+        mut stats: SolveStats,
+        presolve: PresolveTotals,
+        start: Instant,
+        sticky_error: Option<ScheduleError>,
+    ) -> LoopResult {
+        stats.wall_time = start.elapsed();
+        LoopResult {
+            status: LoopStatus::Optimal,
+            mii,
+            ii: Some(ii),
+            schedule: Some(schedule),
+            objective_value: None,
+            stats,
+            provenance: Some(Provenance::SatExact),
+            presolve,
+            error: sticky_error,
+        }
+    }
+
     /// Runs the analyzer's presolve over one built model, folding the
     /// summary into `totals` and emitting a trace event under its own phase
     /// span.
-    fn presolve_model(
+    pub(crate) fn presolve_model(
         &self,
         l: &Loop,
         built: &mut crate::formulation::BuiltModel,
@@ -1072,6 +1164,150 @@ mod tests {
         cfg.limits.stop.stop();
         let r = OptimalScheduler::new(cfg).schedule(&l, &m);
         assert_eq!(r.status, LoopStatus::TimedOut);
+    }
+
+    #[test]
+    fn portfolio_matches_ilp_only_on_kernels() {
+        let m = example_3fu();
+        for l in [
+            kernels::figure1(&m),
+            kernels::lfk5_tridiag(&m),
+            kernels::dot_product(&m),
+        ] {
+            let baseline = OptimalScheduler::new(SchedulerConfig::default()).schedule(&l, &m);
+            let mut cfg = SchedulerConfig {
+                portfolio: true,
+                ..Default::default()
+            };
+            cfg.limits.threads = 1; // serial, deterministic portfolio
+            let r = OptimalScheduler::new(cfg).schedule(&l, &m);
+            assert_eq!(r.status, baseline.status, "{}", l.name());
+            assert_eq!(r.ii, baseline.ii, "{}", l.name());
+            assert_eq!(r.schedule.unwrap().validate(&l, &m), None, "{}", l.name());
+            let p = r.provenance.unwrap();
+            assert!(
+                matches!(p, Provenance::Exact | Provenance::SatExact),
+                "{}: {p}",
+                l.name()
+            );
+            assert!(!p.degraded(), "{}", l.name());
+        }
+    }
+
+    #[test]
+    fn serial_portfolio_lets_sat_win_and_counts_its_effort() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let mut cfg = SchedulerConfig {
+            portfolio: true,
+            ..Default::default()
+        };
+        cfg.limits.threads = 1;
+        let r = OptimalScheduler::new(cfg).schedule(&l, &m);
+        // Serial mode runs SAT first; figure1 at II 2 is easy, so the SAT
+        // backend settles the cell before the ILP is even consulted.
+        assert_eq!(r.status, LoopStatus::Optimal);
+        assert_eq!(r.ii, Some(2));
+        assert_eq!(r.provenance, Some(Provenance::SatExact));
+        assert!(r.stats.sat_decisions > 0 || r.stats.sat_propagations > 0);
+        assert_eq!(r.error, None);
+    }
+
+    #[test]
+    fn sabotaged_encoder_is_caught_as_a_minimized_disagreement() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let mut cfg = SchedulerConfig {
+            portfolio: true,
+            // Forbidding op 0 every slot makes the CNF unsatisfiable at
+            // every II while the ILP schedules normally: a certified
+            // contradiction the oracle must catch.
+            sat_encode: optimod_sat::EncodeOptions {
+                forbid_op: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        cfg.limits.threads = 1;
+        let r = OptimalScheduler::new(cfg).schedule(&l, &m);
+        assert_eq!(r.status, LoopStatus::Failed);
+        assert!(r.schedule.is_none());
+        let Some(ScheduleError::BackendDisagreement { ii, repro, .. }) = r.error else {
+            panic!("expected BackendDisagreement, got {:?}", r.error);
+        };
+        assert_eq!(ii, 2);
+        // The repro must replay through the textual loop format.
+        let parsed = optimod_ddg::textfmt::parse(&repro).expect("repro parses");
+        assert_eq!(parsed.machine.name(), m.name());
+        assert_eq!(parsed.l.ops().len(), l.ops().len());
+        // Greedy minimization dropped at least one dependence (figure1's
+        // feasibility at II 2 does not hinge on every edge).
+        assert!(parsed.l.edges().len() < l.edges().len());
+    }
+
+    #[test]
+    fn parallel_portfolio_merges_both_backends_counters() {
+        let m = example_3fu();
+        let l = kernels::lfk5_tridiag(&m);
+        let baseline = OptimalScheduler::new(SchedulerConfig::default()).schedule(&l, &m);
+        let mut cfg = SchedulerConfig {
+            portfolio: true,
+            ..Default::default()
+        };
+        cfg.limits.threads = 2;
+        let r = OptimalScheduler::new(cfg).schedule(&l, &m);
+        assert_eq!(r.status, baseline.status);
+        assert_eq!(r.ii, baseline.ii);
+        assert_eq!(r.schedule.unwrap().validate(&l, &m), None);
+        // Whichever backend won, the loser's partial counters were merged
+        // through the audited absorb path: the SAT side always at least
+        // loaded the problem.
+        assert!(r.stats.sat_propagations > 0 || r.stats.sat_decisions > 0);
+    }
+
+    #[test]
+    fn portfolio_survives_a_sat_panic_and_counts_the_recovery() {
+        use optimod_ilp::FaultPlan;
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let mut cfg = SchedulerConfig {
+            portfolio: true,
+            ..Default::default()
+        };
+        cfg.limits.threads = 1;
+        cfg.limits.fault = FaultPlan::single(FaultSite::SatPropagate, FaultAction::Panic, 1);
+        let r = OptimalScheduler::new(cfg).schedule(&l, &m);
+        // The SAT backend dies on its first propagation; the portfolio
+        // recovers, the ILP schedules the loop, and the panic is recorded.
+        assert_eq!(r.status, LoopStatus::Optimal);
+        assert_eq!(r.ii, Some(2));
+        assert_eq!(r.provenance, Some(Provenance::Exact));
+        assert!(r.stats.panics_recovered >= 1);
+        assert!(matches!(r.error, Some(ScheduleError::Solver(_))));
+    }
+
+    #[test]
+    fn portfolio_is_inert_under_a_secondary_objective() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let baseline = OptimalScheduler::new(SchedulerConfig::new(
+            DepStyle::Structured,
+            Objective::MinMaxLive,
+        ))
+        .schedule(&l, &m);
+        let cfg = SchedulerConfig {
+            portfolio: true,
+            ..SchedulerConfig::new(DepStyle::Structured, Objective::MinMaxLive)
+        };
+        let r = OptimalScheduler::new(cfg).schedule(&l, &m);
+        // MinReg falls back to ILP-only: same optimum, exact provenance,
+        // and no SAT effort spent.
+        assert_eq!(r.status, baseline.status);
+        assert_eq!(r.ii, baseline.ii);
+        assert_eq!(r.objective_value, baseline.objective_value);
+        assert_eq!(r.provenance, Some(Provenance::Exact));
+        assert_eq!(r.stats.sat_decisions, 0);
+        assert_eq!(r.stats.sat_propagations, 0);
     }
 
     #[test]

@@ -791,7 +791,10 @@ fn process_job(shared: &Shared, job: &Job) -> Reply {
                 }
             };
             let provenance = result.provenance.unwrap_or(Provenance::Exact);
-            let exact = provenance == Provenance::Exact;
+            // SAT-portfolio wins count as exact: certified feasible at the
+            // same II the exact search settles on (and objective-free, so
+            // `exact_objective` below reports None for them anyway).
+            let exact = !provenance.degraded();
             let objective = if exact {
                 sched.exact_objective(&l, schedule)
             } else {

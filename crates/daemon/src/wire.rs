@@ -304,6 +304,7 @@ fn provenance_tag(p: Provenance) -> u8 {
         Provenance::Exact => 0,
         Provenance::StageIlp => 1,
         Provenance::Ims => 2,
+        Provenance::SatExact => 3,
     }
 }
 
@@ -312,6 +313,7 @@ fn provenance_from_tag(t: u8) -> Option<Provenance> {
         0 => Provenance::Exact,
         1 => Provenance::StageIlp,
         2 => Provenance::Ims,
+        3 => Provenance::SatExact,
         _ => return None,
     })
 }

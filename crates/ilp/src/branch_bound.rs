@@ -939,6 +939,39 @@ mod tests {
         assert_eq!(out.status, SolveStatus::LimitReached);
     }
 
+    /// A cancelled parallel solve of a *feasible* model must never claim
+    /// `Infeasible`: workers drain on the caller's stop flag without
+    /// setting the internal limit marker, and before the explicit
+    /// caller-stop check in the finish path an empty pool with no incumbent
+    /// was misreported as an infeasibility proof — which the cross-backend
+    /// portfolio then escalated into a phantom backend disagreement.
+    #[test]
+    fn parallel_stop_is_a_limit_not_an_infeasibility_proof() {
+        for delay_us in [0u64, 20, 50, 100, 200, 500, 1000, 2000] {
+            let m = branching_model(20);
+            let limits = SolveLimits {
+                threads: 4,
+                first_solution_only: true,
+                ..Default::default()
+            };
+            let stop = limits.stop.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    stop.stop();
+                });
+                let out = m.solve_with(limits);
+                match out.status {
+                    // Won the race outright, or was cut off: both fine.
+                    SolveStatus::Optimal | SolveStatus::Feasible | SolveStatus::LimitReached => {}
+                    SolveStatus::Infeasible => {
+                        panic!("delay {delay_us}us: cancellation forged an infeasibility proof")
+                    }
+                }
+            });
+        }
+    }
+
     #[test]
     fn parallel_first_solution_is_feasible() {
         let m = branching_model(12);

@@ -24,10 +24,11 @@ use std::sync::{Arc, Mutex};
 
 /// A named location in the solve pipeline where faults can be injected.
 ///
-/// The first four sites live inside the solver; the last three are the
-/// daemon's (`optimod-daemon`): wire framing, cache persistence, and job
-/// execution. They share one plan so a single seed can describe a fault
-/// anywhere in the service stack.
+/// The first four sites live inside the ILP solver; the next three are
+/// the daemon's (`optimod-daemon`): wire framing, cache persistence, and
+/// job execution; the final three belong to the SAT backend
+/// (`optimod-sat`). They share one plan so a single seed can describe a
+/// fault anywhere in the service stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultSite {
     /// Inside the simplex pivot loop (one hit per iteration).
@@ -49,13 +50,20 @@ pub enum FaultSite {
     CacheWrite,
     /// Daemon job execution (one hit per job a worker picks up).
     JobWorker,
+    /// SAT backend unit propagation (`optimod-sat`, one hit per call into
+    /// the watched-literal propagator).
+    SatPropagate,
+    /// SAT backend conflict analysis (one hit per 1-UIP derivation).
+    SatAnalyze,
+    /// SAT backend restart (one hit per Luby restart taken).
+    SatRestart,
 }
 
 impl FaultSite {
     /// All sites, in a stable order (indexes the hit-counter array). The
     /// solver sites come first so seed-derived solver plans
     /// ([`FaultPlan::from_seed`]) are unchanged by the daemon extension.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::SimplexPivot,
         FaultSite::NodeExpand,
         FaultSite::WorkerStart,
@@ -63,6 +71,9 @@ impl FaultSite {
         FaultSite::WireFrame,
         FaultSite::CacheWrite,
         FaultSite::JobWorker,
+        FaultSite::SatPropagate,
+        FaultSite::SatAnalyze,
+        FaultSite::SatRestart,
     ];
 
     /// The solver-internal sites (the original chaos-sweep surface).
@@ -80,6 +91,13 @@ impl FaultSite {
         FaultSite::JobWorker,
     ];
 
+    /// The SAT-backend sites (`optimod-sat`'s chaos surface).
+    pub const SAT: [FaultSite; 3] = [
+        FaultSite::SatPropagate,
+        FaultSite::SatAnalyze,
+        FaultSite::SatRestart,
+    ];
+
     /// Stable lower-case name (used in plan descriptions and traces).
     pub fn name(self) -> &'static str {
         match self {
@@ -90,6 +108,9 @@ impl FaultSite {
             FaultSite::WireFrame => "wire-frame",
             FaultSite::CacheWrite => "cache-write",
             FaultSite::JobWorker => "job-worker",
+            FaultSite::SatPropagate => "sat-propagate",
+            FaultSite::SatAnalyze => "sat-analyze",
+            FaultSite::SatRestart => "sat-restart",
         }
     }
 
@@ -102,6 +123,9 @@ impl FaultSite {
             FaultSite::WireFrame => 4,
             FaultSite::CacheWrite => 5,
             FaultSite::JobWorker => 6,
+            FaultSite::SatPropagate => 7,
+            FaultSite::SatAnalyze => 8,
+            FaultSite::SatRestart => 9,
         }
     }
 }
@@ -188,6 +212,9 @@ fn plausible_nth(s: &mut u64, site: FaultSite) -> u64 {
         FaultSite::WireFrame => splitmix64(s) % 4,
         FaultSite::CacheWrite => splitmix64(s) % 2,
         FaultSite::JobWorker => splitmix64(s) % 3,
+        FaultSite::SatPropagate => splitmix64(s) % 4096,
+        FaultSite::SatAnalyze => splitmix64(s) % 48,
+        FaultSite::SatRestart => splitmix64(s) % 4,
     }
 }
 
@@ -249,6 +276,49 @@ impl FaultPlan {
                 FaultSite::DAEMON[(splitmix64(&mut s) % 3) as usize]
             } else {
                 FaultSite::ALL[(splitmix64(&mut s) % FaultSite::ALL.len() as u64) as usize]
+            };
+            let action = [
+                FaultAction::Panic,
+                FaultAction::Stall,
+                FaultAction::SpuriousTimeout,
+                FaultAction::PerturbIncumbent,
+            ][(splitmix64(&mut s) % 4) as usize];
+            injections.push(Injection {
+                site,
+                action,
+                nth: plausible_nth(&mut s, site),
+            });
+        }
+        FaultPlan::with_injections(seed, injections)
+    }
+
+    /// Derives one to three injections across the *portfolio* surface —
+    /// the SAT-backend sites plus the solver sites, SAT-weighted — from
+    /// `seed`. This is the portfolio chaos sweep's plan source: every
+    /// cell trips at least one SAT-level fault with high probability
+    /// while still mixing in ILP-side faults, so the cross-backend
+    /// arbitration (including the "SAT witness failed to certify, fall
+    /// back to ILP" path) gets exercised under fire.
+    pub fn portfolio_from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed ^ 0x5A7_F0110; // distinct stream per purpose
+        let count = 1 + (splitmix64(&mut s) % 3) as usize;
+        let mut injections = Vec::with_capacity(count);
+        for i in 0..count {
+            // First injection always lands on a SAT site; later ones may
+            // fall anywhere in the solver stack (but never the daemon's).
+            let site = if i == 0 {
+                FaultSite::SAT[(splitmix64(&mut s) % 3) as usize]
+            } else {
+                let pool: [FaultSite; 7] = [
+                    FaultSite::SimplexPivot,
+                    FaultSite::NodeExpand,
+                    FaultSite::WorkerStart,
+                    FaultSite::Extraction,
+                    FaultSite::SatPropagate,
+                    FaultSite::SatAnalyze,
+                    FaultSite::SatRestart,
+                ];
+                pool[(splitmix64(&mut s) % pool.len() as u64) as usize]
             };
             let action = [
                 FaultAction::Panic,
@@ -485,6 +555,29 @@ mod tests {
                 "seed {seed}: first injection {:?} is not daemon-level",
                 inj[0].site
             );
+        }
+    }
+
+    #[test]
+    fn portfolio_seed_plans_lead_with_a_sat_site_and_avoid_the_daemon() {
+        for seed in 0..200 {
+            let a = FaultPlan::portfolio_from_seed(seed);
+            let b = FaultPlan::portfolio_from_seed(seed);
+            assert_eq!(a.injections(), b.injections(), "seed {seed}");
+            let inj = a.injections();
+            assert!((1..=3).contains(&inj.len()));
+            assert!(
+                FaultSite::SAT.contains(&inj[0].site),
+                "seed {seed}: first injection {:?} is not SAT-level",
+                inj[0].site
+            );
+            for i in &inj {
+                assert!(
+                    !FaultSite::DAEMON.contains(&i.site),
+                    "seed {seed} drew daemon site {:?}",
+                    i.site
+                );
+            }
         }
     }
 

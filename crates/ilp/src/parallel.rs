@@ -725,7 +725,13 @@ pub(crate) fn solve(
     stats.stalled_lps += shared.stalled_lps.load(Ordering::Relaxed);
     stats.panics_recovered += shared.panics_recovered.load(Ordering::Relaxed);
     stats.wall_time = start.elapsed();
-    let limit_hit = shared.limit_hit.load(Ordering::Acquire);
+    // A caller-side cancellation must read as a limit, never as an
+    // infeasibility proof: workers drain without touching `limit_hit` when
+    // the parent flag stops them mid-search, and an exhausted-looking pool
+    // with no incumbent would otherwise be misreported as `Infeasible` —
+    // unsound for anyone (the cross-backend portfolio, the speculative II
+    // race) who treats infeasibility as a certificate.
+    let limit_hit = shared.limit_hit.load(Ordering::Acquire) || limits.stop.is_stopped();
     let error = shared.error.lock().expect("error lock poisoned").take();
     let incumbent = shared
         .incumbent

@@ -146,6 +146,18 @@ pub struct SolveStats {
     /// Injections of the solve's [`FaultPlan`](crate::FaultPlan) that
     /// tripped during this solve (0 when no plan is armed).
     pub faults_injected: u64,
+    /// Portfolio SAT backend: decisions made by the CDCL search (0 when
+    /// no SAT backend ran).
+    pub sat_decisions: u64,
+    /// Portfolio SAT backend: literal assignments made (decisions plus
+    /// propagated implications).
+    pub sat_propagations: u64,
+    /// Portfolio SAT backend: conflicts analyzed.
+    pub sat_conflicts: u64,
+    /// Portfolio SAT backend: Luby restarts taken.
+    pub sat_restarts: u64,
+    /// Portfolio SAT backend: clauses learned from conflicts.
+    pub sat_learned: u64,
     /// Wall-clock time spent in the solver.
     pub wall_time: Duration,
 }
@@ -174,6 +186,11 @@ impl SolveStats {
         self.stalled_lps += other.stalled_lps;
         self.panics_recovered += other.panics_recovered;
         self.faults_injected += other.faults_injected;
+        self.sat_decisions += other.sat_decisions;
+        self.sat_propagations += other.sat_propagations;
+        self.sat_conflicts += other.sat_conflicts;
+        self.sat_restarts += other.sat_restarts;
+        self.sat_learned += other.sat_learned;
         self.wall_time += other.wall_time;
     }
 }
@@ -251,6 +268,11 @@ mod tests {
             stalled_lps: 1,
             panics_recovered: 0,
             faults_injected: 1,
+            sat_decisions: 10,
+            sat_propagations: 100,
+            sat_conflicts: 4,
+            sat_restarts: 1,
+            sat_learned: 3,
             wall_time: Duration::from_millis(5),
         };
         let b = SolveStats {
@@ -269,6 +291,11 @@ mod tests {
             stalled_lps: 0,
             panics_recovered: 4,
             faults_injected: 2,
+            sat_decisions: 5,
+            sat_propagations: 50,
+            sat_conflicts: 6,
+            sat_restarts: 2,
+            sat_learned: 7,
             wall_time: Duration::from_millis(7),
         };
         a.absorb(&b);
@@ -288,6 +315,11 @@ mod tests {
             stalled_lps,
             panics_recovered,
             faults_injected,
+            sat_decisions,
+            sat_propagations,
+            sat_conflicts,
+            sat_restarts,
+            sat_learned,
             wall_time,
         } = a;
         // Model sizes keep the larger formulation; everything else sums.
@@ -306,6 +338,11 @@ mod tests {
         assert_eq!(stalled_lps, 1);
         assert_eq!(panics_recovered, 4);
         assert_eq!(faults_injected, 3);
+        assert_eq!(sat_decisions, 15);
+        assert_eq!(sat_propagations, 150);
+        assert_eq!(sat_conflicts, 10);
+        assert_eq!(sat_restarts, 3);
+        assert_eq!(sat_learned, 10);
         assert_eq!(wall_time, Duration::from_millis(12));
     }
 

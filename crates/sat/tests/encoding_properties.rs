@@ -1,0 +1,144 @@
+//! Round-trip properties of the CNF encoder, against the real ILP.
+//!
+//! Over seeded synthetic loops (shrinkable through proptest's seed
+//! strategy), both directions of the encoder contract are checked at the
+//! certified II the ILP settles on:
+//!
+//! 1. every satisfying assignment of the CNF decodes to issue times that
+//!    pass exact-arithmetic certification — the encoding never admits an
+//!    illegal schedule;
+//! 2. every certified ILP schedule maps to a satisfying assignment of the
+//!    same CNF via unit assumptions — the encoding never excludes a legal
+//!    schedule;
+//!
+//! plus a negative control: the sabotaged encoder variant the differential
+//! oracle's tests rely on (an op with every slot forbidden) must actually
+//! render the CNF unsatisfiable.
+
+use optimod::{DepStyle, Objective, OptimalScheduler, SchedulerConfig};
+use optimod_ddg::{generate_loop, GeneratorConfig};
+use optimod_machine::example_3fu;
+use optimod_sat::{
+    encode, solve, solve_with_assumptions, EncodeOptions, SatLimits, SatOutcome, SlotDomains,
+};
+use optimod_verify::{certify, Claim};
+use proptest::prelude::*;
+
+/// Small loops keep each case fast; the generator still mixes recurrences,
+/// extra uses, and memory dependences.
+fn small_loops() -> GeneratorConfig {
+    GeneratorConfig {
+        min_ops: 3,
+        max_ops: 10,
+        ..GeneratorConfig::default()
+    }
+}
+
+/// ILP-schedules the seeded loop; `None` when the exact solver did not
+/// settle it (budget), which the properties skip rather than fail.
+fn ilp_witness(seed: u64) -> Option<(optimod_ddg::Loop, u32, Vec<i64>)> {
+    let machine = example_3fu();
+    let l = generate_loop(&small_loops(), &machine, seed);
+    let sched = OptimalScheduler::new(SchedulerConfig::new(
+        DepStyle::Structured,
+        Objective::FirstFeasible,
+    ));
+    let r = sched.schedule(&l, &machine);
+    if !r.status.scheduled() {
+        return None;
+    }
+    let ii = r.ii.expect("scheduled result has an II");
+    let times = r
+        .schedule
+        .expect("scheduled result has times")
+        .times()
+        .to_vec();
+    Some((l, ii, times))
+}
+
+/// Domains wide enough for the witness: the ILP schedule proves its own
+/// stage count suffices.
+fn domains_for(times: &[i64], ii: u32) -> SlotDomains {
+    let num_stages = times
+        .iter()
+        .map(|&t| t.div_euclid(i64::from(ii)))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    SlotDomains::unrestricted(times.len(), ii, num_stages)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_sat_model_decodes_to_a_certified_schedule(seed in 0u64..4096) {
+        let Some((l, ii, ilp_times)) = ilp_witness(seed) else {
+            return Ok(());
+        };
+        let machine = example_3fu();
+        let domains = domains_for(&ilp_times, ii);
+        let enc = encode(&l, &machine, ii, &domains, &EncodeOptions::default());
+        let limits = SatLimits { seed, ..SatLimits::default() };
+        let (out, _) = solve(&enc.cnf, &limits);
+        // The ILP witness fits these domains, so the CNF is satisfiable.
+        let SatOutcome::Sat(model) = out else {
+            panic!("seed {seed}: CNF unexpectedly {} at certified II {ii}", out.name());
+        };
+        let times = enc.decode(&model).expect("satisfying assignment decodes");
+        certify(&Claim::feasibility(&l, &machine, ii, &times, false))
+            .expect("decoded SAT schedule certifies");
+    }
+
+    #[test]
+    fn every_certified_ilp_schedule_satisfies_the_cnf(seed in 0u64..4096) {
+        let Some((l, ii, ilp_times)) = ilp_witness(seed) else {
+            return Ok(());
+        };
+        let machine = example_3fu();
+        // The witness really is certified before being mapped in.
+        certify(&Claim::feasibility(&l, &machine, ii, &ilp_times, false))
+            .expect("ILP witness certifies");
+        let domains = domains_for(&ilp_times, ii);
+        let enc = encode(&l, &machine, ii, &domains, &EncodeOptions::default());
+        let assumptions = enc
+            .assumptions_for_times(&ilp_times)
+            .expect("certified ILP times lie inside the encoded domains");
+        let limits = SatLimits { seed, ..SatLimits::default() };
+        let out = solve_with_assumptions(&enc.cnf, &assumptions, &limits);
+        prop_assert!(
+            matches!(out, SatOutcome::Sat(_)),
+            "seed {}: ILP schedule rejected by the CNF ({})",
+            seed,
+            out.name()
+        );
+    }
+
+    #[test]
+    fn sabotaged_encodings_are_unsatisfiable(seed in 0u64..4096) {
+        // The differential oracle's test hook really does break the
+        // encoding: forbidding an op's every slot leaves no model.
+        let Some((l, ii, ilp_times)) = ilp_witness(seed) else {
+            return Ok(());
+        };
+        let machine = example_3fu();
+        let domains = domains_for(&ilp_times, ii);
+        let opts = EncodeOptions {
+            forbid_op: Some(0),
+            ..EncodeOptions::default()
+        };
+        let enc = encode(&l, &machine, ii, &domains, &opts);
+        let limits = SatLimits { seed, ..SatLimits::default() };
+        let (out, _) = solve(&enc.cnf, &limits);
+        prop_assert!(matches!(out, SatOutcome::Unsat), "seed {seed}: {}", out.name());
+    }
+}
+
+#[test]
+fn witness_coverage_is_real() {
+    // Guard against the properties silently skipping every seed: a healthy
+    // majority of small seeded loops must schedule and flow through the
+    // round-trip.
+    let hits = (0..32).filter(|&s| ilp_witness(s).is_some()).count();
+    assert!(hits >= 16, "only {hits}/32 seeds produced ILP witnesses");
+}

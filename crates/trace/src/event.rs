@@ -224,6 +224,23 @@ pub enum TraceEvent {
         /// reported through the result instead).
         ok: bool,
     },
+    /// One portfolio backend delivered its verdict for a tentative `II`.
+    BackendResult {
+        /// `"ilp"` or `"sat"`.
+        backend: &'static str,
+        /// The tentative `II` the backend was deciding.
+        ii: u32,
+        /// Stable verdict name (`"feasible"`, `"infeasible"`, `"unknown"`).
+        verdict: &'static str,
+    },
+    /// The portfolio settled a tentative `II` on one backend's certified
+    /// answer (the cell's winner for the `--report` win/loss counters).
+    PortfolioWin {
+        /// `"ilp"` or `"sat"`.
+        backend: &'static str,
+        /// The `II` the winning answer decided.
+        ii: u32,
+    },
 }
 
 /// An event together with its offset from the trace epoch.
@@ -253,6 +270,8 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::Presolve { .. } => "presolve",
             TraceEvent::Certified { .. } => "certified",
+            TraceEvent::BackendResult { .. } => "backend_result",
+            TraceEvent::PortfolioWin { .. } => "portfolio_win",
         }
     }
 
@@ -342,6 +361,19 @@ impl TraceEvent {
             TraceEvent::Certified { ii, ok } => {
                 let _ = write!(s, ",\"ii\":{ii},\"ok\":{ok}");
             }
+            TraceEvent::BackendResult {
+                backend,
+                ii,
+                verdict,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"backend\":\"{backend}\",\"ii\":{ii},\"verdict\":\"{verdict}\""
+                );
+            }
+            TraceEvent::PortfolioWin { backend, ii } => {
+                let _ = write!(s, ",\"backend\":\"{backend}\",\"ii\":{ii}");
+            }
         }
         s.push('}');
         s
@@ -429,6 +461,17 @@ mod tests {
             }
             .kind(),
             TraceEvent::Certified { ii: 2, ok: true }.kind(),
+            TraceEvent::BackendResult {
+                backend: "sat",
+                ii: 2,
+                verdict: "feasible",
+            }
+            .kind(),
+            TraceEvent::PortfolioWin {
+                backend: "sat",
+                ii: 2,
+            }
+            .kind(),
         ];
         let mut unique: Vec<&str> = kinds.to_vec();
         unique.sort_unstable();

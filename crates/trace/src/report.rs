@@ -130,6 +130,10 @@ pub struct SolveReport {
     /// Planned faults that fired at trace-visible injection sites (pivot
     /// loop fires are invisible here; the fault plan's log has them all).
     pub faults_injected: u64,
+    /// Portfolio cells settled by the SAT backend's certified answer.
+    pub sat_wins: u64,
+    /// Portfolio cells settled by the ILP backend's answer.
+    pub ilp_wins: u64,
     /// Certifier runs that held.
     pub certified_ok: u64,
     /// Certifier runs that found a violation.
@@ -271,7 +275,16 @@ impl SolveReport {
                 }
                 TraceEvent::IiAttempt { ii } => report.ii_attempts.push(*ii),
                 TraceEvent::Rung { rung } => report.rungs.push(rung),
-                TraceEvent::SolveBegin { .. } | TraceEvent::SolveEnd { .. } => {}
+                TraceEvent::PortfolioWin { backend, .. } => {
+                    if *backend == "sat" {
+                        report.sat_wins += 1;
+                    } else {
+                        report.ilp_wins += 1;
+                    }
+                }
+                TraceEvent::SolveBegin { .. }
+                | TraceEvent::SolveEnd { .. }
+                | TraceEvent::BackendResult { .. } => {}
             }
         }
         report.phases = totals.into_iter().filter(|(_, s)| s.count > 0).collect();
@@ -333,6 +346,11 @@ impl SolveReport {
             self.stalled_lps,
             self.panics_recovered,
             self.faults_injected,
+        );
+        let _ = write!(
+            s,
+            ",\"sat_wins\":{},\"ilp_wins\":{}",
+            self.sat_wins, self.ilp_wins
         );
         let warm_obj = |w: &WarmSummary| {
             format!(
@@ -458,6 +476,13 @@ impl SolveReport {
         }
         if !self.rungs.is_empty() {
             let _ = writeln!(s, "fallback rungs: {}", self.rungs.join(" -> "));
+        }
+        if self.sat_wins + self.ilp_wins > 0 {
+            let _ = writeln!(
+                s,
+                "portfolio: sat won {} cell(s), ilp won {}",
+                self.sat_wins, self.ilp_wins
+            );
         }
         if self.panics_recovered > 0 {
             let _ = writeln!(s, "worker panics recovered: {}", self.panics_recovered);
@@ -587,6 +612,41 @@ mod tests {
         assert!(json.contains("\"warm\":{\"taken\":1,\"abandoned\":0,\"cold\":1"));
         assert!(json.contains("\"warm_by_phase\":[{\"phase\":\"search\",\"taken\":1"));
         assert!(json.contains("\"eta_pivots\":12"));
+    }
+
+    #[test]
+    fn portfolio_wins_are_tallied_per_backend() {
+        let events = vec![
+            ev(
+                1,
+                TraceEvent::BackendResult {
+                    backend: "sat",
+                    ii: 2,
+                    verdict: "feasible",
+                },
+            ),
+            ev(
+                2,
+                TraceEvent::PortfolioWin {
+                    backend: "sat",
+                    ii: 2,
+                },
+            ),
+            ev(
+                3,
+                TraceEvent::PortfolioWin {
+                    backend: "ilp",
+                    ii: 3,
+                },
+            ),
+        ];
+        let r = SolveReport::from_events(&events);
+        assert_eq!(r.sat_wins, 1);
+        assert_eq!(r.ilp_wins, 1);
+        let text = r.render();
+        assert!(text.contains("portfolio: sat won 1 cell(s), ilp won 1"));
+        let json = r.to_json();
+        assert!(json.contains("\"sat_wins\":1,\"ilp_wins\":1"));
     }
 
     #[test]

@@ -235,6 +235,32 @@ pub struct Claim<'a> {
     pub claimed_bound: Option<f64>,
 }
 
+impl<'a> Claim<'a> {
+    /// A feasibility-only claim: the constraint system alone, no secondary
+    /// objective. This is the shape every SAT-backend schedule certifies
+    /// under (the CDCL core decides feasibility, never optimality of an
+    /// objective), and what the portfolio's disagreement minimizer uses to
+    /// re-check candidate reproductions.
+    pub fn feasibility(
+        graph: &'a Loop,
+        machine: &'a Machine,
+        ii: u32,
+        times: &'a [i64],
+        claimed_optimal: bool,
+    ) -> Claim<'a> {
+        Claim {
+            graph,
+            machine,
+            ii,
+            times,
+            claimed_optimal,
+            claimed_objective: None,
+            exact_objective: None,
+            claimed_bound: None,
+        }
+    }
+}
+
 /// A successful certification: what was checked and the exact quantities
 /// established along the way.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -68,7 +68,9 @@ fn style_name(style: DepStyle) -> &'static str {
 
 /// One fixture row: the counters we pin per (kernel, formulation).
 /// Baseline counters (`bb_nodes`..`simplex_iterations`) are measured with
-/// presolve off; the `pre_*` counters re-solve with presolve on.
+/// presolve off; the `pre_*` counters re-solve with presolve on; the
+/// `sat_wins`/`ilp_wins` columns come from a serial NoObj portfolio run
+/// (SAT first, so they pin which backend settles each cell).
 #[derive(Debug, PartialEq, Eq, Clone)]
 struct Row {
     kernel: String,
@@ -81,12 +83,14 @@ struct Row {
     pre_fixed: u64,
     pre_nodes: u64,
     pre_iters: u64,
+    sat_wins: u64,
+    ilp_wins: u64,
 }
 
 impl Row {
     fn to_tsv(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.kernel,
             self.style,
             self.ii,
@@ -96,7 +100,9 @@ impl Row {
             self.pre_rows,
             self.pre_fixed,
             self.pre_nodes,
-            self.pre_iters
+            self.pre_iters,
+            self.sat_wins,
+            self.ilp_wins
         )
     }
 
@@ -119,6 +125,8 @@ impl Row {
             pre_fixed: f.next()?.parse().ok()?,
             pre_nodes: f.next()?.parse().ok()?,
             pre_iters: f.next()?.parse().ok()?,
+            sat_wins: f.next()?.parse().ok()?,
+            ilp_wins: f.next()?.parse().ok()?,
         };
         match f.next() {
             None => Some(row),
@@ -180,6 +188,41 @@ fn measure_rows(machine: &Machine, loops: &[Loop]) -> Vec<Row> {
                 style_name(style)
             );
 
+            // Cross-backend portfolio, serially (SAT decides first, so the
+            // win column is deterministic): the certified II must match the
+            // ILP-only solve exactly, and the winner is pinned.
+            let memory = Arc::new(MemorySink::default());
+            let mut pcfg = SchedulerConfig::new(style, Objective::FirstFeasible)
+                .with_time_limit(Duration::from_secs(120));
+            pcfg.limits.threads = 1;
+            pcfg.limits.trace = Trace::new(memory.clone());
+            pcfg.portfolio = true;
+            let pf = OptimalScheduler::new(pcfg).schedule(l, machine);
+            assert_eq!(
+                pf.status,
+                LoopStatus::Optimal,
+                "{} / {}: portfolio did not settle the cell ({:?}; error: {:?})",
+                l.name(),
+                style_name(style),
+                pf.status,
+                pf.error
+            );
+            assert_eq!(
+                pf.ii,
+                Some(s.ii()),
+                "{} / {}: portfolio certified a different II",
+                l.name(),
+                style_name(style)
+            );
+            let rep = memory.report();
+            assert_eq!(
+                rep.sat_wins + rep.ilp_wins,
+                1,
+                "{} / {}: exactly one backend must win the cell",
+                l.name(),
+                style_name(style)
+            );
+
             rows.push(Row {
                 kernel: l.name().to_string(),
                 style: style_name(style),
@@ -191,6 +234,8 @@ fn measure_rows(machine: &Machine, loops: &[Loop]) -> Vec<Row> {
                 pre_fixed: p.presolve.binaries_fixed,
                 pre_nodes: p.stats.bb_nodes,
                 pre_iters: p.stats.simplex_iterations,
+                sat_wins: rep.sat_wins,
+                ilp_wins: rep.ilp_wins,
             });
         }
     }
@@ -202,7 +247,8 @@ fn render_fixture(rows: &[Row]) -> String {
         "# Golden solver counters: kernel, formulation, achieved II, B&B nodes,\n\
          # LP solves, simplex iterations (presolve off), then presolve-on columns:\n\
          # rows eliminated, binaries fixed, post-presolve B&B nodes and simplex\n\
-         # iterations. Serial (threads=1) MinReg solves on example_3fu.\n\
+         # iterations, then the serial NoObj portfolio's sat_wins / ilp_wins.\n\
+         # Serial (threads=1) MinReg solves on example_3fu.\n\
          # Regenerate with: OPTIMOD_BLESS=1 cargo test --test golden_corpus\n",
     );
     for row in rows {
@@ -273,6 +319,19 @@ fn counters_match_golden_fixture() {
         mismatches.len(),
         mismatches.join("\n")
     );
+}
+
+/// Acceptance invariant for the cross-backend portfolio: over the golden
+/// corpus the SAT backend must win at least one cell outright (serially it
+/// decides first, so this fails only if the CDCL core stops pulling its
+/// weight), and no cell may go unwon.
+#[test]
+fn sat_backend_wins_at_least_one_golden_cell() {
+    let machine = example_3fu();
+    let loops = golden_loops(&machine);
+    let rows = measure_rows(&machine, &loops);
+    let sat_total: u64 = rows.iter().map(|r| r.sat_wins).sum();
+    assert!(sat_total >= 1, "SAT won no golden cell");
 }
 
 /// The paper's Table-structure claim, as an invariant: on every golden
