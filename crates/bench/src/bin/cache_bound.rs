@@ -1,0 +1,252 @@
+//! Boundedness and brownout acceptance gate for the daemon, in two phases
+//! against in-process daemons:
+//!
+//! **Phase 1 — cache caps hold through a 10x overflow.** A daemon with a
+//! 4-entry / 2 KiB cache is fed 40 distinct kernels (each optimal, each
+//! cached). After every store the cache must be inside both caps; by the
+//! end the LRU evictor must have dropped the overflow, and a reopened
+//! store must see the same bounded population.
+//!
+//! **Phase 2 — brownout degrades instead of shedding.** The same burst of
+//! overloading traffic is thrown at a one-worker, depth-2 daemon twice:
+//! once with brownout off (every overflow is an `Overloaded` shed) and
+//! once with brownout on (pressure routes new solves through the fallback
+//! ladder). The brownout run must shed strictly less, serve at least one
+//! honestly-tagged degraded schedule, and return to exact solves once the
+//! load drops.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use optimod::Provenance;
+use optimod_daemon::client;
+use optimod_daemon::server::{Daemon, DaemonConfig, DaemonHandle};
+use optimod_daemon::{CacheLimits, ClientConfig, Request};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "omd-bound-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A distinct trivially-schedulable kernel per `i`: the loop-carried
+/// distance lands in the canonical cache key, so each value is its own
+/// cache entry.
+fn distinct_kernel(i: u64) -> String {
+    format!(
+        "machine example-3fu\n\
+         op ld-x load\nop mult fmul\nop add fadd\nop sub fadd\nop st-y store\n\
+         flow ld-x mult {i}\nflow ld-x add 0\nflow mult sub 0\nflow add sub 0\n\
+         flow sub st-y 0\n"
+    )
+}
+
+/// A slightly deeper kernel for the overload phase: slow enough under the
+/// exact formulation that a one-worker daemon falls behind a burst.
+fn overload_kernel(i: u64) -> String {
+    format!(
+        "machine example-3fu\n\
+         op ld-x load\nop m0 fmul\nop m1 fmul\nop m2 fmul\nop m3 fmul\n\
+         op a0 fadd\nop a1 fadd\nop a2 fadd\nop st-y store\n\
+         flow ld-x m0 {}\nflow ld-x m1 1\nflow ld-x m2 2\nflow ld-x m3 3\n\
+         flow m0 a0 0\nflow m1 a0 0\nflow m2 a1 0\nflow m3 a1 0\n\
+         flow a0 a2 0\nflow a1 a2 0\nflow a2 st-y 0\n",
+        i % 7
+    )
+}
+
+const OVERFLOW_KERNELS: u64 = 40;
+const CACHE_CAP_ENTRIES: u64 = 4;
+const CACHE_CAP_BYTES: u64 = 2048;
+
+fn phase1_cache_caps() {
+    let cache_dir = fresh_path("cache");
+    let mut cfg = DaemonConfig::new(fresh_path("sock").with_extension("sock"));
+    cfg.cache_dir = Some(cache_dir.clone());
+    cfg.cache_limits = CacheLimits {
+        max_bytes: CACHE_CAP_BYTES,
+        max_entries: CACHE_CAP_ENTRIES,
+        quarantine_max_bytes: CACHE_CAP_BYTES,
+    };
+    cfg.workers = 2;
+    let handle = Daemon::start(cfg).expect("daemon start");
+    let ccfg = ClientConfig::new(handle.socket_path());
+
+    for i in 0..OVERFLOW_KERNELS {
+        let mut req = Request::new(distinct_kernel(i));
+        req.deadline_ms = 10_000;
+        let reply = client::solve(&ccfg, req).expect("overflow kernel must schedule");
+        assert!(reply.optimal, "kernel {i} should solve to optimality");
+        let stats = handle.cache_stats().expect("cache configured");
+        assert!(
+            stats.entries <= CACHE_CAP_ENTRIES,
+            "entry cap violated mid-workload: {} > {CACHE_CAP_ENTRIES}",
+            stats.entries
+        );
+        assert!(
+            stats.bytes <= CACHE_CAP_BYTES,
+            "byte cap violated mid-workload: {} > {CACHE_CAP_BYTES}",
+            stats.bytes
+        );
+    }
+    let stats = handle.cache_stats().expect("cache configured");
+    assert_eq!(stats.stores, OVERFLOW_KERNELS, "every solve should store");
+    assert!(
+        stats.evicted >= OVERFLOW_KERNELS - CACHE_CAP_ENTRIES,
+        "a 10x overflow must evict the overflow ({} evicted)",
+        stats.evicted
+    );
+    handle.shutdown().expect("drain");
+
+    // A reopened bounded store sees the same bounded population.
+    let reopened = optimod_daemon::CacheStore::open_bounded(
+        &cache_dir,
+        CacheLimits {
+            max_bytes: CACHE_CAP_BYTES,
+            max_entries: CACHE_CAP_ENTRIES,
+            quarantine_max_bytes: CACHE_CAP_BYTES,
+        },
+    )
+    .expect("reopen");
+    let st = reopened.stats();
+    assert!(
+        st.entries <= CACHE_CAP_ENTRIES && st.bytes <= CACHE_CAP_BYTES,
+        "caps must hold across a reopen ({} entries / {} bytes)",
+        st.entries,
+        st.bytes
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    println!(
+        "phase 1: {OVERFLOW_KERNELS} kernels through a {CACHE_CAP_ENTRIES}-entry / \
+         {CACHE_CAP_BYTES}-byte cache: {} evicted, caps held throughout",
+        stats.evicted
+    );
+}
+
+/// One overload burst: `clients` retrying clients, arrivals staggered a
+/// millisecond apart, against `handle`. Returns (scheduled, degraded,
+/// failed) reply counts; sheds are read off the daemon's own counter.
+fn burst(handle: &DaemonHandle, clients: u64) -> (usize, usize, usize) {
+    let threads: Vec<_> = (0..clients)
+        .map(|i| {
+            let cfg = ClientConfig {
+                retries: 3,
+                backoff_base: Duration::from_millis(3),
+                backoff_cap: Duration::from_millis(30),
+                jitter_seed: i,
+                ..ClientConfig::new(handle.socket_path())
+            };
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(i));
+                let mut req = Request::new(overload_kernel(i));
+                req.deadline_ms = 10_000;
+                req.use_cache = false; // every request must actually solve
+                client::solve(&cfg, req)
+            })
+        })
+        .collect();
+    let mut scheduled = 0;
+    let mut degraded = 0;
+    let mut failed = 0;
+    for t in threads {
+        match t.join().expect("client thread") {
+            Ok(reply) => {
+                scheduled += 1;
+                if reply.provenance.degraded() {
+                    degraded += 1;
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    (scheduled, degraded, failed)
+}
+
+const BURST_CLIENTS: u64 = 32;
+
+fn overload_daemon(brownout: bool) -> DaemonHandle {
+    let mut cfg = DaemonConfig::new(fresh_path("sock").with_extension("sock"));
+    cfg.workers = 1;
+    cfg.queue_depth = 2;
+    if brownout {
+        cfg.brownout_pressure = Some(Duration::from_millis(1));
+        cfg.brownout_recover = Duration::from_millis(100);
+    }
+    Daemon::start(cfg).expect("daemon start")
+}
+
+fn phase2_brownout() {
+    // Brownout off: overflow is shed.
+    let off = overload_daemon(false);
+    let (sched_off, degraded_off, _failed_off) = burst(&off, BURST_CLIENTS);
+    let sheds_off = off.status().sheds;
+    off.shutdown().expect("drain");
+    assert_eq!(degraded_off, 0, "no degradation without brownout");
+    assert!(
+        sheds_off > 0,
+        "the burst must overload a one-worker depth-2 daemon"
+    );
+
+    // Brownout on: same burst, pressure degrades instead.
+    let on = overload_daemon(true);
+    let (sched_on, degraded_on, _failed_on) = burst(&on, BURST_CLIENTS);
+    let status = on.status();
+    let sheds_on = status.sheds;
+    assert!(
+        sheds_on < sheds_off,
+        "brownout must shed strictly less than shedding-only \
+         ({sheds_on} vs {sheds_off})"
+    );
+    assert!(
+        degraded_on > 0,
+        "brownout must serve honestly-tagged degraded schedules"
+    );
+    assert!(
+        status.brownout_served as usize >= degraded_on,
+        "daemon's own degraded counter should cover the degraded replies"
+    );
+
+    // Load dropped: a trickle of probes must observe the brownout lift and
+    // end on an exact, optimal solve.
+    let ccfg = ClientConfig::new(on.socket_path());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut recovered = false;
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(60));
+        let mut req = Request::new(overload_kernel(0));
+        req.deadline_ms = 10_000;
+        req.use_cache = false;
+        match client::solve(&ccfg, req) {
+            Ok(reply)
+                if !on.status().brownout
+                    && reply.provenance == Provenance::Exact
+                    && reply.optimal =>
+            {
+                recovered = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    on.shutdown().expect("drain");
+    assert!(
+        recovered,
+        "the daemon must return to exact solves after the load drops"
+    );
+    println!(
+        "phase 2: burst of {BURST_CLIENTS} vs one worker: \
+         off = {sched_off} scheduled / {sheds_off} sheds, \
+         on = {sched_on} scheduled ({degraded_on} degraded) / {sheds_on} sheds, \
+         recovered to exact"
+    );
+}
+
+fn main() {
+    phase1_cache_caps();
+    phase2_brownout();
+    println!("acceptance criteria satisfied: caps held, brownout shed less and recovered");
+}

@@ -179,7 +179,7 @@ fn run_seed(seed: u64) -> CellOutcome {
                         last_optimal = Some(reply);
                     }
                 }
-                Ok(Err(ClientError::Daemon(e))) => {
+                Ok(Err(ClientError::Daemon { reply: e, .. })) => {
                     out.daemon_errors += 1;
                     if e.message.is_empty() {
                         out.violations.push(format!(
@@ -189,7 +189,7 @@ fn run_seed(seed: u64) -> CellOutcome {
                         ));
                     }
                 }
-                Ok(Err(ClientError::Transport(_))) => out.transport_errors += 1,
+                Ok(Err(ClientError::Transport { .. })) => out.transport_errors += 1,
                 Err(payload) => out.violations.push(format!(
                     "seed {seed} / {name} round {round}: panic escaped the client: {}",
                     optimod_ilp::panic_message(payload.as_ref())

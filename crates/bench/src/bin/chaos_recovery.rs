@@ -1,0 +1,427 @@
+//! Kill-restart acceptance sweep for the crash-recoverable daemon: for
+//! each of 64 fixed seeds, a REAL `optimodd` process (separate binary,
+//! own address space — not an in-process handle) is started with a
+//! write-ahead intent journal and a cache, fed the golden kernels, and
+//! killed at a seeded point:
+//!
+//! * timing seeds — `SIGKILL` from outside after a seed-derived delay
+//!   (mid-solve, mid-reply, or idle, depending on the draw);
+//! * `journal-append` seeds — the daemon `abort()`s itself right after an
+//!   intent is durably journaled, before the solve starts;
+//! * `before-done` seeds — abort after the solve, before the done-mark;
+//! * `cache-write` seeds — abort between the cache temp-file write and
+//!   the rename.
+//!
+//! A second daemon is then started on the *same* journal and cache, and
+//! the sweep asserts the crash-recovery contract:
+//!
+//! * **zero lost admitted requests** — every request id eventually gets a
+//!   reply (journaled intents are replayed; the idempotent retry picks
+//!   the result up), and the replay count matches the journal's pending
+//!   count at restart;
+//! * **zero uncertified replies** — every schedule re-certifies under
+//!   exact arithmetic in this process, daemon not trusted;
+//! * **zero corruption** — `Journal::fsck` and `CacheStore::fsck` pass on
+//!   the survivor state after the final graceful drain, with no pending
+//!   intents left.
+//!
+//! Any failure replays from its printed seed.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use optimod::{certify, Claim, OptimalScheduler, Schedule, SchedulerConfig};
+use optimod_daemon::client;
+use optimod_daemon::{CacheStore, ClientConfig, Journal, Request, Scheduled};
+use optimod_ddg::textfmt;
+
+const SEEDS: u64 = 64;
+
+/// The golden slice, in wire text: acyclic, recurrence-bound, and
+/// deep-lifetime kernels (same as `chaos_daemon`).
+const KERNELS: [(&str, &str); 3] = [
+    (
+        "figure1",
+        "machine example-3fu\n\
+         op ld-x load\nop mult fmul\nop add fadd\nop sub fadd\nop st-y store\n\
+         flow ld-x mult 0\nflow ld-x add 0\nflow mult sub 0\nflow add sub 0\nflow sub st-y 0\n",
+    ),
+    (
+        "lfk5-tridiag",
+        "machine example-3fu\n\
+         op ld-y load\nop ld-z load\nop y-x fadd\nop z* fmul\nop st-x store\n\
+         flow ld-y y-x 0\nflow z* y-x 1\nflow ld-z z* 0\nflow y-x z* 0\nflow z* st-x 0\n",
+    ),
+    (
+        "fir4",
+        "machine example-3fu\n\
+         op ld-x load\nop m0 fmul\nop m1 fmul\nop m2 fmul\nop m3 fmul\n\
+         op a0 fadd\nop a1 fadd\nop a2 fadd\nop st-y store\n\
+         flow ld-x m0 0\nflow ld-x m1 1\nflow ld-x m2 2\nflow ld-x m3 3\n\
+         flow m0 a0 0\nflow m1 a0 0\nflow m2 a1 0\nflow m3 a1 0\n\
+         flow a0 a2 0\nflow a1 a2 0\nflow a2 st-y 0\n",
+    ),
+];
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "omd-recover-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The sibling `optimodd` binary next to this one.
+fn daemon_binary() -> PathBuf {
+    let me = std::env::current_exe().expect("current_exe");
+    let bin = me
+        .parent()
+        .expect("binary directory")
+        .join(format!("optimodd{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        bin.exists(),
+        "optimodd binary not found at {} (build -p optimod-daemon first)",
+        bin.display()
+    );
+    bin
+}
+
+/// Independent exact-arithmetic audit of a reply, daemon not trusted.
+fn recertify(text: &str, reply: &Scheduled) -> bool {
+    let Ok(parsed) = textfmt::parse(text) else {
+        return false;
+    };
+    if reply.times.len() != parsed.l.num_ops() {
+        return false;
+    }
+    let schedule = Schedule::new(reply.ii, reply.times.clone());
+    let exact = !reply.provenance.degraded();
+    let probe = Request::new(text);
+    let sched = OptimalScheduler::new(SchedulerConfig::new(probe.dep_style, probe.objective));
+    let claim = Claim {
+        graph: &parsed.l,
+        machine: &parsed.machine,
+        ii: reply.ii,
+        times: &reply.times,
+        claimed_optimal: exact && reply.optimal,
+        claimed_objective: if exact {
+            reply.objective.map(|o| o as f64)
+        } else {
+            None
+        },
+        exact_objective: if exact {
+            sched.exact_objective(&parsed.l, &schedule)
+        } else {
+            None
+        },
+        claimed_bound: None,
+    };
+    certify(&claim).is_ok()
+}
+
+/// How this seed's daemon dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillMode {
+    /// External `SIGKILL` after a seed-derived delay.
+    Sigkill { delay_ms: u64 },
+    /// Self-abort at an armed `--crash-at` site.
+    CrashAt(&'static str),
+}
+
+impl KillMode {
+    fn from_seed(seed: u64) -> KillMode {
+        match seed % 4 {
+            0 => KillMode::Sigkill {
+                delay_ms: 1 + (seed / 4) % 30,
+            },
+            1 => KillMode::CrashAt("journal-append"),
+            2 => KillMode::CrashAt("before-done"),
+            _ => KillMode::CrashAt("cache-write"),
+        }
+    }
+}
+
+struct DaemonProc {
+    child: Child,
+    socket: PathBuf,
+}
+
+fn start_daemon(
+    bin: &Path,
+    journal: &Path,
+    cache: &Path,
+    crash_at: Option<&str>,
+) -> Result<DaemonProc, String> {
+    let socket = fresh_path("sock").with_extension("sock");
+    let mut cmd = Command::new(bin);
+    cmd.arg("--socket")
+        .arg(&socket)
+        .arg("--journal")
+        .arg(journal)
+        .arg("--cache-dir")
+        .arg(cache)
+        .args(["--workers", "2", "--drain-timeout-ms", "2000"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(site) = crash_at {
+        cmd.args(["--crash-at", &format!("{site}:1")]);
+    }
+    let child = cmd.spawn().map_err(|e| format!("spawn optimodd: {e}"))?;
+    Ok(DaemonProc { child, socket })
+}
+
+/// Polls the socket until the daemon answers a ping (or gives up).
+fn wait_ready(proc_: &mut DaemonProc) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if client::ping(&proc_.socket).is_ok() {
+            return true;
+        }
+        if let Ok(Some(_)) = proc_.child.try_wait() {
+            return false; // died before ever listening
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// Waits for the child to exit, killing it if it outlives the bound.
+fn reap(proc_: &mut DaemonProc, bound: Duration) {
+    let deadline = Instant::now() + bound;
+    loop {
+        match proc_.child.try_wait() {
+            Ok(Some(_)) => return,
+            Ok(None) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(10)),
+            _ => {
+                let _ = proc_.child.kill();
+                let _ = proc_.child.wait();
+                return;
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct CellOutcome {
+    answered: usize,
+    replayed: u64,
+    violations: Vec<String>,
+}
+
+fn run_seed(bin: &Path, seed: u64) -> CellOutcome {
+    let mut out = CellOutcome::default();
+    let mode = KillMode::from_seed(seed);
+    let journal = fresh_path("journal").with_extension("omj");
+    let cache = fresh_path("cache");
+
+    // --- Phase 1: daemon under a death sentence. -------------------------
+    let crash_site = match mode {
+        KillMode::CrashAt(site) => Some(site),
+        KillMode::Sigkill { .. } => None,
+    };
+    let mut victim = match start_daemon(bin, &journal, &cache, crash_site) {
+        Ok(p) => p,
+        Err(e) => {
+            out.violations.push(format!("seed {seed}: {e}"));
+            return out;
+        }
+    };
+    if !wait_ready(&mut victim) {
+        out.violations
+            .push(format!("seed {seed}: victim daemon never became ready"));
+        reap(&mut victim, Duration::ZERO);
+        return out;
+    }
+
+    // Fire the kernels from one thread each; under a crash they resolve to
+    // transport errors, which is fine — the retry phase below settles them.
+    let threads: Vec<_> = KERNELS
+        .iter()
+        .enumerate()
+        .map(|(k, (_, text))| {
+            let cfg = ClientConfig {
+                retries: 1,
+                backoff_base: Duration::from_millis(2),
+                backoff_cap: Duration::from_millis(20),
+                jitter_seed: seed,
+                ..ClientConfig::new(&victim.socket)
+            };
+            let mut req = Request::new(*text);
+            req.request_id = seed * 100 + k as u64 + 1;
+            req.deadline_ms = 10_000;
+            std::thread::spawn(move || {
+                let _ = client::solve(&cfg, req);
+            })
+        })
+        .collect();
+    if let KillMode::Sigkill { delay_ms } = mode {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        let _ = victim.child.kill(); // SIGKILL on unix
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    reap(&mut victim, Duration::from_secs(15));
+
+    // --- Between lives: the journal must already be honest. --------------
+    let pre = match Journal::fsck(&journal) {
+        Ok(f) => f,
+        Err(e) => {
+            out.violations.push(format!(
+                "seed {seed} ({mode:?}): journal corrupt after kill: {e}"
+            ));
+            return out;
+        }
+    };
+    if mode == KillMode::CrashAt("journal-append") && pre.pending == 0 {
+        out.violations.push(format!(
+            "seed {seed}: crashed after a durable intent append, \
+             but the journal shows no pending intent"
+        ));
+    }
+    if let Err(e) = CacheStore::fsck(&cache) {
+        out.violations.push(format!(
+            "seed {seed} ({mode:?}): cache corrupt after kill: {e}"
+        ));
+        return out;
+    }
+
+    // --- Phase 2: survivor on the same journal + cache. ------------------
+    let mut survivor = match start_daemon(bin, &journal, &cache, None) {
+        Ok(p) => p,
+        Err(e) => {
+            out.violations.push(format!("seed {seed}: restart: {e}"));
+            return out;
+        }
+    };
+    if !wait_ready(&mut survivor) {
+        out.violations
+            .push(format!("seed {seed}: survivor daemon never became ready"));
+        reap(&mut survivor, Duration::ZERO);
+        return out;
+    }
+    match client::stats(&survivor.socket) {
+        Ok(st) => {
+            out.replayed = st.recovered_intents;
+            if st.recovered_intents != pre.pending {
+                out.violations.push(format!(
+                    "seed {seed} ({mode:?}): journal had {} pending intents but the \
+                     survivor replayed {}",
+                    pre.pending, st.recovered_intents
+                ));
+            }
+        }
+        Err(e) => out
+            .violations
+            .push(format!("seed {seed}: stats after restart failed: {e}")),
+    }
+
+    // Retry every request id against the survivor: each must now resolve
+    // to a certified schedule (replayed result or fresh idempotent solve).
+    for (k, (name, text)) in KERNELS.iter().enumerate() {
+        let cfg = ClientConfig {
+            retries: 4,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+            jitter_seed: seed,
+            ..ClientConfig::new(&survivor.socket)
+        };
+        let mut req = Request::new(*text);
+        req.request_id = seed * 100 + k as u64 + 1;
+        req.deadline_ms = 10_000;
+        match client::solve(&cfg, req) {
+            Ok(reply) => {
+                if recertify(text, &reply) {
+                    out.answered += 1;
+                } else {
+                    out.violations.push(format!(
+                        "seed {seed} ({mode:?}) / {name}: post-restart reply failed \
+                         certification (cache_hit={})",
+                        reply.cache_hit
+                    ));
+                }
+            }
+            Err(e) => out.violations.push(format!(
+                "seed {seed} ({mode:?}) / {name}: request lost across the crash: {e}"
+            )),
+        }
+    }
+
+    // --- Graceful drain, then the survivor state must fsck clean. --------
+    if client::shutdown(&survivor.socket).is_err() {
+        out.violations
+            .push(format!("seed {seed}: survivor refused shutdown"));
+    }
+    reap(&mut survivor, Duration::from_secs(15));
+    match Journal::fsck(&journal) {
+        Ok(f) => {
+            if f.pending != 0 {
+                out.violations.push(format!(
+                    "seed {seed} ({mode:?}): {} intents still pending after every \
+                     request was answered and the daemon drained",
+                    f.pending
+                ));
+            }
+        }
+        Err(e) => out.violations.push(format!(
+            "seed {seed} ({mode:?}): journal corrupt after drain: {e}"
+        )),
+    }
+    if let Err(e) = CacheStore::fsck(&cache) {
+        out.violations.push(format!(
+            "seed {seed} ({mode:?}): cache corrupt after drain: {e}"
+        ));
+    }
+
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir_all(&cache);
+    out
+}
+
+fn main() {
+    let bin = daemon_binary();
+    let seeds: Vec<u64> = (0..SEEDS).collect();
+    let outcomes: Vec<CellOutcome> =
+        optimod_par::par_map(0, &seeds, |_, &seed| run_seed(&bin, seed));
+
+    let total = SEEDS as usize * KERNELS.len();
+    let answered: usize = outcomes.iter().map(|o| o.answered).sum();
+    let replayed: u64 = outcomes.iter().map(|o| o.replayed).sum();
+    let violations: Vec<&String> = outcomes.iter().flat_map(|o| &o.violations).collect();
+
+    println!(
+        "chaos recovery sweep: {SEEDS} kill points (SIGKILL + journal-append + \
+         before-done + cache-write) x {} kernels = {total} requests",
+        KERNELS.len()
+    );
+    println!(
+        "  answered after restart   {answered}/{total}\n  \
+         intents replayed         {replayed}"
+    );
+
+    for v in &violations {
+        eprintln!("VIOLATION: {v}");
+    }
+    assert!(
+        violations.is_empty(),
+        "{} recovery violations (listed above)",
+        violations.len()
+    );
+    assert_eq!(
+        answered, total,
+        "every admitted request must be answered after the crash"
+    );
+    assert!(
+        replayed > 0,
+        "the sweep should exercise journal replay at least once"
+    );
+    println!(
+        "acceptance criteria satisfied: {answered}/{total} certified replies across \
+         {SEEDS} kill-restart cycles, {replayed} journal intents replayed, \
+         zero corruption"
+    );
+}

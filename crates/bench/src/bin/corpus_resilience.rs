@@ -54,6 +54,7 @@ fn main() {
         enabled: true,
         exact_share: 0.05,
         stage_share: 0.3,
+        ..FallbackConfig::default()
     };
 
     // First, demonstrate the exact solver alone times out on the hard loop

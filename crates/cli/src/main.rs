@@ -4,7 +4,7 @@
 //! optimod <loop-file> [options]
 //! optimod lint <loop-file> [--json] [--style ...] [--objective ...]
 //! optimod client <loop-file> --socket PATH [options]
-//! optimod client --socket PATH --ping | --shutdown
+//! optimod client --socket PATH --ping | --stats | --shutdown
 //!
 //! The `client` subcommand sends the loop to a running `optimodd` daemon
 //! over its Unix socket instead of solving in-process; see the daemon
@@ -55,6 +55,7 @@
 //!   --retries <n>         idempotent retries after the first attempt
 //!                         (default 4; capped exponential backoff + jitter)
 //!   --ping                liveness probe instead of a solve
+//!   --stats               print the daemon's operational snapshot
 //!   --shutdown            ask the daemon to drain and exit
 //! ```
 //!
@@ -151,6 +152,7 @@ struct Options {
     no_cache: bool,
     retries: u32,
     ping: bool,
+    stats: bool,
     shutdown: bool,
 }
 
@@ -183,6 +185,7 @@ fn parse_args() -> Result<Options, String> {
         no_cache: false,
         retries: 4,
         ping: false,
+        stats: false,
         shutdown: false,
     };
     let mut first = true;
@@ -202,6 +205,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.retries = v.parse().map_err(|_| "--retries must be an integer")?;
             }
             "--ping" => opts.ping = true,
+            "--stats" => opts.stats = true,
             "--shutdown" => opts.shutdown = true,
             "--objective" => {
                 let v = args.next().ok_or("--objective needs a value")?;
@@ -258,7 +262,7 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
         }
     }
-    if opts.file.is_empty() && !(opts.client && (opts.ping || opts.shutdown)) {
+    if opts.file.is_empty() && !(opts.client && (opts.ping || opts.stats || opts.shutdown)) {
         return Err(USAGE.to_string());
     }
     Ok(opts)
@@ -271,7 +275,7 @@ const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuf
        optimod lint <loop-file> [--json] [--style S] [--objective O]\n\
        optimod client <loop-file> --socket PATH [--objective O] [--style S] [--deadline-ms N] \
 [--registers N] [--threads N] [--fallback] [--no-cache] [--retries N] [--certify]\n\
-       optimod client --socket PATH --ping | --shutdown\n\
+       optimod client --socket PATH --ping | --stats | --shutdown\n\
 exit codes: 0 success, 2 usage, 3 parse/validation, 4 scheduling, 5 I/O, 6 certification, \
 7 error-severity finding, 8 daemon/transport";
 
@@ -348,11 +352,52 @@ fn run_client(opts: &Options) -> Result<(), Failure> {
 
     if opts.ping {
         return match daemon_client::ping(std::path::Path::new(socket)) {
-            Ok(()) => {
-                println!("pong from {socket}");
+            Ok(brownout) => {
+                println!(
+                    "pong from {socket}{}",
+                    if brownout {
+                        " (brownout: degraded mode)"
+                    } else {
+                        ""
+                    }
+                );
                 Ok(())
             }
             Err(e) => Err(Failure::Daemon(format!("ping failed: {e}"))),
+        };
+    }
+    if opts.stats {
+        return match daemon_client::stats(std::path::Path::new(socket)) {
+            Ok(st) => {
+                println!(
+                    "daemon status: brownout={} queue={} in-flight={} sheds={} \
+                     brownout-served={} recovered-intents={} journal-pending={}",
+                    st.brownout,
+                    st.queue_len,
+                    st.in_flight,
+                    st.sheds,
+                    st.brownout_served,
+                    st.recovered_intents,
+                    st.journal_pending,
+                );
+                if let Some(c) = st.cache {
+                    println!(
+                        "cache: {} entries / {} bytes, {} hits, {} misses, {} stores, \
+                         {} evicted, {} quarantined, {} tmp swept, {} quarantine rotated",
+                        c.entries,
+                        c.bytes,
+                        c.hits,
+                        c.misses,
+                        c.stores,
+                        c.evicted,
+                        c.quarantined,
+                        c.swept_tmp,
+                        c.quarantine_rotated,
+                    );
+                }
+                Ok(())
+            }
+            Err(e) => Err(Failure::Daemon(format!("stats failed: {e}"))),
         };
     }
     if opts.shutdown {
@@ -385,7 +430,7 @@ fn run_client(opts: &Options) -> Result<(), Failure> {
     ccfg.retries = opts.retries;
 
     let reply = daemon_client::solve(&ccfg, request).map_err(|e| match &e {
-        ClientError::Daemon(err) => {
+        ClientError::Daemon { reply: err, .. } => {
             let msg = format!("daemon refused: {e}");
             match err.code {
                 ErrorCode::Parse | ErrorCode::InvalidLoop => Failure::Parse(msg),
@@ -398,7 +443,7 @@ fn run_client(opts: &Options) -> Result<(), Failure> {
                 }
             }
         }
-        ClientError::Transport(_) => Failure::Daemon(format!("no reply from daemon: {e}")),
+        ClientError::Transport { .. } => Failure::Daemon(format!("no reply from daemon: {e}")),
     })?;
 
     println!(

@@ -72,6 +72,11 @@ pub struct FallbackConfig {
     /// experiments measure the exact solvers alone, and a degraded
     /// schedule would silently contaminate their statistics.
     pub enabled: bool,
+    /// Skip the exact rung entirely and enter the ladder at stage-ILP.
+    /// This is the brownout mode a saturated service flips into: every
+    /// schedule it produces is honestly tagged with a degraded
+    /// [`Provenance`], and the exact rung's budget is never spent.
+    pub skip_exact: bool,
     /// Fraction of the per-loop time budget given to the exact solver
     /// (rung 1) before degrading.
     pub exact_share: f64,
@@ -85,6 +90,7 @@ impl Default for FallbackConfig {
     fn default() -> Self {
         FallbackConfig {
             enabled: false,
+            skip_exact: false,
             exact_share: 0.7,
             stage_share: 0.2,
         }
@@ -96,6 +102,16 @@ impl FallbackConfig {
     pub fn enabled() -> Self {
         FallbackConfig {
             enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// The brownout configuration: ladder on, exact rung skipped, so every
+    /// solve lands on a cheap degraded rung (stage-ILP, then IMS).
+    pub fn degraded_only() -> Self {
+        FallbackConfig {
+            enabled: true,
+            skip_exact: true,
             ..Default::default()
         }
     }
@@ -394,6 +410,27 @@ impl OptimalScheduler {
         let fb = self.config.fallback;
         if !fb.enabled {
             return self.schedule_exact(l, machine, start, mii, self.config.limits.time_limit);
+        }
+        if fb.skip_exact {
+            // Brownout: enter the ladder directly, with a base result that
+            // reports the exact rung as budget-starved (which, under
+            // overload, it is). If even the ladder fails, the caller sees a
+            // retryable TimedOut, never a fabricated proof.
+            let base = LoopResult {
+                status: LoopStatus::TimedOut,
+                mii,
+                ii: None,
+                schedule: None,
+                objective_value: None,
+                stats: SolveStats {
+                    wall_time: start.elapsed(),
+                    ..Default::default()
+                },
+                provenance: None,
+                presolve: PresolveTotals::default(),
+                error: None,
+            };
+            return self.degrade(l, machine, start, base);
         }
 
         // Rung 1: the exact solver on its slice of the budget.

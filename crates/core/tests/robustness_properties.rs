@@ -230,6 +230,7 @@ fn ladder_engages_when_exact_budget_is_zero() {
         enabled: true,
         exact_share: 0.0,
         stage_share: 0.5,
+        ..FallbackConfig::default()
     };
     let r = OptimalScheduler::new(cfg).schedule(&l, &machine);
     assert!(r.status.scheduled(), "ladder must land: {:?}", r.status);
@@ -259,6 +260,7 @@ fn unbounded_budget_with_full_shares_does_not_overflow() {
         enabled: true,
         exact_share: 1.0,
         stage_share: 1.0,
+        ..FallbackConfig::default()
     };
     let r = catch_unwind(AssertUnwindSafe(|| {
         OptimalScheduler::new(cfg).schedule(&l, &machine)

@@ -4,7 +4,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use optimod_daemon::server::{Daemon, DaemonConfig};
+use optimod_daemon::server::{CrashPoint, Daemon, DaemonConfig};
 use optimod_ilp::FaultPlan;
 
 const USAGE: &str = "\
@@ -19,6 +19,16 @@ options:\n\
   --drain-timeout-ms N   graceful-drain budget on shutdown (default 5000)\n\
   --threads N            solver threads per job (default 1)\n\
   --fault-seed N         inject a seeded daemon fault plan (testing)\n\
+  --journal PATH         write-ahead intent journal: admitted requests are\n\
+                         durable before solving and replayed after a crash\n\
+  --cache-max-bytes N    LRU-evict cache records past N total bytes\n\
+  --cache-max-entries N  LRU-evict cache records past N entries\n\
+  --quarantine-max-bytes N  rotate oldest quarantined records past N bytes\n\
+  --brownout MS          degrade (fallback ladder) instead of shedding when\n\
+                         queued work waits longer than MS milliseconds\n\
+  --brownout-recover-ms MS  sustained calm before brownout lifts (default 500)\n\
+  --crash-at SITE:N      abort() at the Nth hit of SITE (journal-append,\n\
+                         before-done, cache-write) — chaos testing only\n\
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -48,7 +58,14 @@ fn main() -> ExitCode {
             | "--default-deadline-ms"
             | "--drain-timeout-ms"
             | "--threads"
-            | "--fault-seed") => match it.next() {
+            | "--fault-seed"
+            | "--journal"
+            | "--cache-max-bytes"
+            | "--cache-max-entries"
+            | "--quarantine-max-bytes"
+            | "--brownout"
+            | "--brownout-recover-ms"
+            | "--crash-at") => match it.next() {
                 Some(v) => pending.push((opt.to_string(), v.clone())),
                 None => return fail(&format!("{opt} needs a value")),
             },
@@ -85,6 +102,40 @@ fn main() -> ExitCode {
             "--fault-seed" => match num() {
                 Ok(seed) => cfg.fault = FaultPlan::daemon_from_seed(seed),
                 _ => return fail("--fault-seed needs an integer"),
+            },
+            "--journal" => cfg.journal_path = Some(v.clone().into()),
+            "--cache-max-bytes" => match num() {
+                Ok(n) => cfg.cache_limits.max_bytes = n,
+                _ => return fail("--cache-max-bytes needs an integer"),
+            },
+            "--cache-max-entries" => match num() {
+                Ok(n) => cfg.cache_limits.max_entries = n,
+                _ => return fail("--cache-max-entries needs an integer"),
+            },
+            "--quarantine-max-bytes" => match num() {
+                Ok(n) => cfg.cache_limits.quarantine_max_bytes = n,
+                _ => return fail("--quarantine-max-bytes needs an integer"),
+            },
+            "--brownout" => match num() {
+                Ok(n) if n > 0 => cfg.brownout_pressure = Some(Duration::from_millis(n)),
+                _ => return fail("--brownout needs a positive integer (milliseconds)"),
+            },
+            "--brownout-recover-ms" => match num() {
+                Ok(n) => cfg.brownout_recover = Duration::from_millis(n),
+                _ => return fail("--brownout-recover-ms needs an integer"),
+            },
+            "--crash-at" => match v.split_once(':') {
+                Some((site, nth)) => {
+                    let point: CrashPoint = match site.parse() {
+                        Ok(p) => p,
+                        Err(e) => return fail(&e),
+                    };
+                    match nth.parse::<u64>() {
+                        Ok(n) if n > 0 => cfg.crash_at = Some((point, n)),
+                        _ => return fail("--crash-at needs SITE:N with N >= 1"),
+                    }
+                }
+                None => return fail("--crash-at needs SITE:N"),
             },
             _ => unreachable!("filtered above"),
         }

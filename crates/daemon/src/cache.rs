@@ -1,4 +1,4 @@
-//! Crash-safe content-addressed store of certified schedules.
+//! Crash-safe, *bounded* content-addressed store of certified schedules.
 //!
 //! Layout: one file per key, `<dir>/<hex key>.omc`, containing
 //!
@@ -16,16 +16,32 @@
 //!   the payload are all verified; any mismatch quarantines the file (moved
 //!   into `quarantine/`, preserved for postmortem) and reports a miss, so
 //!   the scheduler re-solves instead of serving bad bytes.
+//! * **Opens sweep.** Stale temp files from crashed writers are deleted at
+//!   open — a crash between write and rename can no longer leak disk
+//!   forever.
+//!
+//! Boundedness protocol (new in the crash-recovery PR):
+//!
+//! * **The store is capped.** [`CacheLimits`] bounds total record bytes
+//!   and entry count; exceeding either evicts least-recently-used records
+//!   (access order is tracked on the same path that maintains
+//!   [`CacheStats`]). A long-lived daemon can no longer fill its disk.
+//! * **Quarantine rotates.** The postmortem directory is itself capped;
+//!   when it overflows, the *oldest* quarantined records are deleted first.
 //!
 //! The store holds *schedules*, not certificates: the daemon re-certifies
 //! every cache hit against the freshly parsed request before serving it, so
 //! even a record that passes the checksum cannot smuggle an uncertified
 //! schedule to a client.
 
+use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use optimod_trace::{Trace, TraceEvent};
 
 use crate::hash::{hex, Sha256};
 use crate::wire::{Dec, Enc, WireError};
@@ -48,6 +64,18 @@ pub struct CachedSchedule {
     pub times: Vec<i64>,
 }
 
+/// Size/entry caps for a [`CacheStore`]. A zero cap means "unbounded" for
+/// that axis (the PR 7 behavior).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Max total bytes of live `.omc` records; LRU-evicted past this.
+    pub max_bytes: u64,
+    /// Max number of live records; LRU-evicted past this.
+    pub max_entries: u64,
+    /// Max total bytes in `quarantine/`; oldest-first rotated past this.
+    pub quarantine_max_bytes: u64,
+}
+
 /// Counters for observability and tests.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -59,35 +87,201 @@ pub struct CacheStats {
     pub stores: u64,
     /// Corrupt records moved aside.
     pub quarantined: u64,
+    /// Records deleted by LRU eviction.
+    pub evicted: u64,
+    /// Orphaned temp files deleted by the startup sweep.
+    pub swept_tmp: u64,
+    /// Quarantined records deleted by oldest-first rotation.
+    pub quarantine_rotated: u64,
+    /// Live record bytes right now.
+    pub bytes: u64,
+    /// Live records right now.
+    pub entries: u64,
 }
 
-/// A content-addressed, crash-safe schedule store rooted at a directory.
+/// What [`CacheStore::fsck`] found in a cache directory.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheFsck {
+    /// Records that decoded and checksummed clean.
+    pub clean: u64,
+    /// Total live record bytes.
+    pub bytes: u64,
+    /// Stale temp files present (crash artifacts; the next open sweeps
+    /// them).
+    pub stale_tmp: u64,
+    /// Records preserved in `quarantine/`.
+    pub quarantined: u64,
+}
+
+/// LRU bookkeeping for one live record.
+#[derive(Debug)]
+struct IndexEntry {
+    bytes: u64,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Index {
+    entries: HashMap<[u8; 32], IndexEntry>,
+    total_bytes: u64,
+    quarantine_bytes: u64,
+    tick: u64,
+}
+
+impl Index {
+    fn touch(&mut self, key: &[u8; 32]) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(key) {
+            e.tick = tick;
+        }
+    }
+
+    fn insert(&mut self, key: [u8; 32], bytes: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.entries.insert(key, IndexEntry { bytes, tick }) {
+            self.total_bytes -= old.bytes;
+        }
+        self.total_bytes += bytes;
+    }
+
+    fn remove(&mut self, key: &[u8; 32]) -> Option<u64> {
+        self.entries.remove(key).map(|e| {
+            self.total_bytes -= e.bytes;
+            e.bytes
+        })
+    }
+
+    fn lru(&self) -> Option<[u8; 32]> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| e.tick)
+            .map(|(k, _)| *k)
+    }
+}
+
+/// A content-addressed, crash-safe, bounded schedule store rooted at a
+/// directory.
 #[derive(Debug)]
 pub struct CacheStore {
     dir: PathBuf,
+    limits: CacheLimits,
+    trace: Trace,
+    index: Mutex<Index>,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     quarantined: AtomicU64,
+    evicted: AtomicU64,
+    swept_tmp: AtomicU64,
+    quarantine_rotated: AtomicU64,
+}
+
+/// Decodes `<64 hex chars>.omc` back into the record's key.
+fn key_from_file_name(name: &str) -> Option<[u8; 32]> {
+    let stem = name.strip_suffix(".omc")?;
+    if stem.len() != 64 {
+        return None;
+    }
+    let mut key = [0u8; 32];
+    for (i, chunk) in stem.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        key[i] = ((hi << 4) | lo) as u8;
+    }
+    Some(key)
+}
+
+fn is_stale_tmp(name: &str) -> bool {
+    name.starts_with('.') && name.contains(".tmp.")
 }
 
 impl CacheStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) an *unbounded* store rooted at `dir`.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<CacheStore> {
+        CacheStore::open_bounded(dir, CacheLimits::default())
+    }
+
+    /// Opens (creating if needed) a store rooted at `dir` with size caps.
+    /// The open sweeps stale temp files from crashed writes, rebuilds the
+    /// LRU index from the records on disk (oldest-modified = least
+    /// recent), and enforces both caps immediately.
+    pub fn open_bounded(dir: impl Into<PathBuf>, limits: CacheLimits) -> io::Result<CacheStore> {
         let dir = dir.into();
         fs::create_dir_all(dir.join("quarantine"))?;
-        Ok(CacheStore {
+        let store = CacheStore {
             dir,
+            limits,
+            trace: Trace::disabled(),
+            index: Mutex::new(Index::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
-        })
+            evicted: AtomicU64::new(0),
+            swept_tmp: AtomicU64::new(0),
+            quarantine_rotated: AtomicU64::new(0),
+        };
+        store.sweep_and_rebuild()?;
+        Ok(store)
+    }
+
+    /// Attaches a trace handle; eviction batches emit
+    /// [`TraceEvent::CacheEvicted`] through it.
+    pub fn with_trace(mut self, trace: Trace) -> CacheStore {
+        self.trace = trace;
+        self
+    }
+
+    /// Startup sweep: delete orphaned `.tmp` files (a crash between write
+    /// and rename leaves exactly one), rebuild the LRU index from the
+    /// records on disk in modification order, measure the quarantine, and
+    /// bring both within their caps.
+    fn sweep_and_rebuild(&self) -> io::Result<()> {
+        let mut found: Vec<([u8; 32], u64, std::time::SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if is_stale_tmp(name) {
+                if fs::remove_file(entry.path()).is_ok() {
+                    self.swept_tmp.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            let Some(key) = key_from_file_name(name) else {
+                continue;
+            };
+            let meta = entry.metadata()?;
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            found.push((key, meta.len(), mtime));
+        }
+        found.sort_by_key(|&(_, _, mtime)| mtime);
+        {
+            let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, bytes, _) in found {
+                index.insert(key, bytes);
+            }
+            let mut qbytes = 0u64;
+            for entry in fs::read_dir(self.dir.join("quarantine"))? {
+                qbytes += entry?.metadata()?.len();
+            }
+            index.quarantine_bytes = qbytes;
+        }
+        self.enforce_caps();
+        self.rotate_quarantine();
+        Ok(())
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The store's caps.
+    pub fn limits(&self) -> CacheLimits {
+        self.limits
     }
 
     fn entry_path(&self, key: &[u8; 32]) -> PathBuf {
@@ -96,15 +290,12 @@ impl CacheStore {
 
     /// Loads the record for `key`. Any structural defect — bad magic,
     /// version skew, key mismatch, checksum failure, short file — moves the
-    /// record into quarantine and returns `None`.
+    /// record into quarantine and returns `None`. A hit refreshes the
+    /// key's LRU position.
     pub fn load(&self, key: &[u8; 32]) -> Option<CachedSchedule> {
         let path = self.entry_path(key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
@@ -113,6 +304,10 @@ impl CacheStore {
         match decode_record(&bytes, key) {
             Ok(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.index
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .touch(key);
                 Some(v)
             }
             Err(_) => {
@@ -124,18 +319,58 @@ impl CacheStore {
     }
 
     /// Atomically persists the record for `key`: temp file in the same
-    /// directory, fsync, rename.
+    /// directory, fsync, rename — then evicts LRU records if the store
+    /// went over its caps.
     pub fn store(&self, key: &[u8; 32], value: &CachedSchedule) -> io::Result<()> {
         let tmp = self.write_temp(key, value)?;
+        let bytes = fs::metadata(&tmp).map(|m| m.len()).unwrap_or(0);
         fs::rename(&tmp, self.entry_path(key))?;
         self.stores.fetch_add(1, Ordering::Relaxed);
+        self.index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(*key, bytes);
+        self.enforce_caps();
         Ok(())
+    }
+
+    /// Deletes least-recently-used records until the store is back within
+    /// both caps.
+    fn enforce_caps(&self) {
+        let mut dropped_entries = 0u64;
+        let mut dropped_bytes = 0u64;
+        loop {
+            let victim = {
+                let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+                let over_bytes =
+                    self.limits.max_bytes > 0 && index.total_bytes > self.limits.max_bytes;
+                let over_entries = self.limits.max_entries > 0
+                    && index.entries.len() as u64 > self.limits.max_entries;
+                if !over_bytes && !over_entries {
+                    break;
+                }
+                let Some(key) = index.lru() else { break };
+                let bytes = index.remove(&key).unwrap_or(0);
+                (key, bytes)
+            };
+            let _ = fs::remove_file(self.entry_path(&victim.0));
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            dropped_entries += 1;
+            dropped_bytes += victim.1;
+        }
+        if dropped_entries > 0 {
+            self.trace.emit(|| TraceEvent::CacheEvicted {
+                entries: dropped_entries,
+                bytes: dropped_bytes,
+            });
+        }
     }
 
     /// First half of [`CacheStore::store`]: writes and fsyncs the temp file
     /// but does *not* rename it into place. Exposed so fault injection can
     /// simulate a crash between write and rename; the stale temp file must
-    /// never be visible to [`CacheStore::load`].
+    /// never be visible to [`CacheStore::load`] (and the next open sweeps
+    /// it).
     pub fn write_temp(&self, key: &[u8; 32], value: &CachedSchedule) -> io::Result<PathBuf> {
         let record = encode_record(key, value);
         let tmp = self
@@ -150,29 +385,122 @@ impl CacheStore {
     /// Moves the record for `key` (if any) into `quarantine/`, preserving
     /// the bytes for postmortem. Used both for checksum failures and for
     /// records that pass the checksum but fail exact re-certification.
+    /// Rotates the oldest quarantined records out if the quarantine cap is
+    /// exceeded.
     pub fn quarantine(&self, key: &[u8; 32]) {
         let path = self.entry_path(key);
         let dest = self
             .dir
             .join("quarantine")
             .join(format!("{}.omc", hex(key)));
+        let moved_bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         if fs::rename(&path, &dest).is_ok() {
             self.quarantined.fetch_add(1, Ordering::Relaxed);
+            let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            index.remove(key);
+            index.quarantine_bytes += moved_bytes;
         } else {
             // Rename can race another quarantiner; removing is still safe —
             // the key must stop resolving either way.
             let _ = fs::remove_file(&path);
+            self.index
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(key);
         }
+        self.rotate_quarantine();
+    }
+
+    /// Deletes the oldest quarantined records until the quarantine is back
+    /// under its byte cap.
+    fn rotate_quarantine(&self) {
+        if self.limits.quarantine_max_bytes == 0 {
+            return;
+        }
+        let over = {
+            let index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            index.quarantine_bytes > self.limits.quarantine_max_bytes
+        };
+        if !over {
+            return;
+        }
+        let qdir = self.dir.join("quarantine");
+        let Ok(read) = fs::read_dir(&qdir) else {
+            return;
+        };
+        let mut files: Vec<(PathBuf, u64, std::time::SystemTime)> = read
+            .flatten()
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                Some((
+                    e.path(),
+                    meta.len(),
+                    meta.modified().unwrap_or(std::time::UNIX_EPOCH),
+                ))
+            })
+            .collect();
+        files.sort_by_key(|&(_, _, mtime)| mtime);
+        let mut total: u64 = files.iter().map(|&(_, b, _)| b).sum();
+        for (path, bytes, _) in files {
+            if total <= self.limits.quarantine_max_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= bytes;
+                self.quarantine_rotated.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .quarantine_bytes = total;
     }
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
+        let (bytes, entries) = {
+            let index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            (index.total_bytes, index.entries.len() as u64)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            swept_tmp: self.swept_tmp.load(Ordering::Relaxed),
+            quarantine_rotated: self.quarantine_rotated.load(Ordering::Relaxed),
+            bytes,
+            entries,
         }
+    }
+
+    /// Offline structural check of a cache directory: every `.omc` record
+    /// must decode clean against the key its file name claims. Stale temp
+    /// files and quarantined records are counted, not errors (they are the
+    /// expected artifacts of crashes and poison, respectively).
+    pub fn fsck(dir: &Path) -> Result<CacheFsck, String> {
+        let mut out = CacheFsck::default();
+        let read = fs::read_dir(dir).map_err(|e| format!("cannot read cache dir: {e}"))?;
+        for entry in read.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if is_stale_tmp(name) {
+                out.stale_tmp += 1;
+                continue;
+            }
+            let Some(key) = key_from_file_name(name) else {
+                continue;
+            };
+            let bytes = fs::read(entry.path()).map_err(|e| format!("cannot read {name}: {e}"))?;
+            decode_record(&bytes, &key).map_err(|()| format!("corrupt cache record {name}"))?;
+            out.clean += 1;
+            out.bytes += bytes.len() as u64;
+        }
+        if let Ok(read) = fs::read_dir(dir.join("quarantine")) {
+            out.quarantined = read.flatten().count() as u64;
+        }
+        Ok(out)
     }
 }
 
@@ -261,14 +589,18 @@ fn decode_record(bytes: &[u8], key: &[u8; 32]) -> Result<CachedSchedule, ()> {
 mod tests {
     use super::*;
 
-    fn temp_store(tag: &str) -> CacheStore {
+    fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "omc-test-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = fs::remove_dir_all(&dir);
-        CacheStore::open(dir).unwrap()
+        dir
+    }
+
+    fn temp_store(tag: &str) -> CacheStore {
+        CacheStore::open(temp_dir(tag)).unwrap()
     }
 
     fn sample() -> CachedSchedule {
@@ -279,6 +611,10 @@ mod tests {
         }
     }
 
+    fn keyed(i: u8) -> [u8; 32] {
+        [i; 32]
+    }
+
     #[test]
     fn store_then_load_round_trips() {
         let s = temp_store("roundtrip");
@@ -287,6 +623,8 @@ mod tests {
         assert_eq!(s.load(&key), Some(sample()));
         assert_eq!(s.stats().hits, 1);
         assert_eq!(s.stats().stores, 1);
+        assert_eq!(s.stats().entries, 1);
+        assert!(s.stats().bytes > 0);
     }
 
     #[test]
@@ -298,14 +636,26 @@ mod tests {
     }
 
     #[test]
-    fn unrenamed_temp_file_is_invisible() {
+    fn unrenamed_temp_file_is_invisible_and_swept_on_open() {
         // A crash between write and rename leaves only the temp file; the
-        // key must read as a miss, not as a torn record.
-        let s = temp_store("torn");
+        // key must read as a miss, not as a torn record — and the *next*
+        // open must delete the orphan instead of leaking it forever.
+        let dir = temp_dir("torn");
         let key = [9u8; 32];
-        s.write_temp(&key, &sample()).unwrap();
-        assert_eq!(s.load(&key), None);
-        assert_eq!(s.stats().quarantined, 0, "nothing to quarantine");
+        {
+            let s = CacheStore::open(&dir).unwrap();
+            s.write_temp(&key, &sample()).unwrap();
+            assert_eq!(s.load(&key), None);
+            assert_eq!(s.stats().quarantined, 0, "nothing to quarantine");
+        }
+        let s = CacheStore::open(&dir).unwrap();
+        assert_eq!(s.stats().swept_tmp, 1, "orphaned temp file swept");
+        let leftovers = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(leftovers, 0);
     }
 
     #[test]
@@ -343,5 +693,109 @@ mod tests {
         fs::copy(s.entry_path(&a), s.entry_path(&b)).unwrap();
         assert_eq!(s.load(&b), None);
         assert_eq!(s.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn entry_cap_evicts_least_recently_used() {
+        let dir = temp_dir("lru");
+        let s = CacheStore::open_bounded(
+            &dir,
+            CacheLimits {
+                max_entries: 2,
+                ..CacheLimits::default()
+            },
+        )
+        .unwrap();
+        s.store(&keyed(1), &sample()).unwrap();
+        s.store(&keyed(2), &sample()).unwrap();
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(s.load(&keyed(1)).is_some());
+        s.store(&keyed(3), &sample()).unwrap();
+        assert_eq!(s.stats().evicted, 1);
+        assert_eq!(s.stats().entries, 2);
+        assert!(s.load(&keyed(1)).is_some(), "recently used survives");
+        assert!(s.load(&keyed(3)).is_some(), "newest survives");
+        assert!(s.load(&keyed(2)).is_none(), "LRU victim evicted");
+    }
+
+    #[test]
+    fn byte_cap_is_enforced_through_overflow() {
+        let dir = temp_dir("bytes");
+        let one_record = encode_record(&keyed(0), &sample()).len() as u64;
+        let cap = one_record * 3;
+        let s = CacheStore::open_bounded(
+            &dir,
+            CacheLimits {
+                max_bytes: cap,
+                ..CacheLimits::default()
+            },
+        )
+        .unwrap();
+        // 10x overflow: thirty records against a three-record cap.
+        for i in 0..30u8 {
+            s.store(&keyed(i), &sample()).unwrap();
+            assert!(
+                s.stats().bytes <= cap,
+                "cache exceeded its byte cap mid-workload"
+            );
+        }
+        assert_eq!(s.stats().entries, 3);
+        assert_eq!(s.stats().evicted, 27);
+        // Reopen rebuilds the index at the same size.
+        drop(s);
+        let s = CacheStore::open_bounded(
+            &dir,
+            CacheLimits {
+                max_bytes: cap,
+                ..CacheLimits::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.stats().entries, 3);
+    }
+
+    #[test]
+    fn quarantine_rotates_oldest_first() {
+        let dir = temp_dir("qrot");
+        let one_record = encode_record(&keyed(0), &sample()).len() as u64;
+        let s = CacheStore::open_bounded(
+            &dir,
+            CacheLimits {
+                quarantine_max_bytes: one_record * 2,
+                ..CacheLimits::default()
+            },
+        )
+        .unwrap();
+        for i in 0..5u8 {
+            s.store(&keyed(i), &sample()).unwrap();
+            // Corrupt it so the next load quarantines it.
+            let path = s.entry_path(&keyed(i));
+            let mut bytes = fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            fs::write(&path, &bytes).unwrap();
+            assert_eq!(s.load(&keyed(i)), None);
+            // Quarantine mtimes must be distinguishable for oldest-first.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(s.stats().quarantined, 5);
+        assert!(s.stats().quarantine_rotated >= 3, "rotation engaged");
+        let qcount = fs::read_dir(dir.join("quarantine")).unwrap().count();
+        assert!(qcount <= 2, "quarantine stayed within its cap");
+    }
+
+    #[test]
+    fn fsck_accepts_clean_and_rejects_corrupt() {
+        let dir = temp_dir("fsck");
+        let s = CacheStore::open(&dir).unwrap();
+        s.store(&keyed(1), &sample()).unwrap();
+        s.store(&keyed(2), &sample()).unwrap();
+        let ok = CacheStore::fsck(&dir).unwrap();
+        assert_eq!(ok.clean, 2);
+        let path = s.entry_path(&keyed(2));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[10] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(CacheStore::fsck(&dir).is_err());
     }
 }

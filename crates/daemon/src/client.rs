@@ -14,7 +14,8 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use crate::wire::{
-    read_frame, write_frame, ErrorReply, FrameKind, Reply, Request, Scheduled, WireError,
+    read_frame, write_frame, DaemonStatus, ErrorReply, FrameKind, Reply, Request, Scheduled,
+    WireError,
 };
 
 /// Client tuning knobs.
@@ -45,27 +46,78 @@ impl ClientConfig {
     }
 }
 
-/// Why a solve ultimately failed.
+/// Why a solve ultimately failed. Both variants carry how hard the client
+/// tried — attempt count and total backoff slept — so an exit-8 failure in
+/// a log is diagnosable without reproducing it.
 #[derive(Debug)]
 pub enum ClientError {
     /// The daemon replied with a typed error (non-retryable, or retries
     /// exhausted).
-    Daemon(ErrorReply),
+    Daemon {
+        /// The daemon's final reply.
+        reply: ErrorReply,
+        /// Attempts made (1 = no retries).
+        attempts: u32,
+        /// Total time slept in backoff across the retries.
+        backoff: Duration,
+    },
     /// The transport kept failing until retries were exhausted.
-    Transport(WireError),
+    Transport {
+        /// The last transport failure.
+        error: WireError,
+        /// Attempts made (1 = no retries).
+        attempts: u32,
+        /// Total time slept in backoff across the retries.
+        backoff: Duration,
+    },
+}
+
+impl ClientError {
+    /// Attempts made before giving up (1 = no retries).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            ClientError::Daemon { attempts, .. } | ClientError::Transport { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+
+    /// Total time slept in backoff across the retries.
+    pub fn backoff(&self) -> Duration {
+        match self {
+            ClientError::Daemon { backoff, .. } | ClientError::Transport { backoff, .. } => {
+                *backoff
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ClientError::Daemon(e) => write!(
+            ClientError::Daemon {
+                reply,
+                attempts,
+                backoff,
+            } => write!(
                 f,
-                "daemon error [{}{}]: {}",
-                e.code,
-                if e.retryable { ", retryable" } else { "" },
-                e.message
+                "daemon error [{}{}] after {attempts} attempt{} ({:?} total backoff): {}",
+                reply.code,
+                if reply.retryable { ", retryable" } else { "" },
+                if *attempts == 1 { "" } else { "s" },
+                backoff,
+                reply.message
             ),
-            ClientError::Transport(e) => write!(f, "transport error: {e}"),
+            ClientError::Transport {
+                error,
+                attempts,
+                backoff,
+            } => write!(
+                f,
+                "transport error after {attempts} attempt{} ({:?} total backoff): {error}",
+                if *attempts == 1 { "" } else { "s" },
+                backoff
+            ),
         }
     }
 }
@@ -106,13 +158,7 @@ fn one_attempt(socket: &Path, request: &Request) -> Result<Reply, WireError> {
         Some((FrameKind::Reply, payload)) => Reply::decode(&payload),
         Some((kind, _)) => Err(WireError::BadTag {
             what: "reply frame kind",
-            value: match kind {
-                FrameKind::Request => 1,
-                FrameKind::Reply => 2,
-                FrameKind::Ping => 3,
-                FrameKind::Pong => 4,
-                FrameKind::Shutdown => 5,
-            },
+            value: kind.tag() as u64,
         }),
         None => Err(WireError::Truncated),
     }
@@ -127,6 +173,8 @@ pub fn solve(cfg: &ClientConfig, mut request: Request) -> Result<Scheduled, Clie
     let mut jitter = cfg.jitter_seed ^ request.request_id;
     let mut last_transport: Option<WireError> = None;
     let mut last_daemon: Option<ErrorReply> = None;
+    let mut slept = Duration::ZERO;
+    let mut attempts = 0u32;
     for attempt in 0..=cfg.retries {
         if attempt > 0 {
             let exp = cfg
@@ -138,13 +186,20 @@ pub fn solve(cfg: &ClientConfig, mut request: Request) -> Result<Scheduled, Clie
             } else {
                 0
             };
-            std::thread::sleep(capped + Duration::from_millis(jitter_ms));
+            let pause = capped + Duration::from_millis(jitter_ms);
+            std::thread::sleep(pause);
+            slept += pause;
         }
+        attempts = attempt + 1;
         match one_attempt(&cfg.socket, &request) {
             Ok(Reply::Scheduled(s)) => return Ok(s),
             Ok(Reply::Error(e)) => {
                 if !e.retryable {
-                    return Err(ClientError::Daemon(e));
+                    return Err(ClientError::Daemon {
+                        reply: e,
+                        attempts,
+                        backoff: slept,
+                    });
                 }
                 last_daemon = Some(e);
                 last_transport = None;
@@ -155,29 +210,59 @@ pub fn solve(cfg: &ClientConfig, mut request: Request) -> Result<Scheduled, Clie
         }
     }
     match (last_transport, last_daemon) {
-        (Some(t), _) => Err(ClientError::Transport(t)),
-        (None, Some(d)) => Err(ClientError::Daemon(d)),
+        (Some(t), _) => Err(ClientError::Transport {
+            error: t,
+            attempts,
+            backoff: slept,
+        }),
+        (None, Some(d)) => Err(ClientError::Daemon {
+            reply: d,
+            attempts,
+            backoff: slept,
+        }),
         (None, None) => unreachable!("at least one attempt ran"),
     }
 }
 
-/// Pings the daemon; returns the round-tripped payload check.
-pub fn ping(socket: &Path) -> Result<(), WireError> {
+/// Pings the daemon; checks the round-tripped payload and returns whether
+/// the daemon reports an active brownout (`true` = degraded mode).
+///
+/// Accepts both the echo-plus-status-byte pong of current daemons and the
+/// bare echo of pre-journal ones (reported as not-browned-out).
+pub fn ping(socket: &Path) -> Result<bool, WireError> {
+    const PROBE: &[u8] = b"optimod-ping";
     let mut stream = UnixStream::connect(socket).map_err(WireError::Io)?;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    write_frame(&mut stream, FrameKind::Ping, b"optimod-ping")?;
+    write_frame(&mut stream, FrameKind::Ping, PROBE)?;
     match read_frame(&mut stream)? {
-        Some((FrameKind::Pong, payload)) if payload == b"optimod-ping" => Ok(()),
+        Some((FrameKind::Pong, payload)) if payload == PROBE => Ok(false),
+        Some((FrameKind::Pong, payload))
+            if payload.len() == PROBE.len() + 1
+                && &payload[..PROBE.len()] == PROBE
+                && payload[PROBE.len()] <= 1 =>
+        {
+            Ok(payload[PROBE.len()] == 1)
+        }
         Some((FrameKind::Pong, _)) => Err(WireError::Malformed("pong echo")),
         Some((kind, _)) => Err(WireError::BadTag {
             what: "pong frame kind",
-            value: match kind {
-                FrameKind::Request => 1,
-                FrameKind::Reply => 2,
-                FrameKind::Ping => 3,
-                FrameKind::Pong => 4,
-                FrameKind::Shutdown => 5,
-            },
+            value: kind.tag() as u64,
+        }),
+        None => Err(WireError::Truncated),
+    }
+}
+
+/// Fetches the daemon's operational snapshot (brownout state, queue
+/// occupancy, shed/recovery counters, cache stats).
+pub fn stats(socket: &Path) -> Result<DaemonStatus, WireError> {
+    let mut stream = UnixStream::connect(socket).map_err(WireError::Io)?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    write_frame(&mut stream, FrameKind::Stats, b"")?;
+    match read_frame(&mut stream)? {
+        Some((FrameKind::Stats, payload)) => DaemonStatus::decode(&payload),
+        Some((kind, _)) => Err(WireError::BadTag {
+            what: "stats frame kind",
+            value: kind.tag() as u64,
         }),
         None => Err(WireError::Truncated),
     }
@@ -219,8 +304,30 @@ mod tests {
             ..ClientConfig::new("/nonexistent/optimodd.sock")
         };
         match solve(&cfg, Request::new("machine example-3fu\nop a load\n")) {
-            Err(ClientError::Transport(WireError::Io(_))) => {}
+            Err(ClientError::Transport {
+                error: WireError::Io(_),
+                attempts: 2,
+                backoff,
+            }) => assert!(backoff >= Duration::from_millis(1)),
             other => panic!("expected transport error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn display_reports_attempts_and_backoff() {
+        let e = ClientError::Daemon {
+            reply: ErrorReply {
+                request_id: 1,
+                code: crate::wire::ErrorCode::Overloaded,
+                retryable: true,
+                message: "queue full".to_string(),
+            },
+            attempts: 5,
+            backoff: Duration::from_millis(350),
+        };
+        let s = e.to_string();
+        assert!(s.contains("5 attempts"), "{s}");
+        assert!(s.contains("350ms"), "{s}");
+        assert!(s.contains("overloaded"), "{s}");
     }
 }

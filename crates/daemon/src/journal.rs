@@ -1,0 +1,507 @@
+//! Write-ahead intent journal: the daemon's crash-*recovery* layer.
+//!
+//! The certified-schedule cache (PR 7) makes a crash *safe* — no torn
+//! bytes are ever served — but an accepted-and-unanswered request used to
+//! die with the process. The journal closes that gap: every admitted
+//! request is appended here (checksummed, `fsync`ed) **before** the solve
+//! starts, and marked done once its reply is recorded. On startup the
+//! daemon replays every intent without a done-mark back into its queue, so
+//! a SIGKILL loses at most the in-flight reply bytes — never the work.
+//!
+//! Layout (one file, append-only):
+//!
+//! ```text
+//! magic "OMJ1" | version u8
+//! record*: kind u8 | seq u64 LE | len u32 LE | payload | fnv1a64(kind ‖ seq ‖ payload) u64 LE
+//! ```
+//!
+//! `kind 1` is an intent (payload = the encoded [`Request`]); `kind 2` is
+//! a done-mark (empty payload) for the `seq` of an earlier intent.
+//!
+//! Durability protocol:
+//!
+//! * **Appends are checksummed and synced.** Each record is followed by an
+//!   `fdatasync`-class flush, so at most the final record can be torn.
+//! * **Replay truncates the torn tail.** A record that fails its checksum
+//!   (or runs past end-of-file) ends replay; the file is truncated back to
+//!   the last whole record so the next append starts clean. A torn *tail*
+//!   is a crash artifact; a bad record *followed by good ones* would be
+//!   real corruption, which the sync-per-record discipline rules out.
+//! * **Compaction is atomic.** When enough done-marks accumulate, the live
+//!   (pending) intents are rewritten to a temp file in the same directory,
+//!   `fsync`ed, and `rename`d over the journal — the same discipline as
+//!   the cache, so a crash mid-compaction leaves either the old journal or
+//!   the new one, never a hybrid.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::wire::{fnv1a64, Request, MAX_FRAME};
+
+const MAGIC: [u8; 4] = *b"OMJ1";
+const VERSION: u8 = 1;
+const KIND_INTENT: u8 = 1;
+const KIND_DONE: u8 = 2;
+/// Fixed bytes around a record's payload: kind + seq + len + checksum.
+const RECORD_OVERHEAD: usize = 1 + 8 + 4 + 8;
+/// Done-marks absorbed before the journal rewrites itself.
+const COMPACT_EVERY: u64 = 512;
+
+/// One replayed (unfinished) intent.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// The intent's journal sequence number; pass it back to
+    /// [`Journal::mark_done`] once the request has a recorded reply.
+    pub seq: u64,
+    /// The admitted request, exactly as it arrived on the wire.
+    pub request: Request,
+}
+
+/// Counters for observability and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Intents appended this process lifetime.
+    pub appended: u64,
+    /// Done-marks appended this process lifetime.
+    pub marked_done: u64,
+    /// Unfinished intents recovered at open.
+    pub recovered: u64,
+    /// Bytes truncated off a torn tail at open.
+    pub torn_bytes_truncated: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+/// What [`Journal::fsck`] found in a journal file.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct JournalFsck {
+    /// Whole intent records.
+    pub intents: u64,
+    /// Whole done-marks.
+    pub done: u64,
+    /// Intents without a done-mark.
+    pub pending: u64,
+    /// Bytes of torn tail after the last whole record (crash mid-append).
+    pub torn_tail_bytes: u64,
+}
+
+struct Inner {
+    file: File,
+    path: PathBuf,
+    /// Pending intents by seq, with their encoded payload (kept so
+    /// compaction can rewrite them without re-reading the file).
+    pending: BTreeMap<u64, Vec<u8>>,
+    next_seq: u64,
+    done_since_compact: u64,
+}
+
+/// The write-ahead intent journal. All methods are `&self`; the file
+/// handle is serialized behind a mutex (appends are small and rare
+/// relative to solves).
+pub struct Journal {
+    inner: Mutex<Inner>,
+    appended: AtomicU64,
+    marked_done: AtomicU64,
+    recovered: AtomicU64,
+    torn_truncated: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").finish_non_exhaustive()
+    }
+}
+
+fn record_bytes(kind: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a64(fnv1a64(fnv1a64(0, &[kind]), &seq.to_le_bytes()), payload);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// One whole record parsed out of `bytes[at..]`, or `None` for a torn /
+/// corrupt suffix (which, under sync-per-record, can only be the tail).
+fn parse_record(bytes: &[u8], at: usize) -> Option<(u8, u64, &[u8], usize)> {
+    let rest = &bytes[at..];
+    if rest.len() < RECORD_OVERHEAD {
+        return None;
+    }
+    let kind = rest[0];
+    if kind != KIND_INTENT && kind != KIND_DONE {
+        return None;
+    }
+    let seq = u64::from_le_bytes(rest[1..9].try_into().unwrap());
+    let len = u32::from_le_bytes(rest[9..13].try_into().unwrap()) as usize;
+    if len > MAX_FRAME || rest.len() < RECORD_OVERHEAD + len {
+        return None;
+    }
+    let payload = &rest[13..13 + len];
+    let carried = u64::from_le_bytes(rest[13 + len..13 + len + 8].try_into().unwrap());
+    let computed = fnv1a64(fnv1a64(fnv1a64(0, &[kind]), &seq.to_le_bytes()), payload);
+    if carried != computed {
+        return None;
+    }
+    Some((kind, seq, payload, at + RECORD_OVERHEAD + len))
+}
+
+/// What [`scan`] extracts from a journal image: the pending intents by
+/// seq, the highest seq seen, the done-mark count, and the offset of the
+/// first torn byte (== `bytes.len()` when the file is whole).
+type ScanResult = (BTreeMap<u64, Vec<u8>>, u64, u64, usize);
+
+/// Scans a journal image: whole records, pending set, and the offset of
+/// the first torn byte (== `bytes.len()` when the file is whole).
+fn scan(bytes: &[u8]) -> Result<ScanResult, String> {
+    if bytes.len() < 5 || bytes[..4] != MAGIC {
+        return Err("bad journal magic".to_string());
+    }
+    if bytes[4] != VERSION {
+        return Err(format!("unsupported journal version {}", bytes[4]));
+    }
+    let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut max_seq = 0u64;
+    let mut done = 0u64;
+    let mut at = 5usize;
+    while at < bytes.len() {
+        let Some((kind, seq, payload, next)) = parse_record(bytes, at) else {
+            break; // torn tail
+        };
+        max_seq = max_seq.max(seq);
+        match kind {
+            KIND_INTENT => {
+                pending.insert(seq, payload.to_vec());
+            }
+            _ => {
+                pending.remove(&seq);
+                done += 1;
+            }
+        }
+        at = next;
+    }
+    Ok((pending, max_seq, done, at))
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path` and returns it
+    /// together with every unfinished intent, in append order, for replay.
+    /// A torn tail from a crash mid-append is truncated away; intents whose
+    /// payload no longer decodes as a [`Request`] (version skew) are
+    /// dropped rather than replayed.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(Journal, Vec<JournalEntry>)> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut torn = 0u64;
+        let (pending, max_seq) = match fs::read(&path) {
+            Ok(bytes) => {
+                let (pending, max_seq, _done, good_end) =
+                    scan(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                if good_end < bytes.len() {
+                    torn = (bytes.len() - good_end) as u64;
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(good_end as u64)?;
+                    f.sync_all()?;
+                }
+                (pending, max_seq)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let mut f = File::create(&path)?;
+                f.write_all(&MAGIC)?;
+                f.write_all(&[VERSION])?;
+                f.sync_all()?;
+                (BTreeMap::new(), 0)
+            }
+            Err(e) => return Err(e),
+        };
+
+        let mut recovered = Vec::new();
+        let mut live: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (seq, payload) in pending {
+            match Request::decode(&payload) {
+                Ok(request) => {
+                    recovered.push(JournalEntry { seq, request });
+                    live.insert(seq, payload);
+                }
+                Err(_) => {
+                    // Checksummed but undecodable: a request from a future
+                    // (or past) wire version. It cannot be replayed; leave
+                    // it out of the live set so compaction drops it.
+                }
+            }
+        }
+
+        let file = OpenOptions::new().append(true).open(&path)?;
+        let journal = Journal {
+            inner: Mutex::new(Inner {
+                file,
+                path,
+                pending: live,
+                next_seq: max_seq + 1,
+                done_since_compact: 0,
+            }),
+            appended: AtomicU64::new(0),
+            marked_done: AtomicU64::new(0),
+            recovered: AtomicU64::new(recovered.len() as u64),
+            torn_truncated: AtomicU64::new(torn),
+            compactions: AtomicU64::new(0),
+        };
+        Ok((journal, recovered))
+    }
+
+    /// Appends (and syncs) an intent record for `request`; the returned
+    /// sequence number must be passed to [`Journal::mark_done`] once the
+    /// request has a recorded reply. Until then, a crash replays it.
+    pub fn append_intent(&self, request: &Request) -> io::Result<u64> {
+        let payload = request.encode();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let record = record_bytes(KIND_INTENT, seq, &payload);
+        inner.file.write_all(&record)?;
+        inner.file.sync_data()?;
+        inner.pending.insert(seq, payload);
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        Ok(seq)
+    }
+
+    /// Appends (and syncs) a done-mark for `seq`. Idempotent: marking an
+    /// unknown or already-done seq is a no-op append. Triggers a compaction
+    /// once enough done-marks have accumulated.
+    pub fn mark_done(&self, seq: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let record = record_bytes(KIND_DONE, seq, &[]);
+        inner.file.write_all(&record)?;
+        inner.file.sync_data()?;
+        inner.pending.remove(&seq);
+        inner.done_since_compact += 1;
+        self.marked_done.fetch_add(1, Ordering::Relaxed);
+        if inner.done_since_compact >= COMPACT_EVERY {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Unfinished intents right now.
+    pub fn pending(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pending
+            .len()
+    }
+
+    /// Rewrites the journal down to its pending intents (atomic
+    /// temp+rename, like the cache), reclaiming done-mark space.
+    pub fn compact(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        let tmp = inner.path.with_extension("omj.tmp");
+        {
+            let mut out = Vec::with_capacity(5 + inner.pending.len() * 64);
+            out.extend_from_slice(&MAGIC);
+            out.push(VERSION);
+            for (&seq, payload) in &inner.pending {
+                out.extend_from_slice(&record_bytes(KIND_INTENT, seq, payload));
+            }
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &inner.path)?;
+        inner.file = OpenOptions::new().append(true).open(&inner.path)?;
+        inner.done_since_compact = 0;
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appended: self.appended.load(Ordering::Relaxed),
+            marked_done: self.marked_done.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            torn_bytes_truncated: self.torn_truncated.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Offline structural check of a journal file: header, per-record
+    /// checksums, decodable intents. A torn tail is reported, not an error
+    /// (it is the expected artifact of a crash mid-append); anything else
+    /// that fails to parse is.
+    pub fn fsck(path: &Path) -> Result<JournalFsck, String> {
+        let bytes = fs::read(path).map_err(|e| format!("cannot read journal: {e}"))?;
+        let (pending, _max_seq, done, good_end) = scan(&bytes)?;
+        let mut intents = 0u64;
+        let mut at = 5usize;
+        while at < bytes.len() {
+            let Some((kind, _seq, payload, next)) = parse_record(&bytes, at) else {
+                break;
+            };
+            if kind == KIND_INTENT {
+                intents += 1;
+                if Request::decode(payload).is_err() {
+                    return Err(format!(
+                        "intent at offset {at} passes its checksum but does not decode"
+                    ));
+                }
+            }
+            at = next;
+        }
+        Ok(JournalFsck {
+            intents,
+            done,
+            pending: pending.len() as u64,
+            torn_tail_bytes: (bytes.len() - good_end) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Seq;
+
+    static SEQ: Seq = Seq::new(0);
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "omj-test-{tag}-{}-{}.omj",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn req(id: u64) -> Request {
+        let mut r = Request::new(format!("machine m\nop a{id} load\n"));
+        r.request_id = id;
+        r
+    }
+
+    #[test]
+    fn unfinished_intents_replay_after_reopen() {
+        let path = temp_journal("replay");
+        {
+            let (j, recovered) = Journal::open(&path).unwrap();
+            assert!(recovered.is_empty());
+            let s1 = j.append_intent(&req(1)).unwrap();
+            let _s2 = j.append_intent(&req(2)).unwrap();
+            j.mark_done(s1).unwrap();
+            // Drop without marking 2 done: simulated crash.
+        }
+        let (j, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 1, "only the unfinished intent replays");
+        assert_eq!(recovered[0].request.request_id, 2);
+        assert_eq!(j.pending(), 1);
+        j.mark_done(recovered[0].seq).unwrap();
+        assert_eq!(j.pending(), 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_replay_survives() {
+        let path = temp_journal("torn");
+        {
+            let (j, _) = Journal::open(&path).unwrap();
+            j.append_intent(&req(7)).unwrap();
+        }
+        // Crash mid-append: half a record of garbage at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[KIND_INTENT, 9, 9, 9]).unwrap();
+        }
+        let (j, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].request.request_id, 7);
+        assert_eq!(j.stats().torn_bytes_truncated, 4);
+        // The truncated journal appends cleanly and fscks whole.
+        j.append_intent(&req(8)).unwrap();
+        drop(j);
+        let fsck = Journal::fsck(&path).unwrap();
+        assert_eq!(fsck.torn_tail_bytes, 0);
+        assert_eq!(fsck.pending, 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_drops_done_marks_and_keeps_pending() {
+        let path = temp_journal("compact");
+        let (j, _) = Journal::open(&path).unwrap();
+        let mut keep = 0;
+        for i in 0..10 {
+            let s = j.append_intent(&req(i)).unwrap();
+            if i == 5 {
+                keep = s;
+            } else {
+                j.mark_done(s).unwrap();
+            }
+        }
+        let before = fs::metadata(&path).unwrap().len();
+        j.compact().unwrap();
+        let after = fs::metadata(&path).unwrap().len();
+        assert!(after < before, "compaction must shrink the file");
+        assert_eq!(j.pending(), 1);
+        // Appends still work after the handle swap, and a reopen sees
+        // exactly the surviving intent.
+        let s2 = j.append_intent(&req(99)).unwrap();
+        assert!(s2 > keep, "sequence numbers stay monotonic");
+        drop(j);
+        let (_j, recovered) = Journal::open(&path).unwrap();
+        let ids: Vec<u64> = recovered.iter().map(|e| e.request.request_id).collect();
+        assert_eq!(ids, vec![5, 99]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsck_reports_counts_and_rejects_corruption() {
+        let path = temp_journal("fsck");
+        {
+            let (j, _) = Journal::open(&path).unwrap();
+            let s = j.append_intent(&req(1)).unwrap();
+            j.append_intent(&req(2)).unwrap();
+            j.mark_done(s).unwrap();
+        }
+        let fsck = Journal::fsck(&path).unwrap();
+        assert_eq!(fsck.intents, 2);
+        assert_eq!(fsck.done, 1);
+        assert_eq!(fsck.pending, 1);
+        assert_eq!(fsck.torn_tail_bytes, 0);
+
+        // A flipped byte in the header is an error, not a torn tail.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(Journal::fsck(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn done_marks_are_idempotent() {
+        let path = temp_journal("idem");
+        let (j, _) = Journal::open(&path).unwrap();
+        let s = j.append_intent(&req(3)).unwrap();
+        j.mark_done(s).unwrap();
+        j.mark_done(s).unwrap();
+        j.mark_done(s + 100).unwrap(); // unknown seq: harmless
+        assert_eq!(j.pending(), 0);
+        drop(j);
+        let (_j, recovered) = Journal::open(&path).unwrap();
+        assert!(recovered.is_empty());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -8,9 +8,15 @@
 //! * [`server`] — admission control with a bounded queue and explicit
 //!   load shedding, per-request deadlines propagated into the solver,
 //!   idempotent request ids, worker-panic containment, and graceful drain.
-//! * [`cache`] — a crash-safe content-addressed store of certified
-//!   schedules (atomic writes, checksummed records, corrupt-entry
-//!   quarantine).
+//! * [`cache`] — a crash-safe, *bounded* content-addressed store of
+//!   certified schedules (atomic writes, checksummed records, LRU
+//!   eviction under byte/entry caps, corrupt-entry quarantine with
+//!   oldest-first rotation, startup sweep of crash-orphaned temp files).
+//! * [`journal`] — a write-ahead intent journal: every admitted request
+//!   is durably recorded *before* solving and marked done when its reply
+//!   is recorded, so a crash loses no admitted work — the restarted
+//!   daemon replays unfinished intents and serves their results to
+//!   idempotent retries.
 //! * [`hash`] — SHA-256 content addressing over a *canonicalized*
 //!   `(loop, machine, config)` triple, so textual reorderings of the same
 //!   problem share a cache entry.
@@ -28,10 +34,12 @@
 pub mod cache;
 pub mod client;
 pub mod hash;
+pub mod journal;
 pub mod server;
 pub mod wire;
 
-pub use cache::{CacheStats, CacheStore, CachedSchedule};
+pub use cache::{CacheFsck, CacheLimits, CacheStats, CacheStore, CachedSchedule};
 pub use client::{solve, ClientConfig, ClientError};
-pub use server::{Daemon, DaemonConfig, DaemonHandle};
-pub use wire::{ErrorCode, ErrorReply, Reply, Request, Scheduled, WireError};
+pub use journal::{Journal, JournalEntry, JournalFsck, JournalStats};
+pub use server::{CrashPoint, Daemon, DaemonConfig, DaemonHandle};
+pub use wire::{DaemonStatus, ErrorCode, ErrorReply, Reply, Request, Scheduled, WireError};

@@ -1,7 +1,9 @@
-//! The `optimodd` daemon: accept loop, admission control, worker pool, and
-//! the certified-schedule cache.
+//! The `optimodd` daemon: accept loop, admission control, worker pool,
+//! write-ahead intent journal, brownout degradation, and the
+//! certified-schedule cache.
 //!
-//! Robustness contract (enforced by the `chaos_daemon` sweep):
+//! Robustness contract (enforced by the `chaos_daemon` and
+//! `chaos_recovery` sweeps):
 //!
 //! * Every request gets exactly one reply: a schedule or a typed
 //!   [`ErrorReply`] with an honest `retryable` flag. Load shedding is an
@@ -19,13 +21,25 @@
 //! * Worker panics (including injected ones) become
 //!   [`ErrorCode::Internal`] replies; no panic crosses a thread boundary
 //!   uncaught.
+//! * **No admitted request is lost to a crash.** With a journal
+//!   configured, every admitted request is durably appended *before*
+//!   solving and marked done only after its reply is recorded; a
+//!   restarted daemon replays every unfinished intent through the normal
+//!   worker path, so its result lands in the cache and the idempotency
+//!   registry, where a client retry of the same `request_id` picks it up.
+//! * **Overload degrades before it sheds.** When admitted work waits
+//!   longer than the brownout pressure threshold (or the queue runs near
+//!   its depth), new solves are routed through the fallback ladder —
+//!   stage-ILP, then IMS — with an honest degraded [`Provenance`] instead
+//!   of being shed with `Overloaded`. The daemon returns to exact solves
+//!   after a sustained calm window.
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -36,13 +50,15 @@ use optimod::{
 };
 use optimod_ddg::textfmt;
 use optimod_ilp::{FaultAction, FaultPlan, FaultSite, StopFlag};
+use optimod_trace::{Trace, TraceEvent};
 use optimod_verify::{certify, Claim};
 
-use crate::cache::{CacheStats, CacheStore, CachedSchedule};
+use crate::cache::{CacheLimits, CacheStats, CacheStore, CachedSchedule};
 use crate::hash::{canonical_key, canonical_perm, KeyConfig};
+use crate::journal::{Journal, JournalStats};
 use crate::wire::{
-    dep_style_tag, objective_tag, read_frame, ErrorCode, ErrorReply, FrameKind, Reply, Request,
-    Scheduled, WireError,
+    dep_style_tag, objective_tag, read_frame, DaemonStatus, ErrorCode, ErrorReply, FrameKind,
+    Reply, Request, Scheduled, WireError,
 };
 
 /// How many terminal replies the idempotency registry remembers.
@@ -51,6 +67,46 @@ const DONE_CAP: usize = 1024;
 /// Per-connection socket read timeout; bounds how long an idle connection
 /// can delay a drain.
 const CONN_READ_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Explicit crash points for chaos testing. When [`DaemonConfig::crash_at`]
+/// arms one, the daemon calls `std::process::abort()` — no unwinding, no
+/// destructors, as close to an external `SIGKILL` as a process can do to
+/// itself — the Nth time execution reaches the site. The `chaos_recovery`
+/// sweep uses these to park crashes on the exact durability edges that
+/// timing-based kills only hit by luck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Right after the intent record is durably appended, before the job is
+    /// enqueued — the request is journaled but never solved. Recovery must
+    /// replay it.
+    AfterJournalAppend,
+    /// After the solve completes, before the done-mark and the reply — the
+    /// work is done but not recorded. Recovery must re-solve and answer the
+    /// retry.
+    BeforeDone,
+    /// Mid cache write: after the temp file lands, before the rename — the
+    /// cache must stay invisible-or-whole and the next open must sweep the
+    /// orphan.
+    MidCacheWrite,
+}
+
+impl std::str::FromStr for CrashPoint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CrashPoint, String> {
+        Ok(match s {
+            "journal-append" => CrashPoint::AfterJournalAppend,
+            "before-done" => CrashPoint::BeforeDone,
+            "cache-write" => CrashPoint::MidCacheWrite,
+            other => {
+                return Err(format!(
+                    "unknown crash point '{other}' (expected journal-append, before-done, \
+                     or cache-write)"
+                ))
+            }
+        })
+    }
+}
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -73,6 +129,24 @@ pub struct DaemonConfig {
     pub solver_threads: u32,
     /// Fault-injection plan (daemon and solver sites); defaults to inert.
     pub fault: FaultPlan,
+    /// Write-ahead intent journal; `None` disables crash recovery.
+    pub journal_path: Option<PathBuf>,
+    /// Byte/entry caps for the schedule cache (zero caps = unbounded).
+    pub cache_limits: CacheLimits,
+    /// Brownout pressure threshold: when a dequeued job waited longer than
+    /// this (or the queue runs at three quarters of its depth), new solves
+    /// are routed through the degraded fallback ladder. `None` disables
+    /// brownout.
+    pub brownout_pressure: Option<Duration>,
+    /// Sustained calm (every dequeued job under the pressure threshold)
+    /// required before a brownout lifts.
+    pub brownout_recover: Duration,
+    /// Trace sink for operational events (journal recovery, cache
+    /// eviction, brownout transitions).
+    pub trace: Trace,
+    /// Armed crash point for chaos testing: abort on the Nth (1-based) hit
+    /// of the site. `None` in production.
+    pub crash_at: Option<(CrashPoint, u64)>,
 }
 
 impl DaemonConfig {
@@ -87,6 +161,12 @@ impl DaemonConfig {
             drain_timeout: Duration::from_secs(5),
             solver_threads: 1,
             fault: FaultPlan::default(),
+            journal_path: None,
+            cache_limits: CacheLimits::default(),
+            brownout_pressure: None,
+            brownout_recover: Duration::from_millis(500),
+            trace: Trace::disabled(),
+            crash_at: None,
         }
     }
 }
@@ -96,6 +176,9 @@ struct Job {
     enqueued: Instant,
     deadline: Duration,
     responder: mpsc::Sender<Reply>,
+    /// Intent sequence in the write-ahead journal, when one is configured;
+    /// marked done once the reply is recorded.
+    journal_seq: Option<u64>,
 }
 
 struct QueueState {
@@ -129,6 +212,7 @@ struct ConnTracker {
 struct Shared {
     cfg: DaemonConfig,
     cache: Option<CacheStore>,
+    journal: Option<Journal>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     registry: Mutex<Registry>,
@@ -137,6 +221,29 @@ struct Shared {
     shutdown_mx: Mutex<bool>,
     shutdown_cv: Condvar,
     conns: ConnTracker,
+    /// Whether overload degradation is currently engaged.
+    brownout: AtomicBool,
+    /// Under brownout: when the queue last turned calm (dequeued jobs back
+    /// under the pressure threshold). Sustained calm lifts the brownout.
+    calm_since: Mutex<Option<Instant>>,
+    /// Requests shed with `Overloaded`.
+    sheds: AtomicU64,
+    /// Degraded schedules served because a brownout was active.
+    brownout_served: AtomicU64,
+    /// Unfinished intents replayed from the journal at startup.
+    recovered_intents: AtomicU64,
+    /// Hits on the armed [`CrashPoint`], if any.
+    crash_hits: AtomicU64,
+}
+
+/// Aborts the process — no unwinding, no destructors — if `point` is the
+/// armed crash site and this is its Nth hit.
+fn maybe_crash(shared: &Shared, point: CrashPoint) {
+    if let Some((armed, n)) = shared.cfg.crash_at {
+        if armed == point && shared.crash_hits.fetch_add(1, Ordering::SeqCst) + 1 == n {
+            std::process::abort();
+        }
+    }
 }
 
 /// Constructor namespace for the daemon.
@@ -155,13 +262,23 @@ impl Daemon {
     /// returns a handle.
     pub fn start(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
         let cache = match &cfg.cache_dir {
-            Some(dir) => Some(CacheStore::open(dir)?),
+            Some(dir) => {
+                Some(CacheStore::open_bounded(dir, cfg.cache_limits)?.with_trace(cfg.trace.clone()))
+            }
             None => None,
+        };
+        let (journal, recovered) = match &cfg.journal_path {
+            Some(path) => {
+                let (j, pending) = Journal::open(path)?;
+                (Some(j), pending)
+            }
+            None => (None, Vec::new()),
         };
         let listener = UnixListener::bind(&cfg.socket_path)?;
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             cache,
+            journal,
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 open: true,
@@ -174,8 +291,15 @@ impl Daemon {
             shutdown_mx: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             conns: ConnTracker::default(),
+            brownout: AtomicBool::new(false),
+            calm_since: Mutex::new(None),
+            sheds: AtomicU64::new(0),
+            brownout_served: AtomicU64::new(0),
+            recovered_intents: AtomicU64::new(0),
+            crash_hits: AtomicU64::new(0),
             cfg,
         });
+        replay_recovered_intents(&shared, recovered);
         let worker_handles = (0..workers)
             .map(|i| {
                 let s = Arc::clone(&shared);
@@ -200,10 +324,104 @@ impl Daemon {
     }
 }
 
+/// Pushes every unfinished journal intent back into the work queue, as if
+/// the original clients were still waiting: each gets an [`ReqState::InFlight`]
+/// registry entry (so a retry of the same `request_id` piggybacks on the
+/// replayed solve or replays its terminal reply) and runs through the
+/// normal worker path, journaling included — the intent's existing
+/// sequence number is marked done when its reply is recorded.
+fn replay_recovered_intents(shared: &Arc<Shared>, recovered: Vec<crate::journal::JournalEntry>) {
+    if recovered.is_empty() {
+        return;
+    }
+    let mut seen_ids = std::collections::HashSet::new();
+    let mut replayed = 0u64;
+    for entry in recovered {
+        let request = entry.request;
+        // Two crashes in a row can journal the same logical request twice
+        // (the retry re-admits); replay each id once.
+        if request.request_id != 0 && !seen_ids.insert(request.request_id) {
+            if let Some(j) = &shared.journal {
+                let _ = j.mark_done(entry.seq);
+            }
+            continue;
+        }
+        if request.request_id != 0 {
+            let mut reg = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+            reg.map.entry(request.request_id).or_insert_with(|| {
+                ReqState::InFlight(Arc::new(Waiter {
+                    slot: Mutex::new(None),
+                    cv: Condvar::new(),
+                }))
+            });
+        }
+        let deadline = if request.deadline_ms == 0 {
+            shared.cfg.default_deadline
+        } else {
+            Duration::from_millis(request.deadline_ms)
+        };
+        // The original responder is gone with the crashed process; the
+        // reply lands in the registry and the cache, where a client retry
+        // finds it. The dead channel makes `send` a no-op.
+        let (tx, _rx) = mpsc::channel();
+        let job = Job {
+            request,
+            enqueued: Instant::now(),
+            deadline,
+            responder: tx,
+            journal_seq: Some(entry.seq),
+        };
+        // Recovered intents were already admitted once; they bypass the
+        // admission depth check.
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.jobs.push_back(job);
+        drop(q);
+        replayed += 1;
+    }
+    shared
+        .recovered_intents
+        .fetch_add(replayed, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+    shared.cfg.trace.emit(|| TraceEvent::JournalRecovered {
+        intents: replayed,
+        completed: 0,
+    });
+}
+
+/// Point-in-time operational snapshot, served over the wire as a
+/// [`FrameKind::Stats`] reply and locally via [`DaemonHandle::status`].
+fn snapshot_status(shared: &Shared) -> DaemonStatus {
+    let (queue_len, in_flight) = {
+        let q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        (q.jobs.len() as u64, q.in_flight as u64)
+    };
+    DaemonStatus {
+        brownout: shared.brownout.load(Ordering::SeqCst),
+        queue_len,
+        in_flight,
+        sheds: shared.sheds.load(Ordering::SeqCst),
+        brownout_served: shared.brownout_served.load(Ordering::SeqCst),
+        recovered_intents: shared.recovered_intents.load(Ordering::SeqCst),
+        journal_pending: shared.journal.as_ref().map_or(0, |j| j.pending() as u64),
+        cache: shared.cache.as_ref().map(|c| c.stats()),
+    }
+}
+
 impl DaemonHandle {
     /// The socket the daemon listens on.
     pub fn socket_path(&self) -> &Path {
         &self.shared.cfg.socket_path
+    }
+
+    /// Point-in-time operational snapshot (brownout state, queue, shed and
+    /// recovery counters, cache stats).
+    pub fn status(&self) -> DaemonStatus {
+        snapshot_status(&self.shared)
+    }
+
+    /// Journal counters, when a journal is configured.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.shared.journal.as_ref().map(|j| j.stats())
     }
 
     /// Cache counters, when a cache is configured.
@@ -334,6 +552,11 @@ fn initiate_shutdown(shared: &Shared) {
             message: "daemon is draining; request was shed before starting".to_string(),
         });
         finish_request(shared, job.request.request_id, &reply);
+        // The shed is this request's reply; its intent is complete (the
+        // client was told to retry, and a retry re-journals).
+        if let (Some(j), Some(seq)) = (&shared.journal, job.journal_seq) {
+            let _ = j.mark_done(seq);
+        }
         let _ = job.responder.send(reply);
     }
     let mut requested = shared.shutdown_mx.lock().unwrap_or_else(|e| e.into_inner());
@@ -402,7 +625,17 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream) {
         };
         match frame {
             (FrameKind::Ping, payload) => {
-                if write_reply_frame(shared, &mut stream, FrameKind::Pong, &payload).is_err() {
+                // The pong echoes the payload plus one trailing status
+                // byte: 1 when a brownout is active, 0 otherwise.
+                let mut pong = payload;
+                pong.push(shared.brownout.load(Ordering::SeqCst) as u8);
+                if write_reply_frame(shared, &mut stream, FrameKind::Pong, &pong).is_err() {
+                    return;
+                }
+            }
+            (FrameKind::Stats, _) => {
+                let status = snapshot_status(shared).encode();
+                if write_reply_frame(shared, &mut stream, FrameKind::Stats, &status).is_err() {
                     return;
                 }
             }
@@ -535,14 +768,56 @@ fn dispatch_request(shared: &Arc<Shared>, request: Request) -> Reply {
                 message: format!("admission queue full (depth {})", shared.cfg.queue_depth),
             });
             drop(q);
+            shared.sheds.fetch_add(1, Ordering::SeqCst);
             finish_request(shared, request_id, &reply);
             return reply;
         }
+        // Early brownout: a queue running at three quarters of its depth
+        // is headed for sheds; start degrading before the first one.
+        if shared.cfg.brownout_pressure.is_some()
+            && q.jobs.len() * 4 >= shared.cfg.queue_depth * 3
+            && !shared.brownout.swap(true, Ordering::SeqCst)
+        {
+            let wait_us = q
+                .jobs
+                .front()
+                .map_or(0, |j| j.enqueued.elapsed().as_micros() as u64);
+            shared.cfg.trace.emit(|| TraceEvent::Brownout {
+                on: true,
+                queue_wait_us: wait_us,
+            });
+        }
+        // Write-ahead: the intent must be durable before the job exists.
+        // (The fsync serializes admissions; at daemon request rates that is
+        // noise next to a solve.) A journal write failure is an honest
+        // retryable Internal error, not a silent loss of the durability
+        // contract.
+        let journal_seq = match &shared.journal {
+            Some(j) => match j.append_intent(&request) {
+                Ok(seq) => {
+                    maybe_crash(shared, CrashPoint::AfterJournalAppend);
+                    Some(seq)
+                }
+                Err(e) => {
+                    let reply = Reply::Error(ErrorReply {
+                        request_id,
+                        code: ErrorCode::Internal,
+                        retryable: true,
+                        message: format!("intent journal append failed: {e}"),
+                    });
+                    drop(q);
+                    finish_request(shared, request_id, &reply);
+                    return reply;
+                }
+            },
+            None => None,
+        };
         q.jobs.push_back(Job {
             request,
             enqueued: Instant::now(),
             deadline,
             responder: tx,
+            journal_seq,
         });
     }
     shared.queue_cv.notify_one();
@@ -638,6 +913,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let request_id = job.request.request_id;
+        update_pressure(shared, job.enqueued.elapsed());
         let reply =
             catch_unwind(AssertUnwindSafe(|| process_job(shared, &job))).unwrap_or_else(|_| {
                 Reply::Error(ErrorReply {
@@ -649,11 +925,58 @@ fn worker_loop(shared: &Arc<Shared>) {
                 })
             });
         finish_request(shared, request_id, &reply);
+        // The reply is recorded (registry + duplicate waiters); the intent
+        // is complete. A crash before this line replays the job.
+        maybe_crash(shared, CrashPoint::BeforeDone);
+        if let (Some(j), Some(seq)) = (&shared.journal, job.journal_seq) {
+            let _ = j.mark_done(seq);
+        }
         let _ = job.responder.send(reply);
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         q.in_flight -= 1;
         drop(q);
         shared.queue_cv.notify_all();
+    }
+}
+
+/// The brownout state machine, driven by how long each dequeued job waited
+/// in the admission queue.
+///
+/// * Wait above the pressure threshold → brownout ON (immediately).
+/// * Wait back under the threshold → start (or continue) a calm window;
+///   once every dequeue has been calm for `brownout_recover`, brownout
+///   lifts and solves return to exact.
+fn update_pressure(shared: &Shared, queue_wait: Duration) {
+    let Some(pressure) = shared.cfg.brownout_pressure else {
+        return;
+    };
+    let wait_us = queue_wait.as_micros() as u64;
+    if queue_wait > pressure {
+        let mut calm = shared.calm_since.lock().unwrap_or_else(|e| e.into_inner());
+        *calm = None;
+        drop(calm);
+        if !shared.brownout.swap(true, Ordering::SeqCst) {
+            shared.cfg.trace.emit(|| TraceEvent::Brownout {
+                on: true,
+                queue_wait_us: wait_us,
+            });
+        }
+    } else if shared.brownout.load(Ordering::SeqCst) {
+        let mut calm = shared.calm_since.lock().unwrap_or_else(|e| e.into_inner());
+        match *calm {
+            None => *calm = Some(Instant::now()),
+            Some(since) if since.elapsed() >= shared.cfg.brownout_recover => {
+                *calm = None;
+                drop(calm);
+                if shared.brownout.swap(false, Ordering::SeqCst) {
+                    shared.cfg.trace.emit(|| TraceEvent::Brownout {
+                        on: false,
+                        queue_wait_us: wait_us,
+                    });
+                }
+            }
+            Some(_) => {}
+        }
     }
 }
 
@@ -715,9 +1038,19 @@ fn process_job(shared: &Shared, job: &Job) -> Reply {
     cfg.limits.stop = shared.root_stop.child();
     cfg.limits.fault = shared.cfg.fault.clone();
     cfg.register_limit = request.register_limit;
-    cfg.fallback = FallbackConfig {
-        enabled: request.use_fallback,
-        ..FallbackConfig::default()
+    // Under brownout every new solve rides the degraded ladder (stage-ILP,
+    // then IMS) regardless of the request's own fallback preference: the
+    // alternative at this load is a shed, and a certified degraded
+    // schedule with honest provenance beats an `Overloaded` reply. Cache
+    // probes below still serve exact hits.
+    let brownout = shared.brownout.load(Ordering::SeqCst);
+    cfg.fallback = if brownout {
+        FallbackConfig::degraded_only()
+    } else {
+        FallbackConfig {
+            enabled: request.use_fallback,
+            ..FallbackConfig::default()
+        }
     };
     let sched = OptimalScheduler::new(cfg);
 
@@ -801,6 +1134,9 @@ fn process_job(shared: &Shared, job: &Job) -> Reply {
                 None
             };
             let optimal = exact && result.status == LoopStatus::Optimal;
+            if !exact && brownout {
+                shared.brownout_served.fetch_add(1, Ordering::SeqCst);
+            }
             if optimal {
                 if let (true, Some(cache)) = (request.use_cache, &shared.cache) {
                     store_with_faults(shared, cache, &key, &perm, schedule, objective);
@@ -877,6 +1213,14 @@ fn store_with_faults(
         objective,
         times: canonical,
     };
+    // Armed crash between the temp-file write and the rename: the record
+    // must never become visible, and the next open must sweep the orphan.
+    if let Some((CrashPoint::MidCacheWrite, n)) = shared.cfg.crash_at {
+        if shared.crash_hits.fetch_add(1, Ordering::SeqCst) + 1 == n {
+            let _ = cache.write_temp(key, &value);
+            std::process::abort();
+        }
+    }
     match shared.cfg.fault.fire(FaultSite::CacheWrite) {
         None => {
             let _ = cache.store(key, &value);

@@ -38,16 +38,21 @@ pub enum FrameKind {
     /// Ask the daemon to drain and exit; answered with a `Pong` once the
     /// shutdown is underway.
     Shutdown,
+    /// Ask for (client → daemon, empty payload) or carry (daemon → client,
+    /// a [`DaemonStatus`] payload) an operational snapshot.
+    Stats,
 }
 
 impl FrameKind {
-    fn tag(self) -> u8 {
+    /// The wire tag for this frame kind.
+    pub fn tag(self) -> u8 {
         match self {
             FrameKind::Request => 1,
             FrameKind::Reply => 2,
             FrameKind::Ping => 3,
             FrameKind::Pong => 4,
             FrameKind::Shutdown => 5,
+            FrameKind::Stats => 6,
         }
     }
 
@@ -58,6 +63,7 @@ impl FrameKind {
             3 => FrameKind::Ping,
             4 => FrameKind::Pong,
             5 => FrameKind::Shutdown,
+            6 => FrameKind::Stats,
             _ => return None,
         })
     }
@@ -678,6 +684,114 @@ impl Reply {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Daemon status.
+
+/// Operational snapshot carried by a [`FrameKind::Stats`] reply: brownout
+/// state, queue occupancy, shed/recovery counters, and cache stats when a
+/// cache is configured.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonStatus {
+    /// Whether overload degradation is currently engaged.
+    pub brownout: bool,
+    /// Jobs waiting in the admission queue.
+    pub queue_len: u64,
+    /// Jobs currently being solved.
+    pub in_flight: u64,
+    /// Requests shed with `Overloaded` since start.
+    pub sheds: u64,
+    /// Degraded schedules served under brownout since start.
+    pub brownout_served: u64,
+    /// Unfinished journal intents replayed at the last startup.
+    pub recovered_intents: u64,
+    /// Journal intents currently awaiting a done-mark.
+    pub journal_pending: u64,
+    /// Cache counters, when a cache is configured.
+    pub cache: Option<crate::cache::CacheStats>,
+}
+
+impl DaemonStatus {
+    /// Serializes the status payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.u8(self.brownout as u8);
+        e.u64(self.queue_len);
+        e.u64(self.in_flight);
+        e.u64(self.sheds);
+        e.u64(self.brownout_served);
+        e.u64(self.recovered_intents);
+        e.u64(self.journal_pending);
+        match &self.cache {
+            None => e.u8(0),
+            Some(c) => {
+                e.u8(1);
+                e.u64(c.hits);
+                e.u64(c.misses);
+                e.u64(c.stores);
+                e.u64(c.quarantined);
+                e.u64(c.evicted);
+                e.u64(c.swept_tmp);
+                e.u64(c.quarantine_rotated);
+                e.u64(c.bytes);
+                e.u64(c.entries);
+            }
+        }
+        e.0
+    }
+
+    /// Deserializes a status payload.
+    pub fn decode(payload: &[u8]) -> Result<DaemonStatus, WireError> {
+        let mut d = Dec(payload);
+        let brownout = match d.u8()? {
+            0 => false,
+            1 => true,
+            v => {
+                return Err(WireError::BadTag {
+                    what: "brownout flag",
+                    value: v as u64,
+                })
+            }
+        };
+        let queue_len = d.u64()?;
+        let in_flight = d.u64()?;
+        let sheds = d.u64()?;
+        let brownout_served = d.u64()?;
+        let recovered_intents = d.u64()?;
+        let journal_pending = d.u64()?;
+        let cache = match d.u8()? {
+            0 => None,
+            1 => Some(crate::cache::CacheStats {
+                hits: d.u64()?,
+                misses: d.u64()?,
+                stores: d.u64()?,
+                quarantined: d.u64()?,
+                evicted: d.u64()?,
+                swept_tmp: d.u64()?,
+                quarantine_rotated: d.u64()?,
+                bytes: d.u64()?,
+                entries: d.u64()?,
+            }),
+            v => {
+                return Err(WireError::BadTag {
+                    what: "cache option",
+                    value: v as u64,
+                })
+            }
+        };
+        d.finish()?;
+        Ok(DaemonStatus {
+            brownout,
+            queue_len,
+            in_flight,
+            sheds,
+            brownout_served,
+            recovered_intents,
+            journal_pending,
+            cache,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,6 +838,39 @@ mod tests {
             message: "queue full (depth 64)".to_string(),
         });
         assert_eq!(Reply::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn daemon_status_round_trips() {
+        let bare = DaemonStatus {
+            brownout: true,
+            queue_len: 3,
+            in_flight: 2,
+            sheds: 11,
+            brownout_served: 4,
+            recovered_intents: 1,
+            journal_pending: 5,
+            cache: None,
+        };
+        assert_eq!(DaemonStatus::decode(&bare.encode()).unwrap(), bare);
+        let with_cache = DaemonStatus {
+            cache: Some(crate::cache::CacheStats {
+                hits: 1,
+                misses: 2,
+                stores: 3,
+                quarantined: 4,
+                evicted: 5,
+                swept_tmp: 6,
+                quarantine_rotated: 7,
+                bytes: 8,
+                entries: 9,
+            }),
+            ..bare
+        };
+        assert_eq!(
+            DaemonStatus::decode(&with_cache.encode()).unwrap(),
+            with_cache
+        );
     }
 
     #[test]

@@ -235,7 +235,7 @@ fn overload_sheds_with_typed_replies_never_silent_drops() {
                 assert_certified(FIGURE1, &reply);
                 scheduled += 1;
             }
-            Err(ClientError::Daemon(e)) => {
+            Err(ClientError::Daemon { reply: e, .. }) => {
                 assert_eq!(e.code, ErrorCode::Overloaded, "unexpected error: {e:?}");
                 assert!(e.retryable, "Overloaded must be retryable");
                 overloaded += 1;
@@ -286,7 +286,7 @@ fn expired_deadline_is_a_typed_timeout() {
         ..client_cfg(&handle)
     };
     match client::solve(&cfg, request(1)) {
-        Err(ClientError::Daemon(e)) => {
+        Err(ClientError::Daemon { reply: e, .. }) => {
             assert_eq!(e.code, ErrorCode::Timeout);
             assert!(!e.retryable, "a spent deadline does not retry");
         }
@@ -302,7 +302,7 @@ fn parse_errors_are_nonretryable() {
     let mut req = Request::new("machine example-3fu\nop a load\nflow a b 0\n");
     req.deadline_ms = 5_000;
     match client::solve(&cfg, req) {
-        Err(ClientError::Daemon(e)) => {
+        Err(ClientError::Daemon { reply: e, .. }) => {
             assert_eq!(e.code, ErrorCode::Parse);
             assert!(!e.retryable);
             assert!(e.message.contains("b"), "diagnostic names the bad op");
@@ -325,13 +325,13 @@ fn shutdown_rejects_new_requests_with_typed_reply() {
         ..ClientConfig::new(&socket)
     };
     match client::solve(&cfg, request(5_000)) {
-        Err(ClientError::Daemon(e)) => {
+        Err(ClientError::Daemon { reply: e, .. }) => {
             assert_eq!(e.code, ErrorCode::ShuttingDown);
             assert!(e.retryable, "clients may retry against a replacement");
         }
         // The accept loop may already have wound down; a refused connect
         // is an equally honest outcome.
-        Err(ClientError::Transport(_)) => {}
+        Err(ClientError::Transport { .. }) => {}
         Ok(r) => panic!("accepted work after shutdown: {r:?}"),
     }
     handle.shutdown().expect("clean shutdown");
@@ -376,4 +376,120 @@ fn real_binary_serves_and_drains_cleanly() {
     assert!(status.success(), "optimodd exited {status:?}");
     assert!(!socket.exists(), "socket removed on clean exit");
     let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn journal_recovery_replays_unfinished_intents_for_retries() {
+    let journal_path = fresh_path("jrnl", "omj");
+    let cache_dir = fresh_path("jcache", "d");
+    const REQUEST_ID: u64 = 0xdead_0001;
+
+    // Simulate a crash mid-solve: the intent was journaled at admission
+    // but the daemon died before its done-mark.
+    {
+        let (journal, recovered) =
+            optimod_daemon::Journal::open(&journal_path).expect("fresh journal");
+        assert!(recovered.is_empty(), "fresh journal has nothing pending");
+        let mut req = request(10_000);
+        req.request_id = REQUEST_ID;
+        journal.append_intent(&req).expect("journal intent");
+        // Dropping without mark_done *is* the crash.
+    }
+
+    let handle = start_daemon(|cfg| {
+        cfg.journal_path = Some(journal_path.clone());
+        cfg.cache_dir = Some(cache_dir.clone());
+    });
+    assert_eq!(
+        handle.status().recovered_intents,
+        1,
+        "startup must replay the unfinished intent"
+    );
+
+    // The crashed client's retry (same id) gets a certified reply — either
+    // piggybacking on the in-flight replay or replaying its stored result.
+    let mut req = request(10_000);
+    req.request_id = REQUEST_ID;
+    let reply = client::solve(&client_cfg(&handle), req).expect("retry after crash");
+    assert!(reply.optimal, "figure1 solves to optimality");
+    assert_certified(FIGURE1, &reply);
+
+    handle.shutdown().expect("clean shutdown");
+    let fsck = optimod_daemon::Journal::fsck(&journal_path).expect("journal fsck");
+    assert_eq!(fsck.pending, 0, "the replayed intent must be marked done");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn zero_deadline_uses_daemon_default() {
+    // `deadline_ms = 0` means "use the daemon default". With a 1 ms
+    // default and a 25 ms stall injected ahead of the deadline check, the
+    // only way to see this Timeout is for the default to have applied.
+    let handle = start_daemon(|cfg| {
+        cfg.default_deadline = Duration::from_millis(1);
+        cfg.fault = FaultPlan::single(FaultSite::JobWorker, FaultAction::Stall, 1);
+    });
+    let cfg = ClientConfig {
+        retries: 0,
+        ..client_cfg(&handle)
+    };
+    match client::solve(&cfg, request(0)) {
+        Err(ClientError::Daemon { reply: e, .. }) => {
+            assert_eq!(e.code, ErrorCode::Timeout);
+            assert!(
+                e.message.contains("1ms"),
+                "diagnostic names the default deadline: {}",
+                e.message
+            );
+        }
+        other => panic!("expected Timeout via the default deadline, got {other:?}"),
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn expired_on_arrival_is_journaled_done_without_solving() {
+    // An already-expired deadline yields a typed Timeout *and* retires its
+    // journal intent: the typed reply is the done-mark, so a restart
+    // replays nothing.
+    let journal_path = fresh_path("xjrnl", "omj");
+    let handle = start_daemon(|cfg| {
+        cfg.journal_path = Some(journal_path.clone());
+        cfg.fault = FaultPlan::single(FaultSite::JobWorker, FaultAction::Stall, 1);
+    });
+    let cfg = ClientConfig {
+        retries: 0,
+        ..client_cfg(&handle)
+    };
+    match client::solve(&cfg, request(1)) {
+        Err(ClientError::Daemon { reply: e, .. }) => {
+            assert_eq!(e.code, ErrorCode::Timeout);
+            assert!(!e.retryable, "a spent deadline does not retry");
+            assert!(
+                e.message.contains("admission queue"),
+                "expiry happened before any solve: {}",
+                e.message
+            );
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    handle.shutdown().expect("clean shutdown");
+    let fsck = optimod_daemon::Journal::fsck(&journal_path).expect("journal fsck");
+    assert_eq!(fsck.intents, 1, "admission journaled the intent");
+    assert_eq!(fsck.pending, 0, "the typed Timeout is its done-mark");
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn ping_and_stats_report_a_healthy_daemon() {
+    let handle = start_daemon(|_| {});
+    let brownout = client::ping(handle.socket_path()).expect("ping");
+    assert!(!brownout, "healthy daemon reports no brownout");
+    let status = client::stats(handle.socket_path()).expect("stats");
+    assert!(!status.brownout);
+    assert_eq!(status.sheds, 0);
+    assert_eq!(status.recovered_intents, 0);
+    assert!(status.cache.is_none(), "no cache configured");
+    handle.shutdown().expect("clean shutdown");
 }

@@ -10,9 +10,10 @@
 use proptest::prelude::*;
 
 use optimod::DepStyle;
+use optimod_daemon::cache::CacheStats;
 use optimod_daemon::wire::{
-    encode_frame, objective_from_tag, read_frame, ErrorCode, FrameKind, Reply, Request, Scheduled,
-    WireError,
+    encode_frame, objective_from_tag, read_frame, DaemonStatus, ErrorCode, FrameKind, Reply,
+    Request, Scheduled, WireError,
 };
 
 fn arb_request() -> impl Strategy<Value = Request> {
@@ -119,6 +120,40 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
     prop_oneof![scheduled, error]
 }
 
+fn arb_status() -> impl Strategy<Value = DaemonStatus> {
+    let cache = prop_oneof![
+        Just(None),
+        proptest::collection::vec(0u64..=u64::MAX, 9).prop_map(|v| {
+            Some(CacheStats {
+                hits: v[0],
+                misses: v[1],
+                stores: v[2],
+                quarantined: v[3],
+                evicted: v[4],
+                swept_tmp: v[5],
+                quarantine_rotated: v[6],
+                bytes: v[7],
+                entries: v[8],
+            })
+        }),
+    ];
+    (
+        proptest::bool::ANY,
+        proptest::collection::vec(0u64..=u64::MAX, 6),
+        cache,
+    )
+        .prop_map(|(brownout, v, cache)| DaemonStatus {
+            brownout,
+            queue_len: v[0],
+            in_flight: v[1],
+            sheds: v[2],
+            brownout_served: v[3],
+            recovered_intents: v[4],
+            journal_pending: v[5],
+            cache,
+        })
+}
+
 /// Splitmix-style mixer for deterministic per-case byte choices.
 fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -217,6 +252,42 @@ proptest! {
     fn garbage_payload_decode_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
         let _ = Request::decode(&bytes);
         let _ = Reply::decode(&bytes);
+        let _ = DaemonStatus::decode(&bytes);
+    }
+
+    #[test]
+    fn status_round_trips(status in arb_status()) {
+        let bytes = status.encode();
+        let back = DaemonStatus::decode(&bytes).expect("valid encoding decodes");
+        prop_assert_eq!(back, status);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn status_truncation_is_typed_never_panics(status in arb_status(), frac in 0u32..1000) {
+        let bytes = status.encode();
+        let cut = (frac as usize * bytes.len().saturating_sub(1)) / 1000;
+        match DaemonStatus::decode(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(v) => prop_assert!(false, "truncated status accepted: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn status_bit_flips_never_yield_a_wrong_value(
+        status in arb_status(),
+        pos_seed in 0u64..=u64::MAX,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = status.encode();
+        let pos = (mix(pos_seed) % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        // The payload has no checksum of its own (the frame layer carries
+        // one); a flip may decode. What it must never do is panic, and a
+        // flip in a *tag* byte (the brownout / cache flags) must be a
+        // typed rejection, which decode() checks for. Either way: typed
+        // error or a structurally valid status, never a crash.
+        let _ = DaemonStatus::decode(&bytes);
     }
 }
 

@@ -241,6 +241,31 @@ pub enum TraceEvent {
         /// The `II` the winning answer decided.
         ii: u32,
     },
+    /// The daemon replayed unfinished write-ahead-journal intents into its
+    /// queue on startup (crash recovery).
+    JournalRecovered {
+        /// Unfinished intents re-enqueued.
+        intents: u64,
+        /// Done-marked intents skipped during replay.
+        completed: u64,
+    },
+    /// The bounded schedule cache evicted least-recently-used records to
+    /// get back under its byte/entry caps.
+    CacheEvicted {
+        /// Records deleted.
+        entries: u64,
+        /// Bytes reclaimed.
+        bytes: u64,
+    },
+    /// The daemon flipped its brownout state: `on` means new requests are
+    /// routed through the degraded fallback ladder instead of being shed.
+    Brownout {
+        /// `true` on entry into brownout, `false` on recovery to exact.
+        on: bool,
+        /// The queue wait (microseconds) that triggered the flip (the
+        /// last observed wait, for recovery).
+        queue_wait_us: u64,
+    },
 }
 
 /// An event together with its offset from the trace epoch.
@@ -272,6 +297,9 @@ impl TraceEvent {
             TraceEvent::Certified { .. } => "certified",
             TraceEvent::BackendResult { .. } => "backend_result",
             TraceEvent::PortfolioWin { .. } => "portfolio_win",
+            TraceEvent::JournalRecovered { .. } => "journal_recovered",
+            TraceEvent::CacheEvicted { .. } => "cache_evicted",
+            TraceEvent::Brownout { .. } => "brownout",
         }
     }
 
@@ -374,6 +402,15 @@ impl TraceEvent {
             TraceEvent::PortfolioWin { backend, ii } => {
                 let _ = write!(s, ",\"backend\":\"{backend}\",\"ii\":{ii}");
             }
+            TraceEvent::JournalRecovered { intents, completed } => {
+                let _ = write!(s, ",\"intents\":{intents},\"completed\":{completed}");
+            }
+            TraceEvent::CacheEvicted { entries, bytes } => {
+                let _ = write!(s, ",\"entries\":{entries},\"bytes\":{bytes}");
+            }
+            TraceEvent::Brownout { on, queue_wait_us } => {
+                let _ = write!(s, ",\"on\":{on},\"queue_wait_us\":{queue_wait_us}");
+            }
         }
         s.push('}');
         s
@@ -470,6 +507,21 @@ mod tests {
             TraceEvent::PortfolioWin {
                 backend: "sat",
                 ii: 2,
+            }
+            .kind(),
+            TraceEvent::JournalRecovered {
+                intents: 1,
+                completed: 0,
+            }
+            .kind(),
+            TraceEvent::CacheEvicted {
+                entries: 1,
+                bytes: 64,
+            }
+            .kind(),
+            TraceEvent::Brownout {
+                on: true,
+                queue_wait_us: 1000,
             }
             .kind(),
         ];

@@ -284,7 +284,10 @@ impl SolveReport {
                 }
                 TraceEvent::SolveBegin { .. }
                 | TraceEvent::SolveEnd { .. }
-                | TraceEvent::BackendResult { .. } => {}
+                | TraceEvent::BackendResult { .. }
+                | TraceEvent::JournalRecovered { .. }
+                | TraceEvent::CacheEvicted { .. }
+                | TraceEvent::Brownout { .. } => {}
             }
         }
         report.phases = totals.into_iter().filter(|(_, s)| s.count > 0).collect();

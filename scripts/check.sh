@@ -105,6 +105,24 @@ echo "==> fixed-seed chaos sweep of the daemon stack (fault injection)"
 # cache responses. Failures name their seed for replay.
 cargo run --release -q -p optimod-bench --bin chaos_daemon
 
+echo "==> crash-recovery sweep (SIGKILL + seeded self-aborts, 64 cycles)"
+# Kill the real optimodd 64 times — raw SIGKILL at seeded delays plus
+# --crash-at self-aborts after the journal append, before the done-mark,
+# and mid-cache-write — then fsck the journal and cache, restart on the
+# same state, and retry every admitted request id. Zero lost admitted
+# requests, zero uncertified replies, fsck-clean journal/cache, and a
+# drained journal (0 pending) at the end of every cycle (DESIGN.md S16).
+cargo build --release -q -p optimod-daemon
+cargo run --release -q -p optimod-bench --bin chaos_recovery
+
+echo "==> cache-bound + brownout gate (10x overflow, degrade-not-shed)"
+# Phase 1: 40 distinct kernels through a 4-entry / 2 KiB cache; byte and
+# entry caps must hold after every store (LRU eviction) and across a
+# reopen. Phase 2: the same 32-client burst against a one-worker daemon
+# must shed strictly less with brownout on, serve honestly-tagged
+# degraded schedules, and return to exact solves once load drops.
+cargo run --release -q -p optimod-bench --bin cache_bound
+
 echo "==> daemon cache-hit latency gate"
 # Cold-solve vs cache-hit round-trip latency (p50/p99) per golden kernel
 # through a real daemon; writes BENCH_daemon.json and fails unless the
