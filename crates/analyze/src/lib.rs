@@ -15,8 +15,12 @@
 //!   longest-path ASAP/ALAP windows, 0-1 variable fixing from cyclic time
 //!   windows, activity-bound redundant-row elimination, and conflict-clique
 //!   detection over the MRT binaries.
+//! * **Level 3 — infeasibility explanation** ([`explain_infeasible`]):
+//!   assumption-based unsat cores over source constraint groups (dependence
+//!   edges, MRT resource rows, presolve windows), deletion-minimized and
+//!   independently certified, rendered as `OM200`–`OM203` diagnostics.
 //!
-//! Every finding carries a stable lint code (`OM000`–`OM104`), a severity,
+//! Every finding carries a stable lint code (`OM000`–`OM203`), a severity,
 //! and a machine-readable JSON encoding ([`Finding::to_json`]). Presolve is
 //! *certified* in the surrounding system: it only applies reductions implied
 //! by constraints already in the model, so the scheduler's exact-arithmetic
@@ -47,10 +51,14 @@
 #![deny(missing_docs)]
 
 mod ddg;
+mod explain;
 mod lint;
 mod presolve;
 
 pub use ddg::{lint_loop, redundant_edges, scc_rec_mii, sccs, DdgLintConfig};
+pub use explain::{
+    cross_link_conflicts, explain_infeasible, ExplainOptions, ExplainOutcome, Explanation,
+};
 pub use lint::{max_severity, Finding, LintCode, Severity};
 pub use presolve::{
     detect_cliques, presolve, IlpContext, PresolveOptions, PresolveSummary, PresolveTotals,

@@ -67,6 +67,19 @@ pub enum LintCode {
     /// `OM104` — a conflict clique among MRT binaries: at most (or exactly)
     /// one of the named binaries can be 1.
     ConflictClique,
+    /// `OM200` — a minimal set of dependence edges participating in an
+    /// infeasibility at the stated `II`, with the cycle latency/distance
+    /// arithmetic shown.
+    ConflictingEdges,
+    /// `OM201` — an MRT resource row over-subscribed at the stated `II`:
+    /// more competing operations than the resource has copies.
+    ResourceOverSubscription,
+    /// `OM202` — a presolve-restricted issue window participating in an
+    /// infeasibility at the stated `II`.
+    WindowConflict,
+    /// `OM203` — an unsat core was found but could not be minimized (or
+    /// independently certified) within the explanation budget.
+    CoreNotMinimized,
 }
 
 impl LintCode {
@@ -84,17 +97,26 @@ impl LintCode {
             LintCode::BinaryFixed => "OM102",
             LintCode::RedundantRow => "OM103",
             LintCode::ConflictClique => "OM104",
+            LintCode::ConflictingEdges => "OM200",
+            LintCode::ResourceOverSubscription => "OM201",
+            LintCode::WindowConflict => "OM202",
+            LintCode::CoreNotMinimized => "OM203",
         }
     }
 
     /// The severity findings with this code carry.
     pub fn severity(self) -> Severity {
         match self {
-            LintCode::InvalidLoop | LintCode::MiiOverflow => Severity::Error,
+            LintCode::InvalidLoop
+            | LintCode::MiiOverflow
+            | LintCode::ConflictingEdges
+            | LintCode::ResourceOverSubscription
+            | LintCode::WindowConflict => Severity::Error,
             LintCode::RedundantEdge
             | LintCode::DeadValue
             | LintCode::UnreachableOp
-            | LintCode::HotResource => Severity::Warning,
+            | LintCode::HotResource
+            | LintCode::CoreNotMinimized => Severity::Warning,
             LintCode::SccRecMii
             | LintCode::StageBoundTightened
             | LintCode::BinaryFixed
@@ -118,6 +140,10 @@ impl LintCode {
             LintCode::BinaryFixed => "MRT binary fixed by presolve",
             LintCode::RedundantRow => "row eliminated as redundant by presolve",
             LintCode::ConflictClique => "conflict clique among MRT binaries",
+            LintCode::ConflictingEdges => "minimal conflicting dependence-edge set",
+            LintCode::ResourceOverSubscription => "MRT resource row over-subscribed",
+            LintCode::WindowConflict => "presolve window participates in infeasibility",
+            LintCode::CoreNotMinimized => "unsat core not minimized within budget",
         }
     }
 }
@@ -221,6 +247,10 @@ mod tests {
             LintCode::BinaryFixed,
             LintCode::RedundantRow,
             LintCode::ConflictClique,
+            LintCode::ConflictingEdges,
+            LintCode::ResourceOverSubscription,
+            LintCode::WindowConflict,
+            LintCode::CoreNotMinimized,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();
@@ -228,6 +258,8 @@ mod tests {
         assert_eq!(codes.len(), all.len());
         assert_eq!(LintCode::RedundantEdge.code(), "OM001");
         assert_eq!(LintCode::ConflictClique.code(), "OM104");
+        assert_eq!(LintCode::ConflictingEdges.code(), "OM200");
+        assert_eq!(LintCode::CoreNotMinimized.code(), "OM203");
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Certification properties of the infeasibility explanation engine on
+//! random loops: whenever `explain_infeasible` marks a core *certified*,
+//! that claim must survive independent re-checking — the named subset
+//! alone is infeasible at the stated II, and dropping any single member
+//! makes it satisfiable (minimality). A third property pins determinism:
+//! the certified core is identical whether the drop-tests are fanned out
+//! over one thread or two, because the engine's budget accounting counts
+//! sub-solves, not wall-clock.
+
+use optimod_analyze::{explain_infeasible, ExplainOptions, ExplainOutcome, Explanation};
+use optimod_ddg::{generate_loop, GeneratorConfig, Loop};
+use optimod_machine::{example_3fu, Machine};
+use optimod_sat::{encode_grouped, encode_subset, solve, SatLimits, SatOutcome, SlotDomains};
+use proptest::prelude::*;
+
+/// Small loops so each SAT sub-solve finishes in milliseconds.
+fn small_cfg() -> GeneratorConfig {
+    GeneratorConfig {
+        max_ops: 8,
+        size_log_median: 5.0_f64.ln(),
+        size_log_sigma: 0.4,
+        ..Default::default()
+    }
+}
+
+/// An unrestricted slot grid wide enough that the horizon never causes
+/// the infeasibility by itself: enough stages for every edge latency to
+/// unfold serially, plus slack.
+fn free_domains(l: &Loop, ii: u32) -> SlotDomains {
+    let total: i64 = l.edges().iter().map(|e| e.latency.max(0)).sum();
+    let num_stages = total.div_euclid(ii as i64) + 4;
+    SlotDomains::unrestricted(l.num_ops(), ii, num_stages)
+}
+
+fn explain_opts(threads: usize) -> ExplainOptions {
+    ExplainOptions {
+        threads,
+        ..ExplainOptions::default()
+    }
+}
+
+/// Explains the loop at II=1 (and II=2 as a fallback), returning the
+/// first certified explanation. Satisfiable and uncertified outcomes
+/// carry no claim to check, so the caller discards those cases.
+fn certified_explanation(
+    l: &Loop,
+    machine: &Machine,
+    threads: usize,
+) -> Option<(u32, Explanation)> {
+    for ii in [1u32, 2] {
+        let domains = free_domains(l, ii);
+        if let ExplainOutcome::Explained(ex) =
+            explain_infeasible(l, machine, ii, &domains, &explain_opts(threads))
+        {
+            if ex.certified {
+                return Some((ii, ex));
+            }
+            return None;
+        }
+    }
+    None
+}
+
+/// Re-encodes exactly the core's groups (selector-free) and solves.
+fn subset_outcome(
+    l: &Loop,
+    machine: &Machine,
+    ii: u32,
+    ex: &Explanation,
+    drop: Option<usize>,
+) -> SatOutcome {
+    let domains = free_domains(l, ii);
+    // The grouped group list is deterministic, so positions recovered from
+    // a fresh `encode_grouped` match the ones the engine certified.
+    let g = encode_grouped(l, machine, ii, &domains);
+    let mut active = vec![false; g.groups.len()];
+    for (k, member) in ex.core.iter().enumerate() {
+        if drop == Some(k) {
+            continue;
+        }
+        let idx = g
+            .groups
+            .iter()
+            .position(|cg| cg == member)
+            .expect("core member present in a fresh grouped encoding");
+        active[idx] = true;
+    }
+    let sub = encode_subset(l, machine, ii, &domains, &active);
+    solve(&sub.enc.cnf, &SatLimits::default()).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A certified core's subset is infeasible on its own at the stated
+    /// II: no constraint outside the named groups is needed for the
+    /// contradiction.
+    #[test]
+    fn certified_core_is_infeasible_at_stated_ii(seed in 0u64..4_000) {
+        let machine = example_3fu();
+        let l = generate_loop(&small_cfg(), &machine, seed);
+        if let Some((ii, ex)) = certified_explanation(&l, &machine, 1) {
+            prop_assert!(
+                matches!(subset_outcome(&l, &machine, ii, &ex, None), SatOutcome::Unsat),
+                "{}: certified core must be unsat alone at II={ii}", l.name()
+            );
+        }
+    }
+
+    /// Minimality: removing any single member of a certified core makes
+    /// the remaining subset satisfiable — every named group is necessary.
+    #[test]
+    fn dropping_any_core_member_restores_satisfiability(seed in 0u64..4_000) {
+        let machine = example_3fu();
+        let l = generate_loop(&small_cfg(), &machine, seed);
+        if let Some((ii, ex)) = certified_explanation(&l, &machine, 1) {
+            for k in 0..ex.core.len() {
+                prop_assert!(
+                    matches!(subset_outcome(&l, &machine, ii, &ex, Some(k)), SatOutcome::Sat(_)),
+                    "{}: dropping core member {k} ({:?}) must be sat at II={ii}",
+                    l.name(), ex.core[k]
+                );
+            }
+        }
+    }
+
+    /// Determinism under threading: the drop-test fan-out is
+    /// order-deterministic and the budget counts sub-solves, so one
+    /// worker and two produce the identical certified core.
+    #[test]
+    fn certified_core_is_identical_serial_and_threaded(seed in 0u64..4_000) {
+        let machine = example_3fu();
+        let l = generate_loop(&small_cfg(), &machine, seed);
+        let serial = certified_explanation(&l, &machine, 1);
+        let threaded = certified_explanation(&l, &machine, 2);
+        match (serial, threaded) {
+            (Some((ii1, ex1)), Some((ii2, ex2))) => {
+                prop_assert_eq!(ii1, ii2);
+                prop_assert_eq!(&ex1.core, &ex2.core, "{}: core diverged", l.name());
+                prop_assert_eq!(ex1.raw_core_size, ex2.raw_core_size);
+                prop_assert_eq!(ex1.minimized, ex2.minimized);
+            }
+            (None, None) => {}
+            (a, b) => prop_assert!(
+                false,
+                "{}: serial/threaded disagreed on explainability: {:?} vs {:?}",
+                l.name(), a.map(|x| x.0), b.map(|x| x.0)
+            ),
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! optimod <loop-file> [options]
 //! optimod lint <loop-file> [--json] [--style ...] [--objective ...]
+//! optimod explain <loop-file> [--ii K] [--json] [options]
 //! optimod client <loop-file> --socket PATH [options]
 //! optimod client --socket PATH --ping | --stats | --shutdown
 //!
@@ -15,11 +16,24 @@
 //! pressure) plus the ILP presolve findings on the model built at the
 //! MII, without solving. `--json` prints machine-readable findings.
 //!
+//! The `explain` subcommand answers *why* a `(loop, machine, II)` triple
+//! has no modulo schedule: it extracts an assumption-based unsat core over
+//! the source constraint groups (dependence edges, MRT resource rows,
+//! presolve windows), minimizes and independently certifies it, and prints
+//! `OM200`-series diagnostics plus a replayable minimized repro
+//! (`optimod-infeasible.loop`). With `--ii K` the stated II is explained
+//! directly; without it the loop is scheduled first and the last refuted
+//! II (`II* - 1`) is explained. Error-severity findings exit 7, like
+//! `lint`. On the ordinary solve path, `--explain` attaches the same
+//! diagnostics when the whole II span proves infeasible.
+//!
 //! options:
 //!   --objective <noobj|minreg|minbuff|minlife|minlen>   (default minreg)
 //!   --style <structured|traditional>                    (default structured)
 //!   --budget-ms <n>       per-loop solver budget        (default 10000)
 //!   --registers <n>       hard register-file cap
+//!   --max-ii-span <n>     how far past the MII to escalate II before
+//!                         declaring the loop infeasible (default 64)
 //!   --threads <n>         branch-and-bound worker threads
 //!                         (default: OPTIMOD_THREADS, else all cores;
 //!                         1 = deterministic serial search)
@@ -46,7 +60,13 @@
 //!                         chaos-sweep cell)
 //!   --analyze             print the analyzer's findings before scheduling
 //!   --no-presolve         disable the analyzer's certified presolve
-//!   --json                with `lint`: JSON findings instead of text
+//!   --explain             on an infeasible result, print certified unsat-
+//!                         core diagnostics and write the minimized repro
+//!                         to optimod-infeasible.loop
+//!   --ii <k>              with `explain`: the II to explain (default:
+//!                         schedule first, then explain II* - 1)
+//!   --json                with `lint`/`explain`: JSON findings instead of
+//!                         text
 //!
 //! client options:
 //!   --socket <path>       daemon Unix socket (required)
@@ -72,11 +92,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use optimod::{
-    build_model, certify, codegen, compute_mii, Claim, DepStyle, FallbackConfig, FormulationConfig,
-    LoopStatus, Objective, OptimalScheduler, PresolveOptions, Provenance, SchedulerConfig,
-    MAX_SCHEDULABLE_II,
+    build_model, certify, codegen, compute_mii, Claim, DepStyle, ExplainOutcome, FallbackConfig,
+    FormulationConfig, LoopStatus, Objective, OptimalScheduler, PresolveOptions, Provenance,
+    SchedulerConfig, MAX_SCHEDULABLE_II,
 };
-use optimod_analyze::{lint_loop, max_severity, DdgLintConfig, Finding, Severity};
+use optimod_analyze::{lint_loop, max_severity, DdgLintConfig, Finding, LintCode, Severity};
 use optimod_daemon::client as daemon_client;
 use optimod_daemon::{
     ClientConfig as DaemonClientConfig, ClientError, ErrorCode, Request as DaemonRequest,
@@ -131,6 +151,7 @@ struct Options {
     style: DepStyle,
     budget: Duration,
     registers: Option<u32>,
+    max_ii_span: Option<u32>,
     threads: u32,
     speculate: bool,
     portfolio: bool,
@@ -143,6 +164,9 @@ struct Options {
     certify: bool,
     chaos: Option<u64>,
     lint: bool,
+    explain_cmd: bool,
+    explain: bool,
+    ii: Option<u32>,
     json: bool,
     analyze: bool,
     presolve: bool,
@@ -164,6 +188,7 @@ fn parse_args() -> Result<Options, String> {
         style: DepStyle::Structured,
         budget: Duration::from_secs(10),
         registers: None,
+        max_ii_span: None,
         threads: 0,
         speculate: false,
         portfolio: false,
@@ -176,6 +201,9 @@ fn parse_args() -> Result<Options, String> {
         certify: false,
         chaos: None,
         lint: false,
+        explain_cmd: false,
+        explain: false,
+        ii: None,
         json: false,
         analyze: false,
         presolve: true,
@@ -193,6 +221,7 @@ fn parse_args() -> Result<Options, String> {
         let was_first = std::mem::take(&mut first);
         match a.as_str() {
             "lint" if was_first => opts.lint = true,
+            "explain" if was_first => opts.explain_cmd = true,
             "client" if was_first => opts.client = true,
             "--socket" => opts.socket = Some(args.next().ok_or("--socket needs a path")?),
             "--deadline-ms" => {
@@ -235,6 +264,10 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--registers needs a value")?;
                 opts.registers = Some(v.parse().map_err(|_| "--registers must be an integer")?);
             }
+            "--max-ii-span" => {
+                let v = args.next().ok_or("--max-ii-span needs a value")?;
+                opts.max_ii_span = Some(v.parse().map_err(|_| "--max-ii-span must be an integer")?);
+            }
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
                 opts.threads = v.parse().map_err(|_| "--threads must be an integer")?;
@@ -254,6 +287,11 @@ fn parse_args() -> Result<Options, String> {
             }
             "--analyze" => opts.analyze = true,
             "--no-presolve" => opts.presolve = false,
+            "--explain" => opts.explain = true,
+            "--ii" => {
+                let v = args.next().ok_or("--ii needs a value")?;
+                opts.ii = Some(v.parse().map_err(|_| "--ii must be a positive integer")?);
+            }
             "--json" => opts.json = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if opts.file.is_empty() && !other.starts_with('-') => {
@@ -269,10 +307,12 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: optimod <loop-file> [--objective noobj|minreg|minbuff|minlife|minlen] \
-[--style structured|traditional] [--budget-ms N] [--registers N] [--threads N] \
+[--style structured|traditional] [--budget-ms N] [--registers N] [--max-ii-span N] [--threads N] \
 [--speculate] [--portfolio] [--fallback] [--expand] [--lp] [--trace PATH] [--report] [--report-json] \
-[--certify] [--chaos SEED] [--analyze] [--no-presolve]\n\
+[--certify] [--chaos SEED] [--analyze] [--no-presolve] [--explain]\n\
        optimod lint <loop-file> [--json] [--style S] [--objective O]\n\
+       optimod explain <loop-file> [--ii K] [--json] [--style S] [--budget-ms N] [--registers N] \
+[--threads N] [--no-presolve]\n\
        optimod client <loop-file> --socket PATH [--objective O] [--style S] [--deadline-ms N] \
 [--registers N] [--threads N] [--fallback] [--no-cache] [--retries N] [--certify]\n\
        optimod client --socket PATH --ping | --stats | --shutdown\n\
@@ -526,6 +566,125 @@ fn run_client(opts: &Options) -> Result<(), Failure> {
     Ok(())
 }
 
+/// A `SchedulerConfig` for the feasibility-only questions the explain
+/// paths ask (the engine has no secondary objective to discuss).
+fn explain_scheduler_config(opts: &Options) -> SchedulerConfig {
+    let mut cfg =
+        SchedulerConfig::new(opts.style, Objective::FirstFeasible).with_time_limit(opts.budget);
+    cfg.register_limit = opts.registers;
+    cfg.presolve = opts.presolve;
+    cfg.limits.threads = opts.threads;
+    if let Some(span) = opts.max_ii_span {
+        cfg.max_ii_span = span;
+    }
+    cfg
+}
+
+/// Prints an explanation's diagnostics, cross-links the analyzer's OM104
+/// conflict cliques against the core, and writes the replayable repro.
+/// Returns the findings that were printed.
+fn report_explanation(
+    l: &Loop,
+    machine: &Machine,
+    opts: &Options,
+    ex: &optimod::Explanation,
+) -> Result<Vec<Finding>, Failure> {
+    let mut findings: Vec<Finding> = ex.findings.clone();
+    // Cross-link rather than duplicate: an OM104 clique that *is* an
+    // over-subscribed core row becomes a pointer to its OM201 finding.
+    let fcfg = FormulationConfig {
+        dep_style: opts.style,
+        objective: Objective::FirstFeasible,
+        sched_len_slack: 20,
+        max_live_limit: opts.registers,
+    };
+    if let Some(built) = build_model(l, machine, ex.ii, &fcfg) {
+        let mut model = built.model.clone();
+        let popts = PresolveOptions {
+            collect_findings: true,
+            ..PresolveOptions::default()
+        };
+        let summary = optimod_analyze::presolve(&mut model, l, &built.analyzer_context(), &popts);
+        let mut cliques: Vec<Finding> = summary
+            .findings
+            .into_iter()
+            .filter(|f| f.code == LintCode::ConflictClique)
+            .collect();
+        optimod_analyze::cross_link_conflicts(&mut cliques, &model, ex);
+        findings.extend(cliques);
+    }
+    print_findings(&findings, opts.json);
+    if !opts.json {
+        println!(
+            "core: {} raw group(s) -> {} minimized, certified={}",
+            ex.raw_core_size,
+            ex.core.len(),
+            ex.certified
+        );
+    }
+    if let Some(repro) = &ex.repro {
+        let path = "optimod-infeasible.loop";
+        std::fs::write(path, repro)
+            .map_err(|e| Failure::Io(format!("cannot write {path}: {e}")))?;
+        if !opts.json {
+            println!("replayable repro written to {path}");
+        }
+    }
+    Ok(findings)
+}
+
+/// The `explain` subcommand: certified source-level diagnostics for an
+/// infeasible `(loop, machine, II)` triple. With `--ii K` the triple is
+/// explained directly; otherwise the loop is scheduled first and the last
+/// refuted II (`II* - 1`) is explained — the tightest "why not one better"
+/// question. Error-severity findings exit 7, like `lint`.
+fn run_explain(opts: &Options, l: &Loop, machine: &Machine) -> Result<(), Failure> {
+    let cfg = explain_scheduler_config(opts);
+    let ii = match opts.ii {
+        Some(0) => return Err(Failure::Usage("--ii must be at least 1".into())),
+        Some(k) => k,
+        None => {
+            let res = OptimalScheduler::new(cfg.clone()).schedule(l, machine);
+            let Some(star) = res.ii else {
+                return Err(Failure::Scheduling(format!(
+                    "cannot pick an II to explain: scheduling ended with status {:?} \
+                     (pass --ii K to explain a specific II)",
+                    res.status
+                )));
+            };
+            if star == 1 {
+                println!("II* = 1: the loop schedules at the floor; nothing to explain");
+                return Ok(());
+            }
+            println!(
+                "II* = {star}; explaining the last refuted II = {}",
+                star - 1
+            );
+            star - 1
+        }
+    };
+    let ex = match optimod::explain_at(l, machine, ii, &cfg, &optimod::explain_options(&cfg)) {
+        ExplainOutcome::Satisfiable => {
+            println!("II = {ii} is feasible: nothing to explain");
+            return Ok(());
+        }
+        ExplainOutcome::Budget => {
+            return Err(Failure::Scheduling(format!(
+                "explanation budget exhausted before a verdict at II = {ii}"
+            )))
+        }
+        ExplainOutcome::Explained(ex) => ex,
+    };
+    let findings = report_explanation(l, machine, opts, &ex)?;
+    if findings.iter().any(|f| f.severity == Severity::Error) {
+        return Err(Failure::Analysis(format!(
+            "loop is infeasible at II = {ii}: {} certified core group(s)",
+            ex.core.len()
+        )));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), Failure> {
     let opts = parse_args().map_err(Failure::Usage)?;
     if opts.client {
@@ -535,6 +694,10 @@ fn run() -> Result<(), Failure> {
         .map_err(|e| Failure::Io(format!("cannot read {}: {e}", opts.file)))?;
     let parsed = textfmt::parse(&text).map_err(Failure::Parse)?;
     let (l, machine) = (parsed.l, parsed.machine);
+
+    if opts.explain_cmd {
+        return run_explain(&opts, &l, &machine);
+    }
 
     if opts.lint || opts.analyze {
         let findings = analyze_findings(&l, &machine, &opts);
@@ -589,6 +752,10 @@ fn run() -> Result<(), Failure> {
     cfg.limits.threads = opts.threads;
     cfg.speculate_ii = opts.speculate;
     cfg.portfolio = opts.portfolio;
+    cfg.explain = opts.explain;
+    if let Some(span) = opts.max_ii_span {
+        cfg.max_ii_span = span;
+    }
     if opts.fallback {
         cfg.fallback = FallbackConfig::enabled();
     }
@@ -658,6 +825,10 @@ fn run() -> Result<(), Failure> {
         eprintln!("warning: {e}");
     }
     let Some(schedule) = &result.schedule else {
+        if let Some(ex) = &result.explanation {
+            println!("\ninfeasibility explanation (II = {}):", ex.ii);
+            report_explanation(&l, &machine, &opts, ex)?;
+        }
         return Err(Failure::Scheduling(format!(
             "no schedule found (status {:?}; {} nodes, {} simplex iterations){}",
             result.status,

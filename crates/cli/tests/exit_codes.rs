@@ -165,3 +165,28 @@ fn binary_returns_the_documented_codes() {
         String::from_utf8_lossy(&gone.stderr)
     );
 }
+
+#[test]
+fn explain_subcommand_returns_the_finding_code_on_infeasible_ii() {
+    // `explain` reports certified infeasibility as error-severity findings,
+    // so a genuinely infeasible II exits 7 — the same code as `lint`.
+    let out = run(&["explain", "examples/figure1.loop", "--ii", "1"]);
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The repro file lands in the working directory; don't litter the repo.
+    let _ = std::fs::remove_file(repo_root().join("optimod-infeasible.loop"));
+
+    // A feasible II has nothing to explain and succeeds.
+    let ok = run(&["explain", "examples/figure1.loop", "--ii", "2"]);
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+}

@@ -18,7 +18,7 @@ pub mod dependence;
 pub mod objective;
 
 use optimod_ddg::{Loop, OpId};
-use optimod_ilp::{LinExpr, Model, SolveOutcome, VarId};
+use optimod_ilp::{LinExpr, Model, RowTag, SolveOutcome, VarId};
 use optimod_machine::Machine;
 
 use crate::error::ScheduleError;
@@ -221,11 +221,14 @@ pub fn build_model(
 
     // Assignment constraints (Eq. 1).
     for (i, rows) in a.iter().enumerate() {
+        let before = model.num_constraints();
         model.add_eq(rows.iter().map(|&v| (v, 1.0)), 1.0, format!("assign[{i}]"));
+        model.tag_rows_from(before, RowTag::Assignment(i as u32));
     }
 
     // Dependence constraints for every scheduling edge.
     for (ei, e) in l.edges().iter().enumerate() {
+        let before = model.num_constraints();
         dependence::add_dependence(
             &mut model,
             cfg.dep_style,
@@ -236,6 +239,7 @@ pub fn build_model(
             e.distance as i64,
             &format!("dep[{ei}]"),
         );
+        model.tag_rows_from(before, RowTag::Dependence(ei as u32));
     }
 
     // Resource constraints (Ineq. 5). Following the paper, resources with a
@@ -262,7 +266,15 @@ pub fn build_model(
                 let row = (r - c as i64).rem_euclid(ii as i64) as usize;
                 expr.add_term(a[i][row], 1.0);
             }
+            let before = model.num_constraints();
             model.add_le(expr, cap, format!("res[{}][{r}]", machine.resource_name(q)));
+            model.tag_rows_from(
+                before,
+                RowTag::Resource {
+                    resource: q.index() as u32,
+                    row: r as u32,
+                },
+            );
         }
     }
 
@@ -277,7 +289,9 @@ pub fn build_model(
         max_live_var: None,
     };
 
+    let before = built.model.num_constraints();
     objective::install(&mut built, l, cfg);
+    built.model.tag_rows_from(before, RowTag::Objective);
     Some(built)
 }
 
@@ -334,6 +348,38 @@ mod tests {
             let out = built.model.solve();
             assert_eq!(out.status, SolveStatus::Infeasible, "{style:?}");
         }
+    }
+
+    #[test]
+    fn rows_carry_provenance_tags() {
+        let m = example_3fu();
+        let l = kernels::figure1(&m);
+        let cfg = FormulationConfig {
+            objective: Objective::MinMaxLive,
+            ..Default::default()
+        };
+        let built = build_model(&l, &m, 2, &cfg).unwrap();
+        let (mut assign, mut dep, mut res, mut obj) = (0usize, 0usize, 0usize, 0usize);
+        for row in built.model.rows() {
+            match row.tag {
+                RowTag::Assignment(_) => {
+                    assign += 1;
+                    assert!(row.name.starts_with("assign["), "{}", row.name);
+                }
+                RowTag::Dependence(_) => {
+                    dep += 1;
+                    assert!(row.name.starts_with("dep["), "{}", row.name);
+                }
+                RowTag::Resource { .. } => {
+                    res += 1;
+                    assert!(row.name.starts_with("res["), "{}", row.name);
+                }
+                RowTag::Objective => obj += 1,
+                RowTag::Untagged => panic!("builder left row {} untagged", row.name),
+            }
+        }
+        assert_eq!(assign, l.num_ops());
+        assert!(dep > 0 && res > 0 && obj > 0);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod codegen;
 pub mod error;
+pub mod explain;
 pub mod formulation;
 pub mod heuristic;
 pub mod mii;
@@ -53,9 +54,13 @@ pub mod scheduler;
 
 pub use codegen::{expand, unroll_factor, Inst, PipelinedLoop};
 pub use error::ScheduleError;
+pub use explain::{explain_at, explain_options};
 pub use formulation::{build_model, BuiltModel, DepStyle, FormulationConfig, Objective};
 pub use mii::{compute_mii, Mii};
-pub use optimod_analyze::{IlpContext, PresolveOptions, PresolveSummary, PresolveTotals};
+pub use optimod_analyze::{
+    ExplainOptions, ExplainOutcome, Explanation, IlpContext, PresolveOptions, PresolveSummary,
+    PresolveTotals,
+};
 pub use optimod_sat::EncodeOptions as SatEncodeOptions;
 pub use optimod_verify::{certify, CertError, Certificate, Claim};
 pub use rotating::{allocate, RotatingAllocation};

@@ -130,12 +130,12 @@ pub(crate) fn slot_domains(built: &BuiltModel) -> SlotDomains {
     }
 }
 
-/// Rebuilds `l` keeping only the edges with `keep[i]` set. Flow edges come
-/// back as memory dependences of equal latency and distance — identical
-/// scheduling constraints without needing virtual registers, which the
-/// feasibility-only repro never inspects.
-fn rebuild(l: &Loop, machine: &Machine, keep: &[bool]) -> Option<Loop> {
-    let mut b = LoopBuilder::new("disagreement-repro");
+/// Rebuilds `l` as `name`, keeping only the edges with `keep[i]` set. Flow
+/// edges come back as memory dependences of equal latency and distance —
+/// identical scheduling constraints without needing virtual registers,
+/// which the feasibility-only repro never inspects.
+pub(crate) fn rebuild(l: &Loop, machine: &Machine, name: &str, keep: &[bool]) -> Option<Loop> {
+    let mut b = LoopBuilder::new(name);
     let ids: Vec<_> = l
         .ops()
         .iter()
@@ -162,13 +162,14 @@ fn rebuild(l: &Loop, machine: &Machine, keep: &[bool]) -> Option<Loop> {
     b.try_build(machine).ok()
 }
 
-/// Renders a loop as a replayable textual repro file.
-fn render_repro(l: &Loop, machine: &Machine, ii: u32, detail: &str) -> String {
+/// Renders a loop as a replayable textual repro file, one `#` comment per
+/// `header` line.
+pub(crate) fn render_repro(l: &Loop, machine: &Machine, header: &[String]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "# optimod cross-backend disagreement repro (minimized)");
-    let _ = writeln!(s, "# {detail}");
-    let _ = writeln!(s, "# disagreeing II: {ii}");
+    for line in header {
+        let _ = writeln!(s, "# {line}");
+    }
     let _ = writeln!(s, "machine {}", machine.name());
     for (i, op) in l.ops().iter().enumerate() {
         let _ = writeln!(s, "op o{i} {}", op.class.mnemonic());
@@ -492,19 +493,24 @@ impl OptimalScheduler {
         if keep.len() <= MINIMIZE_EDGE_CAP {
             for e in 0..keep.len() {
                 keep[e] = false;
-                let still_disagrees = rebuild(l, machine, &keep)
+                let still_disagrees = rebuild(l, machine, "disagreement-repro", &keep)
                     .is_some_and(|cand| self.disagreement_persists(&cand, machine, ii));
                 if !still_disagrees {
                     keep[e] = true;
                 }
             }
         }
-        match rebuild(l, machine, &keep) {
-            Some(minimized) => render_repro(&minimized, machine, ii, detail),
+        let header = [
+            "optimod cross-backend disagreement repro (minimized)".to_string(),
+            detail.to_string(),
+            format!("disagreeing II: {ii}"),
+        ];
+        match rebuild(l, machine, "disagreement-repro", &keep) {
+            Some(minimized) => render_repro(&minimized, machine, &header),
             // The rebuilt form should always validate (the edges kept are a
             // subset of a validated loop's); render the original as a
             // fallback rather than failing the failure report.
-            None => render_repro(l, machine, ii, detail),
+            None => render_repro(l, machine, &header),
         }
     }
 

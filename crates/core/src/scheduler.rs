@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use optimod_analyze::{IlpContext, PresolveOptions, PresolveTotals};
+use optimod_analyze::{Explanation, IlpContext, PresolveOptions, PresolveTotals};
 use optimod_ddg::Loop;
 use optimod_ilp::{
     panic_message, FaultAction, FaultSite, SolveError, SolveLimits, SolveOutcome, SolveStats,
@@ -210,6 +210,13 @@ pub struct SchedulerConfig {
     /// set). Defaults to all of them; the presolve-impact bench toggles
     /// individual reductions to attribute their effect.
     pub presolve_options: PresolveOptions,
+    /// When the exact search proves the whole `II` span infeasible, run the
+    /// infeasibility explanation engine at the last attempted `II` and
+    /// attach its certified unsat-core diagnostics to
+    /// [`LoopResult::explanation`]. Off by default: explanation re-encodes
+    /// the problem through the CNF encoder and runs a deletion-based MUS
+    /// loop, which can cost more than the failed search itself.
+    pub explain: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -227,6 +234,7 @@ impl Default for SchedulerConfig {
             fallback: FallbackConfig::default(),
             presolve: true,
             presolve_options: PresolveOptions::default(),
+            explain: false,
         }
     }
 }
@@ -314,6 +322,10 @@ pub struct LoopResult {
     /// on scheduled results when a rung failed abnormally before a later
     /// rung (or the incumbent) recovered.
     pub error: Option<ScheduleError>,
+    /// Certified infeasibility diagnostics (`OM200`-series findings, unsat
+    /// core, replayable repro) attached to [`LoopStatus::Infeasible`]
+    /// results when [`SchedulerConfig::explain`] is set; `None` otherwise.
+    pub explanation: Option<Explanation>,
 }
 
 /// An optimal modulo scheduler (NoObj / MinReg / MinBuff / MinLife /
@@ -384,6 +396,7 @@ impl OptimalScheduler {
                 provenance: None,
                 presolve: PresolveTotals::default(),
                 error: Some(ScheduleError::InvalidLoop(e)),
+                explanation: None,
             };
         }
         let mii = compute_mii(l, machine);
@@ -405,6 +418,7 @@ impl OptimalScheduler {
                 provenance: None,
                 presolve: PresolveTotals::default(),
                 error: Some(ScheduleError::MiiOverflow { mii: mii.value() }),
+                explanation: None,
             };
         }
         let fb = self.config.fallback;
@@ -429,6 +443,7 @@ impl OptimalScheduler {
                 provenance: None,
                 presolve: PresolveTotals::default(),
                 error: None,
+                explanation: None,
             };
             return self.degrade(l, machine, start, base);
         }
@@ -604,6 +619,7 @@ impl OptimalScheduler {
                 provenance: None,
                 presolve,
                 error,
+                explanation: None,
             }
         };
 
@@ -800,7 +816,16 @@ impl OptimalScheduler {
                 }
             }
         }
-        give_up(LoopStatus::Infeasible, stats, presolve_totals, sticky_error)
+        let mut result = give_up(LoopStatus::Infeasible, stats, presolve_totals, sticky_error);
+        if self.config.explain {
+            // Every II in [mii, end_ii] was refuted; explain the ceiling —
+            // the largest II the caller allowed, hence the hardest one to
+            // blame on a single constraint by accident.
+            result.explanation =
+                crate::explain::explain_infeasibility(l, machine, end_ii, &self.config);
+            result.stats.wall_time = start.elapsed();
+        }
+        result
     }
 
     /// Packages a successful solve into a [`LoopResult`]. A solution that
@@ -832,6 +857,7 @@ impl OptimalScheduler {
             provenance: None,
             presolve,
             error: Some(error),
+            explanation: None,
         };
         let trace = &self.config.limits.trace;
         let schedule = {
@@ -871,6 +897,7 @@ impl OptimalScheduler {
                                 provenance: None,
                                 presolve,
                                 error: sticky_error,
+                                explanation: None,
                             }
                         }
                         // A tripped panic never reaches this arm (it is
@@ -940,6 +967,7 @@ impl OptimalScheduler {
             provenance: Some(Provenance::Exact),
             presolve,
             error: sticky_error,
+            explanation: None,
         }
     }
 
@@ -970,6 +998,7 @@ impl OptimalScheduler {
             provenance: Some(Provenance::SatExact),
             presolve,
             error: sticky_error,
+            explanation: None,
         }
     }
 

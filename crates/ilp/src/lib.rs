@@ -45,7 +45,7 @@ pub mod tol;
 pub use branch_bound::{BranchRule, SolveLimits, Solver};
 pub use export::lp_format;
 pub use fault::{FaultAction, FaultPlan, FaultSite, Injection};
-pub use model::{ConstraintId, LinExpr, Model, RowSense, RowView, Sense, VarId};
+pub use model::{ConstraintId, LinExpr, Model, RowSense, RowTag, RowView, Sense, VarId};
 pub use simplex::{Basis, LpOutcome, LpStatus, Simplex, SimplexEngine, SimplexOptions, WarmStart};
 pub use solution::{panic_message, SolveError, SolveOutcome, SolveStats, SolveStatus};
 pub use stop::StopFlag;

@@ -269,12 +269,42 @@ pub(crate) struct VarDef {
     pub name: String,
 }
 
+/// Provenance of a constraint row: which source-level scheduling construct
+/// built it.
+///
+/// Tags let analyses (presolve clique detection, the infeasibility
+/// explanation engine) map rows back to dependence edges, MRT resource
+/// rows, and assignment constraints without parsing row names. Builders
+/// that don't record provenance leave rows [`RowTag::Untagged`]; the tag
+/// never affects solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RowTag {
+    /// No provenance recorded (the default for ad-hoc rows).
+    #[default]
+    Untagged,
+    /// Eq. 1 assignment row of operation `#i`.
+    Assignment(u32),
+    /// Dependence row(s) of scheduling edge `#i` (a structured-form edge
+    /// contributes several rows, all tagged with the same edge).
+    Dependence(u32),
+    /// MRT packing row (Ineq. 5) of one resource at one row.
+    Resource {
+        /// Dense resource index (creation order in the machine).
+        resource: u32,
+        /// MRT row within `0..II`.
+        row: u32,
+    },
+    /// Secondary-objective coupling row (kills, MaxLive, lifetimes).
+    Objective,
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct RowDef {
     pub coeffs: Vec<(VarId, f64)>,
     pub sense: RowSense,
     pub rhs: f64,
     pub name: String,
+    pub tag: RowTag,
 }
 
 /// Read-only view of one constraint row, as stored in a [`Model`].
@@ -292,6 +322,8 @@ pub struct RowView<'a> {
     pub rhs: f64,
     /// Name given to the row at creation.
     pub name: &'a str,
+    /// Provenance of the row (see [`RowTag`]).
+    pub tag: RowTag,
 }
 
 /// A mixed-integer linear program under construction.
@@ -448,8 +480,27 @@ impl Model {
             sense,
             rhs: rhs - expr.constant(),
             name: name.into(),
+            tag: RowTag::default(),
         });
         id
+    }
+
+    /// Records provenance for the rows added since index `start` (used by
+    /// model builders to tag a just-emitted batch, e.g. all rows of one
+    /// dependence edge).
+    pub fn tag_rows_from(&mut self, start: usize, tag: RowTag) {
+        for r in &mut self.rows[start..] {
+            r.tag = tag;
+        }
+    }
+
+    /// Provenance tag of the constraint row at dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_constraints()`.
+    pub fn row_tag(&self, i: usize) -> RowTag {
+        self.rows[i].tag
     }
 
     /// Adds `expr <= rhs`.
@@ -494,6 +545,7 @@ impl Model {
             sense: r.sense,
             rhs: r.rhs,
             name: &r.name,
+            tag: r.tag,
         }
     }
 
@@ -505,6 +557,7 @@ impl Model {
             sense: r.sense,
             rhs: r.rhs,
             name: &r.name,
+            tag: r.tag,
         })
     }
 

@@ -130,6 +130,36 @@ impl SatOutcome {
     }
 }
 
+/// How a SAT solve under assumptions ended.
+///
+/// The difference from [`SatOutcome`] is the refutation payload: an
+/// unsatisfiable answer names the *unsat core* — the subset of assumption
+/// literals the refutation actually used — which is the raw material of
+/// infeasibility explanations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssumeOutcome {
+    /// Satisfiable under all assumptions; the model assigns every variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable under the assumptions. The core is the subset of
+    /// assumption literals involved in the refutation; an empty core means
+    /// the formula is unsatisfiable on its own, regardless of assumptions.
+    Unsat(Vec<Lit>),
+    /// A limit, cancellation, or injected fault stopped the search before
+    /// a verdict.
+    Unknown,
+}
+
+impl AssumeOutcome {
+    /// Stable lower-case name (used in trace events).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssumeOutcome::Sat(_) => "sat",
+            AssumeOutcome::Unsat(_) => "unsat",
+            AssumeOutcome::Unknown => "unknown",
+        }
+    }
+}
+
 /// Search-effort counters, the SAT analogue of the ILP's `SolveStats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SatStats {
@@ -503,7 +533,44 @@ impl<'a> Solver<'a> {
             || self.start.elapsed() >= self.limits.time_limit
     }
 
-    fn search(&mut self) -> SatOutcome {
+    /// Final-conflict analysis (the assumption analogue of [`Self::analyze`]):
+    /// given an assumption `p` found falsified by propagation from earlier
+    /// assumption levels, walks the implication trail backwards and collects
+    /// the subset of assumptions the falsification depends on. Decisions on
+    /// the trail are assumption placements by construction — the search never
+    /// makes a free decision while assumptions are pending — so the returned
+    /// literals are exactly assumption literals: `p` itself plus every
+    /// assumption reachable through reason clauses from `¬p`.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[p.var()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            if !self.seen[v] {
+                continue;
+            }
+            if self.reason[v] == NO_REASON {
+                debug_assert!(self.level[v] > 0, "level-0 literals have no core share");
+                core.push(self.trail[i]);
+            } else {
+                let ci = self.reason[v];
+                for k in 0..self.clauses[ci].len() {
+                    let q = self.clauses[ci][k];
+                    if q.var() != v && self.level[q.var()] > 0 {
+                        self.seen[q.var()] = true;
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var()] = false;
+        core
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> AssumeOutcome {
         let restart_base = 128u64;
         loop {
             let conflicts_before_restart = restart_base * luby(self.stats.restarts);
@@ -513,7 +580,7 @@ impl<'a> Solver<'a> {
                     self.stats.conflicts += 1;
                     conflicts_here += 1;
                     if self.decision_level() == 0 {
-                        return SatOutcome::Unsat;
+                        return AssumeOutcome::Unsat(Vec::new());
                     }
                     let (learned, back_level) = self.analyze(conflict);
                     self.backtrack(back_level);
@@ -529,26 +596,47 @@ impl<'a> Solver<'a> {
                         self.enqueue(asserting, idx);
                     }
                     if self.out_of_budget() {
-                        return SatOutcome::Unknown;
+                        return AssumeOutcome::Unknown;
                     }
                 } else {
                     if self.interrupted || self.out_of_budget() {
-                        return SatOutcome::Unknown;
+                        return AssumeOutcome::Unknown;
                     }
                     if conflicts_here >= conflicts_before_restart && self.decision_level() > 0 {
                         self.stats.restarts += 1;
                         if let Some(action) = self.fire(FaultSite::SatRestart) {
                             self.apply_fault(action);
                             if self.interrupted {
-                                return SatOutcome::Unknown;
+                                return AssumeOutcome::Unknown;
                             }
                         }
                         self.backtrack(0);
                         break; // next Luby segment
                     }
+                    // Pending assumptions enter as pseudo-decisions, one
+                    // level each, before any free VSIDS decision.
+                    if (self.decision_level() as usize) < assumptions.len() {
+                        let a = assumptions[self.decision_level() as usize];
+                        match self.value(a) {
+                            VAL_TRUE => {
+                                // Already implied: open an empty level so
+                                // the level index keeps tracking the prefix.
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            VAL_FALSE => {
+                                let core = self.analyze_final(a);
+                                return AssumeOutcome::Unsat(core);
+                            }
+                            _ => {
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue(a, NO_REASON);
+                            }
+                        }
+                        continue;
+                    }
                     if !self.decide() {
                         let model = self.assign.iter().map(|&v| v == VAL_TRUE).collect();
-                        return SatOutcome::Sat(model);
+                        return AssumeOutcome::Sat(model);
                     }
                 }
             }
@@ -559,27 +647,40 @@ impl<'a> Solver<'a> {
 /// Solves `cnf` under `limits`. Deterministic given the seed (and absent
 /// cancellation or time limits binding mid-search).
 pub fn solve(cnf: &Cnf, limits: &SatLimits) -> (SatOutcome, SatStats) {
+    let (out, stats) = solve_with_assumptions(cnf, &[], limits);
+    let out = match out {
+        AssumeOutcome::Sat(model) => SatOutcome::Sat(model),
+        AssumeOutcome::Unsat(_) => SatOutcome::Unsat,
+        AssumeOutcome::Unknown => SatOutcome::Unknown,
+    };
+    (out, stats)
+}
+
+/// Solves `cnf` under the given assumption literals.
+///
+/// Assumptions are placed as pseudo-decisions ahead of the search proper
+/// (the MiniSat discipline), so an unsatisfiable answer comes back with an
+/// unsat core: the subset of `assumptions` the refutation used, extracted
+/// by final-conflict analysis over the implication trail. The core is not
+/// guaranteed minimal — callers wanting a minimal unsatisfiable subset
+/// shrink it by deletion (re-solving with members dropped), as
+/// `optimod-analyze`'s explanation engine does.
+pub fn solve_with_assumptions(
+    cnf: &Cnf,
+    assumptions: &[Lit],
+    limits: &SatLimits,
+) -> (AssumeOutcome, SatStats) {
     let mut s = Solver::new(cnf, limits);
     for clause in cnf.clauses() {
         if !s.add_clause(clause) {
-            return (SatOutcome::Unsat, s.stats);
+            return (AssumeOutcome::Unsat(Vec::new()), s.stats);
         }
     }
     if s.interrupted {
-        return (SatOutcome::Unknown, s.stats);
+        return (AssumeOutcome::Unknown, s.stats);
     }
-    let outcome = s.search();
+    let outcome = s.search(assumptions);
     (outcome, s.stats)
-}
-
-/// Solves `cnf` with extra unit-clause assumptions appended — used by the
-/// round-trip tests to ask "does this concrete schedule extend to a model?".
-pub fn solve_with_assumptions(cnf: &Cnf, assumptions: &[Lit], limits: &SatLimits) -> SatOutcome {
-    let mut constrained = cnf.clone();
-    for &l in assumptions {
-        constrained.add_clause(vec![l]);
-    }
-    solve(&constrained, limits).0
 }
 
 #[cfg(test)]
@@ -688,6 +789,84 @@ mod tests {
         let limits = SatLimits::default();
         limits.stop.stop();
         assert_eq!(solve(&cnf, &limits).0, SatOutcome::Unknown);
+    }
+
+    #[test]
+    fn assumption_core_names_only_the_culprits() {
+        // ¬a ∨ ¬b: assuming {c, a, b} must come back unsat with a core
+        // naming a and b — and never the irrelevant c.
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        let c = cnf.new_var();
+        cnf.add_clause(vec![Lit::neg(a), Lit::neg(b)]);
+        let assumptions = [Lit::pos(c), Lit::pos(a), Lit::pos(b)];
+        let (out, _) = solve_with_assumptions(&cnf, &assumptions, &quick());
+        let AssumeOutcome::Unsat(core) = out else {
+            panic!("expected unsat under contradictory assumptions, got {out:?}");
+        };
+        assert!(!core.is_empty(), "refutation used assumptions");
+        assert!(core.contains(&Lit::pos(a)) && core.contains(&Lit::pos(b)));
+        assert!(!core.contains(&Lit::pos(c)), "c plays no part: {core:?}");
+    }
+
+    #[test]
+    fn assumption_core_through_learned_conflicts() {
+        // PHP(4,3) is unsat on its own; per-pigeon "placed" selectors make
+        // it satisfiable until all four are assumed. The core must be
+        // non-empty and consist of assumption literals only.
+        let (pigeons, holes) = (4usize, 3usize);
+        let mut cnf = Cnf::new();
+        let var = |p: usize, h: usize| p * holes + h;
+        for _ in 0..pigeons * holes {
+            cnf.new_var();
+        }
+        let sels: Vec<usize> = (0..pigeons).map(|_| cnf.new_var()).collect();
+        for (p, &sel) in sels.iter().enumerate() {
+            let mut clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+            clause.push(Lit::neg(sel));
+            cnf.add_clause(clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    cnf.add_clause(vec![Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        let assumptions: Vec<Lit> = sels.iter().map(|&s| Lit::pos(s)).collect();
+        let (out, _) = solve_with_assumptions(&cnf, &assumptions, &quick());
+        let AssumeOutcome::Unsat(core) = out else {
+            panic!("fully selected PHP must be unsat, got {out:?}");
+        };
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| assumptions.contains(l)), "{core:?}");
+        // Dropping any one pigeon leaves 3 pigeons in 3 holes: satisfiable.
+        for drop in 0..pigeons {
+            let partial: Vec<Lit> = assumptions
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != drop)
+                .map(|(_, &l)| l)
+                .collect();
+            let (out, _) = solve_with_assumptions(&cnf, &partial, &quick());
+            assert!(
+                matches!(out, AssumeOutcome::Sat(_)),
+                "dropping pigeon {drop} must satisfy, got {}",
+                out.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unconditional_unsat_has_an_empty_core() {
+        let mut cnf = Cnf::new();
+        let v = cnf.new_var();
+        let w = cnf.new_var();
+        cnf.add_clause(vec![Lit::pos(v)]);
+        cnf.add_clause(vec![Lit::neg(v)]);
+        let (out, _) = solve_with_assumptions(&cnf, &[Lit::pos(w)], &quick());
+        assert_eq!(out, AssumeOutcome::Unsat(Vec::new()));
     }
 
     #[test]

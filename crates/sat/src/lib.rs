@@ -24,10 +24,16 @@
 //! the `NoObj` scheduling mode needs; objective-bearing modes stay on the
 //! ILP.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod cdcl;
 mod encode;
 
-pub use cdcl::{solve, solve_with_assumptions, Cnf, Lit, SatLimits, SatOutcome, SatStats};
-pub use encode::{encode, EncodeOptions, Encoding, SlotDomains};
+pub use cdcl::{
+    solve, solve_with_assumptions, AssumeOutcome, Cnf, Lit, SatLimits, SatOutcome, SatStats,
+};
+pub use encode::{
+    encode, encode_grouped, encode_subset, ConstraintGroup, EncodeOptions, Encoding,
+    GroupedEncoding, SlotDomains,
+};

@@ -19,7 +19,8 @@ use optimod::{DepStyle, Objective, OptimalScheduler, SchedulerConfig};
 use optimod_ddg::{generate_loop, GeneratorConfig};
 use optimod_machine::example_3fu;
 use optimod_sat::{
-    encode, solve, solve_with_assumptions, EncodeOptions, SatLimits, SatOutcome, SlotDomains,
+    encode, solve, solve_with_assumptions, AssumeOutcome, EncodeOptions, SatLimits, SatOutcome,
+    SlotDomains,
 };
 use optimod_verify::{certify, Claim};
 use proptest::prelude::*;
@@ -105,9 +106,9 @@ proptest! {
             .assumptions_for_times(&ilp_times)
             .expect("certified ILP times lie inside the encoded domains");
         let limits = SatLimits { seed, ..SatLimits::default() };
-        let out = solve_with_assumptions(&enc.cnf, &assumptions, &limits);
+        let (out, _) = solve_with_assumptions(&enc.cnf, &assumptions, &limits);
         prop_assert!(
-            matches!(out, SatOutcome::Sat(_)),
+            matches!(out, AssumeOutcome::Sat(_)),
             "seed {}: ILP schedule rejected by the CNF ({})",
             seed,
             out.name()

@@ -21,11 +21,14 @@ pub enum Phase {
     StageIlp,
     /// The IMS heuristic rung of the fallback ladder.
     Ims,
+    /// The infeasibility explanation engine (core extraction through
+    /// certification).
+    Explain,
 }
 
 impl Phase {
     /// All phases, in report order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Formulation,
         Phase::Presolve,
         Phase::Search,
@@ -33,6 +36,7 @@ impl Phase {
         Phase::Extraction,
         Phase::StageIlp,
         Phase::Ims,
+        Phase::Explain,
     ];
 
     /// Stable lower-case name (used in JSONL and reports).
@@ -45,6 +49,7 @@ impl Phase {
             Phase::Extraction => "extraction",
             Phase::StageIlp => "stage-ilp",
             Phase::Ims => "ims",
+            Phase::Explain => "explain",
         }
     }
 }
@@ -266,6 +271,29 @@ pub enum TraceEvent {
         /// last observed wait, for recovery).
         queue_wait_us: u64,
     },
+    /// The infeasibility explanation engine started on one `II`.
+    ExplainStart {
+        /// The II being explained.
+        ii: u32,
+    },
+    /// A raw assumption core was extracted.
+    CoreFound {
+        /// The II being explained.
+        ii: u32,
+        /// Constraint groups in the raw core.
+        size: u64,
+    },
+    /// Core minimization (and certification) finished.
+    CoreMinimized {
+        /// The II being explained.
+        ii: u32,
+        /// Raw core size going in.
+        from: u64,
+        /// Core size after deletion-based minimization.
+        to: u64,
+        /// Whether the independent certification checks all held.
+        certified: bool,
+    },
 }
 
 /// An event together with its offset from the trace epoch.
@@ -300,6 +328,9 @@ impl TraceEvent {
             TraceEvent::JournalRecovered { .. } => "journal_recovered",
             TraceEvent::CacheEvicted { .. } => "cache_evicted",
             TraceEvent::Brownout { .. } => "brownout",
+            TraceEvent::ExplainStart { .. } => "explain_start",
+            TraceEvent::CoreFound { .. } => "core_found",
+            TraceEvent::CoreMinimized { .. } => "core_minimized",
         }
     }
 
@@ -410,6 +441,23 @@ impl TraceEvent {
             }
             TraceEvent::Brownout { on, queue_wait_us } => {
                 let _ = write!(s, ",\"on\":{on},\"queue_wait_us\":{queue_wait_us}");
+            }
+            TraceEvent::ExplainStart { ii } => {
+                let _ = write!(s, ",\"ii\":{ii}");
+            }
+            TraceEvent::CoreFound { ii, size } => {
+                let _ = write!(s, ",\"ii\":{ii},\"size\":{size}");
+            }
+            TraceEvent::CoreMinimized {
+                ii,
+                from,
+                to,
+                certified,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"ii\":{ii},\"from\":{from},\"to\":{to},\"certified\":{certified}"
+                );
             }
         }
         s.push('}');
@@ -522,6 +570,15 @@ mod tests {
             TraceEvent::Brownout {
                 on: true,
                 queue_wait_us: 1000,
+            }
+            .kind(),
+            TraceEvent::ExplainStart { ii: 1 }.kind(),
+            TraceEvent::CoreFound { ii: 1, size: 5 }.kind(),
+            TraceEvent::CoreMinimized {
+                ii: 1,
+                from: 5,
+                to: 2,
+                certified: true,
             }
             .kind(),
         ];

@@ -146,6 +146,14 @@ pub struct SolveReport {
     pub presolve_binaries_fixed: u64,
     /// Stage-variable bound tightenings across presolve passes.
     pub presolve_bounds_tightened: u64,
+    /// Infeasibility explanation runs started.
+    pub explain_runs: u64,
+    /// Constraint groups across raw assumption cores.
+    pub explain_raw_core_groups: u64,
+    /// Constraint groups across minimized cores.
+    pub explain_min_core_groups: u64,
+    /// Explanations whose independent certification checks all held.
+    pub explain_certified: u64,
     /// Iterations-per-LP order statistics.
     pub lp_iterations: HistSummary,
     /// Node-depth order statistics.
@@ -282,6 +290,12 @@ impl SolveReport {
                         report.ilp_wins += 1;
                     }
                 }
+                TraceEvent::ExplainStart { .. } => report.explain_runs += 1,
+                TraceEvent::CoreFound { size, .. } => report.explain_raw_core_groups += size,
+                TraceEvent::CoreMinimized { to, certified, .. } => {
+                    report.explain_min_core_groups += to;
+                    report.explain_certified += u64::from(*certified);
+                }
                 TraceEvent::SolveBegin { .. }
                 | TraceEvent::SolveEnd { .. }
                 | TraceEvent::BackendResult { .. }
@@ -354,6 +368,15 @@ impl SolveReport {
             s,
             ",\"sat_wins\":{},\"ilp_wins\":{}",
             self.sat_wins, self.ilp_wins
+        );
+        let _ = write!(
+            s,
+            ",\"explain_runs\":{},\"explain_raw_core_groups\":{},\
+             \"explain_min_core_groups\":{},\"explain_certified\":{}",
+            self.explain_runs,
+            self.explain_raw_core_groups,
+            self.explain_min_core_groups,
+            self.explain_certified
         );
         let warm_obj = |w: &WarmSummary| {
             format!(
@@ -471,6 +494,16 @@ impl SolveReport {
                 self.presolve_rows_eliminated,
                 self.presolve_binaries_fixed,
                 self.presolve_bounds_tightened
+            );
+        }
+        if self.explain_runs > 0 {
+            let _ = writeln!(
+                s,
+                "explanations: {} run(s), core groups {} raw -> {} minimized, {} certified",
+                self.explain_runs,
+                self.explain_raw_core_groups,
+                self.explain_min_core_groups,
+                self.explain_certified
             );
         }
         if !self.ii_attempts.is_empty() {
@@ -650,6 +683,46 @@ mod tests {
         assert!(text.contains("portfolio: sat won 1 cell(s), ilp won 1"));
         let json = r.to_json();
         assert!(json.contains("\"sat_wins\":1,\"ilp_wins\":1"));
+    }
+
+    #[test]
+    fn explain_counters_are_tallied() {
+        let events = vec![
+            ev(
+                0,
+                TraceEvent::PhaseBegin {
+                    phase: Phase::Explain,
+                },
+            ),
+            ev(1, TraceEvent::ExplainStart { ii: 1 }),
+            ev(2, TraceEvent::CoreFound { ii: 1, size: 6 }),
+            ev(
+                3,
+                TraceEvent::CoreMinimized {
+                    ii: 1,
+                    from: 6,
+                    to: 2,
+                    certified: true,
+                },
+            ),
+            ev(
+                4,
+                TraceEvent::PhaseEnd {
+                    phase: Phase::Explain,
+                },
+            ),
+        ];
+        let r = SolveReport::from_events(&events);
+        assert_eq!(r.explain_runs, 1);
+        assert_eq!(r.explain_raw_core_groups, 6);
+        assert_eq!(r.explain_min_core_groups, 2);
+        assert_eq!(r.explain_certified, 1);
+        assert!(r.phase(Phase::Explain).is_some());
+        let text = r.render();
+        assert!(text.contains("explanations: 1 run(s), core groups 6 raw -> 2 minimized"));
+        let json = r.to_json();
+        assert!(json.contains("\"explain_runs\":1"));
+        assert!(json.contains("\"explain_min_core_groups\":2"));
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! or resource, so a failed certificate is a diagnostic, not a boolean.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::error::Error;
 use std::fmt;

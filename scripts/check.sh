@@ -38,6 +38,25 @@ echo "==> exact-arithmetic certification of the golden corpus"
 # against the ground truth, II >= recomputed MinII, exact objective).
 cargo run --release -q -p optimod-bench --bin certify_corpus
 
+echo "==> infeasibility explanations over the golden corpus"
+# Every golden kernel with II* > 1 explained at II* - 1: the engine must
+# return a certified minimal unsat core each time (the named groups alone
+# are infeasible; dropping any one restores satisfiability) and the
+# minimized core may never exceed the raw assumption core.
+cargo run --release -q -p optimod-bench --bin explain_corpus
+
+echo "==> crate hygiene (memory-safety and doc gates)"
+# The analysis-facing crates must keep forbid(unsafe_code) and
+# deny(missing_docs) at the crate root; a silent downgrade to warn (or a
+# removal) fails the build here before clippy ever sees it.
+for crate in analyze sat verify; do
+    lib="crates/$crate/src/lib.rs"
+    grep -q '^#!\[forbid(unsafe_code)\]' "$lib" \
+        || { echo "hygiene: $lib lost #![forbid(unsafe_code)]"; exit 1; }
+    grep -q '^#!\[deny(missing_docs)\]' "$lib" \
+        || { echo "hygiene: $lib lost #![deny(missing_docs)]"; exit 1; }
+done
+
 echo "==> fixed-seed chaos sweep (fault injection)"
 # 64 seeded fault plans x 3 kernels x (plain + portfolio): every run must
 # end in a certified schedule or a clean typed degradation — zero escaped

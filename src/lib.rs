@@ -12,4 +12,5 @@ pub use optimod_analyze;
 pub use optimod_ddg;
 pub use optimod_ilp;
 pub use optimod_machine;
+pub use optimod_sat;
 pub use optimod_trace;

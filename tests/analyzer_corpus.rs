@@ -1,17 +1,20 @@
 //! Crafted-corpus acceptance test for the static analyzer: a small set of
 //! deliberately-flawed loops on which every lint code in the registry
 //! fires. The issue's acceptance bar is >= 6 distinct codes; this corpus
-//! triggers all 11, and the test pins the exact set so a silently-dead
-//! lint is noticed.
+//! triggers all 11 level-1/2 codes plus the `OM200`-series explanation
+//! codes, and the tests pin the exact sets so a silently-dead lint is
+//! noticed.
 
 use std::collections::BTreeSet;
 
 use optimod_suite::optimod::{build_model, compute_mii, DepStyle, FormulationConfig, Objective};
 use optimod_suite::optimod_analyze::{
-    lint_loop, max_severity, presolve, DdgLintConfig, Finding, LintCode, PresolveOptions, Severity,
+    explain_infeasible, lint_loop, max_severity, presolve, DdgLintConfig, ExplainOptions,
+    ExplainOutcome, Finding, LintCode, PresolveOptions, Severity,
 };
-use optimod_suite::optimod_ddg::{DepKind, LoopBuilder};
+use optimod_suite::optimod_ddg::{DepKind, Loop, LoopBuilder};
 use optimod_suite::optimod_machine::{example_3fu, OpClass};
+use optimod_suite::optimod_sat::SlotDomains;
 
 /// Presolve findings on the structured MinReg model for `l` at `ii`.
 fn presolve_at(
@@ -166,4 +169,72 @@ fn crafted_corpus_fires_every_lint_code() {
         "lint codes never fired on the crafted corpus: {missing:?} (saw {seen:?})"
     );
     assert!(seen.len() >= 6, "acceptance bar: >= 6 distinct codes");
+}
+
+/// Explains `l` at `ii` over `domains`, panicking unless the engine
+/// produced an explanation; records its finding codes into `seen`.
+fn record_explained(
+    seen: &mut BTreeSet<LintCode>,
+    l: &Loop,
+    ii: u32,
+    domains: &SlotDomains,
+    opts: &ExplainOptions,
+) {
+    let machine = example_3fu();
+    match explain_infeasible(l, &machine, ii, domains, opts) {
+        ExplainOutcome::Explained(ex) => seen.extend(ex.findings.iter().map(|f| f.code)),
+        other => panic!(
+            "{} at II={ii} must be explained, got {}",
+            l.name(),
+            other.name()
+        ),
+    }
+}
+
+#[test]
+fn explain_corpus_fires_every_om200_series_code() {
+    let machine = example_3fu();
+    let mut seen: BTreeSet<LintCode> = BTreeSet::new();
+    let opts = ExplainOptions::default();
+    let free = |l: &Loop, ii: u32| SlotDomains::unrestricted(l.num_ops(), ii, 16 / ii as i64 + 4);
+
+    // OM200: a two-op recurrence of latency 4 over distance 1 explained
+    // two below its RecMII — the core is the cycle itself.
+    let mut b = LoopBuilder::new("om200-cycle");
+    let a = b.op(OpClass::FAdd, "a");
+    let c = b.op(OpClass::FMul, "c");
+    b.dep(a, c, 2, 0, DepKind::Flow);
+    b.dep(c, a, 2, 1, DepKind::Flow);
+    let cycle = b.build(&machine);
+    record_explained(&mut seen, &cycle, 2, &free(&cycle, 2), &opts);
+
+    // OM201: figure1's five ops cannot share three FUs in one MRT row.
+    let fig1 = optimod_suite::optimod_ddg::kernels::figure1(&machine);
+    record_explained(&mut seen, &fig1, 1, &free(&fig1, 1), &opts);
+
+    // OM202: a presolve-style domain that forbids every slot of one op.
+    let mut forbidden = free(&fig1, 2);
+    forbidden.row_allowed[0] = vec![false; 2];
+    forbidden.stage_bounds[0] = (0, 0);
+    record_explained(&mut seen, &fig1, 2, &forbidden, &opts);
+
+    // OM203: a zero minimization budget ships the raw core with a warning.
+    let broke = ExplainOptions {
+        mus_budget: 0,
+        ..ExplainOptions::default()
+    };
+    record_explained(&mut seen, &fig1, 1, &free(&fig1, 1), &broke);
+
+    let expected: BTreeSet<LintCode> = [
+        LintCode::ConflictingEdges,
+        LintCode::ResourceOverSubscription,
+        LintCode::WindowConflict,
+        LintCode::CoreNotMinimized,
+    ]
+    .into();
+    let missing: Vec<_> = expected.difference(&seen).collect();
+    assert!(
+        missing.is_empty(),
+        "explanation codes never fired on the crafted corpus: {missing:?} (saw {seen:?})"
+    );
 }
